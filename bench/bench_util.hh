@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the bench harness binaries: every binary
+ * regenerates one of the paper's tables or figures and prints it in a
+ * comparable layout. "--csv" switches any harness to CSV output.
+ */
+
+#ifndef NVMCACHE_BENCH_BENCH_UTIL_HH
+#define NVMCACHE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace nvmcache::bench {
+
+/** Parse common harness flags. */
+struct HarnessOptions
+{
+    bool csv = false;
+    bool color = true;
+    bool quick = false; ///< trims sweeps for smoke runs
+
+    static HarnessOptions
+    parse(int argc, char **argv)
+    {
+        HarnessOptions o;
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--csv")) {
+                o.csv = true;
+                o.color = false;
+            } else if (!std::strcmp(argv[i], "--no-color")) {
+                o.color = false;
+            } else if (!std::strcmp(argv[i], "--quick")) {
+                o.quick = true;
+            }
+        }
+        return o;
+    }
+};
+
+inline void
+banner(const std::string &what)
+{
+    std::printf("\n==============================================="
+                "=================\n");
+    std::printf("  %s\n", what.c_str());
+    std::printf("================================================"
+                "================\n\n");
+}
+
+} // namespace nvmcache::bench
+
+#endif // NVMCACHE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Extension bench (paper §VII future work): characterize how
+ * architecture-agnostic workload features affect NVM LLC *lifetime*.
+ *
+ * For every characterized workload we measure the LLC write traffic
+ * on the 2 MB fixed-capacity system, estimate the write imbalance
+ * from the workload's 90% write footprint, and project the lifetime
+ * of a PCRAM (Kang_P) and an RRAM (Zhang_R) LLC — bare and with
+ * intra-set wear-leveling (paper ref [20]). Finally the Fig 3
+ * correlation framework is reused with lifetime as the outcome.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "core/experiment.hh"
+#include "correlate/framework.hh"
+#include "nvm/endurance.hh"
+#include "prism/metrics.hh"
+#include "util/table.hh"
+
+using namespace nvmcache;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::HarnessOptions::parse(argc, argv);
+    bench::banner("Extension (SVII): workload features vs NVM LLC "
+                  "lifetime");
+
+    ExperimentRunner runner;
+    const LlcModel &kang =
+        publishedLlcModel("Kang", CapacityMode::FixedCapacity);
+    const std::uint64_t lines = kang.capacityBytes / 64;
+
+    Table table("projected LLC lifetime (fixed-capacity 2 MB)");
+    table.setHeader({"workload", "LLC writes/s (M)", "imbalance",
+                     "Kang_P [days]", "Kang_P +WL [days]",
+                     "Zhang_R [years]"});
+    table.setHeatmap(Table::Heatmap::PerColumn);
+    table.setColor(opts.color);
+
+    CorrelationDataset dataset;
+    dataset.featureNames = WorkloadFeatures::featureNames();
+
+    for (const BenchmarkSpec *spec : characterizedBenchmarks()) {
+        // Feature pass.
+        auto traces = buildTraces(*spec);
+        std::vector<TraceSource *> ptrs;
+        for (auto &t : traces)
+            ptrs.push_back(t.get());
+        WorkloadFeatures f = characterize(ptrs);
+
+        // Traffic pass.
+        SimStats stats = runner.runOne(*spec, kang);
+        LifetimeInputs in;
+        in.llcWrites = stats.llc.fills + stats.llc.writebacksIn;
+        in.seconds = stats.seconds;
+        in.cacheLines = lines;
+        in.writeImbalance = imbalanceFromFootprints(
+            f.writes.unique, f.writes.footprint90, lines);
+
+        auto pcram = estimateLifetime(NvmClass::PCRAM, in);
+        auto pcram_wl =
+            estimateLifetime(NvmClass::PCRAM, in, 1.0 / 16.0);
+        auto rram = estimateLifetime(NvmClass::RRAM, in);
+
+        table.startRow(spec->name);
+        table.addCell(double(in.llcWrites) / in.seconds / 1e6, 1);
+        table.addCell(in.writeImbalance, 0);
+        table.addCell(pcram.lifetimeSeconds / 86400.0, 2);
+        table.addCell(pcram_wl.lifetimeSeconds / 86400.0, 2);
+        table.addCell(rram.lifetimeYears, 2);
+
+        dataset.workloads.push_back(spec->name);
+        dataset.features.push_back(f.featureVector());
+        // Correlate against log-lifetime (it spans decades) and keep
+        // the "speedup" slot occupied by the raw write rate.
+        dataset.energy.push_back(
+            std::log10(pcram.lifetimeSeconds));
+        dataset.speedup.push_back(double(in.llcWrites) / in.seconds);
+    }
+
+    if (opts.csv)
+        std::cout << table.toCsv();
+    else
+        table.print(std::cout);
+
+    CorrelationResult corr = correlateFeatures(dataset);
+    // Relabel the outcome columns for this bench's semantics.
+    std::cout << "\nfeature correlation (energy column = "
+                 "log10 PCRAM lifetime, speedup column = LLC "
+                 "write rate):\n";
+    std::cout << renderHeatmap(corr, "features vs lifetime",
+                               opts.color);
+
+    auto rank = corr.rankByEnergy();
+    std::printf("\nstrongest lifetime predictors: ");
+    for (std::size_t i = 0; i < 3; ++i)
+        std::printf("%s(%+.2f) ",
+                    corr.featureNames[rank[i]].c_str(),
+                    corr.energyCorr[rank[i]]);
+    std::printf("\n(expect write-footprint/entropy features to "
+                "dominate: concentrated writes wear the hot lines "
+                "out)\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Extension bench: cache-organization sensitivity of the circuit
+ * estimator — the kind of NVSim design-space sweep the paper's
+ * methodology section presumes (mat size and associativity choices
+ * sit behind every Table III number). Estimator-only, so it runs in
+ * milliseconds.
+ *
+ * Sweeps mat dimensions and associativity for one technology per
+ * class and reports how latency, energy and area move.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "nvm/model_library.hh"
+#include "nvsim/estimator.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace nvmcache;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::HarnessOptions::parse(argc, argv);
+    bench::banner("Extension: cache-organization sensitivity "
+                  "(circuit estimator)");
+
+    Estimator estimator;
+    const char *cells[] = {"Kang", "Chung", "Zhang", "SRAM"};
+
+    // --- mat size sweep -------------------------------------------
+    {
+        Table table("mat (subarray) size sweep, 2 MB, 16-way");
+        table.setHeader({"cell.mat", "area[mm^2]", "read[ns]",
+                         "write[ns]", "Ehit[nJ]", "leak[W]"});
+        table.setColor(opts.color);
+        for (const char *name : cells) {
+            const CellSpec &cell = std::string(name) == "SRAM"
+                                       ? sramBaselineCell()
+                                       : publishedCell(name);
+            for (std::uint32_t rows : {256u, 512u, 1024u}) {
+                CacheOrgConfig org;
+                org.matRows = rows;
+                org.matCols = rows;
+                LlcModel m = estimator.estimate(cell, org);
+                table.startRow(std::string(name) + "." +
+                               std::to_string(rows) + "x" +
+                               std::to_string(rows));
+                table.addCell(toMm2(m.area), 3);
+                table.addCell(toNs(m.readLatency), 3);
+                table.addCell(toNs(m.writeLatency()), 3);
+                table.addCell(toNJ(m.eHit), 3);
+                table.addCell(m.leakage, 3);
+            }
+        }
+        if (opts.csv)
+            std::cout << table.toCsv();
+        else
+            table.print(std::cout);
+        std::printf("\nExpected: bigger mats amortize peripherals "
+                    "(area/leakage drop) but lengthen word/bitlines "
+                    "(latency and bitline energy rise).\n\n");
+    }
+
+    // --- associativity sweep ---------------------------------------
+    {
+        Table table("associativity sweep, 2 MB (tag-energy effect)");
+        table.setHeader({"cell.assoc", "Emiss[nJ]", "Ehit[nJ]",
+                         "tag[ns]"});
+        table.setColor(opts.color);
+        for (const char *name : cells) {
+            const CellSpec &cell = std::string(name) == "SRAM"
+                                       ? sramBaselineCell()
+                                       : publishedCell(name);
+            for (std::uint32_t assoc : {8u, 16u, 32u}) {
+                CacheOrgConfig org;
+                org.associativity = assoc;
+                LlcModel m = estimator.estimate(cell, org);
+                table.startRow(std::string(name) + "." +
+                               std::to_string(assoc) + "w");
+                table.addCell(toNJ(m.eMiss), 4);
+                table.addCell(toNJ(m.eHit), 4);
+                table.addCell(toNs(m.tagLatency), 3);
+            }
+        }
+        if (opts.csv)
+            std::cout << table.toCsv();
+        else
+            table.print(std::cout);
+        std::printf("\nExpected: tag (and thus miss) energy scales "
+                    "with the ways probed per lookup.\n");
+    }
+    return 0;
+}

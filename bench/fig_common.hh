@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared rendering for the Figure 1 / Figure 2 benches: each figure
+ * is three stacked plots (speedup, LLC energy, ED^2P, all normalized
+ * to the SRAM baseline) over workloads x technologies; we render each
+ * plot as a table with workloads as rows and technologies as columns.
+ */
+
+#ifndef NVMCACHE_BENCH_FIG_COMMON_HH
+#define NVMCACHE_BENCH_FIG_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "core/study.hh"
+#include "util/table.hh"
+
+namespace nvmcache::bench {
+
+inline void
+printMetricTable(const std::vector<TechSweep> &sweeps,
+                 const std::string &title,
+                 double (*metric)(const RunResult &), int precision,
+                 const HarnessOptions &opts)
+{
+    if (sweeps.empty())
+        return;
+    Table table(title);
+    std::vector<std::string> header{"workload"};
+    for (const RunResult &r : sweeps.front().results)
+        header.push_back(r.stats.llc.demandReads ? r.tech : r.tech);
+    table.setHeader(header);
+    table.setHeatmap(Table::Heatmap::PerRow);
+    table.setColor(opts.color);
+
+    for (const TechSweep &sweep : sweeps) {
+        table.startRow(sweep.workload);
+        for (const RunResult &r : sweep.results)
+            table.addCell(metric(r), precision);
+    }
+    if (opts.csv)
+        std::cout << table.toCsv();
+    else
+        table.print(std::cout);
+    std::cout << "\n";
+}
+
+inline void
+printFigure(const FigureStudy &study, const std::string &figName,
+            const HarnessOptions &opts)
+{
+    auto speedup = [](const RunResult &r) { return r.speedup; };
+    auto energy = [](const RunResult &r) { return r.normEnergy; };
+    auto ed2p = [](const RunResult &r) { return r.normEd2p; };
+
+    banner(figName + "a: single-threaded workloads (" +
+           toString(study.mode) + ")");
+    printMetricTable(study.singleThreaded,
+                     "normalized speedup (T_sram / T_nvm)", speedup, 3,
+                     opts);
+    printMetricTable(study.singleThreaded,
+                     "normalized LLC energy (E_nvm / E_sram)", energy,
+                     3, opts);
+    printMetricTable(study.singleThreaded, "normalized ED^2P", ed2p, 3,
+                     opts);
+
+    banner(figName + "b: multi-threaded workloads (" +
+           toString(study.mode) + ")");
+    printMetricTable(study.multiThreaded,
+                     "normalized speedup (T_sram / T_nvm)", speedup, 3,
+                     opts);
+    printMetricTable(study.multiThreaded,
+                     "normalized LLC energy (E_nvm / E_sram)", energy,
+                     3, opts);
+    printMetricTable(study.multiThreaded, "normalized ED^2P", ed2p, 3,
+                     opts);
+}
+
+} // namespace nvmcache::bench
+
+#endif // NVMCACHE_BENCH_FIG_COMMON_HH

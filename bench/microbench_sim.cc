@@ -1,0 +1,139 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate
+ * itself: cache access throughput, generator throughput, LLC
+ * demand-path cost, characterizer cost, and a whole-system
+ * accesses/second figure. These guard the "minutes-fast experiments"
+ * property the reproduction depends on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "nvsim/published.hh"
+#include "prism/metrics.hh"
+#include "sim/cache.hh"
+#include "sim/nvm_llc.hh"
+#include "sim/system.hh"
+#include "util/rng.hh"
+#include "workload/generators.hh"
+#include "workload/suite.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+GeneratorConfig
+microConfig(std::uint64_t accesses)
+{
+    GeneratorConfig cfg;
+    cfg.totalAccesses = accesses;
+    StreamConfig hot;
+    hot.kind = StreamConfig::Kind::Zipf;
+    hot.regionBytes = 1 << 20;
+    hot.zipfSkew = 0.9;
+    hot.weight = 0.8;
+    StreamConfig cold;
+    cold.kind = StreamConfig::Kind::Uniform;
+    cold.regionBytes = 16 << 20;
+    cold.weight = 0.2;
+    cfg.loads.streams = {hot, cold};
+    cfg.stores.streams = {hot, cold};
+    return cfg;
+}
+
+} // namespace
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    SetAssocCache cache(CacheGeometry{std::uint64_t(state.range(0)),
+                                      8, 64});
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(64 << 20) & ~63ull, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(32 << 10)->Arg(256 << 10)->Arg(2 << 20);
+
+static void
+BM_ZipfDraw(benchmark::State &state)
+{
+    ZipfSampler zipf(std::uint64_t(state.range(0)), 0.9);
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfDraw)->Arg(1 << 10)->Arg(1 << 20);
+
+static void
+BM_TraceGeneration(benchmark::State &state)
+{
+    SyntheticTrace trace(microConfig(1ull << 62), 0, 1);
+    MemAccess a;
+    for (auto _ : state) {
+        trace.next(a);
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+static void
+BM_LlcDemandPath(benchmark::State &state)
+{
+    SharedLlc llc(publishedLlcModel("Chung",
+                                    CapacityMode::FixedCapacity),
+                  SharedLlc::Config{}, 2.66e9);
+    Rng rng(3);
+    std::uint64_t now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            llc.demandRead(rng.below(8 << 20) & ~63ull, now));
+        now += 4;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LlcDemandPath);
+
+static void
+BM_Characterize(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto traces =
+            buildThreadTraces(microConfig(std::uint64_t(
+                                  state.range(0))),
+                              1);
+        std::vector<TraceSource *> ptrs{traces[0].get()};
+        benchmark::DoNotOptimize(characterize(ptrs));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Characterize)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+static void
+BM_FullSystem(benchmark::State &state)
+{
+    const std::uint64_t accesses = std::uint64_t(state.range(0));
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.numCores = 4;
+        System system(
+            cfg, publishedLlcModel("Chung",
+                                   CapacityMode::FixedCapacity));
+        auto traces = buildThreadTraces(microConfig(accesses), 4);
+        std::vector<TraceSource *> ptrs;
+        for (auto &t : traces)
+            ptrs.push_back(t.get());
+        benchmark::DoNotOptimize(system.run(ptrs));
+    }
+    state.SetItemsProcessed(state.iterations() * accesses);
+}
+BENCHMARK(BM_FullSystem)->Arg(200'000)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates paper Table VI: the architecture-agnostic workload
+ * features of the 16 PRISM-compatible workloads — global/local
+ * read/write entropy, unique footprints, 90% footprints, and access
+ * totals — measured by this library's characterizer on the synthetic
+ * traces, printed beside the paper's published values.
+ *
+ * The paper's footprints/totals are full-run virtual-address counts;
+ * ours are line-granularity counts over ~1000x-scaled traces, so the
+ * comparison to make is *per-column ordering across workloads*, not
+ * absolute magnitude (see EXPERIMENTS.md).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "prism/metrics.hh"
+#include "util/table.hh"
+#include "workload/suite.hh"
+
+using namespace nvmcache;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::HarnessOptions::parse(argc, argv);
+    bench::banner("Table VI: workload features (PRISM-style)");
+
+    Table table("Measured features (paper values in parentheses)");
+    table.setHeader({"workload", "H_rg", "H_rl", "H_wg", "H_wl",
+                     "r_uniq(K)", "w_uniq(K)", "90%ft_r(K)",
+                     "90%ft_w(K)", "r_tot(M)", "w_tot(M)"});
+    table.setHeatmap(Table::Heatmap::PerColumn);
+    table.setColor(opts.color);
+
+    auto cell = [&](double measured, double paper, double scale,
+                    int prec) {
+        char buf[64];
+        if (std::isnan(paper))
+            std::snprintf(buf, sizeof(buf), "%.*f", prec, measured);
+        else
+            std::snprintf(buf, sizeof(buf), "%.*f (%.*f)", prec,
+                          measured, prec, paper * scale);
+        table.addCell(buf, measured);
+    };
+
+    for (const BenchmarkSpec *spec : characterizedBenchmarks()) {
+        auto traces = buildTraces(*spec);
+        std::vector<TraceSource *> ptrs;
+        for (auto &t : traces)
+            ptrs.push_back(t.get());
+        WorkloadFeatures f = characterize(ptrs);
+
+        table.startRow(spec->name);
+        cell(f.reads.globalEntropy, spec->paper.globalReadEntropy,
+             1.0, 2);
+        cell(f.reads.localEntropy, spec->paper.localReadEntropy, 1.0,
+             2);
+        cell(f.writes.globalEntropy, spec->paper.globalWriteEntropy,
+             1.0, 2);
+        cell(f.writes.localEntropy, spec->paper.localWriteEntropy,
+             1.0, 2);
+        cell(double(f.reads.unique) / 1e3,
+             spec->paper.uniqueReads / 1e3 / 1000.0, 1.0, 1);
+        cell(double(f.writes.unique) / 1e3,
+             spec->paper.uniqueWrites / 1e3 / 1000.0, 1.0, 1);
+        cell(double(f.reads.footprint90) / 1e3,
+             spec->paper.footprint90Read / 1e3 / 1000.0, 1.0, 1);
+        cell(double(f.writes.footprint90) / 1e3,
+             spec->paper.footprint90Write / 1e3 / 1000.0, 1.0, 1);
+        cell(double(f.reads.total) / 1e6,
+             spec->paper.totalReads / 1e6 / 1000.0, 1.0, 2);
+        cell(double(f.writes.total) / 1e6,
+             spec->paper.totalWrites / 1e6 / 1000.0, 1.0, 2);
+    }
+
+    if (opts.csv)
+        std::cout << table.toCsv();
+    else
+        table.print(std::cout);
+    std::printf("\nPaper values in parentheses are scaled by the "
+                "1/1000 trace-length factor.\n");
+    return 0;
+}

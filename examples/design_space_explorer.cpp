@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Design-space exploration: "which LLC technology should my system
+ * use for this workload?" — the question the paper's evaluation
+ * answers per use case.
+ *
+ * Sweeps all ten NVM LLCs plus SRAM in both capacity strategies for
+ * one workload, then recommends a winner for each of three design
+ * targets: performance, energy, and balanced (ED^2P).
+ *
+ *   ./build/examples/design_space_explorer [workload]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+#include "util/units.hh"
+#include "workload/suite.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+void
+recommend(const TechSweep &sweep)
+{
+    const RunResult *best_perf = nullptr;
+    const RunResult *best_energy = nullptr;
+    const RunResult *best_ed2p = nullptr;
+    for (const RunResult &r : sweep.results) {
+        if (!best_perf || r.speedup > best_perf->speedup)
+            best_perf = &r;
+        if (!best_energy || r.normEnergy < best_energy->normEnergy)
+            best_energy = &r;
+        if (!best_ed2p || r.normEd2p < best_ed2p->normEd2p)
+            best_ed2p = &r;
+    }
+    std::printf("  performance : %-10s (%.2fx speedup)\n",
+                best_perf->tech.c_str(), best_perf->speedup);
+    std::printf("  energy      : %-10s (%.2fx SRAM energy)\n",
+                best_energy->tech.c_str(), best_energy->normEnergy);
+    std::printf("  balanced    : %-10s (%.3fx SRAM ED^2P)\n",
+                best_ed2p->tech.c_str(), best_ed2p->normEd2p);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "gobmk";
+    const BenchmarkSpec &spec = benchmark(workload);
+    ExperimentRunner runner;
+
+    std::printf("design-space exploration for '%s' (%s)\n\n",
+                spec.name.c_str(), spec.description.c_str());
+
+    for (CapacityMode mode : {CapacityMode::FixedCapacity,
+                              CapacityMode::FixedArea}) {
+        TechSweep sweep = runner.sweepTechs(spec, mode);
+        std::printf("%s (%s):\n", toString(mode).c_str(),
+                    mode == CapacityMode::FixedCapacity
+                        ? "cost-limited: every LLC is 2 MB"
+                        : "capacity-limited: 6.55 mm^2 budget");
+        std::printf("  %-10s %8s %8s %8s %8s %10s\n", "tech",
+                    "cap[MB]", "speedup", "energy", "ED^2P", "mpki");
+        for (const RunResult &r : sweep.results) {
+            const LlcModel &m = publishedLlcModel(r.tech, mode);
+            std::printf("  %-10s %8.0f %8.3f %8.3f %8.3f %10.1f\n",
+                        m.citationName().c_str(),
+                        toMB(m.capacityBytes), r.speedup,
+                        r.normEnergy, r.normEd2p, r.stats.llcMpki());
+        }
+        std::printf("\nrecommendations:\n");
+        recommend(sweep);
+        std::printf("\n");
+    }
+    return 0;
+}

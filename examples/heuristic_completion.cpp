@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Modeling a brand-new NVM from an incomplete VLSI publication — the
+ * paper's contribution 1 as a user workflow.
+ *
+ * Suppose a 2019 VLSI paper introduces a 28 nm STTRAM macro but, as
+ * usual, reports only some of the parameters NVSim needs. This
+ * example:
+ *  1. enters the reported numbers into a CellSpec;
+ *  2. completes the gaps with the heuristic engine (against the
+ *     released Table II library as references), printing the ledger;
+ *  3. pushes the completed cell through the circuit estimator to get
+ *     an LLC model;
+ *  4. simulates a workload to see whether the new device would beat
+ *     the library's best STTRAM.
+ *
+ *   ./build/examples/heuristic_completion
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "nvm/heuristics.hh"
+#include "nvm/model_library.hh"
+#include "nvsim/estimator.hh"
+#include "util/units.hh"
+#include "workload/suite.hh"
+
+using namespace nvmcache;
+
+int
+main()
+{
+    // 1. What the (hypothetical) publication reports.
+    CellSpec novel;
+    novel.name = "NovelMacro19";
+    novel.klass = NvmClass::STTRAM;
+    novel.year = 2019;
+    novel.processNode = CellParam::reported(28e-9);
+    novel.cellSizeF2 = CellParam::reported(34.0);
+    novel.cellLevels = CellParam::reported(1);
+    novel.readVoltage = CellParam::reported(0.45);
+    novel.resetCurrent = CellParam::reported(65e-6);
+    novel.resetPulse = CellParam::reported(3e-9);
+    novel.setCurrent = CellParam::reported(48e-6);
+    novel.setPulse = CellParam::reported(3.5e-9);
+    // Missing: read power, set energy, reset energy.
+
+    std::printf("reported spec is missing %zu NVSim parameters\n",
+                missingFields(novel).size());
+
+    // 2. Complete with the heuristics, Table II library as reference.
+    std::vector<CellSpec> refs = rawCells();
+    for (const CellSpec &seed : archetypeSeeds())
+        refs.push_back(seed);
+    HeuristicEngine engine(refs);
+    CompletionResult result = engine.complete(novel);
+    for (const CompletionStep &step : result.steps)
+        std::printf("  filled %-14s = %.4g  via %s\n",
+                    toString(step.field).c_str(), step.value,
+                    step.rationale.c_str());
+    if (!result.complete()) {
+        std::printf("engine could not complete the spec\n");
+        return 1;
+    }
+
+    // 3. Circuit-level LLC model at the Gainestown organization.
+    Estimator estimator;
+    CacheOrgConfig org; // 2 MB, 16-way, 64 B lines
+    LlcModel llc = estimator.estimate(result.spec, org);
+    llc.name = novel.name;
+    std::printf("\nestimated LLC model: area %.2f mm^2, read %.2f ns,"
+                " write %.2f ns,\n  E_hit %.3f nJ, E_write %.3f nJ, "
+                "leakage %.3f W\n",
+                toMm2(llc.area), toNs(llc.readLatency),
+                toNs(llc.writeLatency()), toNJ(llc.eHit),
+                toNJ(llc.eWrite), llc.leakage);
+
+    // 4. Head-to-head against the library's best STTRAM (Xue_S) and
+    //    the SRAM baseline on an AI workload.
+    const BenchmarkSpec &spec = benchmark("deepsjeng");
+    ExperimentRunner runner;
+    SimStats sram = runner.runOne(spec, sramBaselineLlc());
+    SimStats mine = runner.runOne(spec, llc);
+    SimStats xue = runner.runOne(
+        spec, publishedLlcModel("Xue", CapacityMode::FixedCapacity));
+
+    auto report = [&](const char *name, const SimStats &s) {
+        std::printf("  %-14s speedup %.3f  energy %.3f  ED^2P %.3f\n",
+                    name, sram.seconds / s.seconds,
+                    s.llcEnergy() / sram.llcEnergy(),
+                    s.ed2p() / sram.ed2p());
+    };
+    std::printf("\n'%s' vs the 2 MB SRAM baseline:\n",
+                spec.name.c_str());
+    report("SRAM", sram);
+    report("Xue_S", xue);
+    report(novel.name.c_str(), mine);
+    return 0;
+}

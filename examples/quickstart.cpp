@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: the five-minute tour of the library.
+ *
+ *  1. pick an NVM cell model from the released library (Table II);
+ *  2. get its LLC model (Table III) for the Gainestown 2 MB LLC;
+ *  3. simulate one workload against it and against the SRAM baseline;
+ *  4. report speedup, LLC energy, and ED^2P, paper-style.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart [workload] [tech]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+#include "nvm/model_library.hh"
+#include "nvsim/published.hh"
+#include "util/units.hh"
+#include "workload/suite.hh"
+
+using namespace nvmcache;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "leela";
+    const std::string tech = argc > 2 ? argv[2] : "Chung";
+
+    // 1. The cell-level model (one column of Table II).
+    const CellSpec &cell = publishedCell(tech);
+    std::printf("cell model %s: %s, %d, %.0f nm, %.1f F^2\n",
+                cell.citationName().c_str(),
+                toString(cell.klass).c_str(), cell.year,
+                cell.processNode.get() * 1e9, cell.cellSizeF2.get());
+
+    // 2. The architectural LLC model (one column of Table III).
+    const LlcModel &llc =
+        publishedLlcModel(tech, CapacityMode::FixedCapacity);
+    std::printf("LLC model  %s: read %.2f ns, write %.2f ns, "
+                "E_write %.2f nJ, leak %.3f W\n",
+                llc.citationName().c_str(), toNs(llc.readLatency),
+                toNs(llc.writeLatency()), toNJ(llc.eWrite),
+                llc.leakage);
+
+    // 3. Simulate the workload on NVM and on the SRAM baseline.
+    const BenchmarkSpec &spec = benchmark(workload);
+    ExperimentRunner runner;
+    std::printf("\nsimulating '%s' (%s, %u thread(s))...\n",
+                spec.name.c_str(), spec.description.c_str(),
+                spec.defaultThreads);
+    SimStats nvm = runner.runOne(spec, llc);
+    SimStats sram = runner.runOne(spec, sramBaselineLlc());
+
+    // 4. Paper-style normalized results.
+    std::printf("\n%-22s %12s %12s\n", "", "SRAM", tech.c_str());
+    std::printf("%-22s %12.3f %12.3f\n", "runtime [ms]",
+                sram.seconds * 1e3, nvm.seconds * 1e3);
+    std::printf("%-22s %12.1f %12.1f\n", "LLC mpki", sram.llcMpki(),
+                nvm.llcMpki());
+    std::printf("%-22s %12.3f %12.3f\n", "LLC energy [mJ]",
+                sram.llcEnergy() * 1e3, nvm.llcEnergy() * 1e3);
+    std::printf("%-22s %12s %12.3f\n", "speedup vs SRAM", "1.000",
+                sram.seconds / nvm.seconds);
+    std::printf("%-22s %12s %12.3f\n", "energy vs SRAM", "1.000",
+                nvm.llcEnergy() / sram.llcEnergy());
+    std::printf("%-22s %12s %12.3f\n", "ED^2P vs SRAM", "1.000",
+                nvm.ed2p() / sram.ed2p());
+    return 0;
+}

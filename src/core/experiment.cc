@@ -1,0 +1,74 @@
+#include "core/experiment.hh"
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+const RunResult &
+TechSweep::byTech(const std::string &tech) const
+{
+    for (const RunResult &r : results)
+        if (r.tech == tech)
+            return r;
+    fatal("TechSweep: no result for technology '", tech, "'");
+}
+
+ExperimentRunner::ExperimentRunner(SystemConfig base)
+    : base_(std::move(base))
+{
+}
+
+SimStats
+ExperimentRunner::runOne(const BenchmarkSpec &spec, const LlcModel &llc,
+                         std::uint32_t threads) const
+{
+    if (threads == 0)
+        threads = spec.defaultThreads;
+
+    SystemConfig cfg = base_;
+    cfg.numCores = threads;
+
+    auto traces = buildTraces(spec, threads);
+    std::vector<TraceSource *> ptrs;
+    ptrs.reserve(traces.size());
+    for (auto &t : traces)
+        ptrs.push_back(t.get());
+
+    System system(cfg, llc);
+    return system.run(ptrs);
+}
+
+TechSweep
+ExperimentRunner::sweepTechs(const BenchmarkSpec &spec,
+                             CapacityMode mode,
+                             std::uint32_t threads) const
+{
+    if (threads == 0)
+        threads = spec.defaultThreads;
+
+    TechSweep sweep;
+    sweep.workload = spec.name;
+    sweep.mode = mode;
+    sweep.cores = threads;
+
+    // SRAM baseline first (needed for normalization), reported last.
+    const LlcModel &sram = publishedLlcModel("SRAM", mode);
+    SimStats sram_stats = runOne(spec, sram, threads);
+
+    for (const LlcModel &llc : publishedLlcModels(mode)) {
+        RunResult r;
+        r.workload = spec.name;
+        r.tech = llc.name;
+        r.mode = mode;
+        r.cores = threads;
+        r.stats = llc.name == "SRAM" ? sram_stats
+                                     : runOne(spec, llc, threads);
+        r.speedup = sram_stats.seconds / r.stats.seconds;
+        r.normEnergy = r.stats.llcEnergy() / sram_stats.llcEnergy();
+        r.normEd2p = r.stats.ed2p() / sram_stats.ed2p();
+        sweep.results.push_back(std::move(r));
+    }
+    return sweep;
+}
+
+} // namespace nvmcache

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Experiment orchestration: run (workload x LLC technology) sweeps on
+ * the system simulator and normalize every result against the SRAM
+ * baseline, exactly as the paper's figures report them:
+ *
+ *   speedup   = T_sram / T_nvm          (higher is better)
+ *   energy    = E_llc,nvm / E_llc,sram  (lower is better)
+ *   ED^2P     = (E * T^2)_nvm / (E * T^2)_sram
+ */
+
+#ifndef NVMCACHE_CORE_EXPERIMENT_HH
+#define NVMCACHE_CORE_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "nvsim/published.hh"
+#include "sim/system.hh"
+#include "workload/suite.hh"
+
+namespace nvmcache {
+
+/** One normalized (workload, technology) data point. */
+struct RunResult
+{
+    std::string workload;
+    std::string tech;    ///< citation name ("Oh", ..., "SRAM")
+    CapacityMode mode = CapacityMode::FixedCapacity;
+    std::uint32_t cores = 4;
+
+    SimStats stats;
+
+    double speedup = 1.0;    ///< vs SRAM at same workload/mode/cores
+    double normEnergy = 1.0; ///< LLC energy vs SRAM
+    double normEd2p = 1.0;   ///< ED^2P vs SRAM
+};
+
+/** Results of sweeping every technology for one workload. */
+struct TechSweep
+{
+    std::string workload;
+    CapacityMode mode = CapacityMode::FixedCapacity;
+    std::uint32_t cores = 4;
+    std::vector<RunResult> results; ///< Table III order, SRAM last
+
+    const RunResult &byTech(const std::string &tech) const;
+};
+
+class ExperimentRunner
+{
+  public:
+    /** @param base  System template; LLC model/cores set per run. */
+    explicit ExperimentRunner(SystemConfig base = SystemConfig());
+
+    /**
+     * Simulate one workload on one LLC model.
+     * @param threads 0 = spec default; multi-threaded workloads use
+     *        one core per thread.
+     */
+    SimStats runOne(const BenchmarkSpec &spec, const LlcModel &llc,
+                    std::uint32_t threads = 0) const;
+
+    /**
+     * Sweep all published Table III technologies (plus the SRAM
+     * baseline) for one workload and normalize.
+     */
+    TechSweep sweepTechs(const BenchmarkSpec &spec, CapacityMode mode,
+                         std::uint32_t threads = 0) const;
+
+    const SystemConfig &baseConfig() const { return base_; }
+
+  private:
+    SystemConfig base_;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_CORE_EXPERIMENT_HH

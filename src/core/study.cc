@@ -1,0 +1,143 @@
+#include "core/study.hh"
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+FigureStudy
+runFigureStudy(CapacityMode mode, const ExperimentRunner &runner,
+               double traceScale)
+{
+    if (traceScale <= 0.0 || traceScale > 1.0)
+        fatal("runFigureStudy: traceScale must be in (0, 1]");
+    FigureStudy study;
+    study.mode = mode;
+    for (BenchmarkSpec spec : benchmarkSuite()) {
+        spec.gen.totalAccesses = std::uint64_t(
+            double(spec.gen.totalAccesses) * traceScale);
+        TechSweep sweep = runner.sweepTechs(spec, mode);
+        if (spec.multiThreaded)
+            study.multiThreaded.push_back(std::move(sweep));
+        else
+            study.singleThreaded.push_back(std::move(sweep));
+    }
+    return study;
+}
+
+const CoreSweepPoint &
+CoreSweepStudy::at(const std::string &workload, const std::string &tech,
+                   std::uint32_t cores) const
+{
+    for (const CoreSweepPoint &p : points)
+        if (p.workload == workload && p.tech == tech &&
+            p.cores == cores)
+            return p;
+    fatal("CoreSweepStudy: missing point (", workload, ", ", tech,
+          ", ", cores, ")");
+}
+
+CoreSweepStudy
+runCoreSweep(const std::vector<std::string> &workloads,
+             const std::vector<std::string> &techs,
+             const std::vector<std::uint32_t> &coreCounts,
+             const ExperimentRunner &runner)
+{
+    CoreSweepStudy study;
+    study.workloads = workloads;
+    study.techs = techs;
+    study.coreCounts = coreCounts;
+
+    const CapacityMode mode = CapacityMode::FixedArea;
+
+    for (const std::string &wname : workloads) {
+        const BenchmarkSpec &spec = benchmark(wname);
+
+        // Baseline: single-core SRAM doing the same total work.
+        const LlcModel &sram = publishedLlcModel("SRAM", mode);
+        SimStats base = runner.runOne(spec, sram, 1);
+
+        for (const std::string &tname : techs) {
+            const LlcModel &llc = publishedLlcModel(tname, mode);
+            for (std::uint32_t cores : coreCounts) {
+                if (cores > 1 && !spec.multiThreaded)
+                    continue;
+                CoreSweepPoint p;
+                p.workload = wname;
+                p.tech = tname;
+                p.cores = cores;
+                p.stats = runner.runOne(spec, llc, cores);
+                p.speedupVsBaseline =
+                    base.seconds / p.stats.seconds;
+                p.normEnergy =
+                    p.stats.llcEnergy() / base.llcEnergy();
+                study.points.push_back(std::move(p));
+            }
+        }
+    }
+    return study;
+}
+
+CorrelationStudy
+runCorrelationStudy(bool aiOnly, const std::vector<std::string> &techs,
+                    const std::vector<CapacityMode> &modes,
+                    const ExperimentRunner &runner, double traceScale)
+{
+    if (traceScale <= 0.0 || traceScale > 1.0)
+        fatal("runCorrelationStudy: traceScale must be in (0, 1]");
+    CorrelationStudy study;
+
+    std::vector<BenchmarkSpec> specs;
+    for (const BenchmarkSpec *spec :
+         aiOnly ? aiBenchmarks() : characterizedBenchmarks()) {
+        specs.push_back(*spec);
+        specs.back().gen.totalAccesses = std::uint64_t(
+            double(spec->gen.totalAccesses) * traceScale);
+    }
+
+    // Feature pass (PRISM): one characterization per workload.
+    for (const BenchmarkSpec &spec : specs) {
+        auto traces = buildTraces(spec);
+        std::vector<TraceSource *> ptrs;
+        for (auto &t : traces)
+            ptrs.push_back(t.get());
+        study.workloads.push_back(spec.name);
+        study.features.push_back(characterize(ptrs));
+    }
+
+    // Simulation pass: one tech sweep per (workload, mode), shared
+    // across all studied technologies.
+    for (CapacityMode mode : modes) {
+        std::vector<TechSweep> sweeps;
+        sweeps.reserve(specs.size());
+        for (const BenchmarkSpec &spec : specs)
+            sweeps.push_back(runner.sweepTechs(spec, mode));
+
+        for (const std::string &tech : techs) {
+            TechCorrelation tc;
+            tc.tech = tech;
+            tc.mode = mode;
+            tc.outcomes = aiOnly ? OutcomeKind::Normalized
+                                 : OutcomeKind::Absolute;
+            tc.dataset.featureNames = WorkloadFeatures::featureNames();
+            for (std::size_t i = 0; i < specs.size(); ++i) {
+                const RunResult &r = sweeps[i].byTech(tech);
+                tc.dataset.workloads.push_back(specs[i].name);
+                tc.dataset.features.push_back(
+                    study.features[i].featureVector());
+                if (tc.outcomes == OutcomeKind::Normalized) {
+                    tc.dataset.energy.push_back(r.normEnergy);
+                    tc.dataset.speedup.push_back(r.speedup);
+                } else {
+                    tc.dataset.energy.push_back(
+                        r.stats.llcEnergy());
+                    tc.dataset.speedup.push_back(r.stats.seconds);
+                }
+            }
+            tc.result = correlateFeatures(tc.dataset);
+            study.perTech.push_back(std::move(tc));
+        }
+    }
+    return study;
+}
+
+} // namespace nvmcache

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * High-level studies: each function regenerates the data behind one
+ * of the paper's figures/sections. The bench binaries and examples
+ * are thin presentation layers over these.
+ */
+
+#ifndef NVMCACHE_CORE_STUDY_HH
+#define NVMCACHE_CORE_STUDY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "correlate/framework.hh"
+#include "prism/metrics.hh"
+
+namespace nvmcache {
+
+/** Figures 1 and 2: all workloads x all technologies for one mode. */
+struct FigureStudy
+{
+    CapacityMode mode = CapacityMode::FixedCapacity;
+    std::vector<TechSweep> singleThreaded; ///< Fig a
+    std::vector<TechSweep> multiThreaded;  ///< Fig b
+};
+
+/**
+ * @param traceScale  fraction of each workload's configured access
+ *        count to simulate (1.0 = full length; bench --quick uses
+ *        0.25). Statistics converge by ~0.25 for everything except
+ *        the leakage-dominated energy tails.
+ */
+FigureStudy runFigureStudy(CapacityMode mode,
+                           const ExperimentRunner &runner,
+                           double traceScale = 1.0);
+
+/** One point of the §V-C core sweep. */
+struct CoreSweepPoint
+{
+    std::string workload;
+    std::string tech;
+    std::uint32_t cores = 1;
+    SimStats stats;
+    /** T(1-core SRAM) / T(this): speedup over the paper's baseline. */
+    double speedupVsBaseline = 1.0;
+    /** E_llc(this) / E_llc(1-core SRAM). */
+    double normEnergy = 1.0;
+};
+
+struct CoreSweepStudy
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> techs;
+    std::vector<std::uint32_t> coreCounts;
+    std::vector<CoreSweepPoint> points;
+
+    const CoreSweepPoint &at(const std::string &workload,
+                             const std::string &tech,
+                             std::uint32_t cores) const;
+};
+
+/**
+ * §V-C: multi-core sensitivity, fixed-area models, baseline is the
+ * single-core SRAM system running the same total work.
+ */
+CoreSweepStudy runCoreSweep(const std::vector<std::string> &workloads,
+                            const std::vector<std::string> &techs,
+                            const std::vector<std::uint32_t> &coreCounts,
+                            const ExperimentRunner &runner);
+
+/** Which outcomes the correlation study feeds the framework. */
+enum class OutcomeKind
+{
+    /**
+     * Normalized energy (E/E_sram) and speedup — the paper's Fig 4
+     * AI-specialized analysis.
+     */
+    Normalized,
+    /**
+     * Absolute LLC energy [J] and execution time [s] — the paper's
+     * general-purpose analysis ("LLC energy and system execution
+     * time is most highly correlated with total reads/writes").
+     */
+    Absolute
+};
+
+/** §VI / Fig 4: feature correlation for one technology and mode. */
+struct TechCorrelation
+{
+    std::string tech;
+    CapacityMode mode = CapacityMode::FixedCapacity;
+    OutcomeKind outcomes = OutcomeKind::Normalized;
+    CorrelationDataset dataset;
+    CorrelationResult result;
+};
+
+struct CorrelationStudy
+{
+    /** Workload features, one row per studied workload. */
+    std::vector<std::string> workloads;
+    std::vector<WorkloadFeatures> features;
+    std::vector<TechCorrelation> perTech;
+};
+
+/**
+ * Run the Fig 3 framework.
+ *
+ * @param aiOnly  true reproduces Fig 4 (the 3 cpu2017 AI workloads,
+ *                normalized outcomes); false reproduces the
+ *                general-purpose analysis over all 16 characterized
+ *                workloads (absolute energy/time outcomes, as in the
+ *                paper's §VI discussion).
+ * @param techs   technologies to study (paper: Jan, Xue, Hayakawa).
+ * @param modes   capacity modes to include.
+ */
+CorrelationStudy runCorrelationStudy(
+    bool aiOnly, const std::vector<std::string> &techs,
+    const std::vector<CapacityMode> &modes,
+    const ExperimentRunner &runner, double traceScale = 1.0);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_CORE_STUDY_HH

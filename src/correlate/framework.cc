@@ -1,0 +1,98 @@
+#include "correlate/framework.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace nvmcache {
+
+void
+CorrelationDataset::validate() const
+{
+    const std::size_t w = workloads.size();
+    if (features.size() != w || energy.size() != w ||
+        speedup.size() != w)
+        fatal("CorrelationDataset: inconsistent row counts");
+    for (const auto &row : features)
+        if (row.size() != featureNames.size())
+            fatal("CorrelationDataset: inconsistent feature width");
+    if (w < 2)
+        fatal("CorrelationDataset: need at least two workloads");
+}
+
+CorrelationResult
+correlateFeatures(const CorrelationDataset &data)
+{
+    data.validate();
+
+    CorrelationResult result;
+    result.featureNames = data.featureNames;
+
+    const std::size_t nf = data.featureNames.size();
+    const std::size_t nw = data.workloads.size();
+    for (std::size_t f = 0; f < nf; ++f) {
+        std::vector<double> col(nw);
+        for (std::size_t w = 0; w < nw; ++w)
+            col[w] = data.features[w][f];
+        result.energyCorr.push_back(pearson(col, data.energy));
+        result.speedupCorr.push_back(pearson(col, data.speedup));
+    }
+    return result;
+}
+
+namespace {
+
+std::vector<std::size_t>
+rankByAbs(const std::vector<double> &xs)
+{
+    std::vector<std::size_t> idx(xs.size());
+    std::iota(idx.begin(), idx.end(), std::size_t(0));
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return std::abs(xs[a]) > std::abs(xs[b]);
+    });
+    return idx;
+}
+
+} // namespace
+
+std::vector<std::size_t>
+CorrelationResult::rankByEnergy() const
+{
+    return rankByAbs(energyCorr);
+}
+
+std::vector<std::size_t>
+CorrelationResult::rankBySpeedup() const
+{
+    return rankByAbs(speedupCorr);
+}
+
+std::string
+renderHeatmap(const CorrelationResult &result, const std::string &title,
+              bool color)
+{
+    Table table(title);
+    table.setHeader({"feature", "energy", "speedup"});
+    table.setHeatmap(Table::Heatmap::PerColumn);
+    table.setColor(color);
+    for (std::size_t f = 0; f < result.featureNames.size(); ++f) {
+        table.startRow(result.featureNames[f]);
+        // Shade by |r|: what matters is predictive strength.
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%+.2f", result.energyCorr[f]);
+        table.addCell(buf, std::abs(result.energyCorr[f]));
+        std::snprintf(buf, sizeof(buf), "%+.2f",
+                      result.speedupCorr[f]);
+        table.addCell(buf, std::abs(result.speedupCorr[f]));
+    }
+    std::ostringstream os;
+    table.print(os);
+    return os.str();
+}
+
+} // namespace nvmcache

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's workload-characterization framework (Fig 3): learn, via
+ * linear correlation, which architecture-agnostic workload features
+ * predict the energy and speedup of a given NVM-based LLC.
+ *
+ * For each workload we assemble the Table VI feature array; alongside
+ * it we place the normalized energy and speedup measured for one NVM
+ * technology and capacity mode. The framework then computes the
+ * Pearson correlation of every feature column against each outcome,
+ * yielding the Fig 4 heatmap rows.
+ */
+
+#ifndef NVMCACHE_CORRELATE_FRAMEWORK_HH
+#define NVMCACHE_CORRELATE_FRAMEWORK_HH
+
+#include <string>
+#include <vector>
+
+namespace nvmcache {
+
+/** Input matrix: workloads x (features, outcomes). */
+struct CorrelationDataset
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> featureNames;
+    /** features[w][f], one row per workload. */
+    std::vector<std::vector<double>> features;
+    /** Normalized LLC energy per workload (vs SRAM baseline). */
+    std::vector<double> energy;
+    /** Normalized system speedup per workload. */
+    std::vector<double> speedup;
+
+    /** Throws via fatal() if shapes disagree. */
+    void validate() const;
+};
+
+/** Output: per-feature correlation with each outcome. */
+struct CorrelationResult
+{
+    std::vector<std::string> featureNames;
+    std::vector<double> energyCorr;  ///< Pearson r in [-1, 1]
+    std::vector<double> speedupCorr;
+
+    /** Indices of features ranked by |r| against energy. */
+    std::vector<std::size_t> rankByEnergy() const;
+    std::vector<std::size_t> rankBySpeedup() const;
+};
+
+/** Compute the correlation matrix for one (technology, mode) pair. */
+CorrelationResult correlateFeatures(const CorrelationDataset &data);
+
+/**
+ * Render a Fig 4-style heatmap (features on rows, the two outcomes on
+ * columns) as an ASCII table string. |r| drives the shading.
+ */
+std::string renderHeatmap(const CorrelationResult &result,
+                          const std::string &title, bool color = true);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_CORRELATE_FRAMEWORK_HH

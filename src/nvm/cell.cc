@@ -1,0 +1,200 @@
+#include "nvm/cell.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+std::string
+toString(NvmClass klass)
+{
+    switch (klass) {
+      case NvmClass::PCRAM: return "PCRAM";
+      case NvmClass::STTRAM: return "STTRAM";
+      case NvmClass::RRAM: return "RRAM";
+      case NvmClass::SRAM: return "SRAM";
+    }
+    panic("bad NvmClass");
+}
+
+char
+classSubscript(NvmClass klass)
+{
+    switch (klass) {
+      case NvmClass::PCRAM: return 'P';
+      case NvmClass::STTRAM: return 'S';
+      case NvmClass::RRAM: return 'R';
+      case NvmClass::SRAM: return ' ';
+    }
+    panic("bad NvmClass");
+}
+
+std::string
+provenanceMark(Provenance prov)
+{
+    switch (prov) {
+      case Provenance::Reported: return "";
+      case Provenance::H1Electrical: return "+";   // paper's dagger
+      case Provenance::H2Interpolated: return "*";
+      case Provenance::H3Similarity: return "*";
+      case Provenance::Missing: return "?";
+    }
+    panic("bad Provenance");
+}
+
+double
+CellParam::get() const
+{
+    if (!value)
+        panic("CellParam::get on missing value");
+    return *value;
+}
+
+std::string
+toString(CellField field)
+{
+    switch (field) {
+      case CellField::ProcessNode: return "process";
+      case CellField::CellSizeF2: return "cell size [F^2]";
+      case CellField::CellLevels: return "cell levels";
+      case CellField::ReadCurrent: return "read current";
+      case CellField::ReadVoltage: return "read voltage";
+      case CellField::ReadPower: return "read power";
+      case CellField::ReadEnergy: return "read energy";
+      case CellField::ResetCurrent: return "reset current";
+      case CellField::ResetVoltage: return "reset voltage";
+      case CellField::ResetPulse: return "reset pulse";
+      case CellField::ResetEnergy: return "reset energy";
+      case CellField::SetCurrent: return "set current";
+      case CellField::SetVoltage: return "set voltage";
+      case CellField::SetPulse: return "set pulse";
+      case CellField::SetEnergy: return "set energy";
+    }
+    panic("bad CellField");
+}
+
+std::string
+CellSpec::citationName() const
+{
+    if (klass == NvmClass::SRAM)
+        return name;
+    return name + "_" + classSubscript(klass);
+}
+
+const CellParam &
+CellSpec::field(CellField f) const
+{
+    return const_cast<CellSpec *>(this)->field(f);
+}
+
+CellParam &
+CellSpec::field(CellField f)
+{
+    switch (f) {
+      case CellField::ProcessNode: return processNode;
+      case CellField::CellSizeF2: return cellSizeF2;
+      case CellField::CellLevels: return cellLevels;
+      case CellField::ReadCurrent: return readCurrent;
+      case CellField::ReadVoltage: return readVoltage;
+      case CellField::ReadPower: return readPower;
+      case CellField::ReadEnergy: return readEnergy;
+      case CellField::ResetCurrent: return resetCurrent;
+      case CellField::ResetVoltage: return resetVoltage;
+      case CellField::ResetPulse: return resetPulse;
+      case CellField::ResetEnergy: return resetEnergy;
+      case CellField::SetCurrent: return setCurrent;
+      case CellField::SetVoltage: return setVoltage;
+      case CellField::SetPulse: return setPulse;
+      case CellField::SetEnergy: return setEnergy;
+    }
+    panic("bad CellField");
+}
+
+int
+CellSpec::bitsPerCell() const
+{
+    if (!cellLevels.known())
+        return 1;
+    // Table II's "cell levels" counts bits per cell directly (2 for
+    // the 2+ bit/cell Close and Xue chips).
+    return int(std::lround(cellLevels.get()));
+}
+
+const std::vector<CellField> &
+requiredFields(NvmClass klass)
+{
+    // Per paper §III: NVSim's required parameters per class.
+    static const std::vector<CellField> pcram = {
+        CellField::ProcessNode, CellField::CellSizeF2,
+        CellField::ReadCurrent, CellField::ReadEnergy,
+        CellField::ResetCurrent, CellField::ResetPulse,
+        CellField::SetCurrent, CellField::SetPulse,
+    };
+    static const std::vector<CellField> sttram = {
+        CellField::ProcessNode, CellField::CellSizeF2,
+        CellField::ReadVoltage, CellField::ReadPower,
+        CellField::ResetCurrent, CellField::ResetPulse,
+        CellField::ResetEnergy, CellField::SetCurrent,
+        CellField::SetPulse, CellField::SetEnergy,
+    };
+    static const std::vector<CellField> rram = {
+        CellField::ProcessNode, CellField::CellSizeF2,
+        CellField::ReadVoltage, CellField::ReadPower,
+        CellField::ResetVoltage, CellField::ResetPulse,
+        CellField::ResetEnergy, CellField::SetVoltage,
+        CellField::SetPulse, CellField::SetEnergy,
+    };
+    static const std::vector<CellField> sram = {
+        CellField::ProcessNode, CellField::CellSizeF2,
+    };
+    switch (klass) {
+      case NvmClass::PCRAM: return pcram;
+      case NvmClass::STTRAM: return sttram;
+      case NvmClass::RRAM: return rram;
+      case NvmClass::SRAM: return sram;
+    }
+    panic("bad NvmClass");
+}
+
+bool
+fieldApplicable(NvmClass klass, CellField field)
+{
+    switch (field) {
+      case CellField::ProcessNode:
+      case CellField::CellSizeF2:
+      case CellField::CellLevels:
+        return true;
+      case CellField::ReadCurrent:
+      case CellField::ReadEnergy:
+        return klass == NvmClass::PCRAM;
+      case CellField::ReadVoltage:
+      case CellField::ReadPower:
+        return klass == NvmClass::STTRAM || klass == NvmClass::RRAM;
+      case CellField::ResetCurrent:
+      case CellField::SetCurrent:
+        return klass == NvmClass::PCRAM || klass == NvmClass::STTRAM;
+      case CellField::ResetVoltage:
+      case CellField::SetVoltage:
+        return klass == NvmClass::RRAM;
+      case CellField::ResetPulse:
+      case CellField::SetPulse:
+        return klass != NvmClass::SRAM;
+      case CellField::ResetEnergy:
+      case CellField::SetEnergy:
+        return klass == NvmClass::STTRAM || klass == NvmClass::RRAM;
+    }
+    panic("bad CellField");
+}
+
+std::vector<CellField>
+missingFields(const CellSpec &spec)
+{
+    std::vector<CellField> missing;
+    for (CellField f : requiredFields(spec.klass))
+        if (!spec.field(f).known())
+            missing.push_back(f);
+    return missing;
+}
+
+} // namespace nvmcache

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * NVM cell-level model representation (paper Table II).
+ *
+ * A CellSpec mirrors one column of the paper's Table II: the set of
+ * device parameters an architectural NVM simulator (NVSim in the
+ * paper, our `nvsim` module here) needs to model a cache built from
+ * that cell. Parameters are optional-valued because VLSI publications
+ * rarely report the complete set; the heuristics engine
+ * (heuristics.hh) fills the gaps and records the provenance of every
+ * value so downstream comparisons stay apples-to-apples.
+ */
+
+#ifndef NVMCACHE_NVM_CELL_HH
+#define NVMCACHE_NVM_CELL_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nvmcache {
+
+/** Technology class of a memory cell. */
+enum class NvmClass
+{
+    PCRAM,  ///< phase-change RAM
+    STTRAM, ///< spin-torque-transfer RAM
+    RRAM,   ///< metal-oxide resistive RAM
+    SRAM    ///< baseline (volatile)
+};
+
+/** Short human-readable class name ("PCRAM", ...). */
+std::string toString(NvmClass klass);
+
+/** Subscript letter used in the paper's citation names (P/S/R). */
+char classSubscript(NvmClass klass);
+
+/** Where the value of a cell parameter came from. */
+enum class Provenance
+{
+    Reported,       ///< taken directly from the cited VLSI paper
+    H1Electrical,   ///< derived via electrical identities (eqs 1-3); "†"
+    H2Interpolated, ///< interpolated across same-class trends; "*"
+    H3Similarity,   ///< copied from a similar same-class cell; "*"
+    Missing         ///< not yet known
+};
+
+/** Mark used in Table II for a provenance ("", "†" or "*"). */
+std::string provenanceMark(Provenance prov);
+
+/**
+ * One optional cell parameter plus provenance. Values use canonical
+ * SI units (see util/units.hh).
+ */
+struct CellParam
+{
+    std::optional<double> value;
+    Provenance prov = Provenance::Missing;
+
+    CellParam() = default;
+    CellParam(double v, Provenance p) : value(v), prov(p) {}
+
+    bool known() const { return value.has_value(); }
+    double get() const;
+
+    /** Convenience: reported value. */
+    static CellParam reported(double v)
+    {
+        return CellParam(v, Provenance::Reported);
+    }
+};
+
+/** Identifier for each parameter field; used by the heuristics ledger. */
+enum class CellField
+{
+    ProcessNode,
+    CellSizeF2,
+    CellLevels,
+    ReadCurrent,
+    ReadVoltage,
+    ReadPower,
+    ReadEnergy,
+    ResetCurrent,
+    ResetVoltage,
+    ResetPulse,
+    ResetEnergy,
+    SetCurrent,
+    SetVoltage,
+    SetPulse,
+    SetEnergy
+};
+
+/** Display name for a field ("read current [uA]" style). */
+std::string toString(CellField field);
+
+/**
+ * A complete NVM (or SRAM) cell model: one column of Table II.
+ */
+struct CellSpec
+{
+    std::string name;      ///< citation name, e.g. "Chung"
+    NvmClass klass = NvmClass::SRAM;
+    int year = 0;
+    std::string accessDevice = "CMOS";
+
+    CellParam processNode;  ///< metres (e.g. 54e-9)
+    CellParam cellSizeF2;   ///< dimensionless F^2
+    CellParam cellLevels;   ///< 1 = SLC, 2 = MLC(2 bit)
+
+    CellParam readCurrent;  ///< A      (PCRAM)
+    CellParam readVoltage;  ///< V      (STTRAM, RRAM)
+    CellParam readPower;    ///< W      (STTRAM, RRAM)
+    CellParam readEnergy;   ///< J      (PCRAM)
+
+    CellParam resetCurrent; ///< A      (PCRAM, STTRAM)
+    CellParam resetVoltage; ///< V      (RRAM)
+    CellParam resetPulse;   ///< s
+    CellParam resetEnergy;  ///< J      (STTRAM, RRAM)
+
+    CellParam setCurrent;   ///< A      (PCRAM, STTRAM)
+    CellParam setVoltage;   ///< V      (RRAM)
+    CellParam setPulse;     ///< s
+    CellParam setEnergy;    ///< J      (STTRAM, RRAM)
+
+    /**
+     * Physical cell dimensions when the publication gives a die photo
+     * or layout instead of an F^2 figure; input to eq (3).
+     */
+    std::optional<double> cellLength; ///< m
+    std::optional<double> cellWidth;  ///< m
+
+    /** Citation name plus class subscript, e.g. "Chung_S". */
+    std::string citationName() const;
+
+    /** Access a field by id (const and mutable). */
+    const CellParam &field(CellField f) const;
+    CellParam &field(CellField f);
+
+    /** Bits stored per cell (levels -> log2 of resistance states). */
+    int bitsPerCell() const;
+};
+
+/**
+ * The parameter set NVSim-style simulators require for a class
+ * (paper §III lists these explicitly per class).
+ */
+const std::vector<CellField> &requiredFields(NvmClass klass);
+
+/** Fields that are inapplicable to the class (grayed out in Table II). */
+bool fieldApplicable(NvmClass klass, CellField field);
+
+/**
+ * Check a spec for completeness: returns the required fields that are
+ * still Missing. Empty result means the spec is simulator-ready.
+ */
+std::vector<CellField> missingFields(const CellSpec &spec);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_NVM_CELL_HH

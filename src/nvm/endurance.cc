@@ -1,0 +1,77 @@
+#include "nvm/endurance.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+double
+writeEndurance(NvmClass klass)
+{
+    switch (klass) {
+      case NvmClass::PCRAM:
+        // "Stuck-at faults can occur after 1e7-1e8 writes" (SII-A);
+        // use the geometric middle.
+        return 3e7;
+      case NvmClass::RRAM:
+        // "issues occurring at 1e10 writes rather than 1e7-1e8"
+        // (SII-C).
+        return 1e10;
+      case NvmClass::STTRAM:
+        // MTJ endurance is effectively unbounded at cache lifetimes.
+        return 1e15;
+      case NvmClass::SRAM:
+        return 1e16;
+    }
+    panic("bad NvmClass");
+}
+
+LifetimeEstimate
+estimateLifetime(NvmClass klass, const LifetimeInputs &inputs,
+                 double wearLevelingFactor)
+{
+    if (inputs.cacheLines == 0 || inputs.seconds <= 0.0)
+        fatal("estimateLifetime: empty inputs");
+    if (wearLevelingFactor <= 0.0 || wearLevelingFactor > 1.0)
+        fatal("estimateLifetime: wear-leveling factor must be (0,1]");
+
+    LifetimeEstimate est;
+    est.meanLineWritesPerSecond = double(inputs.llcWrites) /
+                                  double(inputs.cacheLines) /
+                                  inputs.seconds;
+    const double imbalance =
+        std::max(1.0, inputs.writeImbalance * wearLevelingFactor);
+    est.hottestLineWritesPerSecond =
+        est.meanLineWritesPerSecond * imbalance;
+
+    if (est.hottestLineWritesPerSecond <= 0.0) {
+        est.lifetimeSeconds = 1e30; // no writes: never wears out
+    } else {
+        est.lifetimeSeconds =
+            writeEndurance(klass) / est.hottestLineWritesPerSecond;
+    }
+    est.lifetimeYears = est.lifetimeSeconds / (365.25 * 24 * 3600);
+    return est;
+}
+
+double
+imbalanceFromFootprints(std::uint64_t uniqueWrites,
+                        std::uint64_t footprint90,
+                        std::uint64_t cacheLines)
+{
+    if (uniqueWrites == 0 || cacheLines == 0)
+        return 1.0;
+    // Two-tier model: 90% of traffic spreads over the f90 hot
+    // destinations (folded onto the cache by the line mapping), the
+    // remaining 10% over the rest. Hot-tier per-line share relative
+    // to a level distribution:
+    const double hot_lines = std::max<double>(
+        1.0, std::min<double>(double(footprint90),
+                              double(cacheLines)));
+    const double level_share = 1.0 / double(cacheLines);
+    const double hot_share = 0.9 / hot_lines;
+    return std::max(1.0, hot_share / level_share);
+}
+
+} // namespace nvmcache

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Write-endurance and cache-lifetime modeling.
+ *
+ * The paper lists endurance as each class's key drawback (Table I:
+ * PCRAM 1e7-1e8 writes, RRAM ~1e10, STTRAM effectively unlimited) and
+ * names lifetime characterization as future work (§VII): "Future work
+ * will characterize the extent to which architecture-agnostic
+ * features ... will affect the lifetime of different NVMs." This
+ * module implements that extension.
+ *
+ * The model: a cache of N lines fails when its most-written cell
+ * reaches the class's endurance bound. Given a simulation's LLC write
+ * count and duration, the mean per-line write rate follows; the
+ * *hottest* line's rate is the mean times a write-imbalance factor
+ * that the caller measures from the trace (the ratio between the
+ * hottest line's share and a perfectly level share — exactly what the
+ * characterizer's 90% write footprint captures). Wear-leveling
+ * techniques (paper refs [20], [38], [39]) reduce the imbalance
+ * toward 1.
+ */
+
+#ifndef NVMCACHE_NVM_ENDURANCE_HH
+#define NVMCACHE_NVM_ENDURANCE_HH
+
+#include <cstdint>
+
+#include "nvm/cell.hh"
+
+namespace nvmcache {
+
+/**
+ * Class-level write endurance in writes/cell. Representative values
+ * from the paper's background section (Table I and §II).
+ */
+double writeEndurance(NvmClass klass);
+
+/** Inputs to a lifetime estimate, all from one simulation run. */
+struct LifetimeInputs
+{
+    std::uint64_t llcWrites = 0;   ///< fills + writebacks observed
+    double seconds = 0.0;          ///< simulated duration
+    std::uint64_t cacheLines = 0;  ///< LLC capacity in lines
+    /**
+     * Hottest-line imbalance: (writes to the most-written line) /
+     * (llcWrites / cacheLines). 1.0 = perfectly level. Measured from
+     * the trace or estimated from the 90% write footprint.
+     */
+    double writeImbalance = 1.0;
+};
+
+/** Result of a lifetime estimate. */
+struct LifetimeEstimate
+{
+    double meanLineWritesPerSecond = 0.0;
+    double hottestLineWritesPerSecond = 0.0;
+    double lifetimeSeconds = 0.0; ///< time to first worn-out line
+    double lifetimeYears = 0.0;
+};
+
+/**
+ * Estimate LLC lifetime for a cell class under the observed write
+ * traffic.
+ *
+ * @param wearLevelingFactor  in (0, 1]: residual imbalance after
+ *        wear-leveling; 1 = none deployed, smaller = better leveling
+ *        (intra-set wear-leveling in the paper's ref [20] achieves
+ *        several-x).
+ */
+LifetimeEstimate estimateLifetime(NvmClass klass,
+                                  const LifetimeInputs &inputs,
+                                  double wearLevelingFactor = 1.0);
+
+/**
+ * Estimate the write imbalance from characterizer output: if 90% of
+ * writes land on f90 of u unique destinations, the hottest line's
+ * share is approximated by a two-tier (hot/cold) traffic split.
+ * Returns >= 1.
+ */
+double imbalanceFromFootprints(std::uint64_t uniqueWrites,
+                               std::uint64_t footprint90,
+                               std::uint64_t cacheLines);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_NVM_ENDURANCE_HH

@@ -1,0 +1,318 @@
+#include "nvm/heuristics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace nvmcache {
+
+double
+cellAreaF2(double length_m, double width_m, double process_m)
+{
+    if (length_m <= 0.0 || width_m <= 0.0 || process_m <= 0.0)
+        panic("cellAreaF2: non-positive dimension");
+    return (length_m * width_m) / (process_m * process_m);
+}
+
+HeuristicEngine::HeuristicEngine(std::vector<CellSpec> refs)
+    : HeuristicEngine(std::move(refs), Options())
+{
+}
+
+HeuristicEngine::HeuristicEngine(std::vector<CellSpec> refs, Options opts)
+    : refs_(std::move(refs)), opts_(opts)
+{
+}
+
+double
+HeuristicEngine::accessVoltage(const CellSpec &spec) const
+{
+    if (spec.readVoltage.known())
+        return spec.readVoltage.get();
+    return opts_.defaultAccessVoltage[int(spec.klass)];
+}
+
+std::vector<const CellSpec *>
+HeuristicEngine::sameClassRefs(const CellSpec &spec) const
+{
+    std::vector<const CellSpec *> out;
+    for (const auto &ref : refs_)
+        if (ref.klass == spec.klass && ref.name != spec.name)
+            out.push_back(&ref);
+    return out;
+}
+
+namespace {
+
+/** Reported-only view of a reference field. */
+std::optional<double>
+reportedValue(const CellSpec &ref, CellField f)
+{
+    const CellParam &p = ref.field(f);
+    if (p.known() && p.prov == Provenance::Reported)
+        return p.value;
+    return std::nullopt;
+}
+
+std::string
+fmtEng(double v)
+{
+    std::ostringstream os;
+    os.precision(4);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+bool
+HeuristicEngine::tryElectrical(const CellSpec &spec, CellField field,
+                               CompletionStep &step) const
+{
+    auto known = [&](CellField f) { return spec.field(f).known(); };
+    auto val = [&](CellField f) { return spec.field(f).get(); };
+
+    auto fill = [&](double v, const std::string &why) {
+        step = {field, Provenance::H1Electrical, v, why};
+        return true;
+    };
+
+    switch (field) {
+      case CellField::ReadPower:
+        // Eq (1): P = I * V.
+        if (known(CellField::ReadCurrent) && known(CellField::ReadVoltage))
+            return fill(val(CellField::ReadCurrent) *
+                            val(CellField::ReadVoltage),
+                        "eq(1) P_read = I_read * V_read");
+        return false;
+      case CellField::ReadCurrent:
+        if (known(CellField::ReadPower) && known(CellField::ReadVoltage) &&
+            val(CellField::ReadVoltage) > 0.0)
+            return fill(val(CellField::ReadPower) /
+                            val(CellField::ReadVoltage),
+                        "eq(1) inverted: I_read = P_read / V_read");
+        return false;
+      case CellField::ReadVoltage:
+        if (known(CellField::ReadPower) && known(CellField::ReadCurrent) &&
+            val(CellField::ReadCurrent) > 0.0)
+            return fill(val(CellField::ReadPower) /
+                            val(CellField::ReadCurrent),
+                        "eq(1) inverted: V_read = P_read / I_read");
+        return false;
+      case CellField::SetEnergy:
+        // Eq (2): E_s = I_s * V_access * t_s.
+        if (known(CellField::SetCurrent) && known(CellField::SetPulse))
+            return fill(val(CellField::SetCurrent) * accessVoltage(spec) *
+                            val(CellField::SetPulse),
+                        "eq(2) E_s = I_s * V_access(" +
+                            fmtEng(accessVoltage(spec)) + "V) * t_s");
+        return false;
+      case CellField::ResetEnergy:
+        if (known(CellField::ResetCurrent) && known(CellField::ResetPulse))
+            return fill(val(CellField::ResetCurrent) *
+                            accessVoltage(spec) *
+                            val(CellField::ResetPulse),
+                        "eq(2) E_r = I_r * V_access(" +
+                            fmtEng(accessVoltage(spec)) + "V) * t_r");
+        return false;
+      case CellField::SetCurrent:
+        if (known(CellField::SetEnergy) && known(CellField::SetPulse) &&
+            val(CellField::SetPulse) > 0.0 && accessVoltage(spec) > 0.0)
+            return fill(val(CellField::SetEnergy) /
+                            (accessVoltage(spec) *
+                             val(CellField::SetPulse)),
+                        "eq(2) inverted: I_s = E_s / (V_access * t_s)");
+        return false;
+      case CellField::ResetCurrent:
+        if (known(CellField::ResetEnergy) && known(CellField::ResetPulse) &&
+            val(CellField::ResetPulse) > 0.0 && accessVoltage(spec) > 0.0)
+            return fill(val(CellField::ResetEnergy) /
+                            (accessVoltage(spec) *
+                             val(CellField::ResetPulse)),
+                        "eq(2) inverted: I_r = E_r / (V_access * t_r)");
+        return false;
+      case CellField::CellSizeF2:
+        // Eq (3): A[F^2] = l * w / s^2.
+        if (spec.cellLength && spec.cellWidth &&
+            known(CellField::ProcessNode))
+            return fill(cellAreaF2(*spec.cellLength, *spec.cellWidth,
+                                   val(CellField::ProcessNode)),
+                        "eq(3) A = l_cell * w_cell / s_proc^2");
+        return false;
+      default:
+        return false;
+    }
+}
+
+bool
+HeuristicEngine::tryInterpolation(const CellSpec &spec, CellField field,
+                                  CompletionStep &step) const
+{
+    if (!spec.processNode.known())
+        return false;
+
+    std::vector<double> xs, ys;
+    for (const CellSpec *ref : sameClassRefs(spec)) {
+        auto node = reportedValue(*ref, CellField::ProcessNode);
+        auto v = reportedValue(*ref, field);
+        if (node && v) {
+            xs.push_back(*node);
+            ys.push_back(*v);
+        }
+    }
+    if (xs.size() < opts_.minInterpolationPoints)
+        return false;
+
+    // A trend is only usable when the reporters actually exhibit one;
+    // otherwise fall through to H3 similarity (this is why the paper
+    // takes Kang's set current from Oh rather than from a process
+    // trend: the same-class set currents do not correlate with node).
+    if (xs.size() > 2 && std::abs(pearson(xs, ys)) < 0.8)
+        return false;
+    if (xs.size() == 2 && xs[0] == xs[1])
+        return false;
+
+    LinearFit fit = linearFit(xs, ys);
+    double v = fit.intercept + fit.slope * spec.processNode.get();
+    if (opts_.clampInterpolation) {
+        double lo = *std::min_element(ys.begin(), ys.end());
+        double hi = *std::max_element(ys.begin(), ys.end());
+        v = std::clamp(v, lo, hi);
+    }
+    if (v <= 0.0)
+        return false;
+
+    std::ostringstream why;
+    why << "linear trend vs process over " << xs.size()
+        << " same-class reporters";
+    step = {field, Provenance::H2Interpolated, v, why.str()};
+    return true;
+}
+
+bool
+HeuristicEngine::trySimilarity(const CellSpec &spec, CellField field,
+                               CompletionStep &step) const
+{
+    // Score each same-class donor that reports the field by how many
+    // of its *other* reported parameters agree with the target's
+    // reported parameters (within 10%), tie-broken by process-node
+    // proximity. This generalizes the paper's worked example (Kang's
+    // set current taken from Oh because their reset currents match).
+    static const CellField kComparable[] = {
+        CellField::ProcessNode, CellField::CellSizeF2,
+        CellField::ReadCurrent, CellField::ReadVoltage,
+        CellField::ReadPower, CellField::ReadEnergy,
+        CellField::ResetCurrent, CellField::ResetVoltage,
+        CellField::ResetPulse, CellField::ResetEnergy,
+        CellField::SetCurrent, CellField::SetVoltage,
+        CellField::SetPulse, CellField::SetEnergy,
+    };
+
+    const CellSpec *best = nullptr;
+    int best_score = -1;
+    double best_node_dist = 0.0;
+
+    for (const CellSpec *ref : sameClassRefs(spec)) {
+        auto donor = reportedValue(*ref, field);
+        if (!donor)
+            continue;
+        int score = 0;
+        for (CellField f : kComparable) {
+            if (f == field)
+                continue;
+            const CellParam &mine = spec.field(f);
+            if (!mine.known() || mine.prov != Provenance::Reported)
+                continue;
+            auto theirs = reportedValue(*ref, f);
+            if (!theirs)
+                continue;
+            double denom = std::max(std::abs(mine.get()),
+                                    std::abs(*theirs));
+            double rel = denom == 0.0
+                             ? 0.0
+                             : std::abs(mine.get() - *theirs) / denom;
+            // An identical parameter (the paper's Kang/Oh reset
+            // current example) is far stronger evidence than a
+            // merely-nearby one.
+            if (rel <= 0.01)
+                score += 3;
+            else if (rel <= 0.10)
+                score += 1;
+        }
+        double node_dist = 0.0;
+        if (spec.processNode.known() && ref->processNode.known())
+            node_dist = std::abs(spec.processNode.get() -
+                                 ref->processNode.get());
+        else
+            node_dist = 1.0; // unknown: de-prioritize slightly
+        if (score > best_score ||
+            (score == best_score && best &&
+             node_dist < best_node_dist)) {
+            best = ref;
+            best_score = score;
+            best_node_dist = node_dist;
+        }
+    }
+    if (!best)
+        return false;
+
+    std::ostringstream why;
+    why << "copied from same-class cell '" << best->name << "' ("
+        << best_score << " matching reported parameters)";
+    step = {field, Provenance::H3Similarity,
+            *reportedValue(*best, field), why.str()};
+    return true;
+}
+
+CompletionResult
+HeuristicEngine::complete(const CellSpec &raw) const
+{
+    CompletionResult result;
+    result.spec = raw;
+    CellSpec &spec = result.spec;
+
+    auto apply = [&](const CompletionStep &step) {
+        spec.field(step.field) = CellParam(step.value, step.method);
+        result.steps.push_back(step);
+    };
+
+    // Pass 1: exhaust H1 identities to a fixpoint -- they are the most
+    // accurate and may chain (e.g. read power from current+voltage).
+    auto h1FixPoint = [&]() {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (CellField f : requiredFields(spec.klass)) {
+                if (spec.field(f).known())
+                    continue;
+                CompletionStep step;
+                if (tryElectrical(spec, f, step)) {
+                    apply(step);
+                    progress = true;
+                }
+            }
+        }
+    };
+
+    h1FixPoint();
+
+    // Pass 2: H2 then H3 for the remainder, then re-run H1 in case a
+    // filled value unlocks another identity.
+    for (CellField f : requiredFields(spec.klass)) {
+        if (spec.field(f).known())
+            continue;
+        CompletionStep step;
+        if (tryInterpolation(spec, f, step) ||
+            trySimilarity(spec, f, step)) {
+            apply(step);
+            h1FixPoint();
+        }
+    }
+
+    return result;
+}
+
+} // namespace nvmcache

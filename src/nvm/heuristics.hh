@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The paper's first contribution: a consistent set of heuristics for
+ * completing NVM cell models whose VLSI publications omit parameters
+ * an architectural simulator needs (paper §III-A).
+ *
+ * Three strategies, in decreasing order of preference:
+ *
+ *  H1 "Electrical properties"  — derive unknowns from knowns via the
+ *     identities of eqs (1)-(3):
+ *        P_read  = I_read * V_read                      (1)
+ *        E_{s/r} = I_{s/r} * V_access * t_{s/r}         (2)
+ *        A[F^2]  = l_cell * w_cell / s_proc^2           (3)
+ *     Marked "†" in Table II.
+ *
+ *  H2 "Interpolation" — fit the trend of a parameter across same-class
+ *     cells that report it (vs. process node) and evaluate the fit at
+ *     the target's node. Marked "*".
+ *
+ *  H3 "Similarity" — copy the parameter from the most similar
+ *     same-class cell (the paper's example: Kang's set current copied
+ *     from Oh because their reset currents are identical). Marked "*".
+ *
+ * The engine only ever reads *Reported* values from its reference
+ * library, so one guess never seeds another. Every filled field is
+ * recorded in a ledger with the heuristic used and a human-readable
+ * rationale, which is what makes downstream comparisons
+ * apples-to-apples.
+ */
+
+#ifndef NVMCACHE_NVM_HEURISTICS_HH
+#define NVMCACHE_NVM_HEURISTICS_HH
+
+#include <string>
+#include <vector>
+
+#include "nvm/cell.hh"
+
+namespace nvmcache {
+
+/** One field filled in by the engine. */
+struct CompletionStep
+{
+    CellField field;
+    Provenance method;
+    double value;           ///< canonical SI units
+    std::string rationale;  ///< e.g. "E = I*V*t with V_access = V_read"
+};
+
+/** A completed spec plus the ledger of how each gap was filled. */
+struct CompletionResult
+{
+    CellSpec spec;
+    std::vector<CompletionStep> steps;
+
+    /** True iff every simulator-required field is now known. */
+    bool complete() const { return missingFields(spec).empty(); }
+};
+
+/** Eq (3): cell area in F^2 from physical dimensions and process. */
+double cellAreaF2(double length_m, double width_m, double process_m);
+
+/**
+ * Heuristic completion engine.
+ *
+ * Construct with a reference library (typically the other cells of the
+ * model library, plus optional class-archetype seeds for parameters no
+ * in-class publication reports, such as PCRAM read current).
+ */
+class HeuristicEngine
+{
+  public:
+    struct Options
+    {
+        /**
+         * Access voltage used in eq (2) when the cell's own read
+         * voltage is unknown, per class. Indexed by NvmClass.
+         */
+        double defaultAccessVoltage[4] = {1.0, 1.0, 1.0, 1.0};
+
+        /** Clamp H2 interpolation to the observed value range. */
+        bool clampInterpolation = true;
+
+        /** Minimum same-class reporters required to attempt H2. */
+        std::size_t minInterpolationPoints = 2;
+    };
+
+    explicit HeuristicEngine(std::vector<CellSpec> refs);
+    HeuristicEngine(std::vector<CellSpec> refs, Options opts);
+
+    /**
+     * Complete all simulator-required fields of @p raw. Never mutates
+     * Reported fields. Fields that no heuristic can fill remain
+     * Missing (CompletionResult::complete() reports this).
+     */
+    CompletionResult complete(const CellSpec &raw) const;
+
+    // --- Individual heuristics, exposed for tests and the ablation
+    // --- bench. Each returns true and fills @p step on success.
+
+    /** H1 over all derivable identities for @p field. */
+    bool tryElectrical(const CellSpec &spec, CellField field,
+                       CompletionStep &step) const;
+
+    /** H2 linear interpolation vs. process node. */
+    bool tryInterpolation(const CellSpec &spec, CellField field,
+                          CompletionStep &step) const;
+
+    /** H3 most-similar same-class donor. */
+    bool trySimilarity(const CellSpec &spec, CellField field,
+                       CompletionStep &step) const;
+
+    const Options &options() const { return opts_; }
+
+  private:
+    /** V_access for eq (2): own read voltage, else class default. */
+    double accessVoltage(const CellSpec &spec) const;
+
+    /** Same-class refs (excluding any ref with the same name). */
+    std::vector<const CellSpec *> sameClassRefs(const CellSpec &spec)
+        const;
+
+    std::vector<CellSpec> refs_;
+    Options opts_;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_NVM_HEURISTICS_HH

@@ -1,0 +1,134 @@
+#include "nvsim/array.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+double
+senseTime(const CellSpec &cell, const TechNode &tech,
+          const Calibration &cal)
+{
+    switch (cell.klass) {
+      case NvmClass::SRAM:
+        // Full-swing differential pair: the base amplifier delay.
+        return tech.senseAmpDelay;
+      case NvmClass::PCRAM:
+        // Current-mode sensing with a bias-settle penalty that scales
+        // with the (older) node.
+        return tech.senseAmpDelay +
+               0.25e-9 * (cell.processNode.get() / 45e-9);
+      case NvmClass::STTRAM: {
+        // TMR read margin shrinks with the read voltage; sensing slows
+        // accordingly (Jan's 0.08 V read is the paper's slowest).
+        double v = cell.readVoltage.get();
+        return tech.senseAmpDelay * (1.0 + cal.sttSenseCoeff / v);
+      }
+      case NvmClass::RRAM: {
+        double v = cell.readVoltage.get();
+        return tech.senseAmpDelay * (1.0 + cal.rramSenseCoeff / v);
+      }
+    }
+    panic("bad NvmClass");
+}
+
+MatModel
+buildMat(const CellSpec &cell, const TechNode &tech,
+         const CacheOrgConfig &org, const Calibration &cal)
+{
+    MatModel mat;
+
+    const double f = cell.processNode.get();
+    const double cellArea = cell.cellSizeF2.get() * f * f;
+    mat.cellPitch = std::sqrt(cellArea);
+
+    const double core_w = double(org.matCols) * mat.cellPitch;
+    const double core_h = double(org.matRows) * mat.cellPitch;
+    mat.coreArea = core_w * core_h * cal.matLocalOverhead;
+
+    // Border strip holds row decoders/drivers on one side and column
+    // circuitry (sense amps, write drivers, muxes) on the other.
+    const double border = cal.matBorder45 * (tech.node / 45e-9);
+    mat.area = (core_w + border) * (core_h + border) *
+               cal.matLocalOverhead;
+
+    // --- timing --------------------------------------------------
+    // Row decoder: ~1.2 FO4 per address bit plus predecode.
+    const double addr_bits = std::log2(double(org.matRows));
+    mat.decodeDelay = (2.0 + 1.2 * addr_bits) * tech.fo4Delay;
+
+    // Distributed-RC wordline/bitline: 0.38 * R * C * L^2.
+    auto rcDelay = [&](double len) {
+        return 0.38 * tech.wireResPerM * tech.wireCapPerM * len * len;
+    };
+    mat.wordlineDelay = rcDelay(core_w);
+    mat.bitlineDelay = rcDelay(core_h);
+
+    mat.senseDelay = senseTime(cell, tech, cal);
+
+    mat.readLatency = mat.decodeDelay + mat.wordlineDelay +
+                      mat.bitlineDelay + mat.senseDelay;
+
+    const double driver_delay = 4.0 * tech.fo4Delay;
+    double set_pulse = 0.0, reset_pulse = 0.0;
+    if (cell.klass == NvmClass::SRAM) {
+        // SRAM write completes within the bitline swing.
+        set_pulse = reset_pulse = mat.bitlineDelay + tech.senseAmpDelay;
+    } else {
+        set_pulse = cell.setPulse.get();
+        reset_pulse = cell.resetPulse.get();
+    }
+    const double write_base =
+        mat.decodeDelay + mat.wordlineDelay + driver_delay;
+    mat.writeSetLatency = write_base + set_pulse;
+    mat.writeResetLatency = write_base + reset_pulse;
+
+    // --- energy ---------------------------------------------------
+    const double bl_cap = core_h * tech.wireCapPerM;
+    mat.bitlineEnergyPerBit =
+        bl_cap * tech.vdd * tech.vdd + tech.senseAmpEnergy;
+
+    switch (cell.klass) {
+      case NvmClass::SRAM:
+        // Reads half-swing the bitline pair; writes full-swing it.
+        mat.readEnergyPerBit = 0.5 * mat.bitlineEnergyPerBit;
+        mat.writeSetEnergyPerBit = mat.bitlineEnergyPerBit;
+        mat.writeResetEnergyPerBit = mat.bitlineEnergyPerBit;
+        break;
+      case NvmClass::PCRAM:
+        mat.readEnergyPerBit = cell.readEnergy.get();
+        mat.writeSetEnergyPerBit = cell.setCurrent.get() *
+                                   cal.pcramWriteVoltage *
+                                   cell.setPulse.get() /
+                                   cal.pcramDriverEfficiency;
+        mat.writeResetEnergyPerBit = cell.resetCurrent.get() *
+                                     cal.pcramWriteVoltage *
+                                     cell.resetPulse.get() /
+                                     cal.pcramDriverEfficiency;
+        break;
+      case NvmClass::STTRAM:
+      case NvmClass::RRAM:
+        mat.readEnergyPerBit =
+            cell.readPower.get() * mat.senseDelay;
+        mat.writeSetEnergyPerBit =
+            cell.setEnergy.get() / cal.nvmDriverEfficiency;
+        mat.writeResetEnergyPerBit =
+            cell.resetEnergy.get() / cal.nvmDriverEfficiency;
+        break;
+    }
+
+    // --- leakage ----------------------------------------------------
+    // Peripheral leakage per mat (decoders, drivers, sense amps),
+    // scaled by supply relative to 45 nm; NVM cells themselves do not
+    // leak, SRAM cells do.
+    mat.leakage = cal.matLeak45 * (tech.vdd / 1.0);
+    if (cell.klass == NvmClass::SRAM) {
+        mat.leakage += double(org.matRows) * double(org.matCols) *
+                       tech.sramCellLeak;
+    }
+
+    return mat;
+}
+
+} // namespace nvmcache

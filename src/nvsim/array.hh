@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Mat (subarray) level circuit model: decoder, wordline, bitline,
+ * sense amplifiers, and the per-class cell read/write circuits.
+ */
+
+#ifndef NVMCACHE_NVSIM_ARRAY_HH
+#define NVMCACHE_NVSIM_ARRAY_HH
+
+#include "nvm/cell.hh"
+#include "nvsim/config.hh"
+#include "nvsim/tech.hh"
+
+namespace nvmcache {
+
+/** Derived electrical/physical properties of one mat. */
+struct MatModel
+{
+    double cellPitch = 0.0;   ///< m, cell side (square-cell approx.)
+    double area = 0.0;        ///< m^2, including border peripherals
+    double coreArea = 0.0;    ///< m^2, cell array only
+
+    double decodeDelay = 0.0;   ///< s, row decoder
+    double wordlineDelay = 0.0; ///< s
+    double bitlineDelay = 0.0;  ///< s
+    double senseDelay = 0.0;    ///< s, class-specific sensing
+
+    double readLatency = 0.0;      ///< s, in-mat read (t_read,mat)
+    double writeSetLatency = 0.0;  ///< s, in-mat SET write
+    double writeResetLatency = 0.0;///< s, in-mat RESET write
+
+    double readEnergyPerBit = 0.0;     ///< J
+    double writeSetEnergyPerBit = 0.0; ///< J
+    double writeResetEnergyPerBit = 0.0; ///< J
+    double bitlineEnergyPerBit = 0.0;  ///< J, array access overhead
+
+    double leakage = 0.0; ///< W, mat peripherals (+cells for SRAM)
+};
+
+/**
+ * Build the mat model for a cell technology.
+ *
+ * @param cell  Completed cell spec (requires the class's NVSim set).
+ * @param tech  Peripheral constants at the cell's process node.
+ * @param org   Cache organization (mat dimensions).
+ * @param cal   Calibration constants.
+ */
+MatModel buildMat(const CellSpec &cell, const TechNode &tech,
+                  const CacheOrgConfig &org, const Calibration &cal);
+
+/** Class-specific sense time (used for both data and tag arrays). */
+double senseTime(const CellSpec &cell, const TechNode &tech,
+                 const Calibration &cal);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_NVSIM_ARRAY_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Cache organization input to the circuit-level estimator.
+ */
+
+#ifndef NVMCACHE_NVSIM_CONFIG_HH
+#define NVMCACHE_NVSIM_CONFIG_HH
+
+#include <cstdint>
+
+namespace nvmcache {
+
+/**
+ * Physical organization of the modeled cache. Defaults correspond to
+ * the paper's Gainestown LLC: 2 MB, 16-way, 64 B blocks.
+ */
+struct CacheOrgConfig
+{
+    std::uint64_t capacityBytes = 2ull << 20;
+    std::uint32_t associativity = 16;
+    std::uint32_t blockBytes = 64;
+
+    /** Subarray (mat core) dimensions in cells. */
+    std::uint32_t matRows = 512;
+    std::uint32_t matCols = 512;
+
+    /** Mats activated in parallel by one data access. */
+    std::uint32_t activeMats = 8;
+
+    /** Tag size budget per line (address tag + state), in bits. */
+    std::uint32_t tagBitsPerLine = 28;
+
+    std::uint64_t numLines() const { return capacityBytes / blockBytes; }
+    std::uint64_t numSets() const { return numLines() / associativity; }
+    std::uint64_t dataBitsPerLine() const { return 8ull * blockBytes; }
+};
+
+/**
+ * Calibration constants for the estimator. The structural model
+ * (mats, H-tree, per-class sensing and write circuits) fixes the
+ * scaling behaviour; these constants absorb the fixed peripheral
+ * overheads NVSim models in far more detail. Defaults were fit once
+ * against the paper's published Table III and are not workload- or
+ * technology-specific.
+ */
+struct Calibration
+{
+    /** Effective write voltage across a PCRAM cell stack. */
+    double pcramWriteVoltage = 3.0;
+    /** Write-driver / charge-pump efficiency for PCRAM. */
+    double pcramDriverEfficiency = 0.25;
+    /** Write-driver efficiency for STTRAM / RRAM. */
+    double nvmDriverEfficiency = 0.30;
+    /** Local (in-mat) area overhead multiplier on the cell array. */
+    double matLocalOverhead = 1.30;
+    /** Mat border (decoder+driver+SA strip) width at 45 nm, metres. */
+    double matBorder45 = 28e-6;
+    /** Peripheral dynamic-energy multiplier (decoders, muxes, ctl). */
+    double peripheralEnergyFactor = 2.0;
+    /** Peripheral leakage per mat at 45 nm, watts. */
+    double matLeak45 = 0.9e-3;
+    /** Sense-margin latency coefficients per class (s*V). */
+    double sttSenseCoeff = 0.25;
+    double rramSenseCoeff = 0.30;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_NVSIM_CONFIG_HH

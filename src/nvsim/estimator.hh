@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Circuit-level LLC estimator: our from-scratch stand-in for NVSim.
+ *
+ * Given a completed cell spec (nvm/) and a cache organization, the
+ * estimator derives a full LlcModel — the paper's Table III row — by
+ * composing the mat model (array.hh), the H-tree model (htree.hh) and
+ * an in-technology tag array:
+ *
+ *   t_read  ~ 2 * t_Htree + t_read,mat    (eq 4)
+ *   t_write ~ 1 * t_Htree + t_write,mat   (eq 5)
+ *   E_hit   = E_tag + E_data-read         (eq 6)
+ *   E_miss  = E_tag                       (eq 7)
+ *   E_write = E_tag + E_data-write        (eq 8)
+ */
+
+#ifndef NVMCACHE_NVSIM_ESTIMATOR_HH
+#define NVMCACHE_NVSIM_ESTIMATOR_HH
+
+#include "nvm/cell.hh"
+#include "nvsim/config.hh"
+#include "nvsim/llc_model.hh"
+
+namespace nvmcache {
+
+class Estimator
+{
+  public:
+    explicit Estimator(Calibration cal = Calibration());
+
+    /**
+     * Estimate the LLC model for @p cell at organization @p org.
+     * The cell spec must be simulator-ready (missingFields empty);
+     * fatal() otherwise, since silently guessing here would defeat
+     * the apples-to-apples goal.
+     */
+    LlcModel estimate(const CellSpec &cell,
+                      const CacheOrgConfig &org) const;
+
+    const Calibration &calibration() const { return cal_; }
+
+  private:
+    Calibration cal_;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_NVSIM_ESTIMATOR_HH

@@ -1,0 +1,39 @@
+#include "nvsim/htree.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+HtreeModel
+buildHtree(std::uint64_t numMats, double matArea, const TechNode &tech)
+{
+    if (numMats == 0 || matArea <= 0.0)
+        panic("buildHtree: empty bank");
+
+    HtreeModel h;
+    const double bank_area = double(numMats) * matArea;
+    const double side = std::sqrt(bank_area);
+
+    // Root-to-leaf path: side/2 + side/4 + ... ~= side. A single mat
+    // needs no global routing.
+    const double path = numMats > 1 ? side : 0.0;
+
+    h.latency = path * tech.bufferedWireDelayPerM;
+    h.energyPerBit = path * tech.bufferedWireEnergyPerM;
+
+    // Routing area: ~3% of bank area per tree level beyond the first.
+    const double levels =
+        numMats > 1 ? std::log2(double(numMats)) : 0.0;
+    h.wireArea = 0.015 * levels * bank_area;
+
+    // Repeater leakage: proportional to total wire length; one
+    // repeater bank every ~1 mm leaking ~50 uW at nominal supply.
+    const double total_wire = path * 2.0 * std::max(1.0, levels);
+    h.bufferLeakage = total_wire / 1e-3 * 50e-6 * (tech.vdd / 1.0);
+
+    return h;
+}
+
+} // namespace nvmcache

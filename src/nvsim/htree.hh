@@ -1,0 +1,37 @@
+/**
+ * @file
+ * H-tree global routing model (structure of eqs 4-5: reads traverse
+ * the tree twice — address in, data out — writes only once).
+ */
+
+#ifndef NVMCACHE_NVSIM_HTREE_HH
+#define NVMCACHE_NVSIM_HTREE_HH
+
+#include <cstdint>
+
+#include "nvsim/tech.hh"
+
+namespace nvmcache {
+
+/** Global-interconnect figures for one bank of mats. */
+struct HtreeModel
+{
+    double latency = 0.0;       ///< s, one traversal root->leaf
+    double energyPerBit = 0.0;  ///< J per bit moved one traversal
+    double wireArea = 0.0;      ///< m^2, routing overhead
+    double bufferLeakage = 0.0; ///< W, repeater leakage
+};
+
+/**
+ * Build the H-tree for @p numMats mats of @p matArea each.
+ *
+ * The tree spans a square bank of side sqrt(numMats * matArea); the
+ * root-to-leaf path length is approximately the bank side (sum of the
+ * halving segments), driven by repeated (buffered) global wire.
+ */
+HtreeModel buildHtree(std::uint64_t numMats, double matArea,
+                      const TechNode &tech);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_NVSIM_HTREE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Architectural LLC model: the interface between circuit-level
+ * estimation (nvsim) and system simulation (sim).
+ *
+ * One LlcModel corresponds to one column of the paper's Table III:
+ * everything the full-system simulator needs to model a last-level
+ * cache built from a given memory cell.
+ */
+
+#ifndef NVMCACHE_NVSIM_LLC_MODEL_HH
+#define NVMCACHE_NVSIM_LLC_MODEL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "nvm/cell.hh"
+
+namespace nvmcache {
+
+/**
+ * Timing / energy / area model of one LLC configuration.
+ * Canonical units: seconds, joules, watts, square metres, bytes.
+ */
+struct LlcModel
+{
+    std::string name;          ///< citation name, e.g. "Oh"
+    NvmClass klass = NvmClass::SRAM;
+    std::uint64_t capacityBytes = 0;
+
+    double area = 0.0;             ///< m^2
+    double tagLatency = 0.0;       ///< s, tag lookup
+    double readLatency = 0.0;      ///< s, data read (eq 4)
+    double writeLatencySet = 0.0;  ///< s, data write, SET path (eq 5)
+    double writeLatencyReset = 0.0;///< s, data write, RESET path
+
+    double eHit = 0.0;    ///< J, E_dyn,hit  = E_tag + E_data-read  (eq 6)
+    double eMiss = 0.0;   ///< J, E_dyn,miss = E_tag               (eq 7)
+    double eWrite = 0.0;  ///< J, E_dyn,write= E_tag + E_data-write(eq 8)
+    double leakage = 0.0; ///< W, total cache leakage power
+
+    /**
+     * Exposed data-write latency. A line write drives SET and RESET
+     * transitions concurrently across the line's bits, so the line
+     * completes when the slower transition does.
+     */
+    double
+    writeLatency() const
+    {
+        return std::max(writeLatencySet, writeLatencyReset);
+    }
+
+    /** Citation name with class subscript ("Oh_P"). */
+    std::string citationName() const;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_NVSIM_LLC_MODEL_HH

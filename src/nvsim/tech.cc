@@ -1,0 +1,72 @@
+#include "nvsim/tech.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+namespace {
+
+// Representative high-performance logic constants per node. Sources:
+// ITRS interconnect tables and published CACTI/NVSim technology files,
+// rounded. Ordered by descending node.
+const TechNode kTable[] = {
+    // node    FO4      R/m     C/m    vdd  saDelay  saE     saLeak  cellLeak wireD/m  wireE/m
+    {180e-9, 65e-12, 0.6e5, 2.0e-10, 1.8, 1.30e-9, 16e-15, 4e-6, 20e-9, 4.0e-8, 6.5e-10},
+    {120e-9, 43e-12, 1.0e5, 2.0e-10, 1.5, 0.86e-9, 11e-15, 6e-6, 60e-9, 4.5e-8, 4.5e-10},
+    {90e-9, 32e-12, 1.5e5, 2.0e-10, 1.2, 0.64e-9, 7e-15, 8e-6, 120e-9, 5.0e-8, 2.9e-10},
+    {65e-9, 23e-12, 2.5e5, 2.0e-10, 1.1, 0.46e-9, 6e-15, 9e-6, 160e-9, 5.5e-8, 2.4e-10},
+    {45e-9, 16e-12, 4.0e5, 2.0e-10, 1.0, 0.32e-9, 5e-15, 10e-6, 200e-9, 6.5e-8, 2.0e-10},
+    {32e-9, 11e-12, 7.0e5, 2.0e-10, 0.9, 0.22e-9, 4e-15, 11e-6, 230e-9, 7.5e-8, 1.6e-10},
+    {22e-9, 8e-12, 12.0e5, 2.0e-10, 0.8, 0.16e-9, 3e-15, 12e-6, 260e-9, 9.0e-8, 1.3e-10},
+};
+constexpr std::size_t kN = sizeof(kTable) / sizeof(kTable[0]);
+
+double
+lerpLog(double x, double x0, double x1, double y0, double y1)
+{
+    double t = (std::log(x) - std::log(x0)) / (std::log(x1) - std::log(x0));
+    return std::exp(std::log(y0) + t * (std::log(y1) - std::log(y0)));
+}
+
+} // namespace
+
+TechNode
+techAt(double node_m)
+{
+    if (node_m <= 0.0)
+        panic("techAt: non-positive node");
+    double node = std::clamp(node_m, kTable[kN - 1].node, kTable[0].node);
+
+    // Find bracketing entries (table is descending in node).
+    std::size_t hi = 0;
+    while (hi + 1 < kN && kTable[hi + 1].node >= node)
+        ++hi;
+    if (hi + 1 == kN)
+        return kTable[kN - 1];
+    const TechNode &a = kTable[hi];     // larger node
+    const TechNode &b = kTable[hi + 1]; // smaller node
+
+    auto ip = [&](double TechNode::*f) {
+        return lerpLog(node, a.node, b.node, a.*f, b.*f);
+    };
+
+    TechNode out;
+    out.node = node;
+    out.fo4Delay = ip(&TechNode::fo4Delay);
+    out.wireResPerM = ip(&TechNode::wireResPerM);
+    out.wireCapPerM = ip(&TechNode::wireCapPerM);
+    out.vdd = ip(&TechNode::vdd);
+    out.senseAmpDelay = ip(&TechNode::senseAmpDelay);
+    out.senseAmpEnergy = ip(&TechNode::senseAmpEnergy);
+    out.senseAmpLeak = ip(&TechNode::senseAmpLeak);
+    out.sramCellLeak = ip(&TechNode::sramCellLeak);
+    out.bufferedWireDelayPerM = ip(&TechNode::bufferedWireDelayPerM);
+    out.bufferedWireEnergyPerM = ip(&TechNode::bufferedWireEnergyPerM);
+    return out;
+}
+
+} // namespace nvmcache

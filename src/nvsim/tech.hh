@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CMOS peripheral technology scaling used by the circuit estimator.
+ *
+ * A small ITRS-flavoured table of per-node constants, log-log
+ * interpolated for nodes between table entries. Values are
+ * representative of high-performance logic processes; the goal is
+ * faithful *scaling behaviour* across the 22-120 nm range spanned by
+ * the Table II cells, not sign-off accuracy.
+ */
+
+#ifndef NVMCACHE_NVSIM_TECH_HH
+#define NVMCACHE_NVSIM_TECH_HH
+
+namespace nvmcache {
+
+/** Peripheral-circuit constants at one process node. */
+struct TechNode
+{
+    double node;          ///< m (feature size F)
+    double fo4Delay;      ///< s, fanout-of-4 inverter delay
+    double wireResPerM;   ///< ohm/m, intermediate metal
+    double wireCapPerM;   ///< F/m
+    double vdd;           ///< V, peripheral supply
+    double senseAmpDelay; ///< s
+    double senseAmpEnergy;///< J per sensing event
+    double senseAmpLeak;  ///< W per sense amplifier
+    double sramCellLeak;  ///< W per 6T SRAM cell (hi-perf)
+    double bufferedWireDelayPerM; ///< s/m, repeated global wire
+    double bufferedWireEnergyPerM;///< J/(m*bit) switched
+};
+
+/**
+ * Interpolated technology constants at an arbitrary node (clamped to
+ * the 16-180 nm table range).
+ */
+TechNode techAt(double node_m);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_NVSIM_TECH_HH

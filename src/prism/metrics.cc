@@ -1,0 +1,122 @@
+#include "prism/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+std::vector<double>
+WorkloadFeatures::featureVector() const
+{
+    return {
+        reads.globalEntropy,
+        reads.localEntropy,
+        writes.globalEntropy,
+        writes.localEntropy,
+        double(reads.unique),
+        double(writes.unique),
+        double(reads.footprint90),
+        double(writes.footprint90),
+        double(reads.total),
+        double(writes.total),
+    };
+}
+
+const std::vector<std::string> &
+WorkloadFeatures::featureNames()
+{
+    static const std::vector<std::string> names = {
+        "H_rg", "H_rl", "H_wg", "H_wl", "r_uniq",
+        "w_uniq", "90%ft_r", "90%ft_w", "r_total", "w_total",
+    };
+    return names;
+}
+
+FeatureCollector::FeatureCollector(std::uint32_t localMaskBits)
+    : maskBits_(localMaskBits)
+{
+    if (maskBits_ >= 64)
+        fatal("FeatureCollector: mask bits out of range");
+}
+
+void
+FeatureCollector::record(const MemAccess &access)
+{
+    Histogram &h =
+        access.kind == AccessKind::Store ? writes_ : reads_;
+    ++h.full[access.addr];
+    ++h.masked[access.addr >> maskBits_];
+    ++h.total;
+}
+
+KindMetrics
+FeatureCollector::compute(const Histogram &h)
+{
+    KindMetrics m;
+    m.total = h.total;
+    m.unique = h.full.size();
+    if (h.total == 0)
+        return m;
+
+    // Shannon entropy (eq 9) over the full and masked histograms.
+    auto entropy = [&](const auto &map) {
+        double bits = 0.0;
+        const double n = double(h.total);
+        for (const auto &[addr, count] : map) {
+            (void)addr;
+            const double p = double(count) / n;
+            bits -= p * std::log2(p);
+        }
+        return bits;
+    };
+    m.globalEntropy = entropy(h.full);
+    m.localEntropy = entropy(h.masked);
+
+    // 90% footprint: hottest addresses covering 90% of accesses.
+    std::vector<std::uint64_t> counts;
+    counts.reserve(h.full.size());
+    for (const auto &[addr, count] : h.full) {
+        (void)addr;
+        counts.push_back(count);
+    }
+    std::sort(counts.begin(), counts.end(),
+              std::greater<std::uint64_t>());
+    const std::uint64_t threshold = std::uint64_t(
+        std::ceil(0.9 * double(h.total)));
+    std::uint64_t covered = 0;
+    for (std::uint64_t c : counts) {
+        covered += c;
+        ++m.footprint90;
+        if (covered >= threshold)
+            break;
+    }
+    return m;
+}
+
+WorkloadFeatures
+FeatureCollector::finalize() const
+{
+    WorkloadFeatures f;
+    f.reads = compute(reads_);
+    f.writes = compute(writes_);
+    return f;
+}
+
+WorkloadFeatures
+characterize(const std::vector<TraceSource *> &threads,
+             std::uint32_t localMaskBits)
+{
+    FeatureCollector collector(localMaskBits);
+    for (TraceSource *t : threads) {
+        t->reset();
+        MemAccess a;
+        while (t->next(a))
+            collector.record(a);
+        t->reset();
+    }
+    return collector.finalize();
+}
+
+} // namespace nvmcache

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * PRISM-style architecture-agnostic workload characterization
+ * (paper §IV-B and Table VI).
+ *
+ * From a raw access stream we compute, separately for reads and
+ * writes (splitting by kind is how the paper targets NVM read/write
+ * asymmetry):
+ *
+ *  - global memory entropy: Shannon entropy (eq 9) of the accessed
+ *    address distribution — temporal locality;
+ *  - local memory entropy: same, after skipping the M=10 lowest
+ *    address bits — spatial locality at page-ish granularity;
+ *  - unique footprint: distinct addresses touched;
+ *  - 90% footprint: number of hottest addresses covering 90% of all
+ *    accesses — a working-set estimate;
+ *  - total accesses.
+ */
+
+#ifndef NVMCACHE_PRISM_METRICS_HH
+#define NVMCACHE_PRISM_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nvmcache {
+
+/** Metrics for one access kind (reads or writes). */
+struct KindMetrics
+{
+    double globalEntropy = 0.0; ///< bits
+    double localEntropy = 0.0;  ///< bits
+    std::uint64_t unique = 0;
+    std::uint64_t footprint90 = 0;
+    std::uint64_t total = 0;
+};
+
+/** The full Table VI feature row for one workload. */
+struct WorkloadFeatures
+{
+    KindMetrics reads;
+    KindMetrics writes;
+
+    /** The 10 features in Table VI column order. */
+    std::vector<double> featureVector() const;
+
+    /** Short names matching Table VI's header. */
+    static const std::vector<std::string> &featureNames();
+};
+
+/**
+ * Streaming collector: feed every access of every thread, then
+ * finalize. Instruction fetches count as reads (they are memory
+ * reads; PRISM traces them the same way).
+ */
+class FeatureCollector
+{
+  public:
+    explicit FeatureCollector(std::uint32_t localMaskBits = 10);
+
+    void record(const MemAccess &access);
+
+    /** Compute the metrics from everything recorded so far. */
+    WorkloadFeatures finalize() const;
+
+    std::uint32_t localMaskBits() const { return maskBits_; }
+
+  private:
+    struct Histogram
+    {
+        std::unordered_map<std::uint64_t, std::uint64_t> full;
+        std::unordered_map<std::uint64_t, std::uint64_t> masked;
+        std::uint64_t total = 0;
+    };
+
+    static KindMetrics compute(const Histogram &h);
+
+    std::uint32_t maskBits_;
+    Histogram reads_;
+    Histogram writes_;
+};
+
+/**
+ * Convenience: characterize a set of per-thread traces (resetting
+ * each first, iterating it to exhaustion, and resetting it again so
+ * the caller can reuse it).
+ */
+WorkloadFeatures characterize(
+    const std::vector<TraceSource *> &threads,
+    std::uint32_t localMaskBits = 10);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_PRISM_METRICS_HH

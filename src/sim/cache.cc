@@ -1,0 +1,167 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+SetAssocCache::SetAssocCache(const CacheGeometry &geom) : geom_(geom)
+{
+    if (geom_.blockBytes == 0 ||
+        (geom_.blockBytes & (geom_.blockBytes - 1)) != 0)
+        fatal("cache block size must be a power of two");
+    if (geom_.associativity == 0)
+        fatal("cache associativity must be >= 1");
+    const std::uint64_t sets = geom_.numSets();
+    if (sets == 0 || (sets & (sets - 1)) != 0)
+        fatal("cache set count must be a power of two (capacity ",
+              geom_.capacityBytes, ", assoc ", geom_.associativity, ")");
+    lines_.resize(sets * geom_.associativity);
+}
+
+std::uint64_t
+SetAssocCache::blockAlign(std::uint64_t addr) const
+{
+    return addr & ~std::uint64_t(geom_.blockBytes - 1);
+}
+
+std::uint64_t
+SetAssocCache::setIndex(std::uint64_t addr) const
+{
+    const int block_bits = std::countr_zero(std::uint64_t(geom_.blockBytes));
+    return (addr >> block_bits) & (geom_.numSets() - 1);
+}
+
+std::uint64_t
+SetAssocCache::tagOf(std::uint64_t addr) const
+{
+    const int block_bits = std::countr_zero(std::uint64_t(geom_.blockBytes));
+    const int set_bits = std::countr_zero(geom_.numSets());
+    return addr >> (block_bits + set_bits);
+}
+
+SetAssocCache::Line *
+SetAssocCache::selectVictim(Line *base)
+{
+    // An invalid way always wins.
+    for (std::uint32_t w = 0; w < geom_.associativity; ++w)
+        if (!base[w].valid)
+            return &base[w];
+
+    switch (geom_.replacement) {
+      case ReplacementPolicy::LRU:
+      case ReplacementPolicy::FIFO: {
+        // Both pick the smallest timestamp; they differ in whether
+        // hits refresh it (see accessImpl).
+        Line *victim = base;
+        for (std::uint32_t w = 1; w < geom_.associativity; ++w)
+            if (base[w].lastUse < victim->lastUse)
+                victim = &base[w];
+        return victim;
+      }
+      case ReplacementPolicy::Random: {
+        // xorshift64*: deterministic per cache instance.
+        randState_ ^= randState_ >> 12;
+        randState_ ^= randState_ << 25;
+        randState_ ^= randState_ >> 27;
+        return &base[(randState_ * 0x2545f4914f6cdd1dull) %
+                     geom_.associativity];
+      }
+    }
+    panic("bad ReplacementPolicy");
+}
+
+CacheAccessResult
+SetAssocCache::accessImpl(std::uint64_t addr, bool write)
+{
+    CacheAccessResult result;
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Line *base = &lines_[set * geom_.associativity];
+
+    for (std::uint32_t w = 0; w < geom_.associativity; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            if (geom_.replacement == ReplacementPolicy::LRU)
+                line.lastUse = ++useClock_;
+            line.dirty = line.dirty || write;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss: evict the policy's victim (or an invalid way) and fill.
+    Line *victim = selectVictim(base);
+    if (victim->valid) {
+        result.evictedValid = true;
+        result.evictedDirty = victim->dirty;
+        const int block_bits =
+            std::countr_zero(std::uint64_t(geom_.blockBytes));
+        const int set_bits = std::countr_zero(geom_.numSets());
+        result.evictedAddr = (victim->tag << (block_bits + set_bits)) |
+                             (set << block_bits);
+        if (victim->dirty)
+            ++writebacks_;
+    }
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lastUse = ++useClock_;
+    return result;
+}
+
+CacheAccessResult
+SetAssocCache::access(std::uint64_t addr, bool write)
+{
+    CacheAccessResult result = accessImpl(addr, write);
+    if (result.hit)
+        ++hits_;
+    else
+        ++misses_;
+    return result;
+}
+
+bool
+SetAssocCache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const Line *base = &lines_[set * geom_.associativity];
+    for (std::uint32_t w = 0; w < geom_.associativity; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+CacheAccessResult
+SetAssocCache::installWriteback(std::uint64_t addr)
+{
+    // Same replacement behaviour as a demand write, but not counted as
+    // a demand hit/miss: writebacks are not on the demand path.
+    return accessImpl(addr, true);
+}
+
+bool
+SetAssocCache::invalidate(std::uint64_t addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Line *base = &lines_[set * geom_.associativity];
+    for (std::uint32_t w = 0; w < geom_.associativity; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.valid = false;
+            return line.dirty;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocCache::resetStats()
+{
+    hits_ = misses_ = writebacks_ = 0;
+}
+
+} // namespace nvmcache

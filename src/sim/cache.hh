@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Set-associative write-back cache with true-LRU replacement, used
+ * for the private L1/L2 levels and for the shared LLC's tag/data
+ * bookkeeping.
+ *
+ * The cache tracks only presence and dirtiness (no data values); the
+ * timing and energy consequences of each access are handled by the
+ * levels' owners (core.hh, nvm_llc.hh).
+ */
+
+#ifndef NVMCACHE_SIM_CACHE_HH
+#define NVMCACHE_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace nvmcache {
+
+/** Replacement policy of one cache level. */
+enum class ReplacementPolicy
+{
+    LRU,    ///< true least-recently-used (default everywhere)
+    FIFO,   ///< insertion-order victim
+    Random  ///< pseudo-random victim (deterministic per cache)
+};
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    std::uint64_t capacityBytes = 32 * 1024;
+    std::uint32_t associativity = 4;
+    std::uint32_t blockBytes = 64;
+    ReplacementPolicy replacement = ReplacementPolicy::LRU;
+
+    std::uint64_t numLines() const { return capacityBytes / blockBytes; }
+    std::uint64_t numSets() const { return numLines() / associativity; }
+};
+
+/** Outcome of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool evictedValid = false;  ///< a victim line was displaced
+    bool evictedDirty = false;  ///< ... and it was dirty (writeback)
+    std::uint64_t evictedAddr = 0; ///< block-aligned victim address
+};
+
+/**
+ * Presence/dirtiness model of one set-associative cache.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheGeometry &geom);
+
+    /**
+     * Demand access with allocate-on-miss.
+     * @param addr   byte address
+     * @param write  true marks the (present-or-filled) line dirty
+     */
+    CacheAccessResult access(std::uint64_t addr, bool write);
+
+    /** Hit probe without any state change. */
+    bool probe(std::uint64_t addr) const;
+
+    /**
+     * Install a full line without a backing fetch (used for
+     * writebacks arriving from an upper level: write-allocate is free
+     * because the whole line is supplied).
+     */
+    CacheAccessResult installWriteback(std::uint64_t addr);
+
+    /** Invalidate a line if present; returns true if it was dirty. */
+    bool invalidate(std::uint64_t addr);
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    // --- stats -------------------------------------------------------
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t setIndex(std::uint64_t addr) const;
+    std::uint64_t tagOf(std::uint64_t addr) const;
+    std::uint64_t blockAlign(std::uint64_t addr) const;
+
+    /** Core of access/installWriteback; @p fetch false = writeback. */
+    CacheAccessResult accessImpl(std::uint64_t addr, bool write);
+
+    /** Pick the victim way for a fill into @p base[0..assoc). */
+    Line *selectVictim(Line *base);
+
+    CacheGeometry geom_;
+    std::vector<Line> lines_; ///< sets * assoc, row-major by set
+    std::uint64_t useClock_ = 0;
+    std::uint64_t randState_ = 0x2545f4914f6cdd1dull;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_SIM_CACHE_HH

@@ -1,0 +1,85 @@
+#include "sim/core.hh"
+
+#include <algorithm>
+
+namespace nvmcache {
+
+PrivateCore::PrivateCore(const CoreParams &params)
+    : params_(params), l1i_(params.l1i), l1d_(params.l1d),
+      l2_(params.l2)
+{
+}
+
+PrivateAccessOutcome
+PrivateCore::accessPrivate(const MemAccess &access)
+{
+    // Issue time: the gap instructions plus the memory instruction
+    // itself at base CPI.
+    cycle_ += double(access.nonMemInstrs + 1) * params_.baseCpi;
+    instructions_ += access.nonMemInstrs + 1;
+
+    PrivateAccessOutcome out;
+
+    SetAssocCache &l1 =
+        access.kind == AccessKind::IFetch ? l1i_ : l1d_;
+    const bool is_store = access.kind == AccessKind::Store;
+
+    CacheAccessResult l1res = l1.access(access.addr, is_store);
+    if (l1res.hit) {
+        out.satisfied = true;
+        return out; // L1 hit latency folded into base CPI
+    }
+
+    // L1 victim writeback drains into L2 (full line, free allocate).
+    if (l1res.evictedValid && l1res.evictedDirty) {
+        CacheAccessResult wb = l2_.installWriteback(l1res.evictedAddr);
+        if (wb.evictedValid && wb.evictedDirty)
+            out.writebacks.push(wb.evictedAddr);
+    }
+
+    out.latencyCycles = params_.l2Cycles;
+    CacheAccessResult l2res = l2_.access(access.addr, false);
+    if (l2res.hit) {
+        out.satisfied = true;
+        return out;
+    }
+
+    // L2 demand fill may displace a dirty line toward the LLC.
+    if (l2res.evictedValid && l2res.evictedDirty)
+        out.writebacks.push(l2res.evictedAddr);
+
+    out.satisfied = false;
+    return out;
+}
+
+void
+PrivateCore::applyStall(AccessKind kind, std::uint64_t latencyCycles)
+{
+    double stall = 0.0;
+    switch (kind) {
+      case AccessKind::Load:
+        stall = std::max(0.0, double(latencyCycles) -
+                                  double(params_.loadHide));
+        break;
+      case AccessKind::IFetch:
+        stall = std::max(0.0, double(latencyCycles) -
+                                  double(params_.ifetchHide));
+        break;
+      case AccessKind::Store:
+        stall = std::max(0.0, double(latencyCycles) -
+                                  double(params_.storeHide)) *
+                params_.storeStallFactor;
+        break;
+    }
+    cycle_ += stall;
+    stallCycles_ += std::uint64_t(stall);
+}
+
+void
+PrivateCore::applyRawStall(std::uint64_t cycles)
+{
+    cycle_ += double(cycles);
+    stallCycles_ += cycles;
+}
+
+} // namespace nvmcache

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Private per-core model: the Gainestown out-of-order core (Table IV)
+ * approximated with an interval-style timing model, plus its private
+ * L1I / L1D / L2 caches.
+ *
+ * The interval approximation: instructions retire at a base CPI while
+ * the backend hides memory latency up to a kind-dependent overlap
+ * window (sized from the 128-entry ROB / 48-entry LQ / 32-entry SQ);
+ * only latency beyond the window stalls the core. Stores drain
+ * through the store queue and stall only on sustained backpressure.
+ */
+
+#ifndef NVMCACHE_SIM_CORE_HH
+#define NVMCACHE_SIM_CORE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/cache.hh"
+#include "sim/types.hh"
+
+namespace nvmcache {
+
+/** Core and private-cache parameters (defaults mirror Table IV). */
+struct CoreParams
+{
+    double baseCpi = 0.5; ///< 4-wide OoO steady-state CPI
+
+    CacheGeometry l1i{32 * 1024, 4, 64};
+    CacheGeometry l1d{32 * 1024, 8, 64};
+    CacheGeometry l2{256 * 1024, 8, 64};
+
+    std::uint32_t l2Cycles = 12; ///< L1-miss-to-L2-hit latency
+
+    /** Overlap windows (cycles of latency the backend hides). */
+    std::uint32_t loadHide = 40;
+    std::uint32_t ifetchHide = 32;
+    std::uint32_t storeHide = 120;
+    /** Fraction of beyond-window store latency that stalls retire. */
+    double storeStallFactor = 0.3;
+};
+
+/** Addresses the private levels push down to the LLC as writebacks. */
+struct WritebackSet
+{
+    std::array<std::uint64_t, 2> addr{};
+    std::uint32_t count = 0;
+
+    void
+    push(std::uint64_t a)
+    {
+        addr[count++] = a;
+    }
+};
+
+/** Result of walking the private levels for one reference. */
+struct PrivateAccessOutcome
+{
+    bool satisfied = false;         ///< hit in L1 or L2
+    std::uint64_t latencyCycles = 0;///< latency accrued so far
+    WritebackSet writebacks;        ///< dirty L2 victims for the LLC
+};
+
+/**
+ * One core's private state: timing plus L1I/L1D/L2. The shared
+ * hierarchy below L2 is driven by System.
+ */
+class PrivateCore
+{
+  public:
+    explicit PrivateCore(const CoreParams &params);
+
+    /**
+     * Walk L1 and L2 for @p access. Advances the local clock by the
+     * instruction-issue time (base CPI); memory stall is applied
+     * separately via applyStall once the full latency is known.
+     */
+    PrivateAccessOutcome accessPrivate(const MemAccess &access);
+
+    /**
+     * Charge the post-overlap stall for a reference of @p kind whose
+     * total hierarchy latency was @p latencyCycles.
+     */
+    void applyStall(AccessKind kind, std::uint64_t latencyCycles);
+
+    /** Charge raw stall cycles (e.g. LLC write-queue backpressure). */
+    void applyRawStall(std::uint64_t cycles);
+
+    double cycle() const { return cycle_; }
+    std::uint64_t instructions() const { return instructions_; }
+    std::uint64_t stallCycles() const { return stallCycles_; }
+
+    const SetAssocCache &l1i() const { return l1i_; }
+    const SetAssocCache &l1d() const { return l1d_; }
+    const SetAssocCache &l2() const { return l2_; }
+
+  private:
+    CoreParams params_;
+    SetAssocCache l1i_;
+    SetAssocCache l1d_;
+    SetAssocCache l2_;
+
+    double cycle_ = 0.0;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t stallCycles_ = 0;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_SIM_CORE_HH

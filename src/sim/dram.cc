@@ -1,0 +1,56 @@
+#include "sim/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+DramModel::DramModel(const DramConfig &cfg, double coreFrequency)
+    : cfg_(cfg)
+{
+    if (cfg_.numControllers == 0 || coreFrequency <= 0.0)
+        fatal("DramModel: bad configuration");
+    const double service_s =
+        double(cfg_.blockBytes) / cfg_.bandwidthPerController;
+    serviceCycles_ = std::uint64_t(
+        std::max(1.0, std::ceil(service_s * coreFrequency)));
+    deviceCycles_ = std::uint64_t(
+        std::max(1.0, std::ceil(cfg_.deviceLatency * coreFrequency)));
+    freeAt_.assign(cfg_.numControllers, 0);
+}
+
+std::uint32_t
+DramModel::controllerOf(std::uint64_t addr) const
+{
+    // Interleave at block granularity across controllers.
+    const std::uint64_t block = addr / cfg_.blockBytes;
+    return std::uint32_t(block % cfg_.numControllers);
+}
+
+std::uint64_t
+DramModel::enqueue(std::uint32_t ctl, std::uint64_t now)
+{
+    std::uint64_t start = std::max(now, freeAt_[ctl]);
+    freeAt_[ctl] = start + serviceCycles_;
+    queueCycles_ += start - now;
+    return start;
+}
+
+std::uint64_t
+DramModel::read(std::uint64_t addr, std::uint64_t now)
+{
+    ++reads_;
+    const std::uint64_t start = enqueue(controllerOf(addr), now);
+    return (start - now) + deviceCycles_;
+}
+
+void
+DramModel::write(std::uint64_t addr, std::uint64_t now)
+{
+    ++writes_;
+    enqueue(controllerOf(addr), now);
+}
+
+} // namespace nvmcache

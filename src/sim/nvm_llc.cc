@@ -1,0 +1,151 @@
+#include "sim/nvm_llc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+namespace {
+
+std::uint64_t
+toCycles(double seconds, double freq)
+{
+    return std::uint64_t(std::max(1.0, std::ceil(seconds * freq)));
+}
+
+} // namespace
+
+SharedLlc::SharedLlc(const LlcModel &model, const Config &cfg,
+                     double coreFrequency)
+    : model_(model), cfg_(cfg),
+      tags_(CacheGeometry{model.capacityBytes, cfg.associativity,
+                          cfg.blockBytes})
+{
+    if (coreFrequency <= 0.0)
+        fatal("SharedLlc: bad core frequency");
+    if (cfg_.numBanks == 0 ||
+        (cfg_.numBanks & (cfg_.numBanks - 1)) != 0)
+        fatal("SharedLlc: bank count must be a power of two");
+    tagCycles_ = toCycles(model_.tagLatency, coreFrequency);
+    readCycles_ = toCycles(model_.readLatency, coreFrequency);
+    writeCycles_ = toCycles(model_.writeLatency(), coreFrequency);
+    bankFreeAt_.assign(cfg_.numBanks, 0);
+}
+
+std::uint32_t
+SharedLlc::bankOf(std::uint64_t addr) const
+{
+    return std::uint32_t((addr / cfg_.blockBytes) % cfg_.numBanks);
+}
+
+std::uint64_t
+SharedLlc::reserveRead(std::uint32_t bank, std::uint64_t now)
+{
+    const std::uint64_t start = std::max(now, bankFreeAt_[bank]);
+    bankFreeAt_[bank] = start + readCycles_;
+    return start - now;
+}
+
+std::uint64_t
+SharedLlc::accountWrite(std::uint32_t bank, std::uint64_t now)
+{
+    switch (cfg_.writePolicy) {
+      case WritePolicy::Posted:
+        // Array write absorbed by the write buffer; serviced during
+        // idle bank cycles, never visible to the system.
+        return 0;
+      case WritePolicy::BankContention: {
+        const std::uint64_t start = std::max(now, bankFreeAt_[bank]);
+        bankFreeAt_[bank] = start + writeCycles_;
+        // The requester only stalls once the backlog exceeds the
+        // write queue: it must wait for the backlog to drain down to
+        // queue depth.
+        const std::uint64_t backlog = bankFreeAt_[bank] - now;
+        const std::uint64_t budget =
+            std::uint64_t(cfg_.writeQueueDepth) * writeCycles_;
+        return backlog > budget ? backlog - budget : 0;
+      }
+      case WritePolicy::Blocking: {
+        const std::uint64_t start = std::max(now, bankFreeAt_[bank]);
+        bankFreeAt_[bank] = start + writeCycles_;
+        return (start - now) + writeCycles_;
+      }
+    }
+    panic("bad WritePolicy");
+}
+
+LlcReadOutcome
+SharedLlc::demandRead(std::uint64_t addr, std::uint64_t now)
+{
+    LlcReadOutcome out;
+    const std::uint32_t bank = bankOf(addr);
+    ++stats_.demandReads;
+
+    CacheAccessResult res = tags_.access(addr, false);
+    out.hit = res.hit;
+
+    if (res.hit) {
+        ++stats_.demandHits;
+        stats_.hitEnergy += model_.eHit;
+        const std::uint64_t wait = reserveRead(bank, now);
+        stats_.readWaitCycles += wait;
+        out.latencyCycles =
+            wait + cfg_.controllerCycles + tagCycles_ + readCycles_;
+        return out;
+    }
+
+    ++stats_.demandMisses;
+    stats_.missEnergy += model_.eMiss;
+    // Miss detection costs the tag probe; the fill happens when DRAM
+    // returns (state updated now, timing accounted via accountWrite).
+    out.latencyCycles = cfg_.controllerCycles + tagCycles_;
+
+    ++stats_.fills;
+    stats_.writeEnergy += model_.eWrite;
+    out.latencyCycles += accountWrite(bank, now);
+    if (res.evictedValid && res.evictedDirty) {
+        ++stats_.dirtyEvictions;
+        out.victimDirty = true;
+        out.victimAddr = res.evictedAddr;
+    }
+    return out;
+}
+
+LlcWritebackOutcome
+SharedLlc::writeback(std::uint64_t addr, std::uint64_t now)
+{
+    LlcWritebackOutcome out;
+    const std::uint32_t bank = bankOf(addr);
+    ++stats_.writebacksIn;
+
+    if (cfg_.bypassWritebackMiss && !tags_.probe(addr)) {
+        // Bypass: pay only the tag probe, never touch the NVM array.
+        ++stats_.writeBypasses;
+        stats_.missEnergy += model_.eMiss;
+        out.forwardedToDram = true;
+        return out;
+    }
+
+    stats_.writeEnergy += model_.eWrite;
+    CacheAccessResult res = tags_.installWriteback(addr);
+    out.stallCycles = accountWrite(bank, now);
+    stats_.writeStallCycles += out.stallCycles;
+    if (res.evictedValid && res.evictedDirty) {
+        ++stats_.dirtyEvictions;
+        out.victimDirty = true;
+        out.victimAddr = res.evictedAddr;
+    }
+    return out;
+}
+
+double
+SharedLlc::missRate() const
+{
+    if (stats_.demandReads == 0)
+        return 0.0;
+    return double(stats_.demandMisses) / double(stats_.demandReads);
+}
+
+} // namespace nvmcache

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Shared, banked, possibly-NVM last-level cache (the paper's modified
+ * Sniper LLC).
+ *
+ * Timing and energy come from an LlcModel (a Table III column):
+ * asymmetric read/write latency, per-event dynamic energies (eqs 6-8)
+ * and leakage. The LLC sees two request kinds from the private
+ * levels: demand reads (L2 misses, regardless of whether the original
+ * core op was a load, store or ifetch) and writebacks (L2 dirty
+ * evictions). Array writes additionally happen on every miss fill.
+ *
+ * Write timing policy (paper §V-A-7 discusses exactly this):
+ *  - Posted: writes are fully off the critical path and never delay
+ *    anything (the paper's/Sniper's assumption; our default).
+ *  - BankContention: writes occupy their bank, delaying later reads
+ *    to the same bank; the requester stalls only when the bank's
+ *    write backlog exceeds the write-queue depth.
+ *  - Blocking: writes are on the critical path (ablation worst case).
+ */
+
+#ifndef NVMCACHE_SIM_NVM_LLC_HH
+#define NVMCACHE_SIM_NVM_LLC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nvsim/llc_model.hh"
+#include "sim/cache.hh"
+
+namespace nvmcache {
+
+/** LLC write-path timing policy. */
+enum class WritePolicy
+{
+    Posted,
+    BankContention,
+    Blocking
+};
+
+/** Counters and energy accumulated by the LLC. */
+struct LlcStats
+{
+    std::uint64_t demandReads = 0;
+    std::uint64_t demandHits = 0;
+    std::uint64_t demandMisses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t writebacksIn = 0;   ///< dirty evictions from L2
+    std::uint64_t dirtyEvictions = 0; ///< dirty LLC victims -> DRAM
+    std::uint64_t writeBypasses = 0;  ///< writebacks forwarded to DRAM
+    std::uint64_t readWaitCycles = 0; ///< bank-conflict wait on reads
+    std::uint64_t writeStallCycles = 0; ///< queue-full stalls charged
+
+    double hitEnergy = 0.0;   ///< J
+    double missEnergy = 0.0;  ///< J
+    double writeEnergy = 0.0; ///< J
+
+    double dynamicEnergy() const
+    {
+        return hitEnergy + missEnergy + writeEnergy;
+    }
+};
+
+/** Outcome of one LLC demand read. */
+struct LlcReadOutcome
+{
+    bool hit = false;
+    std::uint64_t latencyCycles = 0; ///< LLC-side latency incl. waits
+    bool victimDirty = false;        ///< fill displaced a dirty line
+    std::uint64_t victimAddr = 0;
+};
+
+/** Outcome of one incoming writeback. */
+struct LlcWritebackOutcome
+{
+    std::uint64_t stallCycles = 0; ///< charged to the evicting core
+    bool victimDirty = false;
+    std::uint64_t victimAddr = 0;
+    /** Line was bypassed to DRAM instead of installed. */
+    bool forwardedToDram = false;
+};
+
+class SharedLlc
+{
+  public:
+    struct Config
+    {
+        std::uint32_t associativity = 16;
+        std::uint32_t blockBytes = 64;
+        std::uint32_t numBanks = 16;
+        std::uint32_t writeQueueDepth = 8; ///< per bank
+        /** Fixed pipeline/controller overhead added to reads, cycles. */
+        std::uint32_t controllerCycles = 8;
+        WritePolicy writePolicy = WritePolicy::Posted;
+        /**
+         * NVM write-bypass (paper SII related-work category 2,
+         * refs [14][16][17][21]): a writeback that misses in the LLC
+         * is forwarded to DRAM instead of being installed, trading
+         * later re-fetches for avoided NVM array writes (energy and
+         * wear).
+         */
+        bool bypassWritebackMiss = false;
+    };
+
+    /**
+     * @param model         Table III column (timing/energy/capacity).
+     * @param coreFrequency Hz; model latencies are converted once.
+     */
+    SharedLlc(const LlcModel &model, const Config &cfg,
+              double coreFrequency);
+
+    /** Demand read at global cycle @p now (fills state on miss). */
+    LlcReadOutcome demandRead(std::uint64_t addr, std::uint64_t now);
+
+    /** Writeback (dirty L2 eviction) at global cycle @p now. */
+    LlcWritebackOutcome writeback(std::uint64_t addr, std::uint64_t now);
+
+    const LlcStats &stats() const { return stats_; }
+    const LlcModel &model() const { return model_; }
+    const Config &config() const { return cfg_; }
+
+    /** Demand miss rate so far (0 when no accesses). */
+    double missRate() const;
+
+  private:
+    std::uint32_t bankOf(std::uint64_t addr) const;
+
+    /**
+     * Reserve the bank for a read starting no earlier than @p now;
+     * returns wait cycles.
+     */
+    std::uint64_t reserveRead(std::uint32_t bank, std::uint64_t now);
+
+    /**
+     * Account an array write beginning at @p now; returns stall
+     * cycles chargeable to the requester under the active policy.
+     */
+    std::uint64_t accountWrite(std::uint32_t bank, std::uint64_t now);
+
+    LlcModel model_;
+    Config cfg_;
+    SetAssocCache tags_;
+
+    std::uint64_t tagCycles_;
+    std::uint64_t readCycles_;
+    std::uint64_t writeCycles_;
+
+    std::vector<std::uint64_t> bankFreeAt_;
+
+    LlcStats stats_;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_SIM_NVM_LLC_HH

@@ -1,0 +1,121 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+System::System(const SystemConfig &cfg, const LlcModel &llcModel)
+    : cfg_(cfg)
+{
+    if (cfg_.numCores == 0)
+        fatal("System: need at least one core");
+    cores_.reserve(cfg_.numCores);
+    for (std::uint32_t i = 0; i < cfg_.numCores; ++i)
+        cores_.emplace_back(cfg_.core);
+    llc_ = std::make_unique<SharedLlc>(llcModel, cfg_.llc,
+                                       cfg_.frequency);
+    dram_ = std::make_unique<DramModel>(cfg_.dram, cfg_.frequency);
+}
+
+bool
+System::step(std::uint32_t coreIdx, TraceSource &trace)
+{
+    MemAccess access;
+    if (!trace.next(access))
+        return false;
+
+    PrivateCore &core = cores_[coreIdx];
+    PrivateAccessOutcome out = core.accessPrivate(access);
+    const std::uint64_t now = std::uint64_t(core.cycle());
+
+    const bool l1_hit = out.satisfied && out.latencyCycles == 0;
+    if (!l1_hit)
+        ++l1Misses_;
+
+    // Dirty L2 victims stream down to the LLC regardless of whether
+    // the demand access was satisfied privately.
+    for (std::uint32_t i = 0; i < out.writebacks.count; ++i) {
+        LlcWritebackOutcome wb =
+            llc_->writeback(out.writebacks.addr[i], now);
+        if (wb.stallCycles)
+            core.applyRawStall(wb.stallCycles);
+        if (wb.forwardedToDram)
+            dram_->write(out.writebacks.addr[i], now);
+        if (wb.victimDirty)
+            dram_->write(wb.victimAddr, now);
+    }
+
+    if (out.satisfied) {
+        if (out.latencyCycles) // L2 hit
+            core.applyStall(access.kind, out.latencyCycles);
+        return true;
+    }
+
+    ++l2Misses_;
+
+    // Demand read reaches the shared LLC.
+    std::uint64_t latency = out.latencyCycles;
+    LlcReadOutcome rd = llc_->demandRead(access.addr, now + latency);
+    latency += rd.latencyCycles;
+    if (!rd.hit) {
+        latency += dram_->read(access.addr, now + latency);
+        if (rd.victimDirty)
+            dram_->write(rd.victimAddr, now + latency);
+    }
+    core.applyStall(access.kind, latency);
+    return true;
+}
+
+SimStats
+System::run(const std::vector<TraceSource *> &threads)
+{
+    if (threads.empty())
+        fatal("System::run: no threads");
+    if (threads.size() > cores_.size())
+        fatal("System::run: more threads (", threads.size(),
+              ") than cores (", cores_.size(), ")");
+
+    // threads[i] runs on core i (round-robin is the identity while
+    // threads <= cores, which the check above guarantees).
+    std::vector<bool> active(threads.size(), true);
+    std::size_t remaining = threads.size();
+
+    while (remaining > 0) {
+        // Min-local-time scheduling keeps shared-resource timestamps
+        // approximately globally ordered.
+        std::size_t pick = threads.size();
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < threads.size(); ++i) {
+            if (active[i] && cores_[i].cycle() < best) {
+                best = cores_[i].cycle();
+                pick = i;
+            }
+        }
+        if (!step(std::uint32_t(pick), *threads[pick])) {
+            active[pick] = false;
+            --remaining;
+        }
+    }
+
+    SimStats stats;
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        stats.instructions += cores_[i].instructions();
+        stats.coreCycles.push_back(cores_[i].cycle());
+        stats.cycles = std::max(stats.cycles, cores_[i].cycle());
+    }
+    stats.seconds = stats.cycles / cfg_.frequency;
+    stats.llc = llc_->stats();
+    stats.dramReads = dram_->reads();
+    stats.dramWrites = dram_->writes();
+    stats.dramQueueCycles = dram_->queueCycles();
+    stats.l1Misses = l1Misses_;
+    stats.l2Misses = l2Misses_;
+    stats.llcDynamicEnergy = stats.llc.dynamicEnergy();
+    stats.llcLeakageEnergy = llc_->model().leakage * stats.seconds;
+    return stats;
+}
+
+} // namespace nvmcache

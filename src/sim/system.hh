@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Full-system model: N Gainestown cores with private L1/L2, one
+ * shared (possibly NVM) LLC, and bandwidth-queued DRAM — the paper's
+ * Sniper configuration (Table IV).
+ */
+
+#ifndef NVMCACHE_SIM_SYSTEM_HH
+#define NVMCACHE_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nvsim/llc_model.hh"
+#include "sim/core.hh"
+#include "sim/dram.hh"
+#include "sim/nvm_llc.hh"
+#include "sim/types.hh"
+
+namespace nvmcache {
+
+/** Whole-system configuration. */
+struct SystemConfig
+{
+    std::uint32_t numCores = 4;
+    double frequency = 2.66e9; ///< Hz (Xeon x5550)
+    CoreParams core;
+    SharedLlc::Config llc;
+    DramConfig dram;
+};
+
+/** Results of one simulation run. */
+struct SimStats
+{
+    std::uint64_t instructions = 0;
+    double cycles = 0.0; ///< max over cores (the system finish time)
+    double seconds = 0.0;
+
+    LlcStats llc;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t dramQueueCycles = 0;
+
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Misses = 0;
+
+    std::vector<double> coreCycles;
+
+    double llcLeakageEnergy = 0.0; ///< J, P_leak * seconds
+    double llcDynamicEnergy = 0.0; ///< J
+
+    /** Total LLC energy (the paper's "LLC energy" metric). */
+    double llcEnergy() const
+    {
+        return llcLeakageEnergy + llcDynamicEnergy;
+    }
+
+    /** LLC demand misses per thousand instructions. */
+    double
+    llcMpki() const
+    {
+        return instructions == 0 ? 0.0
+                                 : double(llc.demandMisses) * 1000.0 /
+                                       double(instructions);
+    }
+
+    /** Energy * delay^2 (the paper's ED^2P, LLC energy based). */
+    double ed2p() const { return llcEnergy() * seconds * seconds; }
+};
+
+/**
+ * One simulation instance. Construct, then run() exactly once per
+ * set of traces (construct a fresh System for a fresh run; cache
+ * state is not reset between runs by design, matching how the
+ * experiments use it).
+ */
+class System
+{
+  public:
+    System(const SystemConfig &cfg, const LlcModel &llcModel);
+
+    /**
+     * Run the per-thread traces to completion. Threads are assigned
+     * to cores round-robin; the usual case is one thread per core
+     * (multi-threaded suites) or a single thread (cpu2006/2017).
+     *
+     * Cores are interleaved in min-local-time order so shared-LLC and
+     * DRAM contention is observed in approximately global time.
+     */
+    SimStats run(const std::vector<TraceSource *> &threads);
+
+    const SharedLlc &llc() const { return *llc_; }
+
+  private:
+    SystemConfig cfg_;
+    std::vector<PrivateCore> cores_;
+    std::unique_ptr<SharedLlc> llc_;
+    std::unique_ptr<DramModel> dram_;
+    std::uint64_t l1Misses_ = 0;
+    std::uint64_t l2Misses_ = 0;
+
+    /** Process one reference on @p coreIdx; false when trace ended. */
+    bool step(std::uint32_t coreIdx, TraceSource &trace);
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_SIM_SYSTEM_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental types shared by the system simulator and the modules
+ * that feed it (workload generation) or observe it (characterization).
+ */
+
+#ifndef NVMCACHE_SIM_TYPES_HH
+#define NVMCACHE_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace nvmcache {
+
+/** Kind of one memory reference. */
+enum class AccessKind : std::uint8_t
+{
+    IFetch, ///< instruction fetch
+    Load,   ///< data read
+    Store   ///< data write
+};
+
+/**
+ * One memory reference in a per-thread trace.
+ *
+ * `nonMemInstrs` is the number of non-memory instructions the thread
+ * executed since its previous reference; the core model charges them
+ * at the base CPI. Total instruction count therefore equals
+ * sum(nonMemInstrs) + number of references.
+ */
+struct MemAccess
+{
+    std::uint64_t addr = 0;
+    AccessKind kind = AccessKind::Load;
+    std::uint32_t nonMemInstrs = 0;
+};
+
+/**
+ * Pull-based per-thread trace source. Generators are deterministic:
+ * after reset(), the same sequence is produced again.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next reference; false at end of trace. */
+    virtual bool next(MemAccess &out) = 0;
+
+    /** Rewind to the beginning (same deterministic sequence). */
+    virtual void reset() = 0;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_SIM_TYPES_HH

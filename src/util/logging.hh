@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Status-message and error helpers in the gem5 idiom.
+ *
+ * fatal() is for user error (bad configuration, impossible request):
+ * it prints and exits with code 1. panic() is for internal invariant
+ * violations (a bug in this library): it prints and aborts. warn() and
+ * inform() never stop execution.
+ */
+
+#ifndef NVMCACHE_UTIL_LOGGING_HH
+#define NVMCACHE_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace nvmcache {
+
+namespace detail {
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Terminate due to a user-caused condition (exit(1)). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(__builtin_FILE(), __builtin_LINE(),
+                      detail::concat(std::forward<Args>(args)...));
+}
+
+/** Terminate due to an internal bug (abort()). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(__builtin_FILE(), __builtin_LINE(),
+                      detail::concat(std::forward<Args>(args)...));
+}
+
+/** Alert the user to questionable-but-survivable behaviour. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Plain status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_UTIL_LOGGING_HH

@@ -1,0 +1,134 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) / double(xs.size());
+}
+
+double
+stdevPop(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return std::sqrt(ss / double(xs.size()));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            panic("geomean: non-positive input");
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / double(xs.size()));
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        panic("pearson: size mismatch");
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    double mx = mean(xs), my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double dx = xs[i] - mx, dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    double r = sxy / std::sqrt(sxx * syy);
+    return std::clamp(r, -1.0, 1.0);
+}
+
+namespace {
+
+std::vector<double>
+averageRanks(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t(0));
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && xs[idx[j + 1]] == xs[idx[i]])
+            ++j;
+        double avg = 0.5 * double(i + j) + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[idx[k]] = avg;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+} // namespace
+
+double
+spearman(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        panic("spearman: size mismatch");
+    return pearson(averageRanks(xs), averageRanks(ys));
+}
+
+LinearFit
+linearFit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        panic("linearFit: size mismatch");
+    LinearFit fit;
+    const std::size_t n = xs.size();
+    if (n == 0)
+        return fit;
+    double mx = mean(xs), my = mean(ys);
+    double sxy = 0.0, sxx = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+    }
+    fit.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    return fit;
+}
+
+void
+Accumulator::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    ++n_;
+}
+
+} // namespace nvmcache

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small numerical-statistics helpers shared by the characterization and
+ * correlation frameworks.
+ */
+
+#ifndef NVMCACHE_UTIL_STATS_HH
+#define NVMCACHE_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace nvmcache {
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than 2 samples. */
+double stdevPop(const std::vector<double> &xs);
+
+/** Geometric mean; requires strictly positive inputs. */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Pearson linear correlation coefficient in [-1, 1].
+ *
+ * Returns 0 when either series is constant (the correlation is
+ * undefined there; 0 keeps downstream heatmaps well-behaved, matching
+ * how the paper's framework treats degenerate feature columns).
+ */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Spearman rank correlation (Pearson over ranks, average-tie ranks). */
+double spearman(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Linear least squares fit y = a + b x. Returns {a, b}. */
+struct LinearFit
+{
+    double intercept = 0.0;
+    double slope = 0.0;
+};
+LinearFit linearFit(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/**
+ * Streaming min/max/mean/count accumulator used by simulator stats.
+ */
+class Accumulator
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double total() const { return sum_; }
+    double average() const { return n_ ? sum_ / double(n_) : 0.0; }
+    double minimum() const { return min_; }
+    double maximum() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_UTIL_STATS_HH

@@ -1,0 +1,195 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::startRow(const std::string &label)
+{
+    rowLabels_.push_back(label);
+    cells_.emplace_back();
+}
+
+void
+Table::addCell(const std::string &text)
+{
+    if (cells_.empty())
+        panic("Table::addCell before startRow");
+    cells_.back().push_back({text, std::nullopt});
+}
+
+void
+Table::addCell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    if (cells_.empty())
+        panic("Table::addCell before startRow");
+    cells_.back().push_back({buf, value});
+}
+
+void
+Table::addCell(const std::string &text, double value)
+{
+    if (cells_.empty())
+        panic("Table::addCell before startRow");
+    cells_.back().push_back({text, value});
+}
+
+void
+Table::addBlank()
+{
+    if (cells_.empty())
+        panic("Table::addBlank before startRow");
+    cells_.back().push_back({"", std::nullopt});
+}
+
+std::optional<double>
+Table::shade(std::size_t r, std::size_t c) const
+{
+    if (heatmap_ == Heatmap::None)
+        return std::nullopt;
+    const auto &cell = cells_[r][c];
+    if (!cell.value)
+        return std::nullopt;
+
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    auto scan = [&](const Cell &other) {
+        if (!other.value)
+            return;
+        if (first) {
+            lo = hi = *other.value;
+            first = false;
+        } else {
+            lo = std::min(lo, *other.value);
+            hi = std::max(hi, *other.value);
+        }
+    };
+    if (heatmap_ == Heatmap::PerRow) {
+        for (const auto &other : cells_[r])
+            scan(other);
+    } else {
+        for (const auto &row : cells_)
+            if (c < row.size())
+                scan(row[c]);
+    }
+    if (first || hi == lo)
+        return std::nullopt;
+    return (*cell.value - lo) / (hi - lo);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    // Column widths: label column + data columns.
+    std::size_t label_w = 0;
+    for (const auto &l : rowLabels_)
+        label_w = std::max(label_w, l.size());
+    if (!header_.empty())
+        label_w = std::max(label_w, header_.front().size());
+
+    std::size_t ncols = 0;
+    for (const auto &row : cells_)
+        ncols = std::max(ncols, row.size());
+    std::vector<std::size_t> widths(ncols, 0);
+    for (std::size_t c = 0; c < ncols; ++c) {
+        if (c + 1 < header_.size())
+            widths[c] = header_[c + 1].size();
+        for (const auto &row : cells_)
+            if (c < row.size())
+                widths[c] = std::max(widths[c], row[c].text.size());
+    }
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+
+    auto pad = [&](const std::string &s, std::size_t w) {
+        std::string out = s;
+        while (out.size() < w)
+            out.push_back(' ');
+        return out;
+    };
+
+    if (!header_.empty()) {
+        os << pad(header_.empty() ? "" : header_.front(), label_w);
+        for (std::size_t c = 0; c < ncols; ++c)
+            os << " | "
+               << pad(c + 1 < header_.size() ? header_[c + 1] : "",
+                      widths[c]);
+        os << "\n";
+        os << std::string(label_w, '-');
+        for (std::size_t c = 0; c < ncols; ++c)
+            os << "-+-" << std::string(widths[c], '-');
+        os << "\n";
+    }
+
+    for (std::size_t r = 0; r < cells_.size(); ++r) {
+        os << pad(rowLabels_[r], label_w);
+        for (std::size_t c = 0; c < ncols; ++c) {
+            std::string text =
+                c < cells_[r].size() ? cells_[r][c].text : "";
+            os << " | ";
+            auto s = color_ ? shade(r, c) : std::nullopt;
+            if (s) {
+                // Coloured backgrounds hurt readability; use a
+                // blue->red foreground ramp instead.
+                int idx = int(std::lround(*s * 4.0)); // 0..4
+                static const int ramp[5] = {39, 75, 250, 208, 196};
+                os << "\x1b[38;5;" << ramp[idx] << "m"
+                   << pad(text, widths[c]) << "\x1b[0m";
+            } else {
+                os << pad(text, widths[c]);
+            }
+        }
+        os << "\n";
+    }
+}
+
+std::string
+Table::toCsv() const
+{
+    auto escape = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += "\"\"";
+            else
+                out.push_back(ch);
+        }
+        out += "\"";
+        return out;
+    };
+
+    std::ostringstream os;
+    if (!header_.empty()) {
+        for (std::size_t i = 0; i < header_.size(); ++i)
+            os << (i ? "," : "") << escape(header_[i]);
+        os << "\n";
+    }
+    for (std::size_t r = 0; r < cells_.size(); ++r) {
+        os << escape(rowLabels_[r]);
+        for (const auto &cell : cells_[r])
+            os << "," << escape(cell.text);
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace nvmcache

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ASCII table renderer used by the bench harnesses to regenerate the
+ * paper's tables, including the per-row / per-column heatmap shading
+ * that Tables III and VI use to flag extrema.
+ */
+
+#ifndef NVMCACHE_UTIL_TABLE_HH
+#define NVMCACHE_UTIL_TABLE_HH
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nvmcache {
+
+/**
+ * A rectangular table of cells. Cells are stored as strings plus an
+ * optional numeric value; heatmap shading operates on the numeric
+ * values only and is rendered with ANSI 256-colour backgrounds (or
+ * suppressed entirely when colour is disabled, e.g. for CSV export or
+ * non-TTY output).
+ */
+class Table
+{
+  public:
+    enum class Heatmap { None, PerRow, PerColumn };
+
+    explicit Table(std::string title = "");
+
+    /** Set the column headers; fixes the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Begin a new row with a leading label cell. */
+    void startRow(const std::string &label);
+
+    /** Append a text cell to the current row. */
+    void addCell(const std::string &text);
+
+    /** Append a numeric cell, formatted with the given precision. */
+    void addCell(double value, int precision = 3);
+
+    /** Append a numeric cell with explicit text (value used for shading). */
+    void addCell(const std::string &text, double value);
+
+    /** Append an empty (not-applicable) cell, excluded from shading. */
+    void addBlank();
+
+    void setHeatmap(Heatmap mode) { heatmap_ = mode; }
+    void setColor(bool on) { color_ = on; }
+
+    std::size_t rows() const { return cells_.size(); }
+    std::size_t cols() const { return header_.size(); }
+
+    /** Render to a stream with box-drawing separators. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (no shading, no separators). */
+    std::string toCsv() const;
+
+  private:
+    struct Cell
+    {
+        std::string text;
+        std::optional<double> value;
+    };
+
+    /** Shade intensity in [0,1] for cell (r,c), or nullopt. */
+    std::optional<double> shade(std::size_t r, std::size_t c) const;
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::string> rowLabels_;
+    std::vector<std::vector<Cell>> cells_;
+    Heatmap heatmap_ = Heatmap::None;
+    bool color_ = true;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_UTIL_TABLE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit conventions and conversion helpers used across the library.
+ *
+ * All physical quantities are stored in a single canonical unit per
+ * dimension and converted only at I/O boundaries:
+ *   - time:     seconds      (double)
+ *   - energy:   joules       (double)
+ *   - power:    watts        (double)
+ *   - current:  amperes      (double)
+ *   - voltage:  volts        (double)
+ *   - area:     square metres(double)
+ *   - capacity: bytes        (uint64_t)
+ *
+ * The literal helpers below make call sites self-documenting, e.g.
+ * `20_ns`, `0.6_mA`, `2_MB`.
+ */
+
+#ifndef NVMCACHE_UTIL_UNITS_HH
+#define NVMCACHE_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace nvmcache {
+
+// Scale factors (multiply literal -> canonical unit).
+inline constexpr double kPico = 1e-12;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+inline namespace literals {
+
+// --- time -> seconds ---
+constexpr double operator""_ps(long double v) { return double(v) * kPico; }
+constexpr double operator""_ns(long double v) { return double(v) * kNano; }
+constexpr double operator""_us(long double v) { return double(v) * kMicro; }
+constexpr double operator""_ms(long double v) { return double(v) * kMilli; }
+constexpr double operator""_s(long double v) { return double(v); }
+constexpr double operator""_ns(unsigned long long v)
+{
+    return double(v) * kNano;
+}
+
+// --- energy -> joules ---
+constexpr double operator""_pJ(long double v) { return double(v) * kPico; }
+constexpr double operator""_nJ(long double v) { return double(v) * kNano; }
+constexpr double operator""_uJ(long double v) { return double(v) * kMicro; }
+constexpr double operator""_J(long double v) { return double(v); }
+
+// --- power -> watts ---
+constexpr double operator""_uW(long double v) { return double(v) * kMicro; }
+constexpr double operator""_mW(long double v) { return double(v) * kMilli; }
+constexpr double operator""_W(long double v) { return double(v); }
+
+// --- current -> amperes ---
+constexpr double operator""_uA(long double v) { return double(v) * kMicro; }
+constexpr double operator""_mA(long double v) { return double(v) * kMilli; }
+
+// --- voltage -> volts ---
+constexpr double operator""_V(long double v) { return double(v); }
+constexpr double operator""_mV(long double v) { return double(v) * kMilli; }
+
+// --- area -> square metres ---
+constexpr double operator""_mm2(long double v) { return double(v) * 1e-6; }
+constexpr double operator""_um2(long double v) { return double(v) * 1e-12; }
+
+// --- frequency -> hertz ---
+constexpr double operator""_GHz(long double v) { return double(v) * kGiga; }
+constexpr double operator""_MHz(long double v) { return double(v) * kMega; }
+
+// --- capacity -> bytes ---
+constexpr std::uint64_t operator""_KB(unsigned long long v)
+{
+    return v * 1024ull;
+}
+constexpr std::uint64_t operator""_MB(unsigned long long v)
+{
+    return v * 1024ull * 1024ull;
+}
+constexpr std::uint64_t operator""_GB(unsigned long long v)
+{
+    return v * 1024ull * 1024ull * 1024ull;
+}
+
+} // namespace literals
+
+/** Convert canonical seconds to nanoseconds for display. */
+constexpr double toNs(double seconds) { return seconds / kNano; }
+/** Convert canonical joules to nanojoules for display. */
+constexpr double toNJ(double joules) { return joules / kNano; }
+/** Convert canonical square metres to mm^2 for display. */
+constexpr double toMm2(double m2) { return m2 * 1e6; }
+/** Convert bytes to mebibytes for display. */
+constexpr double toMB(std::uint64_t bytes)
+{
+    return double(bytes) / double(1024ull * 1024ull);
+}
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_UTIL_UNITS_HH

@@ -1,0 +1,186 @@
+#include "workload/generators.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+namespace {
+
+constexpr std::uint64_t kLine = 64;
+constexpr std::uint64_t kRegionAlign = 1ull << 22; ///< 4 MB spacing
+
+/** Largest power of two <= x (min 1). */
+std::uint64_t
+floorPow2(std::uint64_t x)
+{
+    if (x == 0)
+        return 1;
+    return std::uint64_t(1) << (63 - std::countl_zero(x));
+}
+
+/** Deterministic sub-line word offset for a line index. */
+std::uint64_t
+wordOffset(std::uint64_t line)
+{
+    std::uint64_t h = line * 0x9e3779b97f4a7c15ull;
+    return ((h >> 57) & 7) * 8;
+}
+
+} // namespace
+
+SyntheticTrace::SyntheticTrace(const GeneratorConfig &cfg,
+                               std::uint32_t threadId,
+                               std::uint32_t numThreads)
+    : cfg_(cfg), threadId_(threadId), numThreads_(numThreads),
+      rng_(cfg.seed * 0x51b5c1ull + threadId * 0x9e37ull + 1)
+{
+    if (numThreads_ == 0 || threadId_ >= numThreads_)
+        fatal("SyntheticTrace: bad thread ids");
+    length_ = cfg_.totalAccesses / numThreads_;
+    if (threadId_ == 0)
+        length_ += cfg_.totalAccesses % numThreads_;
+    buildStreams();
+}
+
+void
+SyntheticTrace::buildStreams()
+{
+    // Carve disjoint regions out of one flat arena: shared streams
+    // get one region for all threads; private streams get a
+    // per-thread slice.
+    std::uint64_t cursor = kRegionAlign; // keep address 0 unused
+
+    auto setup = [&](const AccessMix &mix, KindState &ks) {
+        ks.streams.clear();
+        std::vector<double> weights;
+        for (const StreamConfig &sc : mix.streams) {
+            StreamState st;
+            st.cfg = sc;
+            st.lines = floorPow2(std::max<std::uint64_t>(
+                1, sc.regionBytes / kLine));
+
+            const std::uint64_t span = st.lines * kLine;
+            const std::uint64_t padded =
+                (span + kRegionAlign - 1) / kRegionAlign * kRegionAlign;
+            if (sc.shared) {
+                st.base = cursor;
+                cursor += padded;
+            } else {
+                st.base = cursor + std::uint64_t(threadId_) * padded;
+                cursor += padded * numThreads_;
+            }
+
+            if (sc.kind == StreamConfig::Kind::Zipf) {
+                st.zipf = std::make_unique<ZipfSampler>(st.lines,
+                                                        sc.zipfSkew);
+                st.scramble = 0x9e3779b97f4a7c15ull | 1ull;
+            }
+            st.chasePos = threadId_ % st.lines;
+            weights.push_back(sc.weight);
+            ks.streams.push_back(std::move(st));
+        }
+        ks.pick = weights.empty()
+                      ? nullptr
+                      : std::make_unique<DiscreteSampler>(weights);
+    };
+
+    setup(cfg_.loads, loads_);
+    setup(cfg_.stores, stores_);
+    setup(cfg_.ifetches, ifetches_);
+}
+
+std::uint64_t
+SyntheticTrace::draw(KindState &ks)
+{
+    if (!ks.pick)
+        panic("SyntheticTrace: drawing from an empty mixture");
+    StreamState &st = ks.streams[(*ks.pick)(rng_)];
+
+    std::uint64_t line = 0;
+    switch (st.cfg.kind) {
+      case StreamConfig::Kind::Zipf: {
+        const std::uint64_t rank = (*st.zipf)(rng_);
+        // Scatter ranks across the region so popularity does not
+        // correlate with adjacency (st.lines is a power of two, so
+        // the odd multiplier is a bijection).
+        line = (rank * st.scramble) & (st.lines - 1);
+        break;
+      }
+      case StreamConfig::Kind::Uniform:
+        line = rng_.below(st.lines);
+        break;
+      case StreamConfig::Kind::Sequential: {
+        const std::uint64_t bytes = st.lines * kLine;
+        const std::uint64_t pos = st.seqPos % bytes;
+        st.seqPos += st.cfg.stride;
+        return st.base + (pos & ~std::uint64_t(7));
+      }
+      case StreamConfig::Kind::Chase:
+        // Full-period LCG walk over the (power-of-two) line count.
+        st.chasePos = (st.chasePos * 6364136223846793005ull +
+                       1442695040888963407ull) &
+                      (st.lines - 1);
+        line = st.chasePos;
+        break;
+    }
+    return st.base + line * kLine + wordOffset(line);
+}
+
+bool
+SyntheticTrace::next(MemAccess &out)
+{
+    if (emitted_ >= length_)
+        return false;
+    ++emitted_;
+
+    // Effective kind fractions: a kind with an empty mixture donates
+    // its share to loads.
+    double f_load = cfg_.loadFraction;
+    double f_store = stores_.pick ? cfg_.storeFraction : 0.0;
+    double f_ifetch =
+        ifetches_.pick ? 1.0 - cfg_.loadFraction - cfg_.storeFraction
+                       : 0.0;
+    (void)f_load;
+
+    const double u = rng_.uniform();
+    KindState *ks = nullptr;
+    if (u < f_store) {
+        out.kind = AccessKind::Store;
+        ks = &stores_;
+    } else if (u < f_store + f_ifetch) {
+        out.kind = AccessKind::IFetch;
+        ks = &ifetches_;
+    } else {
+        out.kind = AccessKind::Load;
+        ks = &loads_;
+    }
+
+    out.addr = draw(*ks);
+    out.nonMemInstrs =
+        std::uint32_t(rng_.exponentialGap(cfg_.meanGap) - 1);
+    return true;
+}
+
+void
+SyntheticTrace::reset()
+{
+    rng_ = Rng(cfg_.seed * 0x51b5c1ull + threadId_ * 0x9e37ull + 1);
+    emitted_ = 0;
+    buildStreams();
+}
+
+std::vector<std::unique_ptr<SyntheticTrace>>
+buildThreadTraces(const GeneratorConfig &cfg, std::uint32_t numThreads)
+{
+    std::vector<std::unique_ptr<SyntheticTrace>> traces;
+    traces.reserve(numThreads);
+    for (std::uint32_t t = 0; t < numThreads; ++t)
+        traces.push_back(
+            std::make_unique<SyntheticTrace>(cfg, t, numThreads));
+    return traces;
+}
+
+} // namespace nvmcache

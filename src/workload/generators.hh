@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Composable synthetic memory-trace generators.
+ *
+ * Each benchmark from the paper's Table V is modeled as a weighted
+ * mixture of access streams per access kind (load / store / ifetch):
+ *
+ *  - Zipf       : skewed reuse over a hot region — controls the 90%
+ *                 footprint and pulls entropy below log2(region);
+ *  - Uniform    : uniform traffic over a (usually large) region —
+ *                 controls unique footprint and LLC stress;
+ *  - Sequential : striding streams — high spatial locality, low
+ *                 local entropy, prefetch-friendly sweeps;
+ *  - Chase      : pseudo-random pointer chase over a region — maximal
+ *                 miss behaviour with bounded footprint.
+ *
+ * Generators are deterministic per seed, so every experiment is
+ * bit-reproducible; thread variants derive per-thread seeds and
+ * offset their private regions.
+ */
+
+#ifndef NVMCACHE_WORKLOAD_GENERATORS_HH
+#define NVMCACHE_WORKLOAD_GENERATORS_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+#include "util/rng.hh"
+
+namespace nvmcache {
+
+/** One address stream inside a mixture. */
+struct StreamConfig
+{
+    enum class Kind
+    {
+        Zipf,
+        Uniform,
+        Sequential,
+        Chase
+    };
+
+    Kind kind = Kind::Uniform;
+    double weight = 1.0;        ///< relative selection probability
+    std::uint64_t regionBytes = 1 << 20;
+    double zipfSkew = 0.8;      ///< Zipf only
+    std::uint32_t stride = 64;  ///< Sequential only
+    /**
+     * Shared streams use the same region in every thread (true
+     * sharing); private streams are offset per thread.
+     */
+    bool shared = false;
+};
+
+/** Mixture of streams for one access kind. */
+struct AccessMix
+{
+    std::vector<StreamConfig> streams;
+};
+
+/** Full generator configuration for one benchmark. */
+struct GeneratorConfig
+{
+    std::uint64_t totalAccesses = 1'000'000; ///< across all threads
+    double loadFraction = 0.70;
+    double storeFraction = 0.28; ///< remainder is ifetch traffic
+    double meanGap = 2.0; ///< mean non-memory instructions per access
+
+    AccessMix loads;
+    AccessMix stores;
+    AccessMix ifetches;
+
+    std::uint64_t seed = 1;
+};
+
+/**
+ * One thread's deterministic synthetic trace.
+ */
+class SyntheticTrace : public TraceSource
+{
+  public:
+    /**
+     * @param cfg       Benchmark generator configuration.
+     * @param threadId  This thread's index in [0, numThreads).
+     * @param numThreads Total threads the work is split across.
+     */
+    SyntheticTrace(const GeneratorConfig &cfg, std::uint32_t threadId,
+                   std::uint32_t numThreads);
+
+    bool next(MemAccess &out) override;
+    void reset() override;
+
+  private:
+    struct StreamState
+    {
+        StreamConfig cfg;
+        std::uint64_t base = 0;     ///< region base address
+        std::uint64_t lines = 0;    ///< region size in 64 B lines
+        std::uint64_t seqPos = 0;   ///< Sequential cursor
+        std::uint64_t chasePos = 0; ///< Chase cursor
+        std::unique_ptr<ZipfSampler> zipf;
+        std::uint64_t scramble = 1; ///< odd multiplier for Zipf ranks
+    };
+
+    struct KindState
+    {
+        std::vector<StreamState> streams;
+        std::unique_ptr<DiscreteSampler> pick;
+    };
+
+    void buildStreams();
+    std::uint64_t draw(KindState &ks);
+
+    GeneratorConfig cfg_;
+    std::uint32_t threadId_;
+    std::uint32_t numThreads_;
+    std::uint64_t length_; ///< accesses this thread emits
+
+    Rng rng_;
+    std::uint64_t emitted_ = 0;
+    KindState loads_, stores_, ifetches_;
+};
+
+/**
+ * Build one trace per thread for a benchmark config. The caller owns
+ * the traces; raw pointers into the returned vector can be handed to
+ * System::run.
+ */
+std::vector<std::unique_ptr<SyntheticTrace>>
+buildThreadTraces(const GeneratorConfig &cfg, std::uint32_t numThreads);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_WORKLOAD_GENERATORS_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * The characterization framework is trace-agnostic: anything that
+ * yields MemAccess records works. This module defines a compact
+ * on-disk format so users can run the pipeline on *real* traces
+ * (e.g. converted PRISM/DynamoRIO output) instead of the synthetic
+ * suite, and so synthetic traces can be exported for inspection.
+ *
+ * Format "NVMT" v1, little-endian:
+ *   header: magic 'N''V''M''T', u32 version, u64 record count
+ *   record: u64 addr | kind in the two MSBs, u16 nonMemInstrs
+ * Addresses are limited to 2^62, which loses nothing for user-space
+ * virtual addresses.
+ */
+
+#ifndef NVMCACHE_WORKLOAD_TRACE_IO_HH
+#define NVMCACHE_WORKLOAD_TRACE_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nvmcache {
+
+/**
+ * In-memory trace backed by a loaded file (or any record vector).
+ * Replayable: reset() rewinds.
+ */
+class FileTrace : public TraceSource
+{
+  public:
+    explicit FileTrace(std::vector<MemAccess> records);
+
+    bool next(MemAccess &out) override;
+    void reset() override;
+
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::vector<MemAccess> records_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Write @p source's remaining records to @p path. The source is
+ * reset before and after writing. Returns the record count.
+ * fatal() on I/O failure.
+ */
+std::uint64_t writeTraceFile(const std::string &path,
+                             TraceSource &source);
+
+/** Load a trace file written by writeTraceFile. fatal() on errors. */
+FileTrace readTraceFile(const std::string &path);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_WORKLOAD_TRACE_IO_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "util/rng.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+CacheGeometry
+geom(std::uint64_t capacity, std::uint32_t assoc,
+     std::uint32_t block = 64)
+{
+    return CacheGeometry{capacity, assoc, block};
+}
+
+} // namespace
+
+TEST(Cache, GeometryDerivedQuantities)
+{
+    CacheGeometry g = geom(32 * 1024, 4);
+    EXPECT_EQ(g.numLines(), 512u);
+    EXPECT_EQ(g.numSets(), 128u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    SetAssocCache cache(geom(4096, 4));
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1030, false).hit); // same 64 B line
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 1 set of 2 ways: third distinct line evicts the least recently
+    // used one.
+    SetAssocCache cache(geom(128, 2));
+    const std::uint64_t sets = cache.geometry().numSets();
+    ASSERT_EQ(sets, 1u);
+    cache.access(0x0, false);   // A
+    cache.access(0x40, false);  // B
+    cache.access(0x0, false);   // touch A -> B is LRU
+    auto r = cache.access(0x80, false); // C evicts B
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.evictedValid);
+    EXPECT_EQ(r.evictedAddr, 0x40u);
+    EXPECT_TRUE(cache.access(0x0, false).hit);   // A still present
+    EXPECT_FALSE(cache.access(0x40, false).hit); // B gone
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    SetAssocCache cache(geom(128, 2));
+    cache.access(0x0, true); // dirty A
+    cache.access(0x40, false);
+    auto r = cache.access(0x80, false); // evicts A (LRU) dirty
+    EXPECT_TRUE(r.evictedDirty);
+    EXPECT_EQ(r.evictedAddr, 0x0u);
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(Cache, WriteMarksDirtyOnHit)
+{
+    SetAssocCache cache(geom(128, 2));
+    cache.access(0x0, false); // clean fill
+    cache.access(0x0, true);  // dirty it
+    cache.access(0x40, false);
+    auto r = cache.access(0x80, false);
+    EXPECT_TRUE(r.evictedDirty);
+}
+
+TEST(Cache, ProbeDoesNotChangeState)
+{
+    SetAssocCache cache(geom(128, 2));
+    cache.access(0x0, false);
+    cache.access(0x40, false);
+    // Probing A must NOT refresh its recency.
+    EXPECT_TRUE(cache.probe(0x0));
+    auto r = cache.access(0x80, false);
+    EXPECT_EQ(r.evictedAddr, 0x0u); // A was still LRU
+    EXPECT_EQ(cache.hits(), 0u);    // probes not counted
+}
+
+TEST(Cache, InstallWritebackMarksDirtyNotDemand)
+{
+    SetAssocCache cache(geom(128, 2));
+    cache.installWriteback(0x0);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    cache.access(0x40, false);
+    auto r = cache.access(0x80, false);
+    EXPECT_TRUE(r.evictedDirty); // the writeback line was dirty
+}
+
+TEST(Cache, InvalidateReturnsDirtiness)
+{
+    SetAssocCache cache(geom(128, 2));
+    cache.access(0x0, true);
+    cache.access(0x40, false);
+    EXPECT_TRUE(cache.invalidate(0x0));  // was dirty
+    EXPECT_FALSE(cache.probe(0x0));      // gone
+    EXPECT_FALSE(cache.invalidate(0x40)); // present but clean
+    EXPECT_FALSE(cache.probe(0x40));
+    EXPECT_FALSE(cache.invalidate(0x1000)); // absent
+}
+
+TEST(Cache, ResetStats)
+{
+    SetAssocCache cache(geom(128, 2));
+    cache.access(0x0, false);
+    cache.resetStats();
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.writebacks(), 0u);
+    EXPECT_TRUE(cache.probe(0x0)); // contents survive stat reset
+}
+
+// --- property tests across geometries -----------------------------------
+
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 std::uint32_t>>
+{
+};
+
+TEST_P(CacheGeometryTest, WorkingSetWithinCapacityAlwaysHitsAfterWarmup)
+{
+    const auto [capacity, assoc] = GetParam();
+    SetAssocCache cache(geom(capacity, assoc));
+    const std::uint64_t lines = cache.geometry().numLines();
+    // Touch exactly `lines` distinct lines twice; the second pass must
+    // be all hits (true LRU with a working set == capacity).
+    for (std::uint64_t i = 0; i < lines; ++i)
+        cache.access(i * 64, false);
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(cache.access(i * 64, false).hit) << i;
+}
+
+TEST_P(CacheGeometryTest, RandomTrafficNeverLosesLinesItJustTouched)
+{
+    const auto [capacity, assoc] = GetParam();
+    SetAssocCache cache(geom(capacity, assoc));
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t addr = rng.below(1 << 22) & ~63ull;
+        cache.access(addr, rng.chance(0.3));
+        // The line touched most recently must still be present.
+        EXPECT_TRUE(cache.probe(addr));
+    }
+}
+
+TEST_P(CacheGeometryTest, EvictionConservesOccupancy)
+{
+    const auto [capacity, assoc] = GetParam();
+    SetAssocCache cache(geom(capacity, assoc));
+    const std::uint64_t lines = cache.geometry().numLines();
+    Rng rng(7);
+    std::uint64_t fills = 0, evictions = 0;
+    for (int i = 0; i < 30000; ++i) {
+        auto r = cache.access(rng.below(1 << 24) & ~63ull,
+                              rng.chance(0.5));
+        if (!r.hit)
+            ++fills;
+        if (r.evictedValid)
+            ++evictions;
+    }
+    // Occupancy identity: valid lines = fills - evictions <= capacity.
+    EXPECT_LE(fills - evictions, lines);
+    EXPECT_GE(fills, evictions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(std::make_tuple(4096ull, 1u),
+                      std::make_tuple(32768ull, 4u),
+                      std::make_tuple(32768ull, 8u),
+                      std::make_tuple(262144ull, 8u),
+                      std::make_tuple(2097152ull, 16u)));
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_DEATH(SetAssocCache(geom(100, 2)), "");
+    EXPECT_DEATH(SetAssocCache(geom(4096, 3, 64)), "");
+    EXPECT_DEATH(SetAssocCache(geom(4096, 4, 48)), "");
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the NVM cell representation (nvm/cell.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvm/cell.hh"
+
+using namespace nvmcache;
+
+TEST(NvmClass, Names)
+{
+    EXPECT_EQ(toString(NvmClass::PCRAM), "PCRAM");
+    EXPECT_EQ(toString(NvmClass::STTRAM), "STTRAM");
+    EXPECT_EQ(toString(NvmClass::RRAM), "RRAM");
+    EXPECT_EQ(toString(NvmClass::SRAM), "SRAM");
+}
+
+TEST(NvmClass, Subscripts)
+{
+    EXPECT_EQ(classSubscript(NvmClass::PCRAM), 'P');
+    EXPECT_EQ(classSubscript(NvmClass::STTRAM), 'S');
+    EXPECT_EQ(classSubscript(NvmClass::RRAM), 'R');
+}
+
+TEST(Provenance, Marks)
+{
+    EXPECT_EQ(provenanceMark(Provenance::Reported), "");
+    EXPECT_EQ(provenanceMark(Provenance::H1Electrical), "+");
+    EXPECT_EQ(provenanceMark(Provenance::H2Interpolated), "*");
+    EXPECT_EQ(provenanceMark(Provenance::H3Similarity), "*");
+    EXPECT_EQ(provenanceMark(Provenance::Missing), "?");
+}
+
+TEST(CellParam, KnownAndGet)
+{
+    CellParam missing;
+    EXPECT_FALSE(missing.known());
+    CellParam v = CellParam::reported(3.5);
+    EXPECT_TRUE(v.known());
+    EXPECT_DOUBLE_EQ(v.get(), 3.5);
+    EXPECT_EQ(v.prov, Provenance::Reported);
+}
+
+TEST(CellSpec, CitationName)
+{
+    CellSpec c;
+    c.name = "Chung";
+    c.klass = NvmClass::STTRAM;
+    EXPECT_EQ(c.citationName(), "Chung_S");
+    c.klass = NvmClass::SRAM;
+    c.name = "SRAM";
+    EXPECT_EQ(c.citationName(), "SRAM");
+}
+
+TEST(CellSpec, FieldAccessorCoversAllFields)
+{
+    CellSpec c;
+    const CellField all[] = {
+        CellField::ProcessNode, CellField::CellSizeF2,
+        CellField::CellLevels, CellField::ReadCurrent,
+        CellField::ReadVoltage, CellField::ReadPower,
+        CellField::ReadEnergy, CellField::ResetCurrent,
+        CellField::ResetVoltage, CellField::ResetPulse,
+        CellField::ResetEnergy, CellField::SetCurrent,
+        CellField::SetVoltage, CellField::SetPulse,
+        CellField::SetEnergy,
+    };
+    double v = 1.0;
+    for (CellField f : all) {
+        c.field(f) = CellParam::reported(v);
+        EXPECT_DOUBLE_EQ(c.field(f).get(), v) << toString(f);
+        v += 1.0;
+    }
+}
+
+TEST(CellSpec, BitsPerCell)
+{
+    CellSpec c;
+    EXPECT_EQ(c.bitsPerCell(), 1); // unknown -> SLC
+    c.cellLevels = CellParam::reported(2);
+    EXPECT_EQ(c.bitsPerCell(), 2);
+}
+
+class RequiredFieldsTest : public ::testing::TestWithParam<NvmClass>
+{
+};
+
+TEST_P(RequiredFieldsTest, RequiredFieldsAreApplicable)
+{
+    const NvmClass klass = GetParam();
+    for (CellField f : requiredFields(klass))
+        EXPECT_TRUE(fieldApplicable(klass, f)) << toString(f);
+}
+
+TEST_P(RequiredFieldsTest, MissingFieldsMatchRequired)
+{
+    const NvmClass klass = GetParam();
+    CellSpec empty;
+    empty.klass = klass;
+    auto missing = missingFields(empty);
+    EXPECT_EQ(missing.size(), requiredFields(klass).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, RequiredFieldsTest,
+                         ::testing::Values(NvmClass::PCRAM,
+                                           NvmClass::STTRAM,
+                                           NvmClass::RRAM,
+                                           NvmClass::SRAM));
+
+TEST(RequiredFields, PaperParameterSets)
+{
+    // Paper SIII: PCRAM uses currents for read; STTRAM/RRAM use
+    // voltage+power; only RRAM switches with voltages.
+    auto has = [](NvmClass k, CellField f) {
+        for (CellField g : requiredFields(k))
+            if (g == f)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has(NvmClass::PCRAM, CellField::ReadCurrent));
+    EXPECT_FALSE(has(NvmClass::PCRAM, CellField::ReadVoltage));
+    EXPECT_TRUE(has(NvmClass::STTRAM, CellField::ReadVoltage));
+    EXPECT_TRUE(has(NvmClass::STTRAM, CellField::SetCurrent));
+    EXPECT_TRUE(has(NvmClass::RRAM, CellField::SetVoltage));
+    EXPECT_FALSE(has(NvmClass::RRAM, CellField::SetCurrent));
+    EXPECT_TRUE(has(NvmClass::RRAM, CellField::ResetEnergy));
+}
+
+TEST(FieldApplicable, GrayedOutCellsOfTable2)
+{
+    // Grayed-out combinations from Table II.
+    EXPECT_FALSE(fieldApplicable(NvmClass::STTRAM, CellField::ReadEnergy));
+    EXPECT_FALSE(fieldApplicable(NvmClass::RRAM, CellField::ResetCurrent));
+    EXPECT_FALSE(fieldApplicable(NvmClass::PCRAM, CellField::SetVoltage));
+    EXPECT_TRUE(fieldApplicable(NvmClass::PCRAM, CellField::SetCurrent));
+    EXPECT_TRUE(fieldApplicable(NvmClass::RRAM, CellField::SetPulse));
+}
+
+TEST(MissingFields, PartialSpec)
+{
+    CellSpec c;
+    c.klass = NvmClass::PCRAM;
+    c.processNode = CellParam::reported(90e-9);
+    c.cellSizeF2 = CellParam::reported(16.0);
+    auto missing = missingFields(c);
+    EXPECT_EQ(missing.size(), requiredFields(NvmClass::PCRAM).size() - 2);
+}

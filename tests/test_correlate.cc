@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the feature-correlation framework (paper Fig 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "correlate/framework.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+CorrelationDataset
+makeDataset()
+{
+    CorrelationDataset d;
+    d.workloads = {"w1", "w2", "w3", "w4"};
+    d.featureNames = {"fA", "fB", "fC"};
+    // fA tracks energy exactly; fB anti-tracks speedup; fC constant.
+    d.features = {
+        {1.0, 4.0, 7.0},
+        {2.0, 3.0, 7.0},
+        {3.0, 2.0, 7.0},
+        {4.0, 1.0, 7.0},
+    };
+    d.energy = {0.1, 0.2, 0.3, 0.4};
+    d.speedup = {1.1, 1.2, 1.3, 1.4};
+    return d;
+}
+
+} // namespace
+
+TEST(Correlate, PerfectAndConstantColumns)
+{
+    auto result = correlateFeatures(makeDataset());
+    ASSERT_EQ(result.energyCorr.size(), 3u);
+    EXPECT_NEAR(result.energyCorr[0], 1.0, 1e-12);
+    EXPECT_NEAR(result.energyCorr[1], -1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(result.energyCorr[2], 0.0);
+    EXPECT_NEAR(result.speedupCorr[0], 1.0, 1e-12);
+    EXPECT_NEAR(result.speedupCorr[1], -1.0, 1e-12);
+}
+
+TEST(Correlate, RankingByAbsoluteValue)
+{
+    CorrelationDataset d = makeDataset();
+    // Make fB noisier against energy so |r| drops below fA's.
+    d.features[1][1] = 3.9;
+    d.features[3][1] = 0.4;
+    auto result = correlateFeatures(d);
+    auto rank = result.rankByEnergy();
+    EXPECT_EQ(rank.front(), 0u); // fA strongest
+    EXPECT_EQ(rank.back(), 2u);  // constant weakest
+}
+
+TEST(Correlate, ValidateRejectsShapeMismatch)
+{
+    CorrelationDataset d = makeDataset();
+    d.energy.pop_back();
+    EXPECT_DEATH(correlateFeatures(d), "row counts");
+
+    CorrelationDataset d2 = makeDataset();
+    d2.features[1].pop_back();
+    EXPECT_DEATH(correlateFeatures(d2), "feature width");
+}
+
+TEST(Correlate, ValidateRejectsTooFewWorkloads)
+{
+    CorrelationDataset d;
+    d.workloads = {"only"};
+    d.featureNames = {"f"};
+    d.features = {{1.0}};
+    d.energy = {1.0};
+    d.speedup = {1.0};
+    EXPECT_DEATH(correlateFeatures(d), "two workloads");
+}
+
+TEST(Correlate, HeatmapRenderContainsFeaturesAndValues)
+{
+    auto result = correlateFeatures(makeDataset());
+    std::string out = renderHeatmap(result, "demo", false);
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("fA"), std::string::npos);
+    EXPECT_NE(out.find("energy"), std::string::npos);
+    EXPECT_NE(out.find("+1.00"), std::string::npos);
+    EXPECT_NE(out.find("-1.00"), std::string::npos);
+    // No ANSI escapes when colour is off.
+    EXPECT_EQ(out.find('\x1b'), std::string::npos);
+}
+
+TEST(Correlate, ThreePointDatasetMatchesPaperSetting)
+{
+    // The paper's Fig 4 correlates over just the 3 AI workloads; the
+    // framework must behave (and saturate) sensibly there.
+    CorrelationDataset d;
+    d.workloads = {"deepsjeng", "leela", "exchange2"};
+    d.featureNames = {"H_wg"};
+    d.features = {{11.86}, {8.95}, {8.61}};
+    d.energy = {0.9, 0.5, 0.4};
+    d.speedup = {1.02, 0.99, 0.98};
+    auto result = correlateFeatures(d);
+    EXPECT_GT(result.energyCorr[0], 0.95); // near-collinear data
+    EXPECT_GT(result.speedupCorr[0], 0.9);
+}

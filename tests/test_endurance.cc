@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the endurance / lifetime extension (paper §VII future
+ * work, implemented here).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvm/endurance.hh"
+
+using namespace nvmcache;
+
+TEST(Endurance, ClassBoundsMatchPaperNarrative)
+{
+    // PCRAM worst, RRAM ~100-1000x better, STTRAM effectively
+    // unlimited (Table I / SII).
+    EXPECT_GE(writeEndurance(NvmClass::PCRAM), 1e7);
+    EXPECT_LE(writeEndurance(NvmClass::PCRAM), 1e8);
+    EXPECT_DOUBLE_EQ(writeEndurance(NvmClass::RRAM), 1e10);
+    EXPECT_GT(writeEndurance(NvmClass::STTRAM),
+              1e4 * writeEndurance(NvmClass::RRAM));
+}
+
+TEST(Endurance, LifetimeScalesWithEndurance)
+{
+    LifetimeInputs in;
+    in.llcWrites = 1'000'000;
+    in.seconds = 1.0;
+    in.cacheLines = 32768;
+    auto pcram = estimateLifetime(NvmClass::PCRAM, in);
+    auto rram = estimateLifetime(NvmClass::RRAM, in);
+    EXPECT_GT(rram.lifetimeSeconds, 100.0 * pcram.lifetimeSeconds);
+}
+
+TEST(Endurance, MeanRateComputation)
+{
+    LifetimeInputs in;
+    in.llcWrites = 32768 * 10;
+    in.seconds = 2.0;
+    in.cacheLines = 32768;
+    auto est = estimateLifetime(NvmClass::RRAM, in);
+    EXPECT_DOUBLE_EQ(est.meanLineWritesPerSecond, 5.0);
+    EXPECT_DOUBLE_EQ(est.hottestLineWritesPerSecond, 5.0);
+    EXPECT_NEAR(est.lifetimeSeconds, 1e10 / 5.0, 1.0);
+}
+
+TEST(Endurance, ImbalanceShortensLifetime)
+{
+    LifetimeInputs in;
+    in.llcWrites = 1'000'000;
+    in.seconds = 1.0;
+    in.cacheLines = 32768;
+    auto level = estimateLifetime(NvmClass::PCRAM, in);
+    in.writeImbalance = 100.0;
+    auto skewed = estimateLifetime(NvmClass::PCRAM, in);
+    EXPECT_NEAR(level.lifetimeSeconds / skewed.lifetimeSeconds, 100.0,
+                1e-6);
+}
+
+TEST(Endurance, WearLevelingRestoresLifetime)
+{
+    LifetimeInputs in;
+    in.llcWrites = 1'000'000;
+    in.seconds = 1.0;
+    in.cacheLines = 32768;
+    in.writeImbalance = 50.0;
+    auto bare = estimateLifetime(NvmClass::PCRAM, in, 1.0);
+    auto leveled = estimateLifetime(NvmClass::PCRAM, in, 0.02);
+    EXPECT_NEAR(leveled.lifetimeSeconds / bare.lifetimeSeconds, 50.0,
+                1e-6);
+    // Leveling can never push effective imbalance below level.
+    auto overleveled = estimateLifetime(NvmClass::PCRAM, in, 0.001);
+    EXPECT_DOUBLE_EQ(overleveled.hottestLineWritesPerSecond,
+                     overleveled.meanLineWritesPerSecond);
+}
+
+TEST(Endurance, ZeroWritesNeverWearOut)
+{
+    LifetimeInputs in;
+    in.llcWrites = 0;
+    in.seconds = 1.0;
+    in.cacheLines = 1024;
+    auto est = estimateLifetime(NvmClass::PCRAM, in);
+    EXPECT_GT(est.lifetimeSeconds, 1e20);
+}
+
+TEST(Endurance, ImbalanceFromFootprints)
+{
+    // 90% of writes onto 10 destinations in a 32768-line cache:
+    // hot share 0.09 vs level 1/32768 -> ~2949x.
+    double imb = imbalanceFromFootprints(100000, 10, 32768);
+    EXPECT_NEAR(imb, 0.09 / (1.0 / 32768.0), 1.0);
+    // Level traffic: f90 ~ cache lines -> imbalance ~ 0.9/1 ~ 1.
+    EXPECT_NEAR(imbalanceFromFootprints(100000, 32768, 32768), 1.0,
+                0.2);
+    // Degenerate inputs.
+    EXPECT_DOUBLE_EQ(imbalanceFromFootprints(0, 0, 32768), 1.0);
+}
+
+TEST(Endurance, RejectsBadInputs)
+{
+    LifetimeInputs in;
+    in.llcWrites = 1;
+    in.seconds = 1.0;
+    in.cacheLines = 0;
+    EXPECT_DEATH(estimateLifetime(NvmClass::PCRAM, in), "empty");
+    in.cacheLines = 10;
+    EXPECT_DEATH(estimateLifetime(NvmClass::PCRAM, in, 0.0),
+                 "wear-leveling");
+    EXPECT_DEATH(estimateLifetime(NvmClass::PCRAM, in, 1.5),
+                 "wear-leveling");
+}

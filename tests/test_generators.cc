@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the synthetic trace generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "workload/generators.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+GeneratorConfig
+baseConfig()
+{
+    GeneratorConfig cfg;
+    cfg.totalAccesses = 20'000;
+    cfg.loadFraction = 0.6;
+    cfg.storeFraction = 0.4;
+    cfg.meanGap = 2.0;
+    StreamConfig s;
+    s.kind = StreamConfig::Kind::Uniform;
+    s.regionBytes = 1 << 20;
+    s.weight = 1.0;
+    cfg.loads.streams = {s};
+    cfg.stores.streams = {s};
+    cfg.seed = 5;
+    return cfg;
+}
+
+std::vector<MemAccess>
+drain(TraceSource &trace)
+{
+    std::vector<MemAccess> out;
+    MemAccess a;
+    while (trace.next(a))
+        out.push_back(a);
+    return out;
+}
+
+} // namespace
+
+TEST(Generators, EmitsExactlyConfiguredLength)
+{
+    SyntheticTrace trace(baseConfig(), 0, 1);
+    EXPECT_EQ(drain(trace).size(), 20'000u);
+}
+
+TEST(Generators, ThreadSplitConservesTotal)
+{
+    auto cfg = baseConfig();
+    cfg.totalAccesses = 10'003; // odd on purpose
+    auto traces = buildThreadTraces(cfg, 4);
+    std::size_t total = 0;
+    for (auto &t : traces)
+        total += drain(*t).size();
+    EXPECT_EQ(total, 10'003u);
+}
+
+TEST(Generators, DeterministicPerSeedAndThread)
+{
+    SyntheticTrace a(baseConfig(), 0, 2), b(baseConfig(), 0, 2);
+    auto va = drain(a), vb = drain(b);
+    ASSERT_EQ(va.size(), vb.size());
+    for (std::size_t i = 0; i < va.size(); ++i) {
+        EXPECT_EQ(va[i].addr, vb[i].addr);
+        EXPECT_EQ(va[i].kind, vb[i].kind);
+        EXPECT_EQ(va[i].nonMemInstrs, vb[i].nonMemInstrs);
+    }
+}
+
+TEST(Generators, ResetReproducesSequence)
+{
+    SyntheticTrace trace(baseConfig(), 0, 1);
+    auto first = drain(trace);
+    trace.reset();
+    auto second = drain(trace);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i].addr, second[i].addr);
+}
+
+TEST(Generators, DifferentThreadsDifferentStreams)
+{
+    auto cfg = baseConfig();
+    SyntheticTrace t0(cfg, 0, 2), t1(cfg, 1, 2);
+    auto v0 = drain(t0), v1 = drain(t1);
+    int same = 0;
+    const std::size_t n = std::min(v0.size(), v1.size());
+    for (std::size_t i = 0; i < n; ++i)
+        same += v0[i].addr == v1[i].addr;
+    EXPECT_LT(same, int(n / 10));
+}
+
+TEST(Generators, KindFractionsApproximatelyRespected)
+{
+    SyntheticTrace trace(baseConfig(), 0, 1);
+    auto v = drain(trace);
+    std::size_t stores = 0;
+    for (const auto &a : v)
+        stores += a.kind == AccessKind::Store;
+    EXPECT_NEAR(double(stores) / v.size(), 0.4, 0.02);
+}
+
+TEST(Generators, EmptyIfetchMixDonatesToLoads)
+{
+    auto cfg = baseConfig();
+    cfg.loadFraction = 0.5;
+    cfg.storeFraction = 0.3; // remaining 0.2 would be ifetch
+    SyntheticTrace trace(cfg, 0, 1);
+    for (const auto &a : drain(trace))
+        EXPECT_NE(a.kind, AccessKind::IFetch);
+}
+
+TEST(Generators, IfetchMixProducesIFetches)
+{
+    auto cfg = baseConfig();
+    cfg.loadFraction = 0.5;
+    cfg.storeFraction = 0.3;
+    StreamConfig code;
+    code.kind = StreamConfig::Kind::Zipf;
+    code.regionBytes = 64 << 10;
+    code.zipfSkew = 0.7;
+    cfg.ifetches.streams = {code};
+    SyntheticTrace trace(cfg, 0, 1);
+    std::size_t fetches = 0;
+    auto v = drain(trace);
+    for (const auto &a : v)
+        fetches += a.kind == AccessKind::IFetch;
+    EXPECT_NEAR(double(fetches) / v.size(), 0.2, 0.02);
+}
+
+TEST(Generators, MeanGapApproximatelyRespected)
+{
+    SyntheticTrace trace(baseConfig(), 0, 1);
+    double sum = 0.0;
+    auto v = drain(trace);
+    for (const auto &a : v)
+        sum += a.nonMemInstrs;
+    // exponentialGap(mean) - 1 has mean ~ mean - 0.5.
+    EXPECT_NEAR(sum / v.size(), 1.5, 0.3);
+}
+
+TEST(Generators, UniformCoversRegion)
+{
+    auto cfg = baseConfig();
+    cfg.loads.streams[0].regionBytes = 64 << 10; // 1024 lines
+    cfg.stores.streams[0].regionBytes = 64 << 10;
+    SyntheticTrace trace(cfg, 0, 1);
+    std::set<std::uint64_t> lines;
+    for (const auto &a : drain(trace))
+        if (a.kind == AccessKind::Load)
+            lines.insert(a.addr / 64);
+    EXPECT_GT(lines.size(), 1000u);
+    EXPECT_LE(lines.size(), 1024u);
+}
+
+TEST(Generators, SequentialStridesThroughRegion)
+{
+    auto cfg = baseConfig();
+    cfg.loads.streams[0].kind = StreamConfig::Kind::Sequential;
+    cfg.loads.streams[0].stride = 8;
+    cfg.stores.streams.clear();
+    cfg.storeFraction = 0.0;
+    cfg.loadFraction = 1.0;
+    SyntheticTrace trace(cfg, 0, 1);
+    auto v = drain(trace);
+    // Consecutive sequential draws advance by the stride.
+    ASSERT_GE(v.size(), 3u);
+    EXPECT_EQ(v[1].addr - v[0].addr, 8u);
+    EXPECT_EQ(v[2].addr - v[1].addr, 8u);
+}
+
+TEST(Generators, ChaseVisitsManyDistinctLines)
+{
+    auto cfg = baseConfig();
+    cfg.loads.streams[0].kind = StreamConfig::Kind::Chase;
+    cfg.loads.streams[0].regionBytes = 4 << 20; // 65536 lines
+    cfg.stores.streams.clear();
+    cfg.storeFraction = 0.0;
+    cfg.loadFraction = 1.0;
+    cfg.totalAccesses = 60'000;
+    SyntheticTrace trace(cfg, 0, 1);
+    std::set<std::uint64_t> lines;
+    for (const auto &a : drain(trace))
+        lines.insert(a.addr / 64);
+    // Full-period LCG: nearly every draw hits a fresh line.
+    EXPECT_GT(lines.size(), 59'000u);
+}
+
+TEST(Generators, ZipfConcentratesTraffic)
+{
+    auto cfg = baseConfig();
+    cfg.loads.streams[0].kind = StreamConfig::Kind::Zipf;
+    cfg.loads.streams[0].zipfSkew = 1.2;
+    cfg.stores.streams.clear();
+    cfg.storeFraction = 0.0;
+    cfg.loadFraction = 1.0;
+    SyntheticTrace trace(cfg, 0, 1);
+    std::map<std::uint64_t, int> counts;
+    std::size_t total = 0;
+    for (const auto &a : drain(trace)) {
+        ++counts[a.addr / 64];
+        ++total;
+    }
+    // The hottest line should hold a few percent of all traffic.
+    int max_count = 0;
+    for (const auto &[line, c] : counts)
+        max_count = std::max(max_count, c);
+    EXPECT_GT(max_count, int(total / 50));
+}
+
+TEST(Generators, SharedStreamsOverlapAcrossThreads)
+{
+    auto cfg = baseConfig();
+    cfg.loads.streams[0].shared = true;
+    cfg.stores.streams[0].shared = true;
+    SyntheticTrace t0(cfg, 0, 2), t1(cfg, 1, 2);
+    std::set<std::uint64_t> lines0, lines1;
+    for (const auto &a : drain(t0))
+        lines0.insert(a.addr / 64);
+    for (const auto &a : drain(t1))
+        lines1.insert(a.addr / 64);
+    std::size_t overlap = 0;
+    for (auto l : lines0)
+        overlap += lines1.count(l);
+    // Two 10k-draw samples of a shared 16k-line region overlap
+    // substantially; private regions (next test) overlap not at all.
+    EXPECT_GT(overlap, lines0.size() / 5);
+}
+
+TEST(Generators, PrivateStreamsDisjointAcrossThreads)
+{
+    auto cfg = baseConfig(); // shared = false by default
+    SyntheticTrace t0(cfg, 0, 2), t1(cfg, 1, 2);
+    std::set<std::uint64_t> lines0;
+    for (const auto &a : drain(t0))
+        lines0.insert(a.addr / 64);
+    for (const auto &a : drain(t1))
+        EXPECT_EQ(lines0.count(a.addr / 64), 0u);
+}
+
+TEST(Generators, StreamRegionsDoNotOverlap)
+{
+    auto cfg = baseConfig();
+    cfg.totalAccesses = 400'000;
+    StreamConfig second = cfg.loads.streams[0];
+    cfg.loads.streams.push_back(second);
+    SyntheticTrace trace(cfg, 0, 1);
+    // Two same-size uniform load streams must cover close to twice
+    // one region's lines (disjoint bases), never alias onto one.
+    std::set<std::uint64_t> lines;
+    for (const auto &a : drain(trace))
+        if (a.kind == AccessKind::Load)
+            lines.insert(a.addr / 64);
+    EXPECT_GT(lines.size(), (1u << 14) + 8000u); // > one region
+    EXPECT_LE(lines.size(), 2u << 14);
+}
+
+TEST(Generators, RejectsBadThreadIds)
+{
+    EXPECT_DEATH(SyntheticTrace(baseConfig(), 2, 2), "thread");
+    EXPECT_DEATH(SyntheticTrace(baseConfig(), 0, 0), "thread");
+}

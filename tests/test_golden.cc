@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Golden-number regression pins: a handful of headline results, with
+ * tolerances, so that behavioural drift anywhere in the stack (RNG,
+ * generators, cache policy, timing model, energy accounting) is
+ * caught immediately rather than discovered as a silently changed
+ * figure. Values were recorded from the verified reproduction state;
+ * if a deliberate model change moves them, update the pins in the
+ * same commit and note why.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "prism/metrics.hh"
+#include "workload/suite.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+SimStats
+runSram(const std::string &workload)
+{
+    ExperimentRunner runner;
+    return runner.runOne(benchmark(workload), sramBaselineLlc());
+}
+
+} // namespace
+
+TEST(Golden, LeelaOnChungFixedCapacity)
+{
+    ExperimentRunner runner;
+    const BenchmarkSpec &spec = benchmark("leela");
+    SimStats sram = runner.runOne(spec, sramBaselineLlc());
+    SimStats chung = runner.runOne(
+        spec,
+        publishedLlcModel("Chung", CapacityMode::FixedCapacity));
+
+    EXPECT_NEAR(sram.seconds / chung.seconds, 0.99, 0.02);
+    EXPECT_NEAR(chung.llcEnergy() / sram.llcEnergy(), 0.07, 0.025);
+}
+
+TEST(Golden, MpkiPins)
+{
+    EXPECT_NEAR(runSram("gamess").llcMpki(), 12.3, 1.5);
+    EXPECT_NEAR(runSram("leela").llcMpki(), 22.9, 2.5);
+    EXPECT_NEAR(runSram("exchange2").llcMpki(), 15.4, 2.0);
+}
+
+TEST(Golden, GobmkFixedAreaHayakawaSpeedup)
+{
+    // The paper's most-cited fixed-area result: gobmk accelerates
+    // ~1.5-1.6x on the 32 MB Hayakawa_R LLC.
+    ExperimentRunner runner;
+    const BenchmarkSpec &spec = benchmark("gobmk");
+    SimStats sram = runner.runOne(
+        spec, publishedLlcModel("SRAM", CapacityMode::FixedArea));
+    SimStats hay = runner.runOne(
+        spec, publishedLlcModel("Hayakawa", CapacityMode::FixedArea));
+    EXPECT_NEAR(sram.seconds / hay.seconds, 1.55, 0.15);
+}
+
+TEST(Golden, DeepsjengFeatureVector)
+{
+    auto traces = buildTraces(benchmark("deepsjeng"));
+    std::vector<TraceSource *> ptrs;
+    for (auto &t : traces)
+        ptrs.push_back(t.get());
+    WorkloadFeatures f = characterize(ptrs);
+    EXPECT_NEAR(f.writes.globalEntropy, 9.2, 0.4);
+    EXPECT_NEAR(double(f.writes.unique), 250e3, 40e3);
+}
+
+TEST(Golden, KangWriteEnergyBlowupOnBzip2)
+{
+    ExperimentRunner runner;
+    const BenchmarkSpec &spec = benchmark("bzip2");
+    SimStats sram = runner.runOne(spec, sramBaselineLlc());
+    SimStats kang = runner.runOne(
+        spec,
+        publishedLlcModel("Kang", CapacityMode::FixedCapacity));
+    const double ratio = kang.llcEnergy() / sram.llcEnergy();
+    EXPECT_GT(ratio, 3.5);
+    EXPECT_LT(ratio, 8.0);
+}

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests for the paper's contribution 1: the heuristic completion
+ * engine (H1 electrical identities, H2 interpolation, H3 similarity),
+ * including reproduction of the paper's own derivations — the "+"
+ * and "*" entries of Table II.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nvm/heuristics.hh"
+#include "nvm/model_library.hh"
+#include "util/units.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+/** Engine set up the way the reproduction uses it. */
+HeuristicEngine
+standardEngine()
+{
+    std::vector<CellSpec> refs = rawCells();
+    for (const CellSpec &seed : archetypeSeeds())
+        refs.push_back(seed);
+    return HeuristicEngine(std::move(refs));
+}
+
+const CellSpec &
+raw(const std::string &name)
+{
+    for (const CellSpec &c : rawCells())
+        if (c.name == name)
+            return c;
+    throw std::runtime_error("no raw cell " + name);
+}
+
+} // namespace
+
+// --- eq (3) -------------------------------------------------------------
+
+TEST(CellAreaF2, Identity)
+{
+    // 0.45um x 0.45um at 65 nm -> ~48 F^2 (the paper's Umeki value).
+    EXPECT_NEAR(cellAreaF2(0.4505e-6, 0.4505e-6, 65e-9), 48.0, 0.1);
+}
+
+TEST(CellAreaF2, ScalesInverselyWithProcessSquared)
+{
+    double a90 = cellAreaF2(1e-6, 1e-6, 90e-9);
+    double a45 = cellAreaF2(1e-6, 1e-6, 45e-9);
+    EXPECT_NEAR(a45 / a90, 4.0, 1e-9);
+}
+
+// --- H1 electrical -------------------------------------------------------
+
+TEST(H1, ReadPowerFromCurrentAndVoltage)
+{
+    HeuristicEngine engine({});
+    CellSpec c = raw("Chung"); // readCurrent 37.08 uA, readVoltage 0.65
+    CompletionStep step;
+    ASSERT_TRUE(engine.tryElectrical(c, CellField::ReadPower, step));
+    EXPECT_EQ(step.method, Provenance::H1Electrical);
+    // Paper's Table II: 24.1 uW (dagger).
+    EXPECT_NEAR(step.value, 24.1e-6, 0.2e-6);
+}
+
+TEST(H1, ResetEnergyFromCurrentPulseAndAccessVoltage)
+{
+    HeuristicEngine engine({});
+    CellSpec c = raw("Chung"); // 80 uA, 10 ns, V_read 0.65
+    CompletionStep step;
+    ASSERT_TRUE(engine.tryElectrical(c, CellField::ResetEnergy, step));
+    // Paper: 0.52 pJ (dagger). 80u * 0.65 * 10n = 0.52 pJ exactly.
+    EXPECT_NEAR(step.value, 0.52e-12, 0.01e-12);
+}
+
+TEST(H1, InvertedCurrentFromEnergy)
+{
+    HeuristicEngine engine({});
+    CellSpec c = raw("Umeki"); // E=1.12pJ, t=10ns, V_read=0.38
+    CompletionStep step;
+    ASSERT_TRUE(engine.tryElectrical(c, CellField::ResetCurrent, step));
+    // Paper derived 255 uA; the identity with V_access = V_read gives
+    // ~295 uA — agreeing within the heuristic's expected error band.
+    EXPECT_NEAR(step.value, 255e-6, 65e-6);
+}
+
+TEST(H1, CellSizeFromPhysicalDims)
+{
+    HeuristicEngine engine({});
+    CellSpec c = raw("Umeki");
+    CompletionStep step;
+    ASSERT_TRUE(engine.tryElectrical(c, CellField::CellSizeF2, step));
+    EXPECT_NEAR(step.value, 48.0, 0.5); // paper: 48 F^2 (dagger)
+}
+
+TEST(H1, FailsWithoutInputs)
+{
+    HeuristicEngine engine({});
+    CellSpec c;
+    c.klass = NvmClass::STTRAM;
+    CompletionStep step;
+    EXPECT_FALSE(engine.tryElectrical(c, CellField::ReadPower, step));
+    EXPECT_FALSE(engine.tryElectrical(c, CellField::SetEnergy, step));
+}
+
+TEST(H1, UsesClassDefaultAccessVoltageWhenNoReadVoltage)
+{
+    HeuristicEngine::Options opts;
+    opts.defaultAccessVoltage[int(NvmClass::PCRAM)] = 2.0;
+    HeuristicEngine engine({}, opts);
+    CellSpec c;
+    c.klass = NvmClass::PCRAM;
+    c.setCurrent = CellParam::reported(100e-6);
+    c.setPulse = CellParam::reported(10e-9);
+    CompletionStep step;
+    ASSERT_TRUE(engine.tryElectrical(c, CellField::SetEnergy, step));
+    EXPECT_NEAR(step.value, 100e-6 * 2.0 * 10e-9, 1e-18);
+}
+
+// --- H2 interpolation ----------------------------------------------------
+
+TEST(H2, LinearTrendAcrossSameClass)
+{
+    // Two reference STTRAM cells define a perfect linear trend of
+    // set current vs process node; the target sits between them.
+    CellSpec a, b;
+    a.name = "refA";
+    a.klass = NvmClass::STTRAM;
+    a.processNode = CellParam::reported(90e-9);
+    a.setCurrent = CellParam::reported(90e-6);
+    b.name = "refB";
+    b.klass = NvmClass::STTRAM;
+    b.processNode = CellParam::reported(45e-9);
+    b.setCurrent = CellParam::reported(45e-6);
+
+    HeuristicEngine engine({a, b});
+    CellSpec target;
+    target.name = "target";
+    target.klass = NvmClass::STTRAM;
+    target.processNode = CellParam::reported(65e-9);
+    CompletionStep step;
+    ASSERT_TRUE(
+        engine.tryInterpolation(target, CellField::SetCurrent, step));
+    EXPECT_EQ(step.method, Provenance::H2Interpolated);
+    EXPECT_NEAR(step.value, 65e-6, 1e-9);
+}
+
+TEST(H2, ClampsToObservedRange)
+{
+    CellSpec a, b;
+    a.name = "refA";
+    a.klass = NvmClass::RRAM;
+    a.processNode = CellParam::reported(40e-9);
+    a.setVoltage = CellParam::reported(2.0);
+    b.name = "refB";
+    b.klass = NvmClass::RRAM;
+    b.processNode = CellParam::reported(22e-9);
+    b.setVoltage = CellParam::reported(1.0);
+
+    HeuristicEngine engine({a, b});
+    CellSpec target;
+    target.name = "target";
+    target.klass = NvmClass::RRAM;
+    target.processNode = CellParam::reported(120e-9); // far outside
+    CompletionStep step;
+    ASSERT_TRUE(
+        engine.tryInterpolation(target, CellField::SetVoltage, step));
+    EXPECT_LE(step.value, 2.0);
+    EXPECT_GE(step.value, 1.0);
+}
+
+TEST(H2, RequiresTwoReporters)
+{
+    CellSpec a;
+    a.name = "refA";
+    a.klass = NvmClass::RRAM;
+    a.processNode = CellParam::reported(40e-9);
+    a.setVoltage = CellParam::reported(2.0);
+    HeuristicEngine engine({a});
+    CellSpec target;
+    target.klass = NvmClass::RRAM;
+    target.name = "t";
+    target.processNode = CellParam::reported(28e-9);
+    CompletionStep step;
+    EXPECT_FALSE(
+        engine.tryInterpolation(target, CellField::SetVoltage, step));
+}
+
+TEST(H2, IgnoresHeuristicValuesInReferences)
+{
+    CellSpec a, b;
+    a.name = "refA";
+    a.klass = NvmClass::STTRAM;
+    a.processNode = CellParam::reported(90e-9);
+    a.setCurrent = CellParam(90e-6, Provenance::H3Similarity); // guess
+    b.name = "refB";
+    b.klass = NvmClass::STTRAM;
+    b.processNode = CellParam::reported(45e-9);
+    b.setCurrent = CellParam::reported(45e-6);
+    HeuristicEngine engine({a, b});
+    CellSpec target;
+    target.name = "t";
+    target.klass = NvmClass::STTRAM;
+    target.processNode = CellParam::reported(65e-9);
+    CompletionStep step;
+    // Only one *reported* point -> H2 must refuse.
+    EXPECT_FALSE(
+        engine.tryInterpolation(target, CellField::SetCurrent, step));
+}
+
+// --- H3 similarity --------------------------------------------------------
+
+TEST(H3, ReproducesPaperKangExample)
+{
+    // The paper's worked example: Kang's set current is taken from Oh
+    // because their reset currents are identical (600 uA).
+    HeuristicEngine engine(rawCells());
+    CellSpec kang = raw("Kang");
+    CompletionStep step;
+    ASSERT_TRUE(engine.trySimilarity(kang, CellField::SetCurrent, step));
+    EXPECT_EQ(step.method, Provenance::H3Similarity);
+    EXPECT_NEAR(step.value, 200e-6, 1e-9); // Oh's set current
+    EXPECT_NE(step.rationale.find("Oh"), std::string::npos);
+}
+
+TEST(H3, FailsWithNoSameClassDonor)
+{
+    HeuristicEngine engine({});
+    CellSpec c = raw("Kang");
+    CompletionStep step;
+    EXPECT_FALSE(engine.trySimilarity(c, CellField::SetCurrent, step));
+}
+
+TEST(H3, ArchetypeSeedsFillClassWideGaps)
+{
+    // No PCRAM publication reports array read current; the archetype
+    // seed supplies it.
+    HeuristicEngine engine = standardEngine();
+    CellSpec oh = raw("Oh");
+    CompletionStep step;
+    ASSERT_TRUE(engine.trySimilarity(oh, CellField::ReadCurrent, step));
+    EXPECT_GT(step.value, 0.0);
+}
+
+// --- full completion -------------------------------------------------------
+
+class CompletionTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CompletionTest, RawCellCompletesToSimulatorReady)
+{
+    HeuristicEngine engine = standardEngine();
+    CompletionResult result = engine.complete(raw(GetParam()));
+    EXPECT_TRUE(result.complete())
+        << GetParam() << " left "
+        << missingFields(result.spec).size() << " required fields open";
+}
+
+TEST_P(CompletionTest, ReportedValuesNeverMutated)
+{
+    HeuristicEngine engine = standardEngine();
+    const CellSpec before = raw(GetParam());
+    CompletionResult result = engine.complete(before);
+    const CellField all[] = {
+        CellField::ProcessNode, CellField::CellSizeF2,
+        CellField::CellLevels, CellField::ReadCurrent,
+        CellField::ReadVoltage, CellField::ReadPower,
+        CellField::ReadEnergy, CellField::ResetCurrent,
+        CellField::ResetVoltage, CellField::ResetPulse,
+        CellField::ResetEnergy, CellField::SetCurrent,
+        CellField::SetVoltage, CellField::SetPulse,
+        CellField::SetEnergy,
+    };
+    for (CellField f : all) {
+        if (before.field(f).known() &&
+            before.field(f).prov == Provenance::Reported) {
+            EXPECT_EQ(result.spec.field(f).prov, Provenance::Reported);
+            EXPECT_DOUBLE_EQ(result.spec.field(f).get(),
+                             before.field(f).get());
+        }
+    }
+}
+
+TEST_P(CompletionTest, LedgerMatchesFilledFields)
+{
+    HeuristicEngine engine = standardEngine();
+    const CellSpec before = raw(GetParam());
+    CompletionResult result = engine.complete(before);
+    for (const CompletionStep &step : result.steps) {
+        EXPECT_FALSE(before.field(step.field).known());
+        EXPECT_TRUE(result.spec.field(step.field).known());
+        EXPECT_EQ(result.spec.field(step.field).prov, step.method);
+        EXPECT_FALSE(step.rationale.empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTableIICells, CompletionTest,
+    ::testing::Values("Oh", "Chen", "Kang", "Close", "Chung", "Jan",
+                      "Umeki", "Xue", "Hayakawa", "Zhang"));
+
+TEST(Completion, DerivableDaggerValuesMatchPaper)
+{
+    // The Table II dagger entries with a well-defined eq-(2)/(3)
+    // derivation should land near the paper's published values.
+    HeuristicEngine engine = standardEngine();
+
+    auto completed = [&](const std::string &name) {
+        return engine.complete(raw(name)).spec;
+    };
+
+    CellSpec chung = completed("Chung");
+    EXPECT_NEAR(chung.readPower.get(), 24.1e-6, 0.5e-6);
+    EXPECT_NEAR(chung.resetEnergy.get(), 0.52e-12, 0.02e-12);
+
+    CellSpec umeki = completed("Umeki");
+    EXPECT_NEAR(umeki.cellSizeF2.get(), 48.0, 0.5);
+    EXPECT_NEAR(umeki.resetCurrent.get(), 255e-6, 65e-6);
+    EXPECT_NEAR(umeki.setCurrent.get(), 255e-6, 65e-6);
+
+    CellSpec kang = completed("Kang");
+    EXPECT_NEAR(kang.setCurrent.get(), 200e-6, 1e-9); // H3 from Oh
+
+    // Hayakawa's whole write spec is similarity-derived; with the
+    // archetype seed the engine reproduces the published values.
+    CellSpec hayakawa = completed("Hayakawa");
+    EXPECT_NEAR(hayakawa.setVoltage.get(), 2.0, 1e-9);
+    EXPECT_NEAR(hayakawa.setPulse.get(), 10e-9, 1e-15);
+    EXPECT_NEAR(hayakawa.setEnergy.get(), 0.6e-12, 1e-18);
+    EXPECT_NEAR(hayakawa.readVoltage.get(), 0.4, 1e-9);
+}
+
+TEST(Completion, SramNeedsNothing)
+{
+    HeuristicEngine engine = standardEngine();
+    CompletionResult result = engine.complete(sramBaselineCell());
+    EXPECT_TRUE(result.complete());
+    EXPECT_TRUE(result.steps.empty());
+}

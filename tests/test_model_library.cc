@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the released cell model library (paper Table II values).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvm/model_library.hh"
+#include "util/units.hh"
+
+using namespace nvmcache;
+
+TEST(ModelLibrary, TenCellsInTableOrder)
+{
+    const auto &cells = publishedCells();
+    ASSERT_EQ(cells.size(), 10u);
+    const char *order[] = {"Oh", "Chen", "Kang", "Close", "Chung",
+                           "Jan", "Umeki", "Xue", "Hayakawa", "Zhang"};
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(cells[i].name, order[i]);
+}
+
+TEST(ModelLibrary, ClassBreakdown)
+{
+    EXPECT_EQ(cellsOfClass(NvmClass::PCRAM).size(), 4u);
+    EXPECT_EQ(cellsOfClass(NvmClass::STTRAM).size(), 4u);
+    EXPECT_EQ(cellsOfClass(NvmClass::RRAM).size(), 2u);
+}
+
+TEST(ModelLibrary, TableIIValueSpotChecks)
+{
+    const CellSpec &oh = publishedCell("Oh");
+    EXPECT_DOUBLE_EQ(oh.processNode.get(), 120e-9);
+    EXPECT_DOUBLE_EQ(oh.resetCurrent.get(), 600e-6);
+    EXPECT_DOUBLE_EQ(oh.setPulse.get(), 180e-9);
+    EXPECT_EQ(oh.year, 2005);
+
+    const CellSpec &chung = publishedCell("Chung");
+    EXPECT_DOUBLE_EQ(chung.readVoltage.get(), 0.65);
+    EXPECT_DOUBLE_EQ(chung.cellSizeF2.get(), 14.0);
+    EXPECT_DOUBLE_EQ(chung.resetEnergy.get(), 0.52e-12);
+
+    const CellSpec &zhang = publishedCell("Zhang");
+    EXPECT_DOUBLE_EQ(zhang.processNode.get(), 22e-9);
+    EXPECT_DOUBLE_EQ(zhang.resetPulse.get(), 150e-9);
+    EXPECT_DOUBLE_EQ(zhang.setVoltage.get(), 1.0);
+
+    const CellSpec &xue = publishedCell("Xue");
+    EXPECT_EQ(xue.bitsPerCell(), 2);
+    const CellSpec &close = publishedCell("Close");
+    EXPECT_EQ(close.bitsPerCell(), 2);
+}
+
+TEST(ModelLibrary, ProvenanceMarksMirrorTableII)
+{
+    // Dagger (H1) entries.
+    EXPECT_EQ(publishedCell("Chung").readPower.prov,
+              Provenance::H1Electrical);
+    EXPECT_EQ(publishedCell("Umeki").cellSizeF2.prov,
+              Provenance::H1Electrical);
+    // Star entries.
+    EXPECT_EQ(publishedCell("Oh").readCurrent.prov,
+              Provenance::H3Similarity);
+    EXPECT_EQ(publishedCell("Kang").setCurrent.prov,
+              Provenance::H3Similarity);
+    EXPECT_EQ(publishedCell("Hayakawa").setEnergy.prov,
+              Provenance::H3Similarity);
+    // Reported entries.
+    EXPECT_EQ(publishedCell("Xue").setEnergy.prov, Provenance::Reported);
+    EXPECT_EQ(publishedCell("Zhang").readPower.prov,
+              Provenance::Reported);
+}
+
+TEST(ModelLibrary, PublishedCellsAreSimulatorReady)
+{
+    for (const CellSpec &c : publishedCells())
+        EXPECT_TRUE(missingFields(c).empty()) << c.name;
+}
+
+TEST(ModelLibrary, RawCellsStripHeuristicValues)
+{
+    for (const CellSpec &c : rawCells()) {
+        const CellField all[] = {
+            CellField::ProcessNode, CellField::CellSizeF2,
+            CellField::CellLevels, CellField::ReadVoltage,
+            CellField::ReadPower, CellField::ReadEnergy,
+            CellField::ResetCurrent, CellField::ResetVoltage,
+            CellField::ResetPulse, CellField::ResetEnergy,
+            CellField::SetCurrent, CellField::SetVoltage,
+            CellField::SetPulse, CellField::SetEnergy,
+        };
+        for (CellField f : all) {
+            if (c.field(f).known()) {
+                EXPECT_EQ(c.field(f).prov, Provenance::Reported)
+                    << c.name << " " << toString(f);
+            }
+        }
+    }
+}
+
+TEST(ModelLibrary, RawXueIsAlreadyComplete)
+{
+    // Xue'16 reported everything; its raw spec needs no heuristics.
+    for (const CellSpec &c : rawCells()) {
+        if (c.name == "Xue") {
+            EXPECT_TRUE(missingFields(c).empty());
+        }
+    }
+}
+
+TEST(ModelLibrary, RawHayakawaIsMostlyEmpty)
+{
+    for (const CellSpec &c : rawCells()) {
+        if (c.name == "Hayakawa") {
+            EXPECT_GE(missingFields(c).size(), 8u);
+        }
+    }
+}
+
+TEST(ModelLibrary, ArchetypesAreReportedOnlySeeds)
+{
+    ASSERT_EQ(archetypeSeeds().size(), 2u);
+    for (const CellSpec &seed : archetypeSeeds()) {
+        EXPECT_TRUE(missingFields(seed).empty()) << seed.name;
+        EXPECT_NE(seed.name.find("archetype"), std::string::npos);
+    }
+}
+
+TEST(ModelLibrary, SramBaseline)
+{
+    const CellSpec &sram = sramBaselineCell();
+    EXPECT_EQ(sram.klass, NvmClass::SRAM);
+    EXPECT_DOUBLE_EQ(sram.processNode.get(), 45e-9);
+    EXPECT_TRUE(missingFields(sram).empty());
+}
+
+TEST(ModelLibrary, LookupByName)
+{
+    EXPECT_EQ(publishedCell("Jan").klass, NvmClass::STTRAM);
+    EXPECT_EQ(publishedCell("SRAM").klass, NvmClass::SRAM);
+}
+
+TEST(ModelLibrary, YearsSpanADecade)
+{
+    int min_year = 3000, max_year = 0;
+    for (const CellSpec &c : publishedCells()) {
+        min_year = std::min(min_year, c.year);
+        max_year = std::max(max_year, c.year);
+    }
+    EXPECT_EQ(min_year, 2005);
+    EXPECT_EQ(max_year, 2016);
+}

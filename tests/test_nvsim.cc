@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Tests for the circuit-level estimator substrate: technology
+ * scaling, mat/H-tree structure, the eq (4)-(8) identities, the
+ * published Table III data, and the fixed-area solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nvm/model_library.hh"
+#include "nvsim/area_solver.hh"
+#include "nvsim/array.hh"
+#include "nvsim/estimator.hh"
+#include "nvsim/htree.hh"
+#include "nvsim/published.hh"
+#include "nvsim/tech.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+
+using namespace nvmcache;
+
+// --- tech ----------------------------------------------------------------
+
+TEST(Tech, TableEndpointsExact)
+{
+    TechNode t45 = techAt(45e-9);
+    EXPECT_DOUBLE_EQ(t45.node, 45e-9);
+    EXPECT_NEAR(t45.fo4Delay, 16e-12, 1e-15);
+    EXPECT_NEAR(t45.vdd, 1.0, 1e-12);
+}
+
+TEST(Tech, InterpolatesBetweenNodes)
+{
+    TechNode t = techAt(54e-9);
+    TechNode lo = techAt(45e-9), hi = techAt(65e-9);
+    EXPECT_GT(t.fo4Delay, lo.fo4Delay);
+    EXPECT_LT(t.fo4Delay, hi.fo4Delay);
+    EXPECT_GT(t.vdd, lo.vdd);
+    EXPECT_LT(t.vdd, hi.vdd);
+}
+
+TEST(Tech, ClampsOutOfRange)
+{
+    EXPECT_DOUBLE_EQ(techAt(10e-9).node, 22e-9);
+    EXPECT_DOUBLE_EQ(techAt(500e-9).node, 180e-9);
+}
+
+TEST(Tech, MonotoneScaling)
+{
+    // Gates get faster and leakier as the node shrinks; wire
+    // resistance rises.
+    double prev_fo4 = 0.0, prev_res = 1e18;
+    for (double node : {120e-9, 90e-9, 65e-9, 45e-9, 32e-9, 22e-9}) {
+        TechNode t = techAt(node);
+        if (prev_fo4 > 0.0) {
+            EXPECT_LT(t.fo4Delay, prev_fo4);
+            EXPECT_GT(t.wireResPerM, 0.0);
+        }
+        EXPECT_LT(t.wireResPerM, 2e6);
+        EXPECT_GT(t.wireResPerM, 0.0);
+        EXPECT_LT(t.wireResPerM, prev_res * 20);
+        prev_fo4 = t.fo4Delay;
+        prev_res = t.wireResPerM;
+    }
+}
+
+// --- array / mat ----------------------------------------------------------
+
+TEST(Mat, WriteLatencyIncludesPulse)
+{
+    const CellSpec &chung = publishedCell("Chung");
+    TechNode tech = techAt(chung.processNode.get());
+    CacheOrgConfig org;
+    Calibration cal;
+    MatModel mat = buildMat(chung, tech, org, cal);
+    EXPECT_GE(mat.writeSetLatency, chung.setPulse.get());
+    EXPECT_GE(mat.writeResetLatency, chung.resetPulse.get());
+    // ... but within a few ns of the pulse (peripheral overhead only).
+    EXPECT_LT(mat.writeSetLatency, chung.setPulse.get() + 5e-9);
+}
+
+TEST(Mat, SttramSensingSlowsWithLowReadVoltage)
+{
+    // Jan reads at 0.08 V; Xue at 1.2 V. Jan must sense slower.
+    const CellSpec &jan = publishedCell("Jan");
+    const CellSpec &xue = publishedCell("Xue");
+    Calibration cal;
+    double t_jan = senseTime(jan, techAt(jan.processNode.get()), cal);
+    double t_xue = senseTime(xue, techAt(xue.processNode.get()), cal);
+    EXPECT_GT(t_jan, 3.0 * t_xue);
+}
+
+TEST(Mat, PcramWriteEnergyMatchesPublishedScale)
+{
+    // Per-line write energy = 512 * per-bit energy should land within
+    // ~35% of the published E_dyn,write for each PCRAM cell.
+    Calibration cal;
+    CacheOrgConfig org;
+    struct Expect
+    {
+        const char *name;
+        double published_nj;
+    } cases[] = {
+        {"Oh", 225.413}, {"Chen", 34.108}, {"Kang", 375.073},
+        {"Close", 51.116},
+    };
+    for (const auto &c : cases) {
+        const CellSpec &cell = publishedCell(c.name);
+        MatModel mat =
+            buildMat(cell, techAt(cell.processNode.get()), org, cal);
+        double per_line =
+            512.0 * std::max(mat.writeSetEnergyPerBit,
+                             mat.writeResetEnergyPerBit);
+        EXPECT_NEAR(per_line / (c.published_nj * 1e-9), 1.0, 0.35)
+            << c.name;
+    }
+}
+
+TEST(Mat, SramCellsLeakNvmCellsDoNot)
+{
+    CacheOrgConfig org;
+    Calibration cal;
+    const CellSpec &sram = sramBaselineCell();
+    const CellSpec &zhang = publishedCell("Zhang");
+    MatModel m_sram =
+        buildMat(sram, techAt(sram.processNode.get()), org, cal);
+    MatModel m_zhang =
+        buildMat(zhang, techAt(zhang.processNode.get()), org, cal);
+    EXPECT_GT(m_sram.leakage, 10.0 * m_zhang.leakage);
+}
+
+// --- htree -----------------------------------------------------------------
+
+TEST(Htree, SingleMatNeedsNoRouting)
+{
+    HtreeModel h = buildHtree(1, 1e-7, techAt(45e-9));
+    EXPECT_DOUBLE_EQ(h.latency, 0.0);
+    EXPECT_DOUBLE_EQ(h.energyPerBit, 0.0);
+}
+
+TEST(Htree, LatencyGrowsWithBankArea)
+{
+    TechNode tech = techAt(45e-9);
+    HtreeModel small = buildHtree(16, 1e-8, tech);
+    HtreeModel large = buildHtree(256, 1e-8, tech);
+    EXPECT_GT(large.latency, small.latency);
+    EXPECT_GT(large.energyPerBit, small.energyPerBit);
+    EXPECT_GT(large.wireArea, small.wireArea);
+}
+
+// --- estimator ---------------------------------------------------------------
+
+class EstimatorAllCellsTest
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    Estimator estimator_;
+    CacheOrgConfig org_; // 2 MB default
+};
+
+TEST_P(EstimatorAllCellsTest, ProducesPhysicallySaneModel)
+{
+    const CellSpec &cell = GetParam() == "SRAM"
+                               ? sramBaselineCell()
+                               : publishedCell(GetParam());
+    LlcModel m = estimator_.estimate(cell, org_);
+    EXPECT_GT(m.area, 0.05e-6);  // > 0.05 mm^2
+    EXPECT_LT(m.area, 50e-6);    // < 50 mm^2
+    EXPECT_GT(m.tagLatency, 0.05e-9);
+    EXPECT_LT(m.tagLatency, 10e-9);
+    EXPECT_GT(m.readLatency, m.tagLatency * 0.2);
+    EXPECT_LT(m.readLatency, 20e-9);
+    EXPECT_GE(m.writeLatency(), 0.3e-9);
+    EXPECT_GT(m.eHit, m.eMiss);
+    EXPECT_GT(m.eWrite, m.eMiss);
+    EXPECT_GT(m.leakage, 1e-4);
+    EXPECT_LT(m.leakage, 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, EstimatorAllCellsTest,
+    ::testing::Values("Oh", "Chen", "Kang", "Close", "Chung", "Jan",
+                      "Umeki", "Xue", "Hayakawa", "Zhang", "SRAM"));
+
+TEST(Estimator, Eq4Eq5Structure)
+{
+    // Reads traverse the H-tree twice, writes once: for any cell,
+    // t_read - t_read,mat ~= 2 * (t_write - t_write,mat).
+    Estimator est;
+    CacheOrgConfig org;
+    Calibration cal;
+    const CellSpec &cell = publishedCell("Chung");
+    TechNode tech = techAt(cell.processNode.get());
+    MatModel mat = buildMat(cell, tech, org, cal);
+    LlcModel m = est.estimate(cell, org);
+    double read_htree = m.readLatency - mat.readLatency;
+    double write_htree = m.writeLatencySet - mat.writeSetLatency;
+    EXPECT_NEAR(read_htree, 2.0 * write_htree, 1e-12);
+}
+
+TEST(Estimator, Eq7TagOnlyMissEnergy)
+{
+    Estimator est;
+    CacheOrgConfig org;
+    LlcModel m = est.estimate(publishedCell("Chung"), org);
+    // eMiss is the tag probe energy; hit/write add the data array on
+    // top of the same tag probe (eqs 6-8).
+    EXPECT_GT(m.eHit, m.eMiss);
+    EXPECT_GT(m.eWrite, m.eHit * 0.5);
+}
+
+TEST(Estimator, SramBaselineNearPublished)
+{
+    Estimator est;
+    CacheOrgConfig org;
+    LlcModel m = est.estimate(sramBaselineCell(), org);
+    // Published: 6.548 mm^2, 3.438 W leakage for the 2 MB LLC.
+    EXPECT_NEAR(toMm2(m.area), 6.548, 3.0);
+    EXPECT_NEAR(m.leakage, 3.438, 1.8);
+    EXPECT_LT(m.writeLatency(), 2e-9); // SRAM writes are fast
+}
+
+TEST(Estimator, MlcHalvesDataArea)
+{
+    Estimator est;
+    CacheOrgConfig org;
+    CellSpec slc = publishedCell("Xue");
+    slc.name = "Xue-slc";
+    slc.cellLevels = CellParam::reported(1);
+    LlcModel mlc = est.estimate(publishedCell("Xue"), org);
+    LlcModel slc_model = est.estimate(slc, org);
+    EXPECT_LT(mlc.area, slc_model.area * 0.75);
+}
+
+TEST(Estimator, AreaMonotonicInCapacity)
+{
+    Estimator est;
+    CacheOrgConfig org;
+    double prev = 0.0;
+    for (std::uint64_t mb : {1, 2, 4, 8, 16}) {
+        org.capacityBytes = mb << 20;
+        LlcModel m = est.estimate(publishedCell("Chung"), org);
+        EXPECT_GT(m.area, prev);
+        prev = m.area;
+    }
+}
+
+TEST(Estimator, RramDensestSramLeakiest)
+{
+    Estimator est;
+    CacheOrgConfig org;
+    LlcModel zhang = est.estimate(publishedCell("Zhang"), org);
+    LlcModel jan = est.estimate(publishedCell("Jan"), org);
+    LlcModel sram = est.estimate(sramBaselineCell(), org);
+    EXPECT_LT(zhang.area, jan.area);
+    EXPECT_LT(zhang.area, sram.area);
+    EXPECT_GT(sram.leakage, zhang.leakage);
+    EXPECT_GT(sram.leakage, jan.leakage);
+}
+
+TEST(Estimator, RankCorrelationWithPublishedTableIII)
+{
+    // Across the 11 technologies, the estimator's ordering of area,
+    // write latency, and write energy must track the published NVSim
+    // ordering (Spearman > 0.6). Absolute agreement is not the goal —
+    // the paper's methodology point is consistent relative modeling.
+    Estimator est;
+    CacheOrgConfig org;
+    std::vector<double> est_area, pub_area, est_wlat, pub_wlat,
+        est_we, pub_we;
+    for (const LlcModel &pub :
+         publishedLlcModels(CapacityMode::FixedCapacity)) {
+        const CellSpec &cell = pub.klass == NvmClass::SRAM
+                                   ? sramBaselineCell()
+                                   : publishedCell(pub.name);
+        LlcModel m = est.estimate(cell, org);
+        est_area.push_back(m.area);
+        pub_area.push_back(pub.area);
+        est_wlat.push_back(m.writeLatency());
+        pub_wlat.push_back(pub.writeLatency());
+        est_we.push_back(m.eWrite);
+        pub_we.push_back(pub.eWrite);
+    }
+    EXPECT_GT(spearman(est_area, pub_area), 0.6);
+    EXPECT_GT(spearman(est_wlat, pub_wlat), 0.6);
+    EXPECT_GT(spearman(est_we, pub_we), 0.6);
+}
+
+TEST(Estimator, RejectsIncompleteSpec)
+{
+    Estimator est;
+    CacheOrgConfig org;
+    CellSpec incomplete;
+    incomplete.name = "hole";
+    incomplete.klass = NvmClass::STTRAM;
+    incomplete.processNode = CellParam::reported(45e-9);
+    EXPECT_DEATH(est.estimate(incomplete, org), "incomplete");
+}
+
+// --- published Table III -----------------------------------------------------
+
+class PublishedModeTest : public ::testing::TestWithParam<CapacityMode>
+{
+};
+
+TEST_P(PublishedModeTest, ElevenModelsSramLast)
+{
+    const auto &models = publishedLlcModels(GetParam());
+    ASSERT_EQ(models.size(), 11u);
+    EXPECT_EQ(models.back().name, "SRAM");
+}
+
+TEST_P(PublishedModeTest, AllPositive)
+{
+    for (const LlcModel &m : publishedLlcModels(GetParam())) {
+        EXPECT_GT(m.capacityBytes, 0u) << m.name;
+        EXPECT_GT(m.tagLatency, 0.0) << m.name;
+        EXPECT_GT(m.readLatency, 0.0) << m.name;
+        EXPECT_GT(m.writeLatency(), 0.0) << m.name;
+        EXPECT_GT(m.eHit, 0.0) << m.name;
+        EXPECT_GT(m.leakage, 0.0) << m.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, PublishedModeTest,
+                         ::testing::Values(CapacityMode::FixedCapacity,
+                                           CapacityMode::FixedArea));
+
+TEST(Published, FixedCapacityIsAllTwoMB)
+{
+    for (const LlcModel &m :
+         publishedLlcModels(CapacityMode::FixedCapacity))
+        EXPECT_EQ(m.capacityBytes, 2ull << 20) << m.name;
+}
+
+TEST(Published, FixedAreaCapacitiesMatchPaper)
+{
+    struct Expect
+    {
+        const char *name;
+        double mb;
+    } expected[] = {
+        {"Oh", 2},    {"Chen", 4},     {"Kang", 2}, {"Close", 4},
+        {"Chung", 8}, {"Jan", 1},      {"Umeki", 2}, {"Xue", 8},
+        {"Hayakawa", 32}, {"Zhang", 128}, {"SRAM", 2},
+    };
+    for (const auto &e : expected) {
+        const LlcModel &m =
+            publishedLlcModel(e.name, CapacityMode::FixedArea);
+        EXPECT_DOUBLE_EQ(toMB(m.capacityBytes), e.mb) << e.name;
+    }
+}
+
+TEST(Published, PcramSetResetAsymmetry)
+{
+    const LlcModel &oh =
+        publishedLlcModel("Oh", CapacityMode::FixedCapacity);
+    EXPECT_NEAR(toNs(oh.writeLatencySet), 181.206, 1e-9);
+    EXPECT_NEAR(toNs(oh.writeLatencyReset), 11.206, 1e-9);
+    EXPECT_NEAR(toNs(oh.writeLatency()), 181.206, 1e-9);
+}
+
+TEST(Published, SramRowMatchesPaper)
+{
+    const LlcModel &sram = sramBaselineLlc();
+    EXPECT_NEAR(toMm2(sram.area), 6.548, 1e-9);
+    EXPECT_NEAR(toNs(sram.tagLatency), 0.439, 1e-9);
+    EXPECT_NEAR(toNs(sram.readLatency), 1.234, 1e-9);
+    EXPECT_NEAR(toNJ(sram.eHit), 0.565, 1e-9);
+    EXPECT_NEAR(sram.leakage, 3.438, 1e-9);
+}
+
+TEST(Published, CitationNames)
+{
+    EXPECT_EQ(publishedLlcModel("Oh", CapacityMode::FixedCapacity)
+                  .citationName(),
+              "Oh_P");
+    EXPECT_EQ(publishedLlcModel("Zhang", CapacityMode::FixedArea)
+                  .citationName(),
+              "Zhang_R");
+    EXPECT_EQ(sramBaselineLlc().citationName(), "SRAM");
+}
+
+// --- area solver ---------------------------------------------------------------
+
+TEST(AreaSolver, DenserCellsGetMoreCapacity)
+{
+    AreaSolver solver{Estimator()};
+    CacheOrgConfig org;
+    const double budget = 6.548e-6;
+    auto zhang = solver.solve(publishedCell("Zhang"), budget, org);
+    auto jan = solver.solve(publishedCell("Jan"), budget, org);
+    auto chung = solver.solve(publishedCell("Chung"), budget, org);
+    EXPECT_GT(zhang.capacityBytes, 4 * chung.capacityBytes);
+    EXPECT_GE(chung.capacityBytes, jan.capacityBytes);
+}
+
+TEST(AreaSolver, RespectsBudgetWithSlack)
+{
+    AreaSolver::Options opts;
+    AreaSolver solver{Estimator(), opts};
+    CacheOrgConfig org;
+    const double budget = 6.548e-6;
+    for (const char *name : {"Chung", "Xue", "Hayakawa", "Zhang"}) {
+        auto r = solver.solve(publishedCell(name), budget, org);
+        EXPECT_LE(r.model.area, budget * (1.0 + opts.slack)) << name;
+    }
+}
+
+TEST(AreaSolver, LargerBudgetNeverShrinksCapacity)
+{
+    AreaSolver solver{Estimator()};
+    CacheOrgConfig org;
+    auto small = solver.solve(publishedCell("Chung"), 3e-6, org);
+    auto large = solver.solve(publishedCell("Chung"), 12e-6, org);
+    EXPECT_GE(large.capacityBytes, small.capacityBytes);
+}
+
+TEST(Estimator, LargerMatsAmortizePeripheralAreaAndLeakage)
+{
+    Estimator est;
+    CacheOrgConfig small, large;
+    small.matRows = small.matCols = 256;
+    large.matRows = large.matCols = 1024;
+    for (const char *name : {"Kang", "Chung", "Zhang"}) {
+        LlcModel s = est.estimate(publishedCell(name), small);
+        LlcModel l = est.estimate(publishedCell(name), large);
+        EXPECT_LT(l.area, s.area) << name;
+        EXPECT_LT(l.leakage, s.leakage) << name;
+    }
+}
+
+TEST(Estimator, HigherAssociativityCostsMoreTagEnergy)
+{
+    Estimator est;
+    CacheOrgConfig lo, hi;
+    lo.associativity = 8;
+    hi.associativity = 32;
+    LlcModel a = est.estimate(publishedCell("Chung"), lo);
+    LlcModel b = est.estimate(publishedCell("Chung"), hi);
+    EXPECT_GT(b.eMiss, a.eMiss * 1.5);
+}
+
+TEST(Estimator, WriteLatencyInsensitiveToOrganization)
+{
+    // NVM write latency is pulse-dominated; organization moves it by
+    // nanoseconds at most.
+    Estimator est;
+    CacheOrgConfig small, large;
+    small.matRows = small.matCols = 256;
+    large.matRows = large.matCols = 1024;
+    LlcModel s = est.estimate(publishedCell("Zhang"), small);
+    LlcModel l = est.estimate(publishedCell("Zhang"), large);
+    EXPECT_NEAR(toNs(s.writeLatency()), toNs(l.writeLatency()), 2.0);
+}

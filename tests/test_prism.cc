@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the PRISM-style characterizer: Shannon entropy (eq 9),
+ * local entropy masking, unique and 90% footprints.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prism/metrics.hh"
+#include "util/rng.hh"
+#include "workload/generators.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+MemAccess
+read(std::uint64_t addr)
+{
+    return MemAccess{addr, AccessKind::Load, 0};
+}
+
+MemAccess
+write(std::uint64_t addr)
+{
+    return MemAccess{addr, AccessKind::Store, 0};
+}
+
+} // namespace
+
+TEST(Prism, SingleAddressHasZeroEntropy)
+{
+    FeatureCollector fc;
+    for (int i = 0; i < 100; ++i)
+        fc.record(read(0x1234));
+    auto f = fc.finalize();
+    EXPECT_DOUBLE_EQ(f.reads.globalEntropy, 0.0);
+    EXPECT_EQ(f.reads.unique, 1u);
+    EXPECT_EQ(f.reads.footprint90, 1u);
+    EXPECT_EQ(f.reads.total, 100u);
+}
+
+TEST(Prism, UniformOverPowerOfTwoIsLogN)
+{
+    FeatureCollector fc;
+    const int n = 256;
+    for (int rep = 0; rep < 4; ++rep)
+        for (int i = 0; i < n; ++i)
+            fc.record(read(std::uint64_t(i) << 12));
+    auto f = fc.finalize();
+    EXPECT_NEAR(f.reads.globalEntropy, 8.0, 1e-9);
+    EXPECT_EQ(f.reads.unique, 256u);
+}
+
+TEST(Prism, LocalEntropyMasksLowBits)
+{
+    // 256 addresses inside ONE 1 KB page: global entropy 8 bits,
+    // local entropy (M=10) zero.
+    FeatureCollector fc(10);
+    for (int i = 0; i < 256; ++i)
+        fc.record(read(i * 4));
+    auto f = fc.finalize();
+    EXPECT_NEAR(f.reads.globalEntropy, 8.0, 1e-9);
+    EXPECT_DOUBLE_EQ(f.reads.localEntropy, 0.0);
+}
+
+TEST(Prism, LocalEntropyAcrossPages)
+{
+    // 16 addresses in 16 distinct pages: local entropy = 4 bits.
+    FeatureCollector fc(10);
+    for (int i = 0; i < 16; ++i)
+        fc.record(read(std::uint64_t(i) << 10));
+    auto f = fc.finalize();
+    EXPECT_NEAR(f.reads.localEntropy, 4.0, 1e-9);
+}
+
+TEST(Prism, ReadsAndWritesSeparated)
+{
+    FeatureCollector fc;
+    fc.record(read(0x100));
+    fc.record(read(0x200));
+    fc.record(write(0x300));
+    auto f = fc.finalize();
+    EXPECT_EQ(f.reads.total, 2u);
+    EXPECT_EQ(f.writes.total, 1u);
+    EXPECT_EQ(f.reads.unique, 2u);
+    EXPECT_EQ(f.writes.unique, 1u);
+}
+
+TEST(Prism, IFetchCountsAsRead)
+{
+    FeatureCollector fc;
+    fc.record(MemAccess{0x100, AccessKind::IFetch, 0});
+    auto f = fc.finalize();
+    EXPECT_EQ(f.reads.total, 1u);
+    EXPECT_EQ(f.writes.total, 0u);
+}
+
+TEST(Prism, Footprint90SkewedDistribution)
+{
+    // 90 accesses to A, 10 spread over B..K: the hottest address
+    // alone covers 90%.
+    FeatureCollector fc;
+    for (int i = 0; i < 90; ++i)
+        fc.record(read(0x1000));
+    for (int i = 0; i < 10; ++i)
+        fc.record(read(0x2000 + std::uint64_t(i) * 64));
+    auto f = fc.finalize();
+    EXPECT_EQ(f.reads.unique, 11u);
+    EXPECT_EQ(f.reads.footprint90, 1u);
+}
+
+TEST(Prism, Footprint90UniformNeedsNinetyPercent)
+{
+    FeatureCollector fc;
+    for (int i = 0; i < 100; ++i)
+        fc.record(read(std::uint64_t(i) * 64));
+    auto f = fc.finalize();
+    EXPECT_EQ(f.reads.footprint90, 90u);
+}
+
+TEST(Prism, ZipfEntropyMatchesSamplerExactEntropy)
+{
+    const std::uint64_t n = 512;
+    const double skew = 0.9;
+    ZipfSampler zipf(n, skew);
+    Rng rng(3);
+    FeatureCollector fc;
+    for (int i = 0; i < 300'000; ++i)
+        fc.record(read(zipf(rng) << 6));
+    auto f = fc.finalize();
+    EXPECT_NEAR(f.reads.globalEntropy, zipf.exactEntropyBits(), 0.2);
+}
+
+TEST(Prism, EmptyCollectorIsAllZero)
+{
+    FeatureCollector fc;
+    auto f = fc.finalize();
+    EXPECT_DOUBLE_EQ(f.reads.globalEntropy, 0.0);
+    EXPECT_EQ(f.writes.total, 0u);
+    EXPECT_EQ(f.writes.footprint90, 0u);
+}
+
+TEST(Prism, FeatureVectorOrderMatchesTableVI)
+{
+    FeatureCollector fc;
+    fc.record(read(0x40));
+    fc.record(write(0x80));
+    fc.record(write(0xc0));
+    auto f = fc.finalize();
+    auto v = f.featureVector();
+    const auto &names = WorkloadFeatures::featureNames();
+    ASSERT_EQ(v.size(), 10u);
+    ASSERT_EQ(names.size(), 10u);
+    EXPECT_EQ(names[0], "H_rg");
+    EXPECT_EQ(names[8], "r_total");
+    EXPECT_DOUBLE_EQ(v[8], 1.0); // r_total
+    EXPECT_DOUBLE_EQ(v[9], 2.0); // w_total
+    EXPECT_DOUBLE_EQ(v[4], 1.0); // r_uniq
+    EXPECT_DOUBLE_EQ(v[5], 2.0); // w_uniq
+}
+
+TEST(Prism, CharacterizeResetsTracesForReuse)
+{
+    GeneratorConfig cfg;
+    cfg.totalAccesses = 5000;
+    StreamConfig s;
+    s.kind = StreamConfig::Kind::Uniform;
+    s.regionBytes = 1 << 18;
+    cfg.loads.streams = {s};
+    cfg.stores.streams = {s};
+    auto traces = buildThreadTraces(cfg, 2);
+    std::vector<TraceSource *> ptrs{traces[0].get(), traces[1].get()};
+
+    auto f1 = characterize(ptrs);
+    auto f2 = characterize(ptrs); // must be identical after reset
+    EXPECT_EQ(f1.reads.total + f1.writes.total, 5000u);
+    EXPECT_DOUBLE_EQ(f1.reads.globalEntropy, f2.reads.globalEntropy);
+    EXPECT_EQ(f1.writes.unique, f2.writes.unique);
+
+    // And the traces are still usable afterwards.
+    MemAccess a;
+    EXPECT_TRUE(ptrs[0]->next(a));
+}

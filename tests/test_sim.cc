@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Tests for the system-simulator substrate: DRAM queueing, the
+ * asymmetric LLC (write policies, energy accounting), the core
+ * interval model, and whole-System invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "nvsim/published.hh"
+#include "sim/core.hh"
+#include "sim/dram.hh"
+#include "sim/nvm_llc.hh"
+#include "sim/system.hh"
+#include "workload/generators.hh"
+
+using namespace nvmcache;
+
+// --- DRAM ----------------------------------------------------------------
+
+TEST(Dram, DeviceLatencyFloor)
+{
+    DramModel dram(DramConfig{}, 2.66e9);
+    auto lat = dram.read(0x1000, 1000);
+    // 45 ns at 2.66 GHz ~ 120 cycles.
+    EXPECT_GE(lat, 115u);
+    EXPECT_LE(lat, 130u);
+}
+
+TEST(Dram, BandwidthQueueingDelaysBackToBackReads)
+{
+    DramModel dram(DramConfig{}, 2.66e9);
+    // Saturate one controller: blocks 0, 4, 8... all map to ctl 0.
+    auto first = dram.read(0, 0);
+    auto second = dram.read(4 * 64, 0);
+    EXPECT_GT(second, first);
+    EXPECT_GT(dram.queueCycles(), 0u);
+}
+
+TEST(Dram, InterleavingSpreadsLoad)
+{
+    DramModel dram(DramConfig{}, 2.66e9);
+    // Consecutive blocks map to different controllers: no queueing.
+    auto a = dram.read(0 * 64, 0);
+    auto b = dram.read(1 * 64, 0);
+    auto c = dram.read(2 * 64, 0);
+    auto d = dram.read(3 * 64, 0);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(b, c);
+    EXPECT_EQ(c, d);
+}
+
+TEST(Dram, WritesConsumeBandwidthOnly)
+{
+    DramModel dram(DramConfig{}, 2.66e9);
+    dram.write(0, 0);
+    EXPECT_EQ(dram.writes(), 1u);
+    // A read right behind the write on the same controller queues.
+    auto lat = dram.read(4 * 64, 0);
+    auto lat_clean = DramModel(DramConfig{}, 2.66e9).read(4 * 64, 0);
+    EXPECT_GT(lat, lat_clean);
+}
+
+// --- SharedLlc --------------------------------------------------------------
+
+namespace {
+
+SharedLlc
+makeLlc(const std::string &tech, WritePolicy policy,
+        CapacityMode mode = CapacityMode::FixedCapacity)
+{
+    SharedLlc::Config cfg;
+    cfg.writePolicy = policy;
+    return SharedLlc(publishedLlcModel(tech, mode), cfg, 2.66e9);
+}
+
+} // namespace
+
+TEST(Llc, HitAndMissEnergyAccounting)
+{
+    SharedLlc llc = makeLlc("Chung", WritePolicy::Posted);
+    const LlcModel &m = llc.model();
+
+    llc.demandRead(0x10000, 0); // miss -> eMiss + fill eWrite
+    llc.demandRead(0x10000, 100); // hit -> eHit
+    const LlcStats &s = llc.stats();
+    EXPECT_EQ(s.demandReads, 2u);
+    EXPECT_EQ(s.demandHits, 1u);
+    EXPECT_EQ(s.demandMisses, 1u);
+    EXPECT_EQ(s.fills, 1u);
+    EXPECT_DOUBLE_EQ(s.hitEnergy, m.eHit);
+    EXPECT_DOUBLE_EQ(s.missEnergy, m.eMiss);
+    EXPECT_DOUBLE_EQ(s.writeEnergy, m.eWrite);
+    EXPECT_DOUBLE_EQ(s.dynamicEnergy(), m.eHit + m.eMiss + m.eWrite);
+}
+
+TEST(Llc, PostedWritesNeverStall)
+{
+    SharedLlc llc = makeLlc("Kang", WritePolicy::Posted); // 301 ns writes
+    for (int i = 0; i < 1000; ++i) {
+        auto wb = llc.writeback(0x40000 + i * 64, 0);
+        EXPECT_EQ(wb.stallCycles, 0u);
+    }
+    EXPECT_EQ(llc.stats().writeStallCycles, 0u);
+}
+
+TEST(Llc, BlockingWritesChargeFullLatency)
+{
+    SharedLlc llc = makeLlc("Kang", WritePolicy::Blocking);
+    auto wb = llc.writeback(0x40000, 0);
+    // Kang write = 301 ns ~ 801 cycles.
+    EXPECT_GE(wb.stallCycles, 790u);
+}
+
+TEST(Llc, BankContentionStallsOnlyBeyondQueueDepth)
+{
+    SharedLlc llc = makeLlc("Kang", WritePolicy::BankContention);
+    const auto depth = llc.config().writeQueueDepth;
+    // Hammer one bank (stride = numBanks * blockBytes).
+    const std::uint64_t stride =
+        std::uint64_t(llc.config().numBanks) * 64;
+    std::uint64_t stalls = 0;
+    for (std::uint32_t i = 0; i < depth; ++i)
+        stalls += llc.writeback(i * stride * 1024, 0).stallCycles;
+    EXPECT_EQ(stalls, 0u); // within queue depth: free
+    auto wb = llc.writeback(depth * stride * 1024, 0);
+    EXPECT_GT(wb.stallCycles, 0u); // queue full: backpressure
+}
+
+TEST(Llc, ReadsWaitBehindBankBusy)
+{
+    SharedLlc llc = makeLlc("Zhang", WritePolicy::BankContention,
+                            CapacityMode::FixedArea);
+    // Prime the set so the reads below hit.
+    llc.demandRead(0x0, 0);
+    // Occupy bank 0 with a slow write (Zhang ~ 305 ns ~ 812 cycles).
+    llc.writeback(64 * llc.config().numBanks, 0);
+    auto rd = llc.demandRead(0x0, 1); // same bank, right behind
+    EXPECT_TRUE(rd.hit);
+    EXPECT_GT(rd.latencyCycles, 700u);
+    EXPECT_GT(llc.stats().readWaitCycles, 0u);
+}
+
+TEST(Llc, WritebackInstallsLine)
+{
+    SharedLlc llc = makeLlc("Chung", WritePolicy::Posted);
+    llc.writeback(0x7000, 0);
+    auto rd = llc.demandRead(0x7000, 10);
+    EXPECT_TRUE(rd.hit);
+}
+
+TEST(Llc, DirtyVictimSurfacesOnEviction)
+{
+    // Tiny traffic pattern guaranteed to evict: fill one set beyond
+    // its associativity with dirty lines.
+    SharedLlc llc = makeLlc("Chung", WritePolicy::Posted);
+    const auto &m = llc.model();
+    const std::uint64_t sets =
+        m.capacityBytes / 64 / llc.config().associativity;
+    const std::uint64_t set_stride = sets * 64;
+    bool saw_dirty_victim = false;
+    for (std::uint32_t i = 0; i <= llc.config().associativity; ++i) {
+        auto wb = llc.writeback(i * set_stride, 0);
+        saw_dirty_victim |= wb.victimDirty;
+    }
+    EXPECT_TRUE(saw_dirty_victim);
+}
+
+TEST(Llc, MissRate)
+{
+    SharedLlc llc = makeLlc("Chung", WritePolicy::Posted);
+    EXPECT_DOUBLE_EQ(llc.missRate(), 0.0);
+    llc.demandRead(0x0, 0);
+    llc.demandRead(0x0, 1);
+    EXPECT_DOUBLE_EQ(llc.missRate(), 0.5);
+}
+
+// --- PrivateCore -------------------------------------------------------------
+
+TEST(Core, BaseCpiAccounting)
+{
+    CoreParams params;
+    params.baseCpi = 0.5;
+    PrivateCore core(params);
+    MemAccess a{0x1000, AccessKind::Load, 3};
+    core.accessPrivate(a);
+    // 3 gap instructions + the load itself at CPI 0.5.
+    EXPECT_DOUBLE_EQ(core.cycle(), 2.0);
+    EXPECT_EQ(core.instructions(), 4u);
+}
+
+TEST(Core, StallOnlyBeyondHideWindow)
+{
+    CoreParams params;
+    PrivateCore core(params);
+    double before = core.cycle();
+    core.applyStall(AccessKind::Load, params.loadHide - 1);
+    EXPECT_DOUBLE_EQ(core.cycle(), before); // hidden
+    core.applyStall(AccessKind::Load, params.loadHide + 10);
+    EXPECT_DOUBLE_EQ(core.cycle(), before + 10.0);
+}
+
+TEST(Core, StoreStallsAreDiscounted)
+{
+    CoreParams params;
+    PrivateCore core(params);
+    double before = core.cycle();
+    core.applyStall(AccessKind::Store, params.storeHide + 100);
+    EXPECT_DOUBLE_EQ(core.cycle(),
+                     before + 100.0 * params.storeStallFactor);
+}
+
+TEST(Core, L1HitNeedsNoLowerLevels)
+{
+    PrivateCore core(CoreParams{});
+    MemAccess a{0x2000, AccessKind::Load, 0};
+    auto first = core.accessPrivate(a);
+    EXPECT_FALSE(first.satisfied && first.latencyCycles == 0);
+    auto second = core.accessPrivate(a);
+    EXPECT_TRUE(second.satisfied);
+    EXPECT_EQ(second.latencyCycles, 0u);
+}
+
+TEST(Core, IFetchUsesL1I)
+{
+    PrivateCore core(CoreParams{});
+    MemAccess load{0x3000, AccessKind::Load, 0};
+    MemAccess fetch{0x3000, AccessKind::IFetch, 0};
+    core.accessPrivate(load);
+    // Same address via ifetch misses L1I (separate array).
+    auto r = core.accessPrivate(fetch);
+    EXPECT_FALSE(r.satisfied && r.latencyCycles == 0);
+}
+
+TEST(Core, DirtyL1VictimDrainsToL2)
+{
+    CoreParams params;
+    // Tiny L1D: 2 sets x 2 ways to force evictions quickly.
+    params.l1d = CacheGeometry{256, 2, 64};
+    PrivateCore core(params);
+    // Dirty four distinct lines mapping to one set, then overflow.
+    for (int i = 0; i < 8; ++i) {
+        MemAccess st{std::uint64_t(i) * 128, AccessKind::Store, 0};
+        core.accessPrivate(st);
+    }
+    // L2 should now hold the dirty victims: re-reading one is an L2
+    // hit, not an LLC request.
+    MemAccess ld{0 * 128, AccessKind::Load, 0};
+    auto r = core.accessPrivate(ld);
+    EXPECT_TRUE(r.satisfied);
+}
+
+// --- System -------------------------------------------------------------------
+
+namespace {
+
+GeneratorConfig
+tinyWorkload(std::uint64_t accesses = 50'000)
+{
+    GeneratorConfig cfg;
+    cfg.totalAccesses = accesses;
+    cfg.loadFraction = 0.7;
+    cfg.storeFraction = 0.3;
+    cfg.meanGap = 2.0;
+    StreamConfig hot;
+    hot.kind = StreamConfig::Kind::Zipf;
+    hot.regionBytes = 1 << 20;
+    hot.zipfSkew = 0.8;
+    hot.weight = 0.8;
+    StreamConfig cold;
+    cold.kind = StreamConfig::Kind::Uniform;
+    cold.regionBytes = 8 << 20;
+    cold.weight = 0.2;
+    cfg.loads.streams = {hot, cold};
+    cfg.stores.streams = {hot, cold};
+    cfg.seed = 77;
+    return cfg;
+}
+
+SimStats
+runTiny(const LlcModel &llc, std::uint32_t threads = 1,
+        WritePolicy policy = WritePolicy::Posted,
+        std::uint64_t accesses = 50'000)
+{
+    SystemConfig cfg;
+    cfg.numCores = threads;
+    cfg.llc.writePolicy = policy;
+    System system(cfg, llc);
+    auto traces = buildThreadTraces(tinyWorkload(accesses), threads);
+    std::vector<TraceSource *> ptrs;
+    for (auto &t : traces)
+        ptrs.push_back(t.get());
+    return system.run(ptrs);
+}
+
+} // namespace
+
+TEST(System, DeterministicAcrossRuns)
+{
+    SimStats a = runTiny(sramBaselineLlc());
+    SimStats b = runTiny(sramBaselineLlc());
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.llc.demandMisses, b.llc.demandMisses);
+    EXPECT_DOUBLE_EQ(a.llcDynamicEnergy, b.llcDynamicEnergy);
+}
+
+TEST(System, InstructionConservationAcrossThreadCounts)
+{
+    SimStats one = runTiny(sramBaselineLlc(), 1);
+    SimStats four = runTiny(sramBaselineLlc(), 4);
+    // Same total work split across threads (same generator totals).
+    EXPECT_NEAR(double(one.instructions), double(four.instructions),
+                0.02 * double(one.instructions));
+}
+
+TEST(System, MoreCoresFinishSooner)
+{
+    SimStats one = runTiny(sramBaselineLlc(), 1, WritePolicy::Posted,
+                           200'000);
+    SimStats four = runTiny(sramBaselineLlc(), 4, WritePolicy::Posted,
+                            200'000);
+    EXPECT_LT(four.cycles, one.cycles);
+}
+
+TEST(System, EnergyIdentity)
+{
+    const LlcModel &m = publishedLlcModel(
+        "Chung", CapacityMode::FixedCapacity);
+    SimStats s = runTiny(m);
+    const double expected =
+        double(s.llc.demandHits) * m.eHit +
+        double(s.llc.demandMisses) * m.eMiss +
+        double(s.llc.fills + s.llc.writebacksIn) * m.eWrite;
+    EXPECT_NEAR(s.llcDynamicEnergy, expected, 1e-12);
+    EXPECT_NEAR(s.llcLeakageEnergy, m.leakage * s.seconds, 1e-12);
+}
+
+TEST(System, FillsEqualDemandMisses)
+{
+    SimStats s = runTiny(sramBaselineLlc());
+    EXPECT_EQ(s.llc.fills, s.llc.demandMisses);
+}
+
+TEST(System, LargerLlcMissesLess)
+{
+    const LlcModel &small =
+        publishedLlcModel("Chung", CapacityMode::FixedCapacity); // 2MB
+    const LlcModel &large =
+        publishedLlcModel("Chung", CapacityMode::FixedArea); // 8MB
+    SimStats s_small = runTiny(small);
+    SimStats s_large = runTiny(large);
+    EXPECT_LT(s_large.llc.demandMisses, s_small.llc.demandMisses);
+}
+
+TEST(System, BlockingWritesSlowerThanPosted)
+{
+    const LlcModel &kang =
+        publishedLlcModel("Kang", CapacityMode::FixedCapacity);
+    SimStats posted = runTiny(kang, 1, WritePolicy::Posted);
+    SimStats blocking = runTiny(kang, 1, WritePolicy::Blocking);
+    EXPECT_GT(blocking.cycles, posted.cycles * 1.05);
+    // Same access stream -> identical energy counts.
+    EXPECT_EQ(posted.llc.demandMisses, blocking.llc.demandMisses);
+}
+
+TEST(System, BankContentionBetweenPostedAndBlocking)
+{
+    const LlcModel &kang =
+        publishedLlcModel("Kang", CapacityMode::FixedCapacity);
+    SimStats posted = runTiny(kang, 4, WritePolicy::Posted);
+    SimStats bank = runTiny(kang, 4, WritePolicy::BankContention);
+    SimStats blocking = runTiny(kang, 4, WritePolicy::Blocking);
+    EXPECT_LE(posted.cycles, bank.cycles);
+    EXPECT_LE(bank.cycles, blocking.cycles);
+}
+
+TEST(System, MpkiComputation)
+{
+    SimStats s;
+    s.instructions = 2'000'000;
+    s.llc.demandMisses = 5000;
+    EXPECT_DOUBLE_EQ(s.llcMpki(), 2.5);
+}
+
+TEST(System, RejectsMoreThreadsThanCores)
+{
+    SystemConfig cfg;
+    cfg.numCores = 1;
+    System system(cfg, sramBaselineLlc());
+    auto traces = buildThreadTraces(tinyWorkload(1000), 2);
+    std::vector<TraceSource *> ptrs{traces[0].get(), traces[1].get()};
+    EXPECT_DEATH(system.run(ptrs), "more threads");
+}

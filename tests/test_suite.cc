@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the benchmark suite definitions (paper Table V / VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/suite.hh"
+
+using namespace nvmcache;
+
+TEST(Suite, TwentyWorkloadsInTableVOrder)
+{
+    const auto &suite = benchmarkSuite();
+    ASSERT_EQ(suite.size(), 20u);
+    EXPECT_EQ(suite.front().name, "bzip2");
+    EXPECT_EQ(suite.back().name, "exchange2");
+}
+
+TEST(Suite, SuiteBreakdownMatchesPaper)
+{
+    // 7 from cpu2006, 2 from PARSEC3.0, 8 from NPB3.3.1, 3 from
+    // cpu2017 (paper SIV).
+    std::map<std::string, int> counts;
+    for (const auto &b : benchmarkSuite())
+        ++counts[b.suite];
+    EXPECT_EQ(counts["cpu2006"], 7);
+    EXPECT_EQ(counts["PARSEC3.0"], 2);
+    EXPECT_EQ(counts["NPB3.3.1"], 8);
+    EXPECT_EQ(counts["cpu2017"], 3);
+}
+
+TEST(Suite, ThreadingMatchesPaper)
+{
+    // PARSEC vips and all NPB are multi-threaded; cpu2006/2017 and
+    // x264 are single-threaded.
+    for (const auto &b : benchmarkSuite()) {
+        if (b.suite == "NPB3.3.1" || b.name == "vips") {
+            EXPECT_TRUE(b.multiThreaded) << b.name;
+            EXPECT_EQ(b.defaultThreads, 4u) << b.name;
+        } else {
+            EXPECT_FALSE(b.multiThreaded) << b.name;
+            EXPECT_EQ(b.defaultThreads, 1u) << b.name;
+        }
+    }
+}
+
+TEST(Suite, AiTrio)
+{
+    auto ai = aiBenchmarks();
+    ASSERT_EQ(ai.size(), 3u);
+    std::set<std::string> names;
+    for (auto *b : ai)
+        names.insert(b->name);
+    EXPECT_TRUE(names.count("deepsjeng"));
+    EXPECT_TRUE(names.count("leela"));
+    EXPECT_TRUE(names.count("exchange2"));
+}
+
+TEST(Suite, SixteenCharacterizedWorkloads)
+{
+    // The paper excludes gamess, gobmk, milc and perlbench from PRISM.
+    auto chars = characterizedBenchmarks();
+    EXPECT_EQ(chars.size(), 16u);
+    for (auto *b : chars) {
+        EXPECT_TRUE(b->paper.available()) << b->name;
+        EXPECT_NE(b->name, "gamess");
+        EXPECT_NE(b->name, "gobmk");
+        EXPECT_NE(b->name, "milc");
+        EXPECT_NE(b->name, "perlbench");
+    }
+}
+
+TEST(Suite, PaperMpkiAboveSelectionBar)
+{
+    // The paper only selected workloads with LLC mpki > 5.
+    for (const auto &b : benchmarkSuite())
+        EXPECT_GT(b.paperMpki, 5.0) << b.name;
+}
+
+TEST(Suite, TableVIValueSpotChecks)
+{
+    const auto &gems = benchmark("GemsFDTD");
+    EXPECT_NEAR(gems.paper.globalWriteEntropy, 22.27, 1e-9);
+    EXPECT_NEAR(gems.paper.footprint90Write, 113183.50e3, 1.0);
+    const auto &ex = benchmark("exchange2");
+    EXPECT_NEAR(ex.paper.totalReads, 62.28e9, 1e6);
+    EXPECT_NEAR(ex.paper.uniqueReads, 0.03e6, 1.0);
+}
+
+TEST(Suite, LookupUnknownNameDies)
+{
+    EXPECT_DEATH(benchmark("nosuch"), "unknown benchmark");
+}
+
+TEST(Suite, BuildTracesDefaultsAndOverrides)
+{
+    auto st = buildTraces(benchmark("bzip2"));
+    EXPECT_EQ(st.size(), 1u);
+    auto mt = buildTraces(benchmark("cg"));
+    EXPECT_EQ(mt.size(), 4u);
+    auto mt8 = buildTraces(benchmark("cg"), 8);
+    EXPECT_EQ(mt8.size(), 8u);
+}
+
+TEST(Suite, SingleThreadedRejectsMultipleThreads)
+{
+    EXPECT_DEATH(buildTraces(benchmark("bzip2"), 2),
+                 "single-threaded");
+}
+
+TEST(Suite, GeneratorsConfigured)
+{
+    for (const auto &b : benchmarkSuite()) {
+        EXPECT_GE(b.gen.totalAccesses, 1'000'000u) << b.name;
+        EXPECT_FALSE(b.gen.loads.streams.empty()) << b.name;
+        EXPECT_FALSE(b.gen.stores.streams.empty()) << b.name;
+        EXPECT_GT(b.gen.loadFraction, 0.3) << b.name;
+        EXPECT_GT(b.gen.meanGap, 0.0) << b.name;
+        EXPECT_NE(b.gen.seed, 0u) << b.name;
+    }
+}
+
+TEST(Suite, UniqueSeedsPerWorkload)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &b : benchmarkSuite())
+        seeds.insert(b.gen.seed);
+    EXPECT_EQ(seeds.size(), benchmarkSuite().size());
+}
+
+TEST(Suite, ReadHeavyWorkloadsMatchPaperDirection)
+{
+    // Paper Table VI: x264 and lu are significantly read-heavy.
+    EXPECT_GT(benchmark("x264").gen.loadFraction, 0.8);
+    EXPECT_GE(benchmark("lu").gen.loadFraction, 0.8);
+    // cg writes are tiny (0.04e9 vs 0.73e9 reads).
+    EXPECT_LT(benchmark("cg").gen.storeFraction, 0.1);
+}

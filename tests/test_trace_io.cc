@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for binary trace file I/O (the NVMT format) and FileTrace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "prism/metrics.hh"
+#include "workload/generators.hh"
+#include "workload/trace_io.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/nvmt_" + tag +
+           ".nvmt";
+}
+
+GeneratorConfig
+smallConfig()
+{
+    GeneratorConfig cfg;
+    cfg.totalAccesses = 5000;
+    cfg.loadFraction = 0.6;
+    cfg.storeFraction = 0.3;
+    StreamConfig s;
+    s.kind = StreamConfig::Kind::Uniform;
+    s.regionBytes = 1 << 20;
+    cfg.loads.streams = {s};
+    cfg.stores.streams = {s};
+    StreamConfig code;
+    code.kind = StreamConfig::Kind::Zipf;
+    code.regionBytes = 64 << 10;
+    code.zipfSkew = 0.8;
+    cfg.ifetches.streams = {code};
+    cfg.seed = 31;
+    return cfg;
+}
+
+} // namespace
+
+TEST(TraceIo, RoundTripPreservesEveryRecord)
+{
+    const std::string path = tempPath("roundtrip");
+    SyntheticTrace source(smallConfig(), 0, 1);
+    const std::uint64_t written = writeTraceFile(path, source);
+    EXPECT_EQ(written, 5000u);
+
+    FileTrace loaded = readTraceFile(path);
+    ASSERT_EQ(loaded.size(), 5000u);
+
+    source.reset();
+    MemAccess a, b;
+    while (source.next(a)) {
+        ASSERT_TRUE(loaded.next(b));
+        EXPECT_EQ(a.addr, b.addr);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.nonMemInstrs, b.nonMemInstrs);
+    }
+    EXPECT_FALSE(loaded.next(b));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, FileTraceIsResettable)
+{
+    FileTrace trace({{0x100, AccessKind::Load, 2},
+                     {0x200, AccessKind::Store, 0}});
+    MemAccess a;
+    EXPECT_TRUE(trace.next(a));
+    EXPECT_TRUE(trace.next(a));
+    EXPECT_FALSE(trace.next(a));
+    trace.reset();
+    EXPECT_TRUE(trace.next(a));
+    EXPECT_EQ(a.addr, 0x100u);
+    EXPECT_EQ(a.nonMemInstrs, 2u);
+}
+
+TEST(TraceIo, LoadedTraceCharacterizesLikeSource)
+{
+    const std::string path = tempPath("features");
+    SyntheticTrace source(smallConfig(), 0, 1);
+    writeTraceFile(path, source);
+    FileTrace loaded = readTraceFile(path);
+
+    std::vector<TraceSource *> src{&source}, dst{&loaded};
+    WorkloadFeatures f_src = characterize(src);
+    WorkloadFeatures f_dst = characterize(dst);
+    EXPECT_DOUBLE_EQ(f_src.reads.globalEntropy,
+                     f_dst.reads.globalEntropy);
+    EXPECT_EQ(f_src.writes.unique, f_dst.writes.unique);
+    EXPECT_EQ(f_src.reads.total, f_dst.reads.total);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, WriterResetsSourceForReuse)
+{
+    const std::string path = tempPath("reuse");
+    SyntheticTrace source(smallConfig(), 0, 1);
+    writeTraceFile(path, source);
+    // The source must be fully replayable afterwards.
+    MemAccess a;
+    std::size_t n = 0;
+    while (source.next(a))
+        ++n;
+    EXPECT_EQ(n, 5000u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsGarbageFile)
+{
+    const std::string path = tempPath("garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a trace", f);
+    std::fclose(f);
+    EXPECT_DEATH(readTraceFile(path), "not an NVMT");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMissingFile)
+{
+    EXPECT_DEATH(readTraceFile("/nonexistent/dir/x.nvmt"),
+                 "cannot open");
+}
+
+TEST(TraceIo, SaturatesOversizedGaps)
+{
+    const std::string path = tempPath("gap");
+    FileTrace source({{0x40, AccessKind::Load, 1 << 20}});
+    writeTraceFile(path, source);
+    FileTrace loaded = readTraceFile(path);
+    MemAccess a;
+    ASSERT_TRUE(loaded.next(a));
+    EXPECT_EQ(a.nonMemInstrs, 0xffffu);
+    std::remove(path.c_str());
+}

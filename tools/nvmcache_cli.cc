@@ -1,0 +1,265 @@
+/**
+ * @file
+ * nvmcache command-line driver: the library's functionality as a set
+ * of composable subcommands, for users who want the framework without
+ * writing C++.
+ *
+ *   nvmcache models                      list the released cell models
+ *   nvmcache llc [--fixed-area]          print the Table III LLC models
+ *   nvmcache complete <cell>             heuristic-complete a raw cell
+ *   nvmcache estimate <cell> [capacityMB] run the circuit estimator
+ *   nvmcache simulate <workload> <tech> [--fixed-area] [--threads N]
+ *   nvmcache characterize <workload|tracefile.nvmt>
+ *   nvmcache export-trace <workload> <file.nvmt> [--threads N]
+ *   nvmcache workloads                   list the Table V suite
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "nvm/heuristics.hh"
+#include "nvm/model_library.hh"
+#include "nvsim/estimator.hh"
+#include "nvsim/published.hh"
+#include "prism/metrics.hh"
+#include "util/units.hh"
+#include "workload/suite.hh"
+#include "workload/trace_io.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: nvmcache <command> [args]\n"
+        "  models                             list released NVM "
+        "cell models (Table II)\n"
+        "  llc [--fixed-area]                 print LLC models "
+        "(Table III)\n"
+        "  complete <cell>                    heuristic-complete a "
+        "reported-only cell\n"
+        "  estimate <cell> [capacityMB]       circuit-estimate an LLC "
+        "model\n"
+        "  simulate <workload> <tech> [--fixed-area] [--threads N]\n"
+        "  characterize <workload|file.nvmt>  PRISM-style features\n"
+        "  export-trace <workload> <file.nvmt> [--threads N]\n"
+        "  workloads                          list the Table V suite\n");
+    return 2;
+}
+
+bool
+hasFlag(const std::vector<std::string> &args, const char *flag)
+{
+    for (const auto &a : args)
+        if (a == flag)
+            return true;
+    return false;
+}
+
+std::uint32_t
+flagValue(const std::vector<std::string> &args, const char *flag,
+          std::uint32_t fallback)
+{
+    for (std::size_t i = 0; i + 1 < args.size(); ++i)
+        if (args[i] == flag)
+            return std::uint32_t(std::stoul(args[i + 1]));
+    return fallback;
+}
+
+int
+cmdModels()
+{
+    std::printf("%-10s %-7s %-5s %-8s %-10s %s\n", "name", "class",
+                "year", "node", "cell[F^2]", "bits/cell");
+    for (const CellSpec &c : publishedCells())
+        std::printf("%-10s %-7s %-5d %-8.0f %-10.1f %d\n",
+                    c.name.c_str(), toString(c.klass).c_str(), c.year,
+                    c.processNode.get() * 1e9, c.cellSizeF2.get(),
+                    c.bitsPerCell());
+    return 0;
+}
+
+int
+cmdLlc(const std::vector<std::string> &args)
+{
+    const CapacityMode mode = hasFlag(args, "--fixed-area")
+                                  ? CapacityMode::FixedArea
+                                  : CapacityMode::FixedCapacity;
+    std::printf("%-12s %-8s %-9s %-9s %-10s %-9s %-9s\n", "model",
+                "cap[MB]", "read[ns]", "write[ns]", "Ewrite[nJ]",
+                "Ehit[nJ]", "leak[W]");
+    for (const LlcModel &m : publishedLlcModels(mode))
+        std::printf("%-12s %-8.0f %-9.3f %-9.3f %-10.3f %-9.3f "
+                    "%-9.3f\n",
+                    m.citationName().c_str(), toMB(m.capacityBytes),
+                    toNs(m.readLatency), toNs(m.writeLatency()),
+                    toNJ(m.eWrite), toNJ(m.eHit), m.leakage);
+    return 0;
+}
+
+int
+cmdComplete(const std::string &name)
+{
+    std::vector<CellSpec> refs = rawCells();
+    for (const CellSpec &seed : archetypeSeeds())
+        refs.push_back(seed);
+    HeuristicEngine engine(refs);
+
+    for (const CellSpec &raw : rawCells()) {
+        if (raw.name != name)
+            continue;
+        CompletionResult result = engine.complete(raw);
+        std::printf("%s: %zu parameters derived\n", name.c_str(),
+                    result.steps.size());
+        for (const CompletionStep &s : result.steps)
+            std::printf("  %-16s = %-12.4g  %s\n",
+                        toString(s.field).c_str(), s.value,
+                        s.rationale.c_str());
+        return result.complete() ? 0 : 1;
+    }
+    std::fprintf(stderr, "unknown cell '%s'\n", name.c_str());
+    return 2;
+}
+
+int
+cmdEstimate(const std::vector<std::string> &args)
+{
+    const CellSpec &cell = publishedCell(args[0]);
+    CacheOrgConfig org;
+    if (args.size() > 1)
+        org.capacityBytes = std::stoull(args[1]) << 20;
+    LlcModel m = Estimator().estimate(cell, org);
+    std::printf("%s @ %.0f MB: area %.3f mm^2, tag %.3f ns, read "
+                "%.3f ns, write %.3f ns,\n  Ehit %.3f nJ, Emiss %.3f "
+                "nJ, Ewrite %.3f nJ, leakage %.3f W\n",
+                cell.citationName().c_str(), toMB(org.capacityBytes),
+                toMm2(m.area), toNs(m.tagLatency),
+                toNs(m.readLatency), toNs(m.writeLatency()),
+                toNJ(m.eHit), toNJ(m.eMiss), toNJ(m.eWrite),
+                m.leakage);
+    return 0;
+}
+
+int
+cmdSimulate(const std::vector<std::string> &args)
+{
+    const BenchmarkSpec &spec = benchmark(args[0]);
+    const CapacityMode mode = hasFlag(args, "--fixed-area")
+                                  ? CapacityMode::FixedArea
+                                  : CapacityMode::FixedCapacity;
+    const std::uint32_t threads = flagValue(args, "--threads", 0);
+    const LlcModel &llc = publishedLlcModel(args[1], mode);
+
+    ExperimentRunner runner;
+    SimStats nvm = runner.runOne(spec, llc, threads);
+    SimStats sram =
+        runner.runOne(spec, publishedLlcModel("SRAM", mode), threads);
+    std::printf("%s on %s (%s):\n", spec.name.c_str(),
+                llc.citationName().c_str(), toString(mode).c_str());
+    std::printf("  runtime %.3f ms (SRAM %.3f), mpki %.1f\n",
+                nvm.seconds * 1e3, sram.seconds * 1e3, nvm.llcMpki());
+    std::printf("  speedup %.3f, energy %.3f, ED^2P %.3f "
+                "(vs SRAM)\n",
+                sram.seconds / nvm.seconds,
+                nvm.llcEnergy() / sram.llcEnergy(),
+                nvm.ed2p() / sram.ed2p());
+    return 0;
+}
+
+WorkloadFeatures
+featuresOf(const std::string &what)
+{
+    if (what.size() > 5 &&
+        what.substr(what.size() - 5) == ".nvmt") {
+        FileTrace trace = readTraceFile(what);
+        std::vector<TraceSource *> ptrs{&trace};
+        return characterize(ptrs);
+    }
+    auto traces = buildTraces(benchmark(what));
+    std::vector<TraceSource *> ptrs;
+    for (auto &t : traces)
+        ptrs.push_back(t.get());
+    return characterize(ptrs);
+}
+
+int
+cmdCharacterize(const std::string &what)
+{
+    WorkloadFeatures f = featuresOf(what);
+    const auto names = WorkloadFeatures::featureNames();
+    const auto values = f.featureVector();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        std::printf("  %-10s %.6g\n", names[i].c_str(), values[i]);
+    return 0;
+}
+
+int
+cmdExportTrace(const std::vector<std::string> &args)
+{
+    const BenchmarkSpec &spec = benchmark(args[0]);
+    const std::uint32_t threads =
+        flagValue(args, "--threads", spec.defaultThreads);
+    auto traces = buildTraces(spec, threads);
+    std::uint64_t total = 0;
+    for (std::uint32_t t = 0; t < traces.size(); ++t) {
+        std::string path = args[1];
+        if (traces.size() > 1) {
+            // One file per thread: insert ".tN" before the suffix.
+            const auto dot = path.rfind(".nvmt");
+            path = path.substr(0, dot) + ".t" + std::to_string(t) +
+                   ".nvmt";
+        }
+        total += writeTraceFile(path, *traces[t]);
+        std::printf("wrote %s\n", path.c_str());
+    }
+    std::printf("%llu records\n", (unsigned long long)total);
+    return 0;
+}
+
+int
+cmdWorkloads()
+{
+    std::printf("%-10s %-10s %-8s %-11s %s\n", "name", "suite",
+                "threads", "paper mpki", "description");
+    for (const BenchmarkSpec &b : benchmarkSuite())
+        std::printf("%-10s %-10s %-8u %-11.2f %s\n", b.name.c_str(),
+                    b.suite.c_str(), b.defaultThreads, b.paperMpki,
+                    b.description.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (cmd == "models")
+        return cmdModels();
+    if (cmd == "llc")
+        return cmdLlc(args);
+    if (cmd == "complete" && args.size() >= 1)
+        return cmdComplete(args[0]);
+    if (cmd == "estimate" && args.size() >= 1)
+        return cmdEstimate(args);
+    if (cmd == "simulate" && args.size() >= 2)
+        return cmdSimulate(args);
+    if (cmd == "characterize" && args.size() >= 1)
+        return cmdCharacterize(args[0]);
+    if (cmd == "export-trace" && args.size() >= 2)
+        return cmdExportTrace(args);
+    if (cmd == "workloads")
+        return cmdWorkloads();
+    return usage();
+}
