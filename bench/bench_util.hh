@@ -9,6 +9,7 @@
 #define NVMCACHE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -20,6 +21,7 @@ struct HarnessOptions
     bool csv = false;
     bool color = true;
     bool quick = false; ///< trims sweeps for smoke runs
+    unsigned jobs = 0;  ///< 0 = engine default (NVMCACHE_JOBS / cores)
 
     static HarnessOptions
     parse(int argc, char **argv)
@@ -33,6 +35,11 @@ struct HarnessOptions
                 o.color = false;
             } else if (!std::strcmp(argv[i], "--quick")) {
                 o.quick = true;
+            } else if (!std::strcmp(argv[i], "--jobs") &&
+                       i + 1 < argc) {
+                const long n = std::strtol(argv[++i], nullptr, 10);
+                if (n > 0)
+                    o.jobs = unsigned(n);
             }
         }
         return o;

@@ -47,6 +47,7 @@ main(int argc, char **argv)
 {
     const auto opts = HarnessOptions::parse(argc, argv);
     ExperimentRunner runner;
+    runner.setJobs(opts.jobs);
 
     banner("Figure 1: Gainestown with fixed-capacity LLC");
     printArchitecture(runner.baseConfig());

@@ -32,6 +32,7 @@ main(int argc, char **argv)
         cores = {1, 4};
 
     ExperimentRunner runner;
+    runner.setJobs(opts.jobs);
     CoreSweepStudy study = runCoreSweep(workloads, techs, cores,
                                         runner);
 

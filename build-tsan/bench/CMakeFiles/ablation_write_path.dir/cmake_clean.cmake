@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_write_path.dir/ablation_write_path.cc.o"
+  "CMakeFiles/ablation_write_path.dir/ablation_write_path.cc.o.d"
+  "ablation_write_path"
+  "ablation_write_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_write_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_org_sensitivity.dir/ext_org_sensitivity.cc.o"
+  "CMakeFiles/ext_org_sensitivity.dir/ext_org_sensitivity.cc.o.d"
+  "ext_org_sensitivity"
+  "ext_org_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_org_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

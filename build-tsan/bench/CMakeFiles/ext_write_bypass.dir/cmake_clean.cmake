@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_write_bypass.dir/ext_write_bypass.cc.o"
+  "CMakeFiles/ext_write_bypass.dir/ext_write_bypass.cc.o.d"
+  "ext_write_bypass"
+  "ext_write_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_write_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

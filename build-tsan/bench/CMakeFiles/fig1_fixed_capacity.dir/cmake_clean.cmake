@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_fixed_capacity.dir/fig1_fixed_capacity.cc.o"
+  "CMakeFiles/fig1_fixed_capacity.dir/fig1_fixed_capacity.cc.o.d"
+  "fig1_fixed_capacity"
+  "fig1_fixed_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fixed_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

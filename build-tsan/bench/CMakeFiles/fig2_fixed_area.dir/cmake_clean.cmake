@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fixed_area.dir/fig2_fixed_area.cc.o"
+  "CMakeFiles/fig2_fixed_area.dir/fig2_fixed_area.cc.o.d"
+  "fig2_fixed_area"
+  "fig2_fixed_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fixed_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

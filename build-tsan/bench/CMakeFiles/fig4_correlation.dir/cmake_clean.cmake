@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_correlation.dir/fig4_correlation.cc.o"
+  "CMakeFiles/fig4_correlation.dir/fig4_correlation.cc.o.d"
+  "fig4_correlation"
+  "fig4_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_core_sweep.dir/fig_core_sweep.cc.o"
+  "CMakeFiles/fig_core_sweep.dir/fig_core_sweep.cc.o.d"
+  "fig_core_sweep"
+  "fig_core_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_core_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

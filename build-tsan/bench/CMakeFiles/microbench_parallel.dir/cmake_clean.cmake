@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_parallel.dir/microbench_parallel.cc.o"
+  "CMakeFiles/microbench_parallel.dir/microbench_parallel.cc.o.d"
+  "microbench_parallel"
+  "microbench_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cell_models.dir/table2_cell_models.cc.o"
+  "CMakeFiles/table2_cell_models.dir/table2_cell_models.cc.o.d"
+  "table2_cell_models"
+  "table2_cell_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cell_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_llc_models.dir/table3_llc_models.cc.o"
+  "CMakeFiles/table3_llc_models.dir/table3_llc_models.cc.o.d"
+  "table3_llc_models"
+  "table3_llc_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_llc_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

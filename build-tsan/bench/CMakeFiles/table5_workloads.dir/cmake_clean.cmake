@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_workloads.dir/table5_workloads.cc.o"
+  "CMakeFiles/table5_workloads.dir/table5_workloads.cc.o.d"
+  "table5_workloads"
+  "table5_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_features.dir/table6_features.cc.o"
+  "CMakeFiles/table6_features.dir/table6_features.cc.o.d"
+  "table6_features"
+  "table6_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

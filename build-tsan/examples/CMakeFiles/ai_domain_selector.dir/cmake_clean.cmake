@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ai_domain_selector.dir/ai_domain_selector.cpp.o"
+  "CMakeFiles/ai_domain_selector.dir/ai_domain_selector.cpp.o.d"
+  "ai_domain_selector"
+  "ai_domain_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ai_domain_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

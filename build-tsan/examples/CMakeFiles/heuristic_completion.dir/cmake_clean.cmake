@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_completion.dir/heuristic_completion.cpp.o"
+  "CMakeFiles/heuristic_completion.dir/heuristic_completion.cpp.o.d"
+  "heuristic_completion"
+  "heuristic_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmcache_core.dir/experiment.cc.o"
+  "CMakeFiles/nvmcache_core.dir/experiment.cc.o.d"
+  "CMakeFiles/nvmcache_core.dir/study.cc.o"
+  "CMakeFiles/nvmcache_core.dir/study.cc.o.d"
+  "libnvmcache_core.a"
+  "libnvmcache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmcache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmcache_correlate.dir/framework.cc.o"
+  "CMakeFiles/nvmcache_correlate.dir/framework.cc.o.d"
+  "libnvmcache_correlate.a"
+  "libnvmcache_correlate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmcache_correlate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvm/cell.cc" "src/nvm/CMakeFiles/nvmcache_nvm.dir/cell.cc.o" "gcc" "src/nvm/CMakeFiles/nvmcache_nvm.dir/cell.cc.o.d"
+  "/root/repo/src/nvm/endurance.cc" "src/nvm/CMakeFiles/nvmcache_nvm.dir/endurance.cc.o" "gcc" "src/nvm/CMakeFiles/nvmcache_nvm.dir/endurance.cc.o.d"
+  "/root/repo/src/nvm/heuristics.cc" "src/nvm/CMakeFiles/nvmcache_nvm.dir/heuristics.cc.o" "gcc" "src/nvm/CMakeFiles/nvmcache_nvm.dir/heuristics.cc.o.d"
+  "/root/repo/src/nvm/model_library.cc" "src/nvm/CMakeFiles/nvmcache_nvm.dir/model_library.cc.o" "gcc" "src/nvm/CMakeFiles/nvmcache_nvm.dir/model_library.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/nvmcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmcache_nvm.dir/cell.cc.o"
+  "CMakeFiles/nvmcache_nvm.dir/cell.cc.o.d"
+  "CMakeFiles/nvmcache_nvm.dir/endurance.cc.o"
+  "CMakeFiles/nvmcache_nvm.dir/endurance.cc.o.d"
+  "CMakeFiles/nvmcache_nvm.dir/heuristics.cc.o"
+  "CMakeFiles/nvmcache_nvm.dir/heuristics.cc.o.d"
+  "CMakeFiles/nvmcache_nvm.dir/model_library.cc.o"
+  "CMakeFiles/nvmcache_nvm.dir/model_library.cc.o.d"
+  "libnvmcache_nvm.a"
+  "libnvmcache_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmcache_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvsim/area_solver.cc" "src/nvsim/CMakeFiles/nvmcache_nvsim.dir/area_solver.cc.o" "gcc" "src/nvsim/CMakeFiles/nvmcache_nvsim.dir/area_solver.cc.o.d"
+  "/root/repo/src/nvsim/array.cc" "src/nvsim/CMakeFiles/nvmcache_nvsim.dir/array.cc.o" "gcc" "src/nvsim/CMakeFiles/nvmcache_nvsim.dir/array.cc.o.d"
+  "/root/repo/src/nvsim/estimator.cc" "src/nvsim/CMakeFiles/nvmcache_nvsim.dir/estimator.cc.o" "gcc" "src/nvsim/CMakeFiles/nvmcache_nvsim.dir/estimator.cc.o.d"
+  "/root/repo/src/nvsim/htree.cc" "src/nvsim/CMakeFiles/nvmcache_nvsim.dir/htree.cc.o" "gcc" "src/nvsim/CMakeFiles/nvmcache_nvsim.dir/htree.cc.o.d"
+  "/root/repo/src/nvsim/published.cc" "src/nvsim/CMakeFiles/nvmcache_nvsim.dir/published.cc.o" "gcc" "src/nvsim/CMakeFiles/nvmcache_nvsim.dir/published.cc.o.d"
+  "/root/repo/src/nvsim/tech.cc" "src/nvsim/CMakeFiles/nvmcache_nvsim.dir/tech.cc.o" "gcc" "src/nvsim/CMakeFiles/nvmcache_nvsim.dir/tech.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/nvm/CMakeFiles/nvmcache_nvm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/nvmcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmcache_nvsim.dir/area_solver.cc.o"
+  "CMakeFiles/nvmcache_nvsim.dir/area_solver.cc.o.d"
+  "CMakeFiles/nvmcache_nvsim.dir/array.cc.o"
+  "CMakeFiles/nvmcache_nvsim.dir/array.cc.o.d"
+  "CMakeFiles/nvmcache_nvsim.dir/estimator.cc.o"
+  "CMakeFiles/nvmcache_nvsim.dir/estimator.cc.o.d"
+  "CMakeFiles/nvmcache_nvsim.dir/htree.cc.o"
+  "CMakeFiles/nvmcache_nvsim.dir/htree.cc.o.d"
+  "CMakeFiles/nvmcache_nvsim.dir/published.cc.o"
+  "CMakeFiles/nvmcache_nvsim.dir/published.cc.o.d"
+  "CMakeFiles/nvmcache_nvsim.dir/tech.cc.o"
+  "CMakeFiles/nvmcache_nvsim.dir/tech.cc.o.d"
+  "libnvmcache_nvsim.a"
+  "libnvmcache_nvsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmcache_nvsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmcache_prism.dir/metrics.cc.o"
+  "CMakeFiles/nvmcache_prism.dir/metrics.cc.o.d"
+  "libnvmcache_prism.a"
+  "libnvmcache_prism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmcache_prism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/nvmcache_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/nvmcache_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/nvmcache_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/nvmcache_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/sim/CMakeFiles/nvmcache_sim.dir/dram.cc.o" "gcc" "src/sim/CMakeFiles/nvmcache_sim.dir/dram.cc.o.d"
+  "/root/repo/src/sim/nvm_llc.cc" "src/sim/CMakeFiles/nvmcache_sim.dir/nvm_llc.cc.o" "gcc" "src/sim/CMakeFiles/nvmcache_sim.dir/nvm_llc.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/nvmcache_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/nvmcache_sim.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/nvsim/CMakeFiles/nvmcache_nvsim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/nvmcache_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nvm/CMakeFiles/nvmcache_nvm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmcache_sim.dir/cache.cc.o"
+  "CMakeFiles/nvmcache_sim.dir/cache.cc.o.d"
+  "CMakeFiles/nvmcache_sim.dir/core.cc.o"
+  "CMakeFiles/nvmcache_sim.dir/core.cc.o.d"
+  "CMakeFiles/nvmcache_sim.dir/dram.cc.o"
+  "CMakeFiles/nvmcache_sim.dir/dram.cc.o.d"
+  "CMakeFiles/nvmcache_sim.dir/nvm_llc.cc.o"
+  "CMakeFiles/nvmcache_sim.dir/nvm_llc.cc.o.d"
+  "CMakeFiles/nvmcache_sim.dir/system.cc.o"
+  "CMakeFiles/nvmcache_sim.dir/system.cc.o.d"
+  "libnvmcache_sim.a"
+  "libnvmcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

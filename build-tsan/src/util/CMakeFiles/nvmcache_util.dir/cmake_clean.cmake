@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmcache_util.dir/logging.cc.o"
+  "CMakeFiles/nvmcache_util.dir/logging.cc.o.d"
+  "CMakeFiles/nvmcache_util.dir/parallel.cc.o"
+  "CMakeFiles/nvmcache_util.dir/parallel.cc.o.d"
+  "CMakeFiles/nvmcache_util.dir/rng.cc.o"
+  "CMakeFiles/nvmcache_util.dir/rng.cc.o.d"
+  "CMakeFiles/nvmcache_util.dir/stats.cc.o"
+  "CMakeFiles/nvmcache_util.dir/stats.cc.o.d"
+  "CMakeFiles/nvmcache_util.dir/table.cc.o"
+  "CMakeFiles/nvmcache_util.dir/table.cc.o.d"
+  "libnvmcache_util.a"
+  "libnvmcache_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmcache_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generators.cc" "src/workload/CMakeFiles/nvmcache_workload.dir/generators.cc.o" "gcc" "src/workload/CMakeFiles/nvmcache_workload.dir/generators.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/workload/CMakeFiles/nvmcache_workload.dir/suite.cc.o" "gcc" "src/workload/CMakeFiles/nvmcache_workload.dir/suite.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/nvmcache_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/nvmcache_workload.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/nvmcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/nvmcache_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nvsim/CMakeFiles/nvmcache_nvsim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nvm/CMakeFiles/nvmcache_nvm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

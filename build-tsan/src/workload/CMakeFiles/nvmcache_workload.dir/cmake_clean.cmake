@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmcache_workload.dir/generators.cc.o"
+  "CMakeFiles/nvmcache_workload.dir/generators.cc.o.d"
+  "CMakeFiles/nvmcache_workload.dir/suite.cc.o"
+  "CMakeFiles/nvmcache_workload.dir/suite.cc.o.d"
+  "CMakeFiles/nvmcache_workload.dir/trace_io.cc.o"
+  "CMakeFiles/nvmcache_workload.dir/trace_io.cc.o.d"
+  "libnvmcache_workload.a"
+  "libnvmcache_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmcache_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

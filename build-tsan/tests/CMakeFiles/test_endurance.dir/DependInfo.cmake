@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_endurance.cc" "tests/CMakeFiles/test_endurance.dir/test_endurance.cc.o" "gcc" "tests/CMakeFiles/test_endurance.dir/test_endurance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/nvmcache_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/nvmcache_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/prism/CMakeFiles/nvmcache_prism.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/nvmcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/correlate/CMakeFiles/nvmcache_correlate.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nvsim/CMakeFiles/nvmcache_nvsim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nvm/CMakeFiles/nvmcache_nvm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/nvmcache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

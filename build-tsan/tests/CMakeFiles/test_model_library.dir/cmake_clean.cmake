@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_library.dir/test_model_library.cc.o"
+  "CMakeFiles/test_model_library.dir/test_model_library.cc.o.d"
+  "test_model_library"
+  "test_model_library.pdb"
+  "test_model_library[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

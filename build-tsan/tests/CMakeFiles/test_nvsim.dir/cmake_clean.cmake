@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvsim.dir/test_nvsim.cc.o"
+  "CMakeFiles/test_nvsim.dir/test_nvsim.cc.o.d"
+  "test_nvsim"
+  "test_nvsim.pdb"
+  "test_nvsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

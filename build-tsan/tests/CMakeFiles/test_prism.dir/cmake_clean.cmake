@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prism.dir/test_prism.cc.o"
+  "CMakeFiles/test_prism.dir/test_prism.cc.o.d"
+  "test_prism"
+  "test_prism.pdb"
+  "test_prism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

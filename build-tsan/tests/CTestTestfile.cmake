@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_util[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_cell[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_heuristics[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_model_library[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_nvsim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_cache[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_generators[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_prism[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_correlate[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_suite[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_experiment[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_endurance[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_golden[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_parallel[1]_include.cmake")

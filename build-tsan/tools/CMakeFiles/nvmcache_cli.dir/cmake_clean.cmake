@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmcache_cli.dir/nvmcache_cli.cc.o"
+  "CMakeFiles/nvmcache_cli.dir/nvmcache_cli.cc.o.d"
+  "nvmcache"
+  "nvmcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmcache_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

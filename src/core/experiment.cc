@@ -1,8 +1,104 @@
 #include "core/experiment.hh"
 
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace nvmcache {
+
+namespace {
+
+/** Append the raw bytes of a trivially-copyable value to a key. */
+template <typename T>
+void
+appendBytes(std::string &key, const T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const char *p = reinterpret_cast<const char *>(&value);
+    key.append(p, sizeof(T));
+}
+
+void
+appendStream(std::string &key, const StreamConfig &sc)
+{
+    appendBytes(key, sc.kind);
+    appendBytes(key, sc.weight);
+    appendBytes(key, sc.regionBytes);
+    appendBytes(key, sc.zipfSkew);
+    appendBytes(key, sc.stride);
+    appendBytes(key, sc.shared);
+}
+
+void
+appendMix(std::string &key, const AccessMix &mix)
+{
+    appendBytes(key, mix.streams.size());
+    for (const StreamConfig &sc : mix.streams)
+        appendStream(key, sc);
+}
+
+/**
+ * Exact identity of one simulation: every input that can change its
+ * SimStats. The base SystemConfig is per-runner (the memo is too), so
+ * it needs no representation here.
+ */
+std::string
+runKey(const GeneratorConfig &gen, const LlcModel &llc,
+       std::uint32_t threads)
+{
+    std::string key;
+    key.reserve(256);
+    appendBytes(key, threads);
+    appendBytes(key, gen.totalAccesses);
+    appendBytes(key, gen.loadFraction);
+    appendBytes(key, gen.storeFraction);
+    appendBytes(key, gen.meanGap);
+    appendBytes(key, gen.seed);
+    appendMix(key, gen.loads);
+    appendMix(key, gen.stores);
+    appendMix(key, gen.ifetches);
+    key += llc.name;
+    key += '\0';
+    appendBytes(key, llc.klass);
+    appendBytes(key, llc.capacityBytes);
+    appendBytes(key, llc.area);
+    appendBytes(key, llc.tagLatency);
+    appendBytes(key, llc.readLatency);
+    appendBytes(key, llc.writeLatencySet);
+    appendBytes(key, llc.writeLatencyReset);
+    appendBytes(key, llc.eHit);
+    appendBytes(key, llc.eMiss);
+    appendBytes(key, llc.eWrite);
+    appendBytes(key, llc.leakage);
+    return key;
+}
+
+} // namespace
+
+/**
+ * Run cache with exactly-once semantics: the first caller of a key
+ * owns the simulation, concurrent callers of the same key block on
+ * its future instead of simulating again.
+ */
+struct ExperimentRunner::Memo
+{
+    struct Entry
+    {
+        std::promise<SimStats> promise;
+        std::shared_future<SimStats> future{promise.get_future()};
+    };
+
+    std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> runs;
+    std::atomic<std::uint64_t> simulations{0};
+    std::atomic<std::uint64_t> memoHits{0};
+    std::atomic<std::uint64_t> baselineSimulations{0};
+};
 
 const RunResult &
 TechSweep::byTech(const std::string &tech) const
@@ -14,17 +110,32 @@ TechSweep::byTech(const std::string &tech) const
 }
 
 ExperimentRunner::ExperimentRunner(SystemConfig base)
-    : base_(std::move(base))
+    : base_(std::move(base)), jobs_(defaultJobs()),
+      memo_(std::make_shared<Memo>())
 {
 }
 
-SimStats
-ExperimentRunner::runOne(const BenchmarkSpec &spec, const LlcModel &llc,
-                         std::uint32_t threads) const
+void
+ExperimentRunner::setJobs(unsigned jobs)
 {
-    if (threads == 0)
-        threads = spec.defaultThreads;
+    jobs_ = jobs == 0 ? defaultJobs() : jobs;
+}
 
+RunnerStats
+ExperimentRunner::runnerStats() const
+{
+    RunnerStats s;
+    s.simulations = memo_->simulations.load();
+    s.memoHits = memo_->memoHits.load();
+    s.baselineSimulations = memo_->baselineSimulations.load();
+    return s;
+}
+
+SimStats
+ExperimentRunner::simulateUncached(const BenchmarkSpec &spec,
+                                   const LlcModel &llc,
+                                   std::uint32_t threads) const
+{
     SystemConfig cfg = base_;
     cfg.numCores = threads;
 
@@ -36,6 +147,39 @@ ExperimentRunner::runOne(const BenchmarkSpec &spec, const LlcModel &llc,
 
     System system(cfg, llc);
     return system.run(ptrs);
+}
+
+SimStats
+ExperimentRunner::runOne(const BenchmarkSpec &spec, const LlcModel &llc,
+                         std::uint32_t threads) const
+{
+    if (threads == 0)
+        threads = spec.defaultThreads;
+
+    const std::string key = runKey(spec.gen, llc, threads);
+    std::shared_ptr<Memo::Entry> entry;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(memo_->mu);
+        auto [it, inserted] = memo_->runs.try_emplace(key);
+        if (inserted) {
+            it->second = std::make_shared<Memo::Entry>();
+            owner = true;
+        }
+        entry = it->second;
+    }
+
+    if (owner) {
+        memo_->simulations.fetch_add(1, std::memory_order_relaxed);
+        if (llc.klass == NvmClass::SRAM)
+            memo_->baselineSimulations.fetch_add(
+                1, std::memory_order_relaxed);
+        entry->promise.set_value(
+            simulateUncached(spec, llc, threads));
+    } else {
+        memo_->memoHits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return entry->future.get();
 }
 
 TechSweep
@@ -51,18 +195,29 @@ ExperimentRunner::sweepTechs(const BenchmarkSpec &spec,
     sweep.mode = mode;
     sweep.cores = threads;
 
-    // SRAM baseline first (needed for normalization), reported last.
-    const LlcModel &sram = publishedLlcModel("SRAM", mode);
-    SimStats sram_stats = runOne(spec, sram, threads);
+    // Fan the eleven independent simulations out; the memo makes any
+    // repeats (notably the SRAM baseline across studies) free.
+    const std::vector<LlcModel> &models = publishedLlcModels(mode);
+    std::vector<SimStats> stats =
+        parallelMap(jobs_, models, [&](const LlcModel &llc) {
+            return runOne(spec, llc, threads);
+        });
 
-    for (const LlcModel &llc : publishedLlcModels(mode)) {
+    const SimStats *found = nullptr;
+    for (std::size_t i = 0; i < models.size(); ++i)
+        if (models[i].klass == NvmClass::SRAM)
+            found = &stats[i];
+    if (!found)
+        panic("published model list has no SRAM baseline");
+    const SimStats sram_stats = *found; // keep valid across the moves
+
+    for (std::size_t i = 0; i < models.size(); ++i) {
         RunResult r;
         r.workload = spec.name;
-        r.tech = llc.name;
+        r.tech = models[i].name;
         r.mode = mode;
         r.cores = threads;
-        r.stats = llc.name == "SRAM" ? sram_stats
-                                     : runOne(spec, llc, threads);
+        r.stats = std::move(stats[i]);
         r.speedup = sram_stats.seconds / r.stats.seconds;
         r.normEnergy = r.stats.llcEnergy() / sram_stats.llcEnergy();
         r.normEd2p = r.stats.ed2p() / sram_stats.ed2p();

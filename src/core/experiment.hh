@@ -7,11 +7,20 @@
  *   speedup   = T_sram / T_nvm          (higher is better)
  *   energy    = E_llc,nvm / E_llc,sram  (lower is better)
  *   ED^2P     = (E * T^2)_nvm / (E * T^2)_sram
+ *
+ * The runner is a parallel, memoizing engine: independent simulations
+ * fan out across a thread pool (util/parallel.hh) and every completed
+ * run is cached by its exact inputs (generator configuration, LLC
+ * model, thread count), so a study that needs the same (workload,
+ * mode, cores) SRAM baseline for ten technologies simulates it once.
+ * Simulations are deterministic, so memoized and fresh results are
+ * bit-identical and the concurrency level never changes any output.
  */
 
 #ifndef NVMCACHE_CORE_EXPERIMENT_HH
 #define NVMCACHE_CORE_EXPERIMENT_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,6 +56,20 @@ struct TechSweep
     const RunResult &byTech(const std::string &tech) const;
 };
 
+/** Execution counters of one ExperimentRunner (memo effectiveness). */
+struct RunnerStats
+{
+    std::uint64_t simulations = 0; ///< actual System::run executions
+    std::uint64_t memoHits = 0;    ///< runOne() calls served from cache
+    /**
+     * SRAM-class entries of `simulations`. A study that is memoizing
+     * correctly simulates each (workload, cores) baseline exactly
+     * once, so after e.g. runFigureStudy this equals the workload
+     * count.
+     */
+    std::uint64_t baselineSimulations = 0;
+};
+
 class ExperimentRunner
 {
   public:
@@ -54,7 +77,8 @@ class ExperimentRunner
     explicit ExperimentRunner(SystemConfig base = SystemConfig());
 
     /**
-     * Simulate one workload on one LLC model.
+     * Simulate one workload on one LLC model, or return the memoized
+     * stats of an identical earlier run. Thread-safe.
      * @param threads 0 = spec default; multi-threaded workloads use
      *        one core per thread.
      */
@@ -63,15 +87,37 @@ class ExperimentRunner
 
     /**
      * Sweep all published Table III technologies (plus the SRAM
-     * baseline) for one workload and normalize.
+     * baseline) for one workload and normalize. Individual runs fan
+     * out over jobs() threads; results are assembled in Table III
+     * order regardless of completion order.
      */
     TechSweep sweepTechs(const BenchmarkSpec &spec, CapacityMode mode,
                          std::uint32_t threads = 0) const;
 
     const SystemConfig &baseConfig() const { return base_; }
 
+    /**
+     * Concurrency for sweeps/studies run through this runner.
+     * Defaults to defaultJobs() (NVMCACHE_JOBS env var, else the
+     * hardware thread count); @p jobs 0 restores that default, 1
+     * forces fully serial in-thread execution.
+     */
+    void setJobs(unsigned jobs);
+    unsigned jobs() const { return jobs_; }
+
+    /** Counters since construction (shared by copies). */
+    RunnerStats runnerStats() const;
+
   private:
+    struct Memo;
+
+    SimStats simulateUncached(const BenchmarkSpec &spec,
+                              const LlcModel &llc,
+                              std::uint32_t threads) const;
+
     SystemConfig base_;
+    unsigned jobs_;
+    std::shared_ptr<Memo> memo_; ///< shared so copies reuse runs
 };
 
 } // namespace nvmcache

@@ -1,8 +1,37 @@
 #include "core/study.hh"
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace nvmcache {
+
+namespace {
+
+/** One simulation to prefetch into the runner's memo. */
+struct RunJob
+{
+    const BenchmarkSpec *spec = nullptr;
+    const LlcModel *llc = nullptr;
+    std::uint32_t threads = 0; ///< 0 = spec default
+};
+
+/**
+ * Fan every job out across the runner's thread pool. Each run lands
+ * in the runner's memo, so the study's subsequent (serial,
+ * order-stable) assembly re-reads them without simulating anything:
+ * results are bit-identical at any concurrency level.
+ */
+void
+prefetchRuns(const ExperimentRunner &runner,
+             const std::vector<RunJob> &jobs)
+{
+    parallelMap(runner.jobs(), jobs, [&](const RunJob &job) {
+        runner.runOne(*job.spec, *job.llc, job.threads);
+        return 0;
+    });
+}
+
+} // namespace
 
 FigureStudy
 runFigureStudy(CapacityMode mode, const ExperimentRunner &runner,
@@ -10,12 +39,32 @@ runFigureStudy(CapacityMode mode, const ExperimentRunner &runner,
 {
     if (traceScale <= 0.0 || traceScale > 1.0)
         fatal("runFigureStudy: traceScale must be in (0, 1]");
-    FigureStudy study;
-    study.mode = mode;
-    for (BenchmarkSpec spec : benchmarkSuite()) {
+
+    // Scale every workload first so job specs are stable in memory.
+    std::vector<BenchmarkSpec> specs = benchmarkSuite();
+    for (BenchmarkSpec &spec : specs)
         spec.gen.totalAccesses = std::uint64_t(
             double(spec.gen.totalAccesses) * traceScale);
-        TechSweep sweep = runner.sweepTechs(spec, mode);
+
+    // Phase 1: every (workload, technology) point is independent —
+    // fan the whole figure out at once.
+    const std::vector<LlcModel> &models = publishedLlcModels(mode);
+    std::vector<RunJob> jobs;
+    jobs.reserve(specs.size() * models.size());
+    for (const BenchmarkSpec &spec : specs)
+        for (const LlcModel &llc : models)
+            jobs.push_back({&spec, &llc, 0});
+    prefetchRuns(runner, jobs);
+
+    // Phase 2: assemble in suite order from the memo. The serial
+    // copy shares the memo but skips per-sweep pool spin-up, since
+    // every run is already cached.
+    ExperimentRunner assembler = runner;
+    assembler.setJobs(1);
+    FigureStudy study;
+    study.mode = mode;
+    for (const BenchmarkSpec &spec : specs) {
+        TechSweep sweep = assembler.sweepTechs(spec, mode);
         if (spec.multiThreaded)
             study.multiThreaded.push_back(std::move(sweep));
         else
@@ -48,12 +97,31 @@ runCoreSweep(const std::vector<std::string> &workloads,
     study.coreCounts = coreCounts;
 
     const CapacityMode mode = CapacityMode::FixedArea;
+    const LlcModel &sram = publishedLlcModel("SRAM", mode);
 
+    // Phase 1: fan out the baselines and every sweep point. The
+    // (SRAM, 1 core) baseline and a requested SRAM/1-core point are
+    // the same simulation; the memo runs it once.
+    std::vector<RunJob> jobs;
+    for (const std::string &wname : workloads) {
+        const BenchmarkSpec &spec = benchmark(wname);
+        jobs.push_back({&spec, &sram, 1});
+        for (const std::string &tname : techs) {
+            const LlcModel &llc = publishedLlcModel(tname, mode);
+            for (std::uint32_t cores : coreCounts) {
+                if (cores > 1 && !spec.multiThreaded)
+                    continue;
+                jobs.push_back({&spec, &llc, cores});
+            }
+        }
+    }
+    prefetchRuns(runner, jobs);
+
+    // Phase 2: deterministic assembly from the memo.
     for (const std::string &wname : workloads) {
         const BenchmarkSpec &spec = benchmark(wname);
 
         // Baseline: single-core SRAM doing the same total work.
-        const LlcModel &sram = publishedLlcModel("SRAM", mode);
         SimStats base = runner.runOne(spec, sram, 1);
 
         for (const std::string &tname : techs) {
@@ -94,23 +162,38 @@ runCorrelationStudy(bool aiOnly, const std::vector<std::string> &techs,
             double(spec->gen.totalAccesses) * traceScale);
     }
 
-    // Feature pass (PRISM): one characterization per workload.
-    for (const BenchmarkSpec &spec : specs) {
-        auto traces = buildTraces(spec);
-        std::vector<TraceSource *> ptrs;
-        for (auto &t : traces)
-            ptrs.push_back(t.get());
+    // Feature pass (PRISM): one characterization per workload, each
+    // independent of the rest.
+    study.features =
+        parallelMap(runner.jobs(), specs, [](const BenchmarkSpec &spec) {
+            auto traces = buildTraces(spec);
+            std::vector<TraceSource *> ptrs;
+            for (auto &t : traces)
+                ptrs.push_back(t.get());
+            return characterize(ptrs);
+        });
+    for (const BenchmarkSpec &spec : specs)
         study.workloads.push_back(spec.name);
-        study.features.push_back(characterize(ptrs));
-    }
 
-    // Simulation pass: one tech sweep per (workload, mode), shared
-    // across all studied technologies.
+    // Simulation pass, phase 1: every (mode, workload, technology)
+    // point at once.
+    std::vector<RunJob> jobs;
+    for (CapacityMode mode : modes)
+        for (const BenchmarkSpec &spec : specs)
+            for (const LlcModel &llc : publishedLlcModels(mode))
+                jobs.push_back({&spec, &llc, 0});
+    prefetchRuns(runner, jobs);
+
+    // Phase 2: one tech sweep per (workload, mode), shared across all
+    // studied technologies, assembled from the memo (the serial copy
+    // shares it).
+    ExperimentRunner assembler = runner;
+    assembler.setJobs(1);
     for (CapacityMode mode : modes) {
         std::vector<TechSweep> sweeps;
         sweeps.reserve(specs.size());
         for (const BenchmarkSpec &spec : specs)
-            sweeps.push_back(runner.sweepTechs(spec, mode));
+            sweeps.push_back(assembler.sweepTechs(spec, mode));
 
         for (const std::string &tech : techs) {
             TechCorrelation tc;

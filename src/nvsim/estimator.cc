@@ -1,6 +1,12 @@
 #include "nvsim/estimator.hh"
 
+#include <atomic>
 #include <cmath>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
 
 #include "nvsim/array.hh"
 #include "nvsim/htree.hh"
@@ -9,10 +15,118 @@
 
 namespace nvmcache {
 
-Estimator::Estimator(Calibration cal) : cal_(cal) {}
+namespace {
+
+template <typename T>
+void
+appendBytes(std::string &key, const T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const char *p = reinterpret_cast<const char *>(&value);
+    key.append(p, sizeof(T));
+}
+
+void
+appendParam(std::string &key, const CellParam &param)
+{
+    const bool known = param.known();
+    appendBytes(key, known);
+    if (known)
+        appendBytes(key, param.value.value());
+}
+
+/**
+ * Exact identity of one estimation: every cell parameter and every
+ * organization knob. Calibration is per-Estimator (so is the memo).
+ */
+std::string
+estimateKey(const CellSpec &cell, const CacheOrgConfig &org)
+{
+    static const CellField kFields[] = {
+        CellField::ProcessNode,  CellField::CellSizeF2,
+        CellField::CellLevels,   CellField::ReadCurrent,
+        CellField::ReadVoltage,  CellField::ReadPower,
+        CellField::ReadEnergy,   CellField::ResetCurrent,
+        CellField::ResetVoltage, CellField::ResetPulse,
+        CellField::ResetEnergy,  CellField::SetCurrent,
+        CellField::SetVoltage,   CellField::SetPulse,
+        CellField::SetEnergy,
+    };
+
+    std::string key;
+    key.reserve(256);
+    key += cell.name;
+    key += '\0';
+    appendBytes(key, cell.klass);
+    for (CellField f : kFields)
+        appendParam(key, cell.field(f));
+    appendBytes(key, cell.cellLength.has_value());
+    appendBytes(key, cell.cellLength.value_or(0.0));
+    appendBytes(key, cell.cellWidth.has_value());
+    appendBytes(key, cell.cellWidth.value_or(0.0));
+
+    appendBytes(key, org.capacityBytes);
+    appendBytes(key, org.associativity);
+    appendBytes(key, org.blockBytes);
+    appendBytes(key, org.matRows);
+    appendBytes(key, org.matCols);
+    appendBytes(key, org.activeMats);
+    appendBytes(key, org.tagBitsPerLine);
+    return key;
+}
+
+} // namespace
+
+struct Estimator::Memo
+{
+    std::mutex mu;
+    std::unordered_map<std::string, LlcModel> models;
+    std::atomic<std::uint64_t> computed{0};
+    std::atomic<std::uint64_t> hits{0};
+};
+
+Estimator::Estimator(Calibration cal)
+    : cal_(cal), memo_(std::make_shared<Memo>())
+{
+}
+
+std::uint64_t
+Estimator::estimatesComputed() const
+{
+    return memo_->computed.load();
+}
+
+std::uint64_t
+Estimator::estimateCacheHits() const
+{
+    return memo_->hits.load();
+}
 
 LlcModel
 Estimator::estimate(const CellSpec &cell, const CacheOrgConfig &org) const
+{
+    const std::string key = estimateKey(cell, org);
+    {
+        std::lock_guard<std::mutex> lock(memo_->mu);
+        auto it = memo_->models.find(key);
+        if (it != memo_->models.end()) {
+            memo_->hits.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Compute outside the lock; concurrent first requests for the
+    // same point may both compute, but the result is identical and
+    // only one copy is kept.
+    LlcModel model = estimateUncached(cell, org);
+    std::lock_guard<std::mutex> lock(memo_->mu);
+    if (memo_->models.try_emplace(key, model).second)
+        memo_->computed.fetch_add(1, std::memory_order_relaxed);
+    return model;
+}
+
+LlcModel
+Estimator::estimateUncached(const CellSpec &cell,
+                            const CacheOrgConfig &org) const
 {
     auto missing = missingFields(cell);
     if (!missing.empty())

@@ -12,10 +12,19 @@
  *   E_hit   = E_tag + E_data-read         (eq 6)
  *   E_miss  = E_tag                       (eq 7)
  *   E_write = E_tag + E_data-write        (eq 8)
+ *
+ * Estimation is pure in (cell, org, calibration), so results are
+ * memoized: design-space sweeps and the fixed-area capacity solver
+ * re-request the same points constantly and pay for each exactly
+ * once. The cache is thread-safe and shared between copies of an
+ * Estimator (copies keep the same calibration).
  */
 
 #ifndef NVMCACHE_NVSIM_ESTIMATOR_HH
 #define NVMCACHE_NVSIM_ESTIMATOR_HH
+
+#include <cstdint>
+#include <memory>
 
 #include "nvm/cell.hh"
 #include "nvsim/config.hh"
@@ -29,7 +38,8 @@ class Estimator
     explicit Estimator(Calibration cal = Calibration());
 
     /**
-     * Estimate the LLC model for @p cell at organization @p org.
+     * Estimate the LLC model for @p cell at organization @p org, or
+     * return the memoized result of an identical earlier call.
      * The cell spec must be simulator-ready (missingFields empty);
      * fatal() otherwise, since silently guessing here would defeat
      * the apples-to-apples goal.
@@ -39,8 +49,19 @@ class Estimator
 
     const Calibration &calibration() const { return cal_; }
 
+    /** Distinct (cell, org) points actually computed. */
+    std::uint64_t estimatesComputed() const;
+    /** estimate() calls served from the memo. */
+    std::uint64_t estimateCacheHits() const;
+
   private:
+    struct Memo;
+
+    LlcModel estimateUncached(const CellSpec &cell,
+                              const CacheOrgConfig &org) const;
+
     Calibration cal_;
+    std::shared_ptr<Memo> memo_; ///< shared so copies reuse results
 };
 
 } // namespace nvmcache

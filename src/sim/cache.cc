@@ -17,28 +17,11 @@ SetAssocCache::SetAssocCache(const CacheGeometry &geom) : geom_(geom)
     if (sets == 0 || (sets & (sets - 1)) != 0)
         fatal("cache set count must be a power of two (capacity ",
               geom_.capacityBytes, ", assoc ", geom_.associativity, ")");
+    blockBits_ = std::uint32_t(
+        std::countr_zero(std::uint64_t(geom_.blockBytes)));
+    tagShift_ = blockBits_ + std::uint32_t(std::countr_zero(sets));
+    setMask_ = sets - 1;
     lines_.resize(sets * geom_.associativity);
-}
-
-std::uint64_t
-SetAssocCache::blockAlign(std::uint64_t addr) const
-{
-    return addr & ~std::uint64_t(geom_.blockBytes - 1);
-}
-
-std::uint64_t
-SetAssocCache::setIndex(std::uint64_t addr) const
-{
-    const int block_bits = std::countr_zero(std::uint64_t(geom_.blockBytes));
-    return (addr >> block_bits) & (geom_.numSets() - 1);
-}
-
-std::uint64_t
-SetAssocCache::tagOf(std::uint64_t addr) const
-{
-    const int block_bits = std::countr_zero(std::uint64_t(geom_.blockBytes));
-    const int set_bits = std::countr_zero(geom_.numSets());
-    return addr >> (block_bits + set_bits);
 }
 
 SetAssocCache::Line *
@@ -78,29 +61,43 @@ SetAssocCache::accessImpl(std::uint64_t addr, bool write)
     CacheAccessResult result;
     const std::uint64_t set = setIndex(addr);
     const std::uint64_t tag = tagOf(addr);
-    Line *base = &lines_[set * geom_.associativity];
+    Line *const base = &lines_[set * geom_.associativity];
+    const std::uint32_t assoc = geom_.associativity;
 
-    for (std::uint32_t w = 0; w < geom_.associativity; ++w) {
+    // One pass finds a hit while tracking the fill candidate (first
+    // invalid way, else the smallest-timestamp way in scan order —
+    // identical to the two-pass policy this replaces).
+    Line *invalid = nullptr;
+    Line *oldest = base;
+    for (std::uint32_t w = 0; w < assoc; ++w) {
         Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            if (geom_.replacement == ReplacementPolicy::LRU)
-                line.lastUse = ++useClock_;
-            line.dirty = line.dirty || write;
-            result.hit = true;
-            return result;
+        if (line.valid) {
+            if (line.tag == tag) {
+                if (geom_.replacement == ReplacementPolicy::LRU)
+                    line.lastUse = ++useClock_;
+                line.dirty |= write;
+                result.hit = true;
+                return result;
+            }
+            if (line.lastUse < oldest->lastUse)
+                oldest = &line;
+        } else if (!invalid) {
+            invalid = &line;
         }
     }
 
     // Miss: evict the policy's victim (or an invalid way) and fill.
-    Line *victim = selectVictim(base);
+    Line *victim;
+    if (invalid)
+        victim = invalid;
+    else if (geom_.replacement == ReplacementPolicy::Random)
+        victim = selectVictim(base);
+    else
+        victim = oldest;
     if (victim->valid) {
         result.evictedValid = true;
         result.evictedDirty = victim->dirty;
-        const int block_bits =
-            std::countr_zero(std::uint64_t(geom_.blockBytes));
-        const int set_bits = std::countr_zero(geom_.numSets());
-        result.evictedAddr = (victim->tag << (block_bits + set_bits)) |
-                             (set << block_bits);
+        result.evictedAddr = lineAddr(victim->tag, set);
         if (victim->dirty)
             ++writebacks_;
     }

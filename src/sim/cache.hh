@@ -7,6 +7,12 @@
  * The cache tracks only presence and dirtiness (no data values); the
  * timing and energy consequences of each access are handled by the
  * levels' owners (core.hh, nvm_llc.hh).
+ *
+ * Every simulated reference walks L1 -> L2 -> LLC through this class,
+ * so the demand path is kept branch-light: the geometry is asserted
+ * power-of-two at construction and all set/tag/align math is
+ * precomputed shifts and masks, and the lookup folds the hit scan and
+ * the LRU victim scan into one pass over the set.
  */
 
 #ifndef NVMCACHE_SIM_CACHE_HH
@@ -91,9 +97,28 @@ class SetAssocCache
         bool dirty = false;
     };
 
-    std::uint64_t setIndex(std::uint64_t addr) const;
-    std::uint64_t tagOf(std::uint64_t addr) const;
-    std::uint64_t blockAlign(std::uint64_t addr) const;
+    std::uint64_t
+    setIndex(std::uint64_t addr) const
+    {
+        return (addr >> blockBits_) & setMask_;
+    }
+
+    std::uint64_t tagOf(std::uint64_t addr) const
+    {
+        return addr >> tagShift_;
+    }
+
+    std::uint64_t blockAlign(std::uint64_t addr) const
+    {
+        return addr & ~std::uint64_t(geom_.blockBytes - 1);
+    }
+
+    /** Rebuild the block-aligned address of a resident line. */
+    std::uint64_t
+    lineAddr(std::uint64_t tag, std::uint64_t set) const
+    {
+        return (tag << tagShift_) | (set << blockBits_);
+    }
 
     /** Core of access/installWriteback; @p fetch false = writeback. */
     CacheAccessResult accessImpl(std::uint64_t addr, bool write);
@@ -102,6 +127,9 @@ class SetAssocCache
     Line *selectVictim(Line *base);
 
     CacheGeometry geom_;
+    std::uint32_t blockBits_ = 0;  ///< log2(blockBytes)
+    std::uint32_t tagShift_ = 0;   ///< blockBits_ + log2(numSets)
+    std::uint64_t setMask_ = 0;    ///< numSets - 1
     std::vector<Line> lines_; ///< sets * assoc, row-major by set
     std::uint64_t useClock_ = 0;
     std::uint64_t randState_ = 0x2545f4914f6cdd1dull;

@@ -1,13 +1,32 @@
 #include "util/logging.hh"
 
 #include <cstdio>
+#include <mutex>
 
 namespace nvmcache {
 namespace detail {
 
+namespace {
+
+/**
+ * One process-wide sink guard so messages from concurrent experiment
+ * jobs never interleave mid-line. Each emit is a single formatted
+ * write under the lock; fatal/panic keep holding it while the process
+ * dies so their last words stay intact.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+} // namespace
+
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }
@@ -15,6 +34,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
 }
@@ -22,12 +42,14 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

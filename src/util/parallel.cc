@@ -1,0 +1,79 @@
+#include "util/parallel.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("NVMCACHE_JOBS")) {
+        char *end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && n >= 1)
+            return unsigned(n);
+        warn("NVMCACHE_JOBS='", env,
+             "' is not a positive integer; ignoring");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    workers_.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> thunk)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            panic("ThreadPool: submit after shutdown");
+        queue_.push_back(std::move(thunk));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this]() {
+                return stopping_ || head_ < queue_.size();
+            });
+            if (head_ >= queue_.size()) // stopping, queue drained
+                return;
+            task = std::move(queue_[head_++]);
+            if (head_ == queue_.size()) {
+                queue_.clear();
+                head_ = 0;
+            }
+        }
+        task(); // packaged_task captures any exception in its future
+    }
+}
+
+} // namespace nvmcache

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Parallel execution engine for the experiment layer.
+ *
+ * A fixed-size thread pool with a shared task queue plus a
+ * futures-based parallelMap() that fans a job vector out across the
+ * pool and reassembles the results in input order, so callers get
+ * deterministic, order-stable output regardless of which worker
+ * finishes first. Exceptions thrown by a job are captured in its
+ * future and rethrown from parallelMap() on the calling thread.
+ *
+ * Concurrency is selected once per process by defaultJobs()
+ * (the NVMCACHE_JOBS environment variable, falling back to
+ * std::thread::hardware_concurrency()) and can be overridden per
+ * call; jobs <= 1 runs every task inline on the calling thread with
+ * no pool at all, which keeps the serial path zero-overhead and
+ * trivially deterministic.
+ */
+
+#ifndef NVMCACHE_UTIL_PARALLEL_HH
+#define NVMCACHE_UTIL_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace nvmcache {
+
+/**
+ * Concurrency to use when the caller does not specify one:
+ * NVMCACHE_JOBS if set to a positive integer, otherwise
+ * std::thread::hardware_concurrency(), never less than 1.
+ */
+unsigned defaultJobs();
+
+/**
+ * Fixed pool of worker threads draining one shared task queue.
+ *
+ * Work items are type-erased thunks; submit() wraps any callable in a
+ * packaged task and returns the matching future. The pool joins its
+ * workers on destruction after finishing all queued tasks.
+ */
+class ThreadPool
+{
+  public:
+    /** @param jobs  worker count; 0 means defaultJobs(). */
+    explicit ThreadPool(unsigned jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned jobs() const { return unsigned(workers_.size()); }
+
+    /** Queue one callable; the future reports its result/exception. */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using R = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return fut;
+    }
+
+  private:
+    void enqueue(std::function<void()> thunk);
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::function<void()>> queue_; ///< FIFO via head index
+    std::size_t head_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Apply @p fn to every element of @p items, running up to @p jobs
+ * applications concurrently, and return the results in input order.
+ *
+ * The first exception thrown by any job is rethrown here after all
+ * jobs finish; jobs <= 1 executes inline with no threads.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(unsigned jobs, const std::vector<T> &items, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn, const T &>>
+{
+    using R = std::invoke_result_t<Fn, const T &>;
+    std::vector<R> results;
+    results.reserve(items.size());
+
+    if (jobs <= 1 || items.size() <= 1) {
+        for (const T &item : items)
+            results.push_back(fn(item));
+        return results;
+    }
+
+    ThreadPool pool(std::min<std::size_t>(jobs, items.size()));
+    std::vector<std::future<R>> futures;
+    futures.reserve(items.size());
+    for (const T &item : items)
+        futures.push_back(pool.submit([&fn, &item]() {
+            return fn(item);
+        }));
+    // Drain every future (in order) even if one throws, so the pool
+    // never destructs with tasks still touching caller state; the
+    // first exception wins.
+    std::exception_ptr first;
+    for (std::future<R> &fut : futures) {
+        try {
+            results.push_back(fut.get());
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+    return results;
+}
+
+/** parallelMap() at the process-default concurrency. */
+template <typename T, typename Fn>
+auto
+parallelMap(const std::vector<T> &items, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn, const T &>>
+{
+    return parallelMap(defaultJobs(), items, fn);
+}
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_UTIL_PARALLEL_HH

@@ -27,6 +27,19 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream)
+{
+    // Two dependent splitmix64 steps: mix the stream id into the base
+    // state, then mix again so adjacent (base, stream) pairs land far
+    // apart. Collisions between distinct pairs are as unlikely as for
+    // any 64-bit hash.
+    std::uint64_t x = base ^ (stream * 0xbf58476d1ce4e5b9ull);
+    std::uint64_t s = splitmix64(x);
+    x ^= s;
+    return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t sm = seed;

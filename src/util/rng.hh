@@ -22,6 +22,17 @@ namespace nvmcache {
  * Satisfies UniformRandomBitGenerator so it can also be plugged into
  * <random> distributions when convenient.
  */
+/**
+ * Derive a statistically independent seed for sub-stream @p stream of
+ * a generator family seeded with @p base (splitmix64 over the pair).
+ *
+ * This is the one sanctioned way to seed per-thread / per-job
+ * generators: every (base, stream) pair maps to a well-mixed seed, so
+ * parallel experiment jobs can each own an Rng whose output is
+ * independent of job scheduling and identical across reruns.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream);
+
 class Rng
 {
   public:

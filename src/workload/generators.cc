@@ -35,7 +35,7 @@ SyntheticTrace::SyntheticTrace(const GeneratorConfig &cfg,
                                std::uint32_t threadId,
                                std::uint32_t numThreads)
     : cfg_(cfg), threadId_(threadId), numThreads_(numThreads),
-      rng_(cfg.seed * 0x51b5c1ull + threadId * 0x9e37ull + 1)
+      rng_(deriveSeed(cfg.seed, threadId))
 {
     if (numThreads_ == 0 || threadId_ >= numThreads_)
         fatal("SyntheticTrace: bad thread ids");
@@ -167,7 +167,7 @@ SyntheticTrace::next(MemAccess &out)
 void
 SyntheticTrace::reset()
 {
-    rng_ = Rng(cfg_.seed * 0x51b5c1ull + threadId_ * 0x9e37ull + 1);
+    rng_ = Rng(deriveSeed(cfg_.seed, threadId_));
     emitted_ = 0;
     buildStreams();
 }

@@ -47,10 +47,15 @@ usage()
         "reported-only cell\n"
         "  estimate <cell> [capacityMB]       circuit-estimate an LLC "
         "model\n"
-        "  simulate <workload> <tech> [--fixed-area] [--threads N]\n"
+        "  simulate <workload> <tech> [--fixed-area] [--threads N] "
+        "[--jobs N]\n"
         "  characterize <workload|file.nvmt>  PRISM-style features\n"
         "  export-trace <workload> <file.nvmt> [--threads N]\n"
-        "  workloads                          list the Table V suite\n");
+        "  workloads                          list the Table V suite\n"
+        "\n"
+        "--jobs N (or NVMCACHE_JOBS=N) caps the experiment engine's "
+        "worker threads;\nthe default is the hardware thread count. "
+        "Results are bit-identical at any\njob count.\n");
     return 2;
 }
 
@@ -158,6 +163,7 @@ cmdSimulate(const std::vector<std::string> &args)
     const LlcModel &llc = publishedLlcModel(args[1], mode);
 
     ExperimentRunner runner;
+    runner.setJobs(flagValue(args, "--jobs", 0));
     SimStats nvm = runner.runOne(spec, llc, threads);
     SimStats sram =
         runner.runOne(spec, publishedLlcModel("SRAM", mode), threads);
