@@ -104,5 +104,6 @@ main(int argc, char **argv)
     report("H3 similarity   ", err_h3);
     std::printf("(the paper prefers H1 > H2 > H3; the mean errors "
                 "above should respect that order)\n");
+    opts.writeStats();
     return 0;
 }

@@ -81,5 +81,6 @@ main(int argc, char **argv)
             table.print(std::cout);
         std::cout << "\n";
     }
+    opts.writeStats();
     return 0;
 }

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <string>
 
+#include "util/metrics.hh"
+
 namespace nvmcache::bench {
 
 /** Parse common harness flags. */
@@ -22,6 +24,8 @@ struct HarnessOptions
     bool color = true;
     bool quick = false; ///< trims sweeps for smoke runs
     unsigned jobs = 0;  ///< 0 = engine default (NVMCACHE_JOBS / cores)
+    std::string statsOut;      ///< "" = no structured report
+    StatsFormat statsFormat = StatsFormat::Json;
 
     static HarnessOptions
     parse(int argc, char **argv)
@@ -40,9 +44,35 @@ struct HarnessOptions
                 const long n = std::strtol(argv[++i], nullptr, 10);
                 if (n > 0)
                     o.jobs = unsigned(n);
+            } else if (!std::strcmp(argv[i], "--stats-out") &&
+                       i + 1 < argc) {
+                o.statsOut = argv[++i];
+            } else if (!std::strcmp(argv[i], "--stats-format") &&
+                       i + 1 < argc) {
+                o.statsFormat = parseStatsFormat(argv[++i]);
+            } else if (!std::strcmp(argv[i], "--progress")) {
+                setProgressEnabled(true);
             }
         }
         return o;
+    }
+
+    /**
+     * Write the harness's structured run report if --stats-out was
+     * given: the process-wide engine metrics (runner.*, estimator.*,
+     * phase.*) plus, optionally, the study's aggregated per-run
+     * simulation detail under "study.".
+     */
+    void
+    writeStats(const StatsSnapshot &studyAggregate = {}) const
+    {
+        if (statsOut.empty())
+            return;
+        StatsSnapshot report = MetricsRegistry::global().snapshot();
+        report.mergeSum(studyAggregate.withPrefix("study"));
+        writeStatsFile(statsOut, report, statsFormat);
+        std::fprintf(stderr, "stats written to %s\n",
+                     statsOut.c_str());
     }
 };
 

@@ -106,5 +106,6 @@ main(int argc, char **argv)
     std::printf("\n(expect write-footprint/entropy features to "
                 "dominate: concentrated writes wear the hot lines "
                 "out)\n");
+    opts.writeStats();
     return 0;
 }

@@ -93,5 +93,6 @@ main(int argc, char **argv)
         std::printf("\nExpected: tag (and thus miss) energy scales "
                     "with the ways probed per lookup.\n");
     }
+    opts.writeStats();
     return 0;
 }

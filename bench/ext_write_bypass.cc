@@ -155,5 +155,6 @@ main(int argc, char **argv)
                 "energy cuts proportional to each\ntechnology's "
                 "write-energy share and matching array-write "
                 "(lifetime) relief.\n");
+    opts.writeStats();
     return 0;
 }

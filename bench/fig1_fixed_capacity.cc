@@ -56,5 +56,6 @@ main(int argc, char **argv)
         runFigureStudy(CapacityMode::FixedCapacity, runner,
                        opts.quick ? 0.25 : 1.0);
     printFigure(study, "Fig 1", opts);
+    opts.writeStats(aggregateSimStats(study));
     return 0;
 }

@@ -33,5 +33,6 @@ main(int argc, char **argv)
     FigureStudy study = runFigureStudy(CapacityMode::FixedArea, runner,
                                        opts.quick ? 0.25 : 1.0);
     printFigure(study, "Fig 2", opts);
+    opts.writeStats(aggregateSimStats(study));
     return 0;
 }

@@ -128,5 +128,8 @@ main(int argc, char **argv)
         std::printf("(paper: ~0.99 for write entropy / footprints, "
                     "negligible for totals)\n");
     }
+    // Correlation datasets carry no raw SimStats, so the report is
+    // the engine-side view: memo rates, solver work, phase timings.
+    opts.writeStats();
     return 0;
 }

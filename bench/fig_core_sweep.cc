@@ -73,5 +73,6 @@ main(int argc, char **argv)
                 "only where its 1 MB capacity does not throttle "
                 "runtime;\nUmeki_S trails on energy because its "
                 "slower runs accumulate leakage.\n");
+    opts.writeStats(aggregateSimStats(study));
     return 0;
 }

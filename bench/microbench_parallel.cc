@@ -129,5 +129,6 @@ main(int argc, char **argv)
 
     std::printf("\nresults bit-identical across job counts: %s\n",
                 identical ? "yes" : "NO — DETERMINISM BUG");
+    opts.writeStats();
     return identical ? 0 : 1;
 }

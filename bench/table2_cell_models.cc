@@ -165,5 +165,6 @@ main(int argc, char **argv)
         std::printf("  %-9s worst relative error %6.1f%%  (%s)\n",
                     pub.name.c_str(), worst * 100.0, worst_field);
     }
+    opts.writeStats();
     return 0;
 }

@@ -138,5 +138,6 @@ main(int argc, char **argv)
     std::printf("Note: the estimator is validated by rank agreement "
                 "with the published table\n(tests/test_nvsim.cc); the "
                 "system experiments always use the published rows.\n");
+    opts.writeStats();
     return 0;
 }

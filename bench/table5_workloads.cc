@@ -61,5 +61,6 @@ main(int argc, char **argv)
         std::cout << table.toCsv();
     else
         table.print(std::cout);
+    opts.writeStats();
     return 0;
 }

@@ -82,5 +82,6 @@ main(int argc, char **argv)
         table.print(std::cout);
     std::printf("\nPaper values in parentheses are scaled by the "
                 "1/1000 trace-length factor.\n");
+    opts.writeStats();
     return 0;
 }

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/parallel.hh"
 
 namespace nvmcache {
@@ -84,6 +85,11 @@ runKey(const GeneratorConfig &gen, const LlcModel &llc,
  * Run cache with exactly-once semantics: the first caller of a key
  * owns the simulation, concurrent callers of the same key block on
  * its future instead of simulating again.
+ *
+ * Counters are kept per-memo (so RunnerStats stays an exact view of
+ * one runner and its copies) and mirrored into the process-wide
+ * registry under "runner.memo.*" so structured run reports capture
+ * them; snapshot diffs recover exact per-study deltas there.
  */
 struct ExperimentRunner::Memo
 {
@@ -98,6 +104,13 @@ struct ExperimentRunner::Memo
     std::atomic<std::uint64_t> simulations{0};
     std::atomic<std::uint64_t> memoHits{0};
     std::atomic<std::uint64_t> baselineSimulations{0};
+
+    Counter &gSimulations =
+        MetricsRegistry::global().counter("runner.memo.simulations");
+    Counter &gMemoHits =
+        MetricsRegistry::global().counter("runner.memo.hits");
+    Counter &gBaselines = MetricsRegistry::global().counter(
+        "runner.memo.baselineSimulations");
 };
 
 const RunResult &
@@ -119,6 +132,7 @@ void
 ExperimentRunner::setJobs(unsigned jobs)
 {
     jobs_ = jobs == 0 ? defaultJobs() : jobs;
+    MetricsRegistry::global().gauge("runner.jobs").set(double(jobs_));
 }
 
 RunnerStats
@@ -171,13 +185,18 @@ ExperimentRunner::runOne(const BenchmarkSpec &spec, const LlcModel &llc,
 
     if (owner) {
         memo_->simulations.fetch_add(1, std::memory_order_relaxed);
-        if (llc.klass == NvmClass::SRAM)
+        memo_->gSimulations.inc();
+        if (llc.klass == NvmClass::SRAM) {
             memo_->baselineSimulations.fetch_add(
                 1, std::memory_order_relaxed);
+            memo_->gBaselines.inc();
+        }
+        PhaseTimer timer("runner.simulateSeconds");
         entry->promise.set_value(
             simulateUncached(spec, llc, threads));
     } else {
         memo_->memoHits.fetch_add(1, std::memory_order_relaxed);
+        memo_->gMemoHits.inc();
     }
     return entry->future.get();
 }

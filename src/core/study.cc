@@ -1,6 +1,7 @@
 #include "core/study.hh"
 
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/parallel.hh"
 
 namespace nvmcache {
@@ -20,15 +21,23 @@ struct RunJob
  * in the runner's memo, so the study's subsequent (serial,
  * order-stable) assembly re-reads them without simulating anything:
  * results are bit-identical at any concurrency level.
+ *
+ * @p phase labels both the wall-clock timer ("phase.<phase>.fanout")
+ * and the live progress line (one tick per completed job, including
+ * memo-served ones).
  */
 void
 prefetchRuns(const ExperimentRunner &runner,
-             const std::vector<RunJob> &jobs)
+             const std::vector<RunJob> &jobs, const std::string &phase)
 {
+    PhaseTimer timer("phase." + phase + ".fanout");
+    progressBegin(phase + " fan-out", jobs.size());
     parallelMap(runner.jobs(), jobs, [&](const RunJob &job) {
         runner.runOne(*job.spec, *job.llc, job.threads);
+        progressTick();
         return 0;
     });
+    progressEnd();
 }
 
 } // namespace
@@ -54,11 +63,12 @@ runFigureStudy(CapacityMode mode, const ExperimentRunner &runner,
     for (const BenchmarkSpec &spec : specs)
         for (const LlcModel &llc : models)
             jobs.push_back({&spec, &llc, 0});
-    prefetchRuns(runner, jobs);
+    prefetchRuns(runner, jobs, "figure");
 
     // Phase 2: assemble in suite order from the memo. The serial
     // copy shares the memo but skips per-sweep pool spin-up, since
     // every run is already cached.
+    PhaseTimer assemble_timer("phase.figure.assemble");
     ExperimentRunner assembler = runner;
     assembler.setJobs(1);
     FigureStudy study;
@@ -115,9 +125,10 @@ runCoreSweep(const std::vector<std::string> &workloads,
             }
         }
     }
-    prefetchRuns(runner, jobs);
+    prefetchRuns(runner, jobs, "coreSweep");
 
     // Phase 2: deterministic assembly from the memo.
+    PhaseTimer assemble_timer("phase.coreSweep.assemble");
     for (const std::string &wname : workloads) {
         const BenchmarkSpec &spec = benchmark(wname);
 
@@ -164,14 +175,21 @@ runCorrelationStudy(bool aiOnly, const std::vector<std::string> &techs,
 
     // Feature pass (PRISM): one characterization per workload, each
     // independent of the rest.
-    study.features =
-        parallelMap(runner.jobs(), specs, [](const BenchmarkSpec &spec) {
-            auto traces = buildTraces(spec);
-            std::vector<TraceSource *> ptrs;
-            for (auto &t : traces)
-                ptrs.push_back(t.get());
-            return characterize(ptrs);
-        });
+    {
+        PhaseTimer timer("phase.correlation.characterize");
+        progressBegin("correlation characterize", specs.size());
+        study.features = parallelMap(
+            runner.jobs(), specs, [](const BenchmarkSpec &spec) {
+                auto traces = buildTraces(spec);
+                std::vector<TraceSource *> ptrs;
+                for (auto &t : traces)
+                    ptrs.push_back(t.get());
+                WorkloadFeatures features = characterize(ptrs);
+                progressTick();
+                return features;
+            });
+        progressEnd();
+    }
     for (const BenchmarkSpec &spec : specs)
         study.workloads.push_back(spec.name);
 
@@ -182,11 +200,12 @@ runCorrelationStudy(bool aiOnly, const std::vector<std::string> &techs,
         for (const BenchmarkSpec &spec : specs)
             for (const LlcModel &llc : publishedLlcModels(mode))
                 jobs.push_back({&spec, &llc, 0});
-    prefetchRuns(runner, jobs);
+    prefetchRuns(runner, jobs, "correlation");
 
     // Phase 2: one tech sweep per (workload, mode), shared across all
     // studied technologies, assembled from the memo (the serial copy
     // shares it).
+    PhaseTimer assemble_timer("phase.correlation.assemble");
     ExperimentRunner assembler = runner;
     assembler.setJobs(1);
     for (CapacityMode mode : modes) {
@@ -221,6 +240,27 @@ runCorrelationStudy(bool aiOnly, const std::vector<std::string> &techs,
         }
     }
     return study;
+}
+
+StatsSnapshot
+aggregateSimStats(const FigureStudy &study)
+{
+    StatsSnapshot total;
+    for (const std::vector<TechSweep> *group :
+         {&study.singleThreaded, &study.multiThreaded})
+        for (const TechSweep &sweep : *group)
+            for (const RunResult &r : sweep.results)
+                total.mergeSum(r.stats.detail);
+    return total;
+}
+
+StatsSnapshot
+aggregateSimStats(const CoreSweepStudy &study)
+{
+    StatsSnapshot total;
+    for (const CoreSweepPoint &p : study.points)
+        total.mergeSum(p.stats.detail);
+    return total;
 }
 
 } // namespace nvmcache

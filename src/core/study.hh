@@ -120,6 +120,15 @@ CorrelationStudy runCorrelationStudy(
     const std::vector<CapacityMode> &modes,
     const ExperimentRunner &runner, double traceScale = 1.0);
 
+/**
+ * Accumulate every run's "sim.*" detail report into one study-level
+ * report (counters add, distributions merge). Runs are folded in
+ * deterministic study order, so the aggregate is identical at any
+ * experiment-engine concurrency.
+ */
+StatsSnapshot aggregateSimStats(const FigureStudy &study);
+StatsSnapshot aggregateSimStats(const CoreSweepStudy &study);
+
 } // namespace nvmcache
 
 #endif // NVMCACHE_CORE_STUDY_HH

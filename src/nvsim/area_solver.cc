@@ -1,6 +1,7 @@
 #include "nvsim/area_solver.hh"
 
 #include "util/logging.hh"
+#include "util/metrics.hh"
 
 namespace nvmcache {
 
@@ -21,12 +22,17 @@ AreaSolveResult
 AreaSolver::solve(const CellSpec &cell, double areaBudget,
                   CacheOrgConfig org) const
 {
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.counter("estimator.areaSolver.solves").inc();
+    PhaseTimer timer("estimator.areaSolver.solveSeconds");
+
     AreaSolveResult best;
     bool found = false;
 
     for (std::uint64_t cap = opts_.minCapacity;
          cap <= opts_.maxCapacity; cap <<= 1) {
         org.capacityBytes = cap;
+        metrics.counter("estimator.areaSolver.candidates").inc();
         LlcModel m = estimator_.estimate(cell, org);
         if (m.area <= areaBudget * (1.0 + opts_.slack)) {
             best.capacityBytes = cap;

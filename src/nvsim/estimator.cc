@@ -12,6 +12,7 @@
 #include "nvsim/htree.hh"
 #include "nvsim/tech.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 
 namespace nvmcache {
 
@@ -77,12 +78,22 @@ estimateKey(const CellSpec &cell, const CacheOrgConfig &org)
 
 } // namespace
 
+/**
+ * Per-estimator counters stay exact views of one instance (and its
+ * copies); the process-wide mirrors under "estimator.memo.*" feed
+ * structured run reports.
+ */
 struct Estimator::Memo
 {
     std::mutex mu;
     std::unordered_map<std::string, LlcModel> models;
     std::atomic<std::uint64_t> computed{0};
     std::atomic<std::uint64_t> hits{0};
+
+    Counter &gComputed =
+        MetricsRegistry::global().counter("estimator.memo.computed");
+    Counter &gHits =
+        MetricsRegistry::global().counter("estimator.memo.hits");
 };
 
 Estimator::Estimator(Calibration cal)
@@ -111,16 +122,23 @@ Estimator::estimate(const CellSpec &cell, const CacheOrgConfig &org) const
         auto it = memo_->models.find(key);
         if (it != memo_->models.end()) {
             memo_->hits.fetch_add(1, std::memory_order_relaxed);
+            memo_->gHits.inc();
             return it->second;
         }
     }
     // Compute outside the lock; concurrent first requests for the
     // same point may both compute, but the result is identical and
     // only one copy is kept.
-    LlcModel model = estimateUncached(cell, org);
+    LlcModel model;
+    {
+        PhaseTimer timer("estimator.estimateSeconds");
+        model = estimateUncached(cell, org);
+    }
     std::lock_guard<std::mutex> lock(memo_->mu);
-    if (memo_->models.try_emplace(key, model).second)
+    if (memo_->models.try_emplace(key, model).second) {
         memo_->computed.fetch_add(1, std::memory_order_relaxed);
+        memo_->gComputed.inc();
+    }
     return model;
 }
 

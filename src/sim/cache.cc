@@ -1,5 +1,6 @@
 #include "sim/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/logging.hh"
@@ -22,6 +23,8 @@ SetAssocCache::SetAssocCache(const CacheGeometry &geom) : geom_(geom)
     tagShift_ = blockBits_ + std::uint32_t(std::countr_zero(sets));
     setMask_ = sets - 1;
     lines_.resize(sets * geom_.associativity);
+    setEvictions_.resize(sets);
+    lineWrites_.resize(lines_.size());
 }
 
 SetAssocCache::Line *
@@ -76,6 +79,8 @@ SetAssocCache::accessImpl(std::uint64_t addr, bool write)
                 if (geom_.replacement == ReplacementPolicy::LRU)
                     line.lastUse = ++useClock_;
                 line.dirty |= write;
+                if (write)
+                    ++lineWrites_[std::size_t(&line - lines_.data())];
                 result.hit = true;
                 return result;
             }
@@ -100,11 +105,14 @@ SetAssocCache::accessImpl(std::uint64_t addr, bool write)
         result.evictedAddr = lineAddr(victim->tag, set);
         if (victim->dirty)
             ++writebacks_;
+        ++setEvictions_[set];
     }
     victim->valid = true;
     victim->dirty = write;
     victim->tag = tag;
     victim->lastUse = ++useClock_;
+    // Every fill rewrites the victim way's data array.
+    ++lineWrites_[std::size_t(victim - lines_.data())];
     return result;
 }
 
@@ -159,6 +167,35 @@ void
 SetAssocCache::resetStats()
 {
     hits_ = misses_ = writebacks_ = 0;
+    std::fill(setEvictions_.begin(), setEvictions_.end(), 0u);
+    std::fill(lineWrites_.begin(), lineWrites_.end(), 0u);
+}
+
+std::uint64_t
+SetAssocCache::maxLineWrites() const
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t w : lineWrites_)
+        best = std::max(best, w);
+    return best;
+}
+
+void
+SetAssocCache::exportStats(MetricsRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.counter(prefix + ".hits").inc(hits_);
+    reg.counter(prefix + ".misses").inc(misses_);
+    reg.counter(prefix + ".writebacks").inc(writebacks_);
+
+    Distribution &evictions =
+        reg.distribution(prefix + ".evictionsPerSet");
+    for (std::uint32_t e : setEvictions_)
+        evictions.add(double(e));
+
+    Distribution &writes = reg.distribution(prefix + ".writesPerLine");
+    for (std::uint32_t w : lineWrites_)
+        writes.add(double(w));
 }
 
 } // namespace nvmcache

@@ -19,7 +19,10 @@
 #define NVMCACHE_SIM_CACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "util/metrics.hh"
 
 namespace nvmcache {
 
@@ -88,6 +91,20 @@ class SetAssocCache
     std::uint64_t writebacks() const { return writebacks_; }
     void resetStats();
 
+    /** Most array writes absorbed by any single line (wear hot spot). */
+    std::uint64_t maxLineWrites() const;
+
+    /**
+     * Publish this cache's counters and shape distributions under
+     * "<prefix>.*": hit/miss/writeback counters, the per-set conflict
+     * (valid-victim) eviction distribution, and the per-line
+     * write-count distribution whose maximum bounds NVM endurance.
+     * Counters accumulate and distributions merge, so exporting
+     * several caches under one prefix aggregates them.
+     */
+    void exportStats(MetricsRegistry &reg,
+                     const std::string &prefix) const;
+
   private:
     struct Line
     {
@@ -137,6 +154,8 @@ class SetAssocCache
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t writebacks_ = 0;
+    std::vector<std::uint32_t> setEvictions_; ///< conflict evictions/set
+    std::vector<std::uint32_t> lineWrites_;   ///< array writes/way
 };
 
 } // namespace nvmcache

@@ -82,4 +82,15 @@ PrivateCore::applyRawStall(std::uint64_t cycles)
     stallCycles_ += cycles;
 }
 
+void
+PrivateCore::exportStats(MetricsRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.counter(prefix + ".instructions").inc(instructions_);
+    reg.counter(prefix + ".stallCycles").inc(stallCycles_);
+    l1i_.exportStats(reg, prefix + ".l1i");
+    l1d_.exportStats(reg, prefix + ".l1d");
+    l2_.exportStats(reg, prefix + ".l2");
+}
+
 } // namespace nvmcache

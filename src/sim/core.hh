@@ -95,6 +95,14 @@ class PrivateCore
     const SetAssocCache &l1d() const { return l1d_; }
     const SetAssocCache &l2() const { return l2_; }
 
+    /**
+     * Publish this core's counters and its private caches' stats
+     * under "<prefix>.*". Exporting every core under one prefix
+     * aggregates the private hierarchy across cores.
+     */
+    void exportStats(MetricsRegistry &reg,
+                     const std::string &prefix) const;
+
   private:
     CoreParams params_;
     SetAssocCache l1i_;

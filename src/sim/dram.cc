@@ -32,9 +32,15 @@ DramModel::controllerOf(std::uint64_t addr) const
 std::uint64_t
 DramModel::enqueue(std::uint32_t ctl, std::uint64_t now)
 {
+    // Backlog at arrival, in whole outstanding requests.
+    const std::uint64_t backlog =
+        freeAt_[ctl] > now ? freeAt_[ctl] - now : 0;
+    queueDepthDist_.add(double(backlog / serviceCycles_));
+
     std::uint64_t start = std::max(now, freeAt_[ctl]);
     freeAt_[ctl] = start + serviceCycles_;
     queueCycles_ += start - now;
+    queueDelayDist_.add(double(start - now));
     return start;
 }
 
@@ -51,6 +57,17 @@ DramModel::write(std::uint64_t addr, std::uint64_t now)
 {
     ++writes_;
     enqueue(controllerOf(addr), now);
+}
+
+void
+DramModel::exportStats(MetricsRegistry &reg,
+                       const std::string &prefix) const
+{
+    reg.counter(prefix + ".reads").inc(reads_);
+    reg.counter(prefix + ".writes").inc(writes_);
+    reg.counter(prefix + ".queueCycles").inc(queueCycles_);
+    reg.distribution(prefix + ".queueDelay").merge(queueDelayDist_);
+    reg.distribution(prefix + ".queueDepth").merge(queueDepthDist_);
 }
 
 } // namespace nvmcache

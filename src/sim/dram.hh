@@ -9,7 +9,10 @@
 #define NVMCACHE_SIM_DRAM_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "util/metrics.hh"
 
 namespace nvmcache {
 
@@ -49,6 +52,14 @@ class DramModel
     /** Aggregate cycles requests spent waiting in controller queues. */
     std::uint64_t queueCycles() const { return queueCycles_; }
 
+    /**
+     * Publish read/write counters plus the per-request queueing-delay
+     * and queue-depth (outstanding requests at arrival) distributions
+     * under "<prefix>.*".
+     */
+    void exportStats(MetricsRegistry &reg,
+                     const std::string &prefix) const;
+
   private:
     std::uint32_t controllerOf(std::uint64_t addr) const;
     /** Occupy the controller; returns service-start cycle. */
@@ -62,6 +73,8 @@ class DramModel
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
     std::uint64_t queueCycles_ = 0;
+    Distribution queueDelayDist_; ///< wait cycles per request
+    Distribution queueDepthDist_; ///< backlogged requests at arrival
 };
 
 } // namespace nvmcache

@@ -91,6 +91,7 @@ SharedLlc::demandRead(std::uint64_t addr, std::uint64_t now)
         stats_.hitEnergy += model_.eHit;
         const std::uint64_t wait = reserveRead(bank, now);
         stats_.readWaitCycles += wait;
+        readWaitDist_.add(double(wait));
         out.latencyCycles =
             wait + cfg_.controllerCycles + tagCycles_ + readCycles_;
         return out;
@@ -132,6 +133,7 @@ SharedLlc::writeback(std::uint64_t addr, std::uint64_t now)
     CacheAccessResult res = tags_.installWriteback(addr);
     out.stallCycles = accountWrite(bank, now);
     stats_.writeStallCycles += out.stallCycles;
+    writeStallDist_.add(double(out.stallCycles));
     if (res.evictedValid && res.evictedDirty) {
         ++stats_.dirtyEvictions;
         out.victimDirty = true;
@@ -146,6 +148,34 @@ SharedLlc::missRate() const
     if (stats_.demandReads == 0)
         return 0.0;
     return double(stats_.demandMisses) / double(stats_.demandReads);
+}
+
+void
+SharedLlc::exportStats(MetricsRegistry &reg,
+                       const std::string &prefix) const
+{
+    reg.counter(prefix + ".demandReads").inc(stats_.demandReads);
+    reg.counter(prefix + ".readHits").inc(stats_.demandHits);
+    reg.counter(prefix + ".readMisses").inc(stats_.demandMisses);
+    reg.counter(prefix + ".fills").inc(stats_.fills);
+    reg.counter(prefix + ".writeHits")
+        .inc(stats_.writebacksIn - stats_.writeBypasses);
+    reg.counter(prefix + ".writebacksIn").inc(stats_.writebacksIn);
+    reg.counter(prefix + ".dirtyEvictions").inc(stats_.dirtyEvictions);
+    reg.counter(prefix + ".writeBypasses").inc(stats_.writeBypasses);
+    reg.counter(prefix + ".readWaitCycles").inc(stats_.readWaitCycles);
+    reg.counter(prefix + ".writeStallCycles")
+        .inc(stats_.writeStallCycles);
+    reg.gauge(prefix + ".hitEnergy").add(stats_.hitEnergy);
+    reg.gauge(prefix + ".missEnergy").add(stats_.missEnergy);
+    reg.gauge(prefix + ".writeEnergy").add(stats_.writeEnergy);
+    reg.gauge(prefix + ".missRate").set(missRate());
+
+    reg.distribution(prefix + ".writeStall").merge(writeStallDist_);
+    reg.distribution(prefix + ".readWait").merge(readWaitDist_);
+    reg.gauge(prefix + ".maxLineWrites")
+        .set(double(tags_.maxLineWrites()));
+    tags_.exportStats(reg, prefix + ".tags");
 }
 
 } // namespace nvmcache

@@ -122,6 +122,14 @@ class SharedLlc
     /** Demand miss rate so far (0 when no accesses). */
     double missRate() const;
 
+    /**
+     * Publish LLC counters, energies, the write-latency stall and
+     * read bank-wait histograms, and the tag array's per-set
+     * conflict / per-line endurance distributions under "<prefix>.*".
+     */
+    void exportStats(MetricsRegistry &reg,
+                     const std::string &prefix) const;
+
   private:
     std::uint32_t bankOf(std::uint64_t addr) const;
 
@@ -148,6 +156,8 @@ class SharedLlc
     std::vector<std::uint64_t> bankFreeAt_;
 
     LlcStats stats_;
+    Distribution writeStallDist_; ///< stall cycles per writeback
+    Distribution readWaitDist_;   ///< bank-wait cycles per demand read
 };
 
 } // namespace nvmcache

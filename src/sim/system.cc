@@ -115,6 +115,33 @@ System::run(const std::vector<TraceSource *> &threads)
     stats.l2Misses = l2Misses_;
     stats.llcDynamicEnergy = stats.llc.dynamicEnergy();
     stats.llcLeakageEnergy = llc_->model().leakage * stats.seconds;
+
+    // Export the whole hierarchy into a per-run registry; the
+    // snapshot rides along with the (possibly memoized) SimStats.
+    MetricsRegistry reg;
+    llc_->exportStats(reg, "sim.llc");
+    dram_->exportStats(reg, "sim.dram");
+    Distribution &core_cycles = reg.distribution("sim.cores.cycles");
+    double min_cycles = stats.cycles;
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        cores_[i].exportStats(reg, "sim.core");
+        core_cycles.add(cores_[i].cycle());
+        min_cycles = std::min(min_cycles, cores_[i].cycle());
+    }
+    // Load imbalance: fraction of the finish time the earliest core
+    // sat idle (0 = perfectly balanced or single-threaded).
+    reg.gauge("sim.cores.cycleImbalance")
+        .set(stats.cycles > 0.0
+                 ? (stats.cycles - min_cycles) / stats.cycles
+                 : 0.0);
+    reg.counter("sim.instructions").inc(stats.instructions);
+    reg.counter("sim.l1Misses").inc(l1Misses_);
+    reg.counter("sim.l2Misses").inc(l2Misses_);
+    reg.gauge("sim.seconds").set(stats.seconds);
+    reg.gauge("sim.llc.leakageEnergy").set(stats.llcLeakageEnergy);
+    reg.gauge("sim.llc.dynamicEnergy").set(stats.llcDynamicEnergy);
+    reg.gauge("sim.mpki").set(stats.llcMpki());
+    stats.detail = reg.snapshot();
     return stats;
 }
 

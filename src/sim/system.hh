@@ -17,6 +17,7 @@
 #include "sim/dram.hh"
 #include "sim/nvm_llc.hh"
 #include "sim/types.hh"
+#include "util/metrics.hh"
 
 namespace nvmcache {
 
@@ -49,6 +50,15 @@ struct SimStats
 
     double llcLeakageEnergy = 0.0; ///< J, P_leak * seconds
     double llcDynamicEnergy = 0.0; ///< J
+
+    /**
+     * Full hierarchical stats report of this run ("sim.*": LLC,
+     * DRAM, private-core and imbalance entries). Filled by
+     * System::run from a per-run registry, so it is deterministic and
+     * travels with memoized results unchanged at any experiment-engine
+     * concurrency.
+     */
+    StatsSnapshot detail;
 
     /** Total LLC energy (the paper's "LLC energy" metric). */
     double llcEnergy() const

@@ -54,4 +54,21 @@ informImpl(const std::string &msg)
 }
 
 } // namespace detail
+
+void
+statusLine(const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(detail::sinkMutex());
+    std::fprintf(stderr, "\r\x1b[2K%s", msg.c_str());
+    std::fflush(stderr);
+}
+
+void
+statusEnd()
+{
+    std::lock_guard<std::mutex> lock(detail::sinkMutex());
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
 } // namespace nvmcache

@@ -40,6 +40,17 @@ void informImpl(const std::string &msg);
 
 } // namespace detail
 
+/**
+ * Redraw the transient console status line (carriage-return rewrite,
+ * no trailing newline). Serialized against every other sink write, so
+ * concurrent jobs never shred the line. Used by the metrics layer's
+ * progress reporter.
+ */
+void statusLine(const std::string &msg);
+
+/** Release the status line (terminates it with a newline). */
+void statusEnd();
+
 /** Terminate due to a user-caused condition (exit(1)). */
 template <typename... Args>
 [[noreturn]] void

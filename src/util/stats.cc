@@ -129,6 +129,49 @@ Accumulator::add(double x)
     }
     sum_ += x;
     ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = double(n_), nb = double(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double
+Accumulator::stdev() const
+{
+    return std::sqrt(variance());
+}
+
+Accumulator
+Accumulator::fromState(std::size_t n, double sum, double min, double max,
+                       double mean, double m2)
+{
+    Accumulator acc;
+    acc.n_ = n;
+    acc.sum_ = sum;
+    acc.min_ = min;
+    acc.max_ = max;
+    acc.mean_ = mean;
+    acc.m2_ = m2;
+    return acc;
 }
 
 } // namespace nvmcache

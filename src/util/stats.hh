@@ -44,11 +44,19 @@ LinearFit linearFit(const std::vector<double> &xs,
 
 /**
  * Streaming min/max/mean/count accumulator used by simulator stats.
+ *
+ * Variance is maintained with Welford's online algorithm (numerically
+ * stable regardless of the magnitude of the samples), so the same
+ * accumulator backs both quick min/max summaries and the metrics
+ * layer's Distribution without a second mean implementation.
  */
 class Accumulator
 {
   public:
     void add(double x);
+
+    /** Fold another accumulator in (Chan's parallel combination). */
+    void merge(const Accumulator &other);
 
     std::size_t count() const { return n_; }
     double total() const { return sum_; }
@@ -56,11 +64,30 @@ class Accumulator
     double minimum() const { return min_; }
     double maximum() const { return max_; }
 
+    /** Population variance; 0 for fewer than 2 samples. */
+    double variance() const { return n_ < 2 ? 0.0 : m2_ / double(n_); }
+    /** Population standard deviation; 0 for fewer than 2 samples. */
+    double stdev() const;
+
+    /** Welford running mean (exactly the mean used for variance). */
+    double welfordMean() const { return mean_; }
+    /** Sum of squared deviations from the running mean. */
+    double sumSquaredDev() const { return m2_; }
+
+    /**
+     * Rebuild an accumulator from exported summary state (used when
+     * merging or diffing StatsSnapshot distribution entries).
+     */
+    static Accumulator fromState(std::size_t n, double sum, double min,
+                                 double max, double mean, double m2);
+
   private:
     std::size_t n_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    double mean_ = 0.0; ///< Welford running mean
+    double m2_ = 0.0;   ///< Welford sum of squared deviations
 };
 
 } // namespace nvmcache

@@ -520,6 +520,46 @@ buildSuite()
     return v;
 }
 
+/**
+ * Workloads resolvable by name but outside the paper's Table V suite
+ * (so the figure studies and suite-shape tests are unaffected).
+ */
+std::vector<BenchmarkSpec>
+buildExtras()
+{
+    std::vector<BenchmarkSpec> v;
+    {
+        // SPEC cpu2006 lbm: the classic streaming-store stressor.
+        // Not in the paper's Table V; provided as a write-pressure
+        // probe for the endurance/write-stall metrics.
+        BenchmarkSpec b;
+        b.name = "lbm";
+        b.suite = "cpu2006";
+        b.description = "Lattice Boltzmann fluid dynamics, s.t.";
+        b.paperMpki = 0.0; // not reported in Table V
+        b.prismCompatible = false;
+        b.gen.seed = 900;
+        b.gen.totalAccesses = 3'000'000;
+        b.gen.loadFraction = 0.53;
+        b.gen.storeFraction = 0.47;
+        b.gen.meanGap = 1.6;
+        b.gen.loads.streams = {zipf(48 * kKB, 0.9, 0.20),
+                               seq(40 * kMB, 8, 0.40),
+                               zipf(1 * kMB, 0.85, 0.40)};
+        b.gen.stores.streams = {seq(40 * kMB, 8, 0.55),
+                                zipf(512 * kKB, 0.85, 0.45)};
+        v.push_back(std::move(b));
+    }
+    return v;
+}
+
+const std::vector<BenchmarkSpec> &
+extraBenchmarks()
+{
+    static const std::vector<BenchmarkSpec> extras = buildExtras();
+    return extras;
+}
+
 } // namespace
 
 const std::vector<BenchmarkSpec> &
@@ -533,6 +573,9 @@ const BenchmarkSpec &
 benchmark(const std::string &name)
 {
     for (const BenchmarkSpec &b : benchmarkSuite())
+        if (b.name == name)
+            return b;
+    for (const BenchmarkSpec &b : extraBenchmarks())
         if (b.name == name)
             return b;
     fatal("unknown benchmark '", name, "'");

@@ -63,7 +63,11 @@ struct BenchmarkSpec
 /** All 20 workloads in Table V order. */
 const std::vector<BenchmarkSpec> &benchmarkSuite();
 
-/** Look up one workload by name. */
+/**
+ * Look up one workload by name. Resolves the Table V suite plus a
+ * few extra named workloads (e.g. "lbm") kept outside the figure
+ * studies.
+ */
 const BenchmarkSpec &benchmark(const std::string &name);
 
 /** The three cpu2017 AI workloads (deepsjeng, leela, exchange2). */

@@ -25,6 +25,7 @@
 #include "nvsim/estimator.hh"
 #include "nvsim/published.hh"
 #include "prism/metrics.hh"
+#include "util/metrics.hh"
 #include "util/units.hh"
 #include "workload/suite.hh"
 #include "workload/trace_io.hh"
@@ -49,13 +50,18 @@ usage()
         "model\n"
         "  simulate <workload> <tech> [--fixed-area] [--threads N] "
         "[--jobs N]\n"
+        "           [--stats-out FILE] [--stats-format json|csv] "
+        "[--progress]\n"
         "  characterize <workload|file.nvmt>  PRISM-style features\n"
         "  export-trace <workload> <file.nvmt> [--threads N]\n"
         "  workloads                          list the Table V suite\n"
         "\n"
         "--jobs N (or NVMCACHE_JOBS=N) caps the experiment engine's "
         "worker threads;\nthe default is the hardware thread count. "
-        "Results are bit-identical at any\njob count.\n");
+        "Results are bit-identical at any\njob count.\n"
+        "--stats-out FILE writes the structured run report "
+        "(sim.*, runner.*,\nestimator.*, phase.* metrics); "
+        "--stats-format picks json (default) or csv.\n");
     return 2;
 }
 
@@ -75,6 +81,16 @@ flagValue(const std::vector<std::string> &args, const char *flag,
     for (std::size_t i = 0; i + 1 < args.size(); ++i)
         if (args[i] == flag)
             return std::uint32_t(std::stoul(args[i + 1]));
+    return fallback;
+}
+
+std::string
+flagString(const std::vector<std::string> &args, const char *flag,
+           const std::string &fallback)
+{
+    for (std::size_t i = 0; i + 1 < args.size(); ++i)
+        if (args[i] == flag)
+            return args[i + 1];
     return fallback;
 }
 
@@ -162,11 +178,21 @@ cmdSimulate(const std::vector<std::string> &args)
     const std::uint32_t threads = flagValue(args, "--threads", 0);
     const LlcModel &llc = publishedLlcModel(args[1], mode);
 
+    setProgressEnabled(hasFlag(args, "--progress"));
+
     ExperimentRunner runner;
     runner.setJobs(flagValue(args, "--jobs", 0));
-    SimStats nvm = runner.runOne(spec, llc, threads);
-    SimStats sram =
-        runner.runOne(spec, publishedLlcModel("SRAM", mode), threads);
+    SimStats nvm;
+    {
+        PhaseTimer timer("phase.simulate.nvm");
+        nvm = runner.runOne(spec, llc, threads);
+    }
+    SimStats sram;
+    {
+        PhaseTimer timer("phase.simulate.sram");
+        sram = runner.runOne(spec, publishedLlcModel("SRAM", mode),
+                             threads);
+    }
     std::printf("%s on %s (%s):\n", spec.name.c_str(),
                 llc.citationName().c_str(), toString(mode).c_str());
     std::printf("  runtime %.3f ms (SRAM %.3f), mpki %.1f\n",
@@ -176,6 +202,20 @@ cmdSimulate(const std::vector<std::string> &args)
                 sram.seconds / nvm.seconds,
                 nvm.llcEnergy() / sram.llcEnergy(),
                 nvm.ed2p() / sram.ed2p());
+
+    const std::string stats_out = flagString(args, "--stats-out", "");
+    if (!stats_out.empty()) {
+        // Report = the NVM run's deterministic detail, the SRAM
+        // baseline's detail under "baseline.", and the process-wide
+        // engine metrics (runner.*, estimator.*, phase.*).
+        StatsSnapshot report = nvm.detail;
+        report.mergeSum(sram.detail.withPrefix("baseline"));
+        report.mergeSum(MetricsRegistry::global().snapshot());
+        writeStatsFile(stats_out, report,
+                       parseStatsFormat(flagString(
+                           args, "--stats-format", "json")));
+        std::printf("  stats written to %s\n", stats_out.c_str());
+    }
     return 0;
 }
 
