@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/experiment.hh"
 #include "nvsim/published.hh"
 #include "prism/metrics.hh"
 #include "sim/cache.hh"
@@ -19,6 +20,7 @@
 #include "sim/system.hh"
 #include "util/rng.hh"
 #include "workload/generators.hh"
+#include "workload/recorded_trace.hh"
 #include "workload/suite.hh"
 
 using namespace nvmcache;
@@ -135,5 +137,66 @@ BM_FullSystem(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * accesses);
 }
 BENCHMARK(BM_FullSystem)->Arg(200'000)->Unit(benchmark::kMillisecond);
+
+static void
+BM_RecordTrace(benchmark::State &state)
+{
+    const std::uint64_t accesses = std::uint64_t(state.range(0));
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        auto trace = RecordedTrace::record(microConfig(accesses), 4);
+        bytes = trace->packedBytes();
+        benchmark::DoNotOptimize(trace);
+    }
+    state.SetItemsProcessed(state.iterations() * accesses);
+    state.counters["packedBytesPerAccess"] =
+        double(bytes) / double(accesses);
+}
+BENCHMARK(BM_RecordTrace)->Arg(200'000)->Unit(benchmark::kMillisecond);
+
+static void
+BM_ReplayTrace(benchmark::State &state)
+{
+    const std::uint64_t accesses = std::uint64_t(state.range(0));
+    auto trace = RecordedTrace::record(microConfig(accesses), 1);
+    TraceCursor cur = trace->cursor(0);
+    std::array<MemAccess, 256> batch;
+    for (auto _ : state) {
+        std::size_t n;
+        while ((n = cur.fill(batch)) != 0)
+            benchmark::DoNotOptimize(batch[n - 1]);
+        cur.reset();
+    }
+    state.SetItemsProcessed(state.iterations() * accesses);
+}
+BENCHMARK(BM_ReplayTrace)->Arg(200'000)->Unit(benchmark::kMillisecond);
+
+static void
+BM_TechSweep(benchmark::State &state)
+{
+    // End-to-end 11-model sweep of a Zipf-heavy workload through the
+    // experiment engine: this is the figure-level cost the record-
+    // once/replay-many stores exist to cut. A fresh runner per
+    // iteration (jobs=1) makes every iteration pay one trace record,
+    // one private-level record, and eleven replays.
+    const std::uint64_t accesses = std::uint64_t(state.range(0));
+    BenchmarkSpec spec;
+    spec.name = "microzipf";
+    spec.gen = microConfig(accesses);
+    spec.defaultThreads = 4;
+    for (auto _ : state) {
+        ExperimentRunner runner;
+        runner.setJobs(1);
+        TechSweep sweep =
+            runner.sweepTechs(spec, CapacityMode::FixedCapacity);
+        benchmark::DoNotOptimize(sweep);
+        const RunnerStats rs = runner.runnerStats();
+        state.counters["traceStoreHitRate"] =
+            double(rs.traceHits) /
+            double(rs.traceBuilds + rs.traceHits);
+    }
+    state.SetItemsProcessed(state.iterations() * accesses);
+}
+BENCHMARK(BM_TechSweep)->Arg(200'000)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

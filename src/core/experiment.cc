@@ -44,13 +44,12 @@ appendMix(std::string &key, const AccessMix &mix)
 }
 
 /**
- * Exact identity of one simulation: every input that can change its
- * SimStats. The base SystemConfig is per-runner (the memo is too), so
- * it needs no representation here.
+ * Exact identity of one trace: every generator input that can change
+ * the produced access sequence, plus the thread split. This is the
+ * trace store's key.
  */
 std::string
-runKey(const GeneratorConfig &gen, const LlcModel &llc,
-       std::uint32_t threads)
+genKey(const GeneratorConfig &gen, std::uint32_t threads)
 {
     std::string key;
     key.reserve(256);
@@ -63,6 +62,53 @@ runKey(const GeneratorConfig &gen, const LlcModel &llc,
     appendMix(key, gen.loads);
     appendMix(key, gen.stores);
     appendMix(key, gen.ifetches);
+    return key;
+}
+
+void
+appendGeometry(std::string &key, const CacheGeometry &g)
+{
+    appendBytes(key, g.capacityBytes);
+    appendBytes(key, g.associativity);
+    appendBytes(key, g.blockBytes);
+    appendBytes(key, g.replacement);
+}
+
+/**
+ * Exact identity of one private-level recording: the trace identity
+ * plus every CoreParams input that can change which level satisfies a
+ * reference or which victims stream to the LLC. (The timing-only
+ * fields — hide windows, stall factor — are included too: one key per
+ * core configuration is simplest and they never vary within a study.)
+ */
+std::string
+privKey(const GeneratorConfig &gen, std::uint32_t threads,
+        const CoreParams &core)
+{
+    std::string key = genKey(gen, threads);
+    appendBytes(key, core.baseCpi);
+    appendGeometry(key, core.l1i);
+    appendGeometry(key, core.l1d);
+    appendGeometry(key, core.l2);
+    appendBytes(key, core.l2Cycles);
+    appendBytes(key, core.loadHide);
+    appendBytes(key, core.ifetchHide);
+    appendBytes(key, core.storeHide);
+    appendBytes(key, core.storeStallFactor);
+    return key;
+}
+
+/**
+ * Exact identity of one simulation: the trace identity plus every
+ * LLC-model input that can change its SimStats. The base SystemConfig
+ * is per-runner (the memo is too), so it needs no representation
+ * here.
+ */
+std::string
+runKey(const GeneratorConfig &gen, const LlcModel &llc,
+       std::uint32_t threads)
+{
+    std::string key = genKey(gen, threads);
     key += llc.name;
     key += '\0';
     appendBytes(key, llc.klass);
@@ -79,17 +125,40 @@ runKey(const GeneratorConfig &gen, const LlcModel &llc,
     return key;
 }
 
+/** First element of @p v satisfying @p pred; nullptr when absent. */
+template <typename T, typename Pred>
+const T *
+findFirst(const std::vector<T> &v, Pred pred)
+{
+    for (const T &x : v)
+        if (pred(x))
+            return &x;
+    return nullptr;
+}
+
 } // namespace
+
+const LlcModel *
+findByClass(const std::vector<LlcModel> &models, NvmClass klass)
+{
+    return findFirst(models, [klass](const LlcModel &m) {
+        return m.klass == klass;
+    });
+}
 
 /**
  * Run cache with exactly-once semantics: the first caller of a key
  * owns the simulation, concurrent callers of the same key block on
- * its future instead of simulating again.
+ * its future instead of simulating again. The trace store applies
+ * the same discipline one layer down, keyed on generator identity
+ * only, so the 11 models of a tech sweep (and the characterization
+ * pass) replay one shared RecordedTrace instead of regenerating.
  *
  * Counters are kept per-memo (so RunnerStats stays an exact view of
  * one runner and its copies) and mirrored into the process-wide
- * registry under "runner.memo.*" so structured run reports capture
- * them; snapshot diffs recover exact per-study deltas there.
+ * registry under "runner.memo.*" / "runner.traceStore.*" so
+ * structured run reports capture them; snapshot diffs recover exact
+ * per-study deltas there.
  */
 struct ExperimentRunner::Memo
 {
@@ -99,11 +168,39 @@ struct ExperimentRunner::Memo
         std::shared_future<SimStats> future{promise.get_future()};
     };
 
+    struct TraceEntry
+    {
+        std::promise<std::shared_ptr<const RecordedTrace>> promise;
+        std::shared_future<std::shared_ptr<const RecordedTrace>>
+            future{promise.get_future()};
+    };
+
+    struct PrivateEntry
+    {
+        std::promise<std::shared_ptr<const PrivateTrace>> promise;
+        std::shared_future<std::shared_ptr<const PrivateTrace>>
+            future{promise.get_future()};
+    };
+
     std::mutex mu;
     std::unordered_map<std::string, std::shared_ptr<Entry>> runs;
     std::atomic<std::uint64_t> simulations{0};
     std::atomic<std::uint64_t> memoHits{0};
     std::atomic<std::uint64_t> baselineSimulations{0};
+
+    std::mutex traceMu;
+    std::unordered_map<std::string, std::shared_ptr<TraceEntry>>
+        traces;
+    std::atomic<std::uint64_t> traceBuilds{0};
+    std::atomic<std::uint64_t> traceHits{0};
+    std::atomic<std::uint64_t> traceBytes{0};
+
+    std::mutex privMu;
+    std::unordered_map<std::string, std::shared_ptr<PrivateEntry>>
+        privates;
+    std::atomic<std::uint64_t> privateBuilds{0};
+    std::atomic<std::uint64_t> privateHits{0};
+    std::atomic<std::uint64_t> privateBytes{0};
 
     Counter &gSimulations =
         MetricsRegistry::global().counter("runner.memo.simulations");
@@ -111,15 +208,38 @@ struct ExperimentRunner::Memo
         MetricsRegistry::global().counter("runner.memo.hits");
     Counter &gBaselines = MetricsRegistry::global().counter(
         "runner.memo.baselineSimulations");
+    Counter &gTraceBuilds = MetricsRegistry::global().counter(
+        "runner.traceStore.builds");
+    Counter &gTraceHits =
+        MetricsRegistry::global().counter("runner.traceStore.hits");
+    Gauge &gTraceBytes =
+        MetricsRegistry::global().gauge("runner.traceStore.bytes");
+    Counter &gPrivateBuilds = MetricsRegistry::global().counter(
+        "runner.privateStore.builds");
+    Counter &gPrivateHits =
+        MetricsRegistry::global().counter("runner.privateStore.hits");
+    Gauge &gPrivateBytes =
+        MetricsRegistry::global().gauge("runner.privateStore.bytes");
 };
 
 const RunResult &
 TechSweep::byTech(const std::string &tech) const
 {
-    for (const RunResult &r : results)
-        if (r.tech == tech)
-            return r;
-    fatal("TechSweep: no result for technology '", tech, "'");
+    const RunResult *r = findFirst(
+        results, [&](const RunResult &x) { return x.tech == tech; });
+    if (!r)
+        fatal("TechSweep: no result for technology '", tech, "'");
+    return *r;
+}
+
+const RunResult &
+TechSweep::byClass(NvmClass klass) const
+{
+    const RunResult *r = findFirst(
+        results, [&](const RunResult &x) { return x.klass == klass; });
+    if (!r)
+        fatal("TechSweep: no result of class ", int(klass));
+    return *r;
 }
 
 ExperimentRunner::ExperimentRunner(SystemConfig base)
@@ -142,7 +262,95 @@ ExperimentRunner::runnerStats() const
     s.simulations = memo_->simulations.load();
     s.memoHits = memo_->memoHits.load();
     s.baselineSimulations = memo_->baselineSimulations.load();
+    s.traceBuilds = memo_->traceBuilds.load();
+    s.traceHits = memo_->traceHits.load();
+    s.traceBytes = memo_->traceBytes.load();
+    s.privateBuilds = memo_->privateBuilds.load();
+    s.privateHits = memo_->privateHits.load();
+    s.privateBytes = memo_->privateBytes.load();
     return s;
+}
+
+std::shared_ptr<const RecordedTrace>
+ExperimentRunner::recordedTrace(const GeneratorConfig &gen,
+                                std::uint32_t threads) const
+{
+    const std::string key = genKey(gen, threads);
+    std::shared_ptr<Memo::TraceEntry> entry;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(memo_->traceMu);
+        auto [it, inserted] = memo_->traces.try_emplace(key);
+        if (inserted) {
+            it->second = std::make_shared<Memo::TraceEntry>();
+            owner = true;
+        }
+        entry = it->second;
+    }
+
+    if (owner) {
+        memo_->traceBuilds.fetch_add(1, std::memory_order_relaxed);
+        memo_->gTraceBuilds.inc();
+        std::shared_ptr<const RecordedTrace> trace;
+        {
+            PhaseTimer timer("runner.recordSeconds");
+            trace = RecordedTrace::record(gen, threads);
+        }
+        const std::uint64_t total =
+            memo_->traceBytes.fetch_add(trace->packedBytes(),
+                                        std::memory_order_relaxed) +
+            trace->packedBytes();
+        memo_->gTraceBytes.set(double(total));
+        entry->promise.set_value(std::move(trace));
+    } else {
+        memo_->traceHits.fetch_add(1, std::memory_order_relaxed);
+        memo_->gTraceHits.inc();
+    }
+    return entry->future.get();
+}
+
+std::shared_ptr<const PrivateTrace>
+ExperimentRunner::privateTrace(const GeneratorConfig &gen,
+                               std::uint32_t threads) const
+{
+    const std::string key = privKey(gen, threads, base_.core);
+    std::shared_ptr<Memo::PrivateEntry> entry;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(memo_->privMu);
+        auto [it, inserted] = memo_->privates.try_emplace(key);
+        if (inserted) {
+            it->second = std::make_shared<Memo::PrivateEntry>();
+            owner = true;
+        }
+        entry = it->second;
+    }
+
+    if (owner) {
+        memo_->privateBuilds.fetch_add(1, std::memory_order_relaxed);
+        memo_->gPrivateBuilds.inc();
+        auto trace = recordedTrace(gen, threads);
+        auto cursors = trace->cursors();
+        std::vector<BatchSource *> ptrs;
+        ptrs.reserve(cursors.size());
+        for (TraceCursor &c : cursors)
+            ptrs.push_back(&c);
+        std::shared_ptr<const PrivateTrace> priv;
+        {
+            PhaseTimer timer("runner.recordPrivateSeconds");
+            priv = PrivateTrace::record(ptrs, base_.core);
+        }
+        const std::uint64_t total =
+            memo_->privateBytes.fetch_add(priv->packedBytes(),
+                                          std::memory_order_relaxed) +
+            priv->packedBytes();
+        memo_->gPrivateBytes.set(double(total));
+        entry->promise.set_value(std::move(priv));
+    } else {
+        memo_->privateHits.fetch_add(1, std::memory_order_relaxed);
+        memo_->gPrivateHits.inc();
+    }
+    return entry->future.get();
 }
 
 SimStats
@@ -153,14 +361,21 @@ ExperimentRunner::simulateUncached(const BenchmarkSpec &spec,
     SystemConfig cfg = base_;
     cfg.numCores = threads;
 
-    auto traces = buildTraces(spec, threads);
-    std::vector<TraceSource *> ptrs;
-    ptrs.reserve(traces.size());
-    for (auto &t : traces)
-        ptrs.push_back(t.get());
+    // Replay the workload's recorded trace: generation happens once
+    // per (generator, threads) for the runner's lifetime, and every
+    // model replays the identical packed sequence. The private-level
+    // recording rides one layer above it, so each model simulates
+    // only the shared LLC and DRAM.
+    auto trace = recordedTrace(spec.gen, threads);
+    auto priv = privateTrace(spec.gen, threads);
+    auto cursors = trace->cursors();
+    std::vector<BatchSource *> ptrs;
+    ptrs.reserve(cursors.size());
+    for (TraceCursor &c : cursors)
+        ptrs.push_back(&c);
 
     System system(cfg, llc);
-    return system.run(ptrs);
+    return system.run(ptrs, priv.get());
 }
 
 SimStats
@@ -214,26 +429,29 @@ ExperimentRunner::sweepTechs(const BenchmarkSpec &spec,
     sweep.mode = mode;
     sweep.cores = threads;
 
+    // Validate the model list before simulating anything: every
+    // result is normalized against the SRAM baseline, so its absence
+    // is a configuration error, not a post-hoc surprise.
+    const std::vector<LlcModel> &models = publishedLlcModels(mode);
+    const LlcModel *sram = findByClass(models, NvmClass::SRAM);
+    if (!sram)
+        panic("published model list has no SRAM baseline");
+
     // Fan the eleven independent simulations out; the memo makes any
     // repeats (notably the SRAM baseline across studies) free.
-    const std::vector<LlcModel> &models = publishedLlcModels(mode);
     std::vector<SimStats> stats =
         parallelMap(jobs_, models, [&](const LlcModel &llc) {
             return runOne(spec, llc, threads);
         });
 
-    const SimStats *found = nullptr;
-    for (std::size_t i = 0; i < models.size(); ++i)
-        if (models[i].klass == NvmClass::SRAM)
-            found = &stats[i];
-    if (!found)
-        panic("published model list has no SRAM baseline");
-    const SimStats sram_stats = *found; // keep valid across the moves
+    const SimStats sram_stats =
+        stats[std::size_t(sram - models.data())];
 
     for (std::size_t i = 0; i < models.size(); ++i) {
         RunResult r;
         r.workload = spec.name;
         r.tech = models[i].name;
+        r.klass = models[i].klass;
         r.mode = mode;
         r.cores = threads;
         r.stats = std::move(stats[i]);

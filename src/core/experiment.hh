@@ -26,6 +26,7 @@
 
 #include "nvsim/published.hh"
 #include "sim/system.hh"
+#include "workload/recorded_trace.hh"
 #include "workload/suite.hh"
 
 namespace nvmcache {
@@ -35,6 +36,7 @@ struct RunResult
 {
     std::string workload;
     std::string tech;    ///< citation name ("Oh", ..., "SRAM")
+    NvmClass klass = NvmClass::SRAM;
     CapacityMode mode = CapacityMode::FixedCapacity;
     std::uint32_t cores = 4;
 
@@ -45,6 +47,10 @@ struct RunResult
     double normEd2p = 1.0;   ///< ED^2P vs SRAM
 };
 
+/** First model of @p klass in @p models; nullptr when absent. */
+const LlcModel *findByClass(const std::vector<LlcModel> &models,
+                            NvmClass klass);
+
 /** Results of sweeping every technology for one workload. */
 struct TechSweep
 {
@@ -54,6 +60,8 @@ struct TechSweep
     std::vector<RunResult> results; ///< Table III order, SRAM last
 
     const RunResult &byTech(const std::string &tech) const;
+    /** First result of @p klass (e.g. the SRAM baseline). */
+    const RunResult &byClass(NvmClass klass) const;
 };
 
 /** Execution counters of one ExperimentRunner (memo effectiveness). */
@@ -68,6 +76,27 @@ struct RunnerStats
      * count.
      */
     std::uint64_t baselineSimulations = 0;
+
+    /**
+     * Trace-store counters: builds counts RecordedTrace
+     * materializations (exactly one per distinct (generator, thread
+     * count) pair for the runner's lifetime), hits counts requests
+     * served from the store, bytes is the packed bytes resident.
+     */
+    std::uint64_t traceBuilds = 0;
+    std::uint64_t traceHits = 0;
+    std::uint64_t traceBytes = 0;
+
+    /**
+     * Private-level store counters, one layer above the trace store:
+     * builds counts PrivateTrace materializations (exactly one per
+     * distinct (generator, thread count, CoreParams)), hits counts
+     * requests served from the store, bytes is the packed bytes
+     * resident.
+     */
+    std::uint64_t privateBuilds = 0;
+    std::uint64_t privateHits = 0;
+    std::uint64_t privateBytes = 0;
 };
 
 class ExperimentRunner
@@ -84,6 +113,30 @@ class ExperimentRunner
      */
     SimStats runOne(const BenchmarkSpec &spec, const LlcModel &llc,
                     std::uint32_t threads = 0) const;
+
+    /**
+     * Materialize (or fetch from the runner's exactly-once trace
+     * store) the recorded trace for @p gen split across @p threads.
+     * The first caller of a key records it; concurrent callers block
+     * on the build instead of generating again. The returned trace is
+     * immutable and shared read-only by every simulation,
+     * characterization, and caller of this method. Thread-safe.
+     */
+    std::shared_ptr<const RecordedTrace>
+    recordedTrace(const GeneratorConfig &gen,
+                  std::uint32_t threads) const;
+
+    /**
+     * Materialize (or fetch) the private-level (L1/L2) outcome
+     * recording for @p gen split across @p threads under the
+     * runner's CoreParams, built from the recorded trace with the
+     * same exactly-once discipline. Every model of a tech sweep
+     * replays this recording instead of re-simulating the private
+     * caches. Thread-safe.
+     */
+    std::shared_ptr<const PrivateTrace>
+    privateTrace(const GeneratorConfig &gen,
+                 std::uint32_t threads) const;
 
     /**
      * Sweep all published Table III technologies (plus the SRAM

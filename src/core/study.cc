@@ -174,17 +174,17 @@ runCorrelationStudy(bool aiOnly, const std::vector<std::string> &techs,
     }
 
     // Feature pass (PRISM): one characterization per workload, each
-    // independent of the rest.
+    // independent of the rest. Characterizing from the runner's trace
+    // store means the simulation pass below replays the same recorded
+    // traces instead of regenerating every workload.
     {
         PhaseTimer timer("phase.correlation.characterize");
         progressBegin("correlation characterize", specs.size());
         study.features = parallelMap(
-            runner.jobs(), specs, [](const BenchmarkSpec &spec) {
-                auto traces = buildTraces(spec);
-                std::vector<TraceSource *> ptrs;
-                for (auto &t : traces)
-                    ptrs.push_back(t.get());
-                WorkloadFeatures features = characterize(ptrs);
+            runner.jobs(), specs, [&](const BenchmarkSpec &spec) {
+                auto trace = runner.recordedTrace(
+                    spec.gen, spec.defaultThreads);
+                WorkloadFeatures features = characterize(*trace);
                 progressTick();
                 return features;
             });

@@ -1,9 +1,11 @@
 #include "prism/metrics.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "util/logging.hh"
+#include "workload/recorded_trace.hh"
 
 namespace nvmcache {
 
@@ -115,6 +117,21 @@ characterize(const std::vector<TraceSource *> &threads,
         while (t->next(a))
             collector.record(a);
         t->reset();
+    }
+    return collector.finalize();
+}
+
+WorkloadFeatures
+characterize(const RecordedTrace &trace, std::uint32_t localMaskBits)
+{
+    FeatureCollector collector(localMaskBits);
+    std::array<MemAccess, 256> batch;
+    for (std::uint32_t t = 0; t < trace.threads(); ++t) {
+        TraceCursor cur = trace.cursor(t);
+        std::size_t n;
+        while ((n = cur.fill(batch)) != 0)
+            for (std::size_t i = 0; i < n; ++i)
+                collector.record(batch[i]);
     }
     return collector.finalize();
 }

@@ -93,6 +93,17 @@ WorkloadFeatures characterize(
     const std::vector<TraceSource *> &threads,
     std::uint32_t localMaskBits = 10);
 
+class RecordedTrace;
+
+/**
+ * Characterize a recorded trace by replaying each thread's track in
+ * thread order. Feature-identical to characterizing the live
+ * generators the trace was recorded from (replay is bit-exact), but
+ * pays only the decode cost.
+ */
+WorkloadFeatures characterize(const RecordedTrace &trace,
+                              std::uint32_t localMaskBits = 10);
+
 } // namespace nvmcache
 
 #endif // NVMCACHE_PRISM_METRICS_HH

@@ -14,6 +14,9 @@ SetAssocCache::SetAssocCache(const CacheGeometry &geom) : geom_(geom)
         fatal("cache block size must be a power of two");
     if (geom_.associativity == 0)
         fatal("cache associativity must be >= 1");
+    if (geom_.associativity > 64)
+        fatal("cache associativity must be <= 64 (way masks are one "
+              "64-bit word)");
     const std::uint64_t sets = geom_.numSets();
     if (sets == 0 || (sets & (sets - 1)) != 0)
         fatal("cache set count must be a power of two (capacity ",
@@ -22,98 +25,110 @@ SetAssocCache::SetAssocCache(const CacheGeometry &geom) : geom_(geom)
         std::countr_zero(std::uint64_t(geom_.blockBytes)));
     tagShift_ = blockBits_ + std::uint32_t(std::countr_zero(sets));
     setMask_ = sets - 1;
-    lines_.resize(sets * geom_.associativity);
+    lruHits_ = geom_.replacement == ReplacementPolicy::LRU;
+    meta_.resize(sets * geom_.associativity);
+    ranked_ = geom_.associativity <= 16;
+    if (ranked_) {
+        // Way w starts at rank w: a valid permutation per set.
+        rankFieldMask_ =
+            geom_.associativity == 16
+                ? ~std::uint64_t(0)
+                : (std::uint64_t(1) << (4 * geom_.associativity)) - 1;
+        ranks_.assign(sets, 0xFEDCBA9876543210ull & rankFieldMask_);
+    } else {
+        lastUse_.resize(meta_.size());
+    }
     setEvictions_.resize(sets);
-    lineWrites_.resize(lines_.size());
+    lineWrites_.resize(meta_.size());
 }
 
-SetAssocCache::Line *
-SetAssocCache::selectVictim(Line *base)
+template <std::uint32_t A>
+CacheAccessResult
+SetAssocCache::accessImplFixed(std::uint64_t addr, bool write)
 {
-    // An invalid way always wins.
-    for (std::uint32_t w = 0; w < geom_.associativity; ++w)
-        if (!base[w].valid)
-            return &base[w];
+    CacheAccessResult result;
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const std::size_t base = std::size_t(set) * geom_.associativity;
+    std::uint64_t *const meta = &meta_[base];
+    const std::uint32_t assoc = A ? A : geom_.associativity;
 
-    switch (geom_.replacement) {
-      case ReplacementPolicy::LRU:
-      case ReplacementPolicy::FIFO: {
-        // Both pick the smallest timestamp; they differ in whether
-        // hits refresh it (see accessImpl).
-        Line *victim = base;
-        for (std::uint32_t w = 1; w < geom_.associativity; ++w)
-            if (base[w].lastUse < victim->lastUse)
-                victim = &base[w];
-        return victim;
-      }
-      case ReplacementPolicy::Random: {
-        // xorshift64*: deterministic per cache instance.
-        randState_ ^= randState_ >> 12;
-        randState_ ^= randState_ << 25;
-        randState_ ^= randState_ >> 27;
-        return &base[(randState_ * 0x2545f4914f6cdd1dull) %
-                     geom_.associativity];
-      }
+    // Hit scan over the dense metadata only: a valid match satisfies
+    // (m | dirty) == want regardless of the line's dirtiness, and an
+    // invalid way (m == 0) can never match since want has the valid
+    // bit set. Tags are unique within a set, so at most one way hits.
+    // The early exit keeps the common case touching as few host
+    // cache lines as possible; with A fixed at compile time the loop
+    // unrolls completely.
+    const std::uint64_t want = (tag << 2) | kDirty | kValid;
+    for (std::uint32_t w = 0; w < assoc; ++w) {
+        if ((meta[w] | kDirty) == want) {
+            if (lruHits_)
+                touch(set, base, w);
+            if (write) {
+                meta[w] |= kDirty;
+                ++lineWrites_[base + w];
+            }
+            result.hit = true;
+            return result;
+        }
     }
-    panic("bad ReplacementPolicy");
+
+    // Miss: fill the first invalid way, else the policy's victim.
+    std::uint32_t victim = assoc;
+    for (std::uint32_t w = 0; w < assoc; ++w)
+        if (!(meta[w] & kValid)) {
+            victim = w;
+            break;
+        }
+    if (victim == assoc) {
+        switch (geom_.replacement) {
+          case ReplacementPolicy::LRU:
+          case ReplacementPolicy::FIFO:
+            // Both take the oldest entry; they differ in whether hits
+            // refresh recency above.
+            victim = oldestWay(set, base);
+            break;
+          case ReplacementPolicy::Random:
+            // xorshift64*: deterministic per cache instance.
+            randState_ ^= randState_ >> 12;
+            randState_ ^= randState_ << 25;
+            randState_ ^= randState_ >> 27;
+            victim = std::uint32_t(
+                (randState_ * 0x2545f4914f6cdd1dull) % assoc);
+            break;
+        }
+        const std::uint64_t m = meta[victim];
+        result.evictedValid = true;
+        result.evictedDirty = (m & kDirty) != 0;
+        result.evictedAddr = lineAddr(m >> 2, set);
+        if (m & kDirty)
+            ++writebacks_;
+        ++setEvictions_[set];
+    }
+    meta[victim] = (tag << 2) | (write ? kDirty : 0) | kValid;
+    touch(set, base, victim);
+    // Every fill rewrites the victim way's data array.
+    ++lineWrites_[base + victim];
+    return result;
 }
 
 CacheAccessResult
 SetAssocCache::accessImpl(std::uint64_t addr, bool write)
 {
-    CacheAccessResult result;
-    const std::uint64_t set = setIndex(addr);
-    const std::uint64_t tag = tagOf(addr);
-    Line *const base = &lines_[set * geom_.associativity];
-    const std::uint32_t assoc = geom_.associativity;
-
-    // One pass finds a hit while tracking the fill candidate (first
-    // invalid way, else the smallest-timestamp way in scan order —
-    // identical to the two-pass policy this replaces).
-    Line *invalid = nullptr;
-    Line *oldest = base;
-    for (std::uint32_t w = 0; w < assoc; ++w) {
-        Line &line = base[w];
-        if (line.valid) {
-            if (line.tag == tag) {
-                if (geom_.replacement == ReplacementPolicy::LRU)
-                    line.lastUse = ++useClock_;
-                line.dirty |= write;
-                if (write)
-                    ++lineWrites_[std::size_t(&line - lines_.data())];
-                result.hit = true;
-                return result;
-            }
-            if (line.lastUse < oldest->lastUse)
-                oldest = &line;
-        } else if (!invalid) {
-            invalid = &line;
-        }
+    // Fixed-associativity instantiations let the scans unroll; every
+    // configured geometry (L1 4/8-way, L2 8-way, LLC 16-way) takes
+    // one of the specialized paths.
+    switch (geom_.associativity) {
+      case 4:
+        return accessImplFixed<4>(addr, write);
+      case 8:
+        return accessImplFixed<8>(addr, write);
+      case 16:
+        return accessImplFixed<16>(addr, write);
+      default:
+        return accessImplFixed<0>(addr, write);
     }
-
-    // Miss: evict the policy's victim (or an invalid way) and fill.
-    Line *victim;
-    if (invalid)
-        victim = invalid;
-    else if (geom_.replacement == ReplacementPolicy::Random)
-        victim = selectVictim(base);
-    else
-        victim = oldest;
-    if (victim->valid) {
-        result.evictedValid = true;
-        result.evictedDirty = victim->dirty;
-        result.evictedAddr = lineAddr(victim->tag, set);
-        if (victim->dirty)
-            ++writebacks_;
-        ++setEvictions_[set];
-    }
-    victim->valid = true;
-    victim->dirty = write;
-    victim->tag = tag;
-    victim->lastUse = ++useClock_;
-    // Every fill rewrites the victim way's data array.
-    ++lineWrites_[std::size_t(victim - lines_.data())];
-    return result;
 }
 
 CacheAccessResult
@@ -131,10 +146,11 @@ bool
 SetAssocCache::probe(std::uint64_t addr) const
 {
     const std::uint64_t set = setIndex(addr);
-    const std::uint64_t tag = tagOf(addr);
-    const Line *base = &lines_[set * geom_.associativity];
+    const std::uint64_t want = (tagOf(addr) << 2) | kDirty | kValid;
+    const std::uint64_t *meta =
+        &meta_[std::size_t(set) * geom_.associativity];
     for (std::uint32_t w = 0; w < geom_.associativity; ++w)
-        if (base[w].valid && base[w].tag == tag)
+        if ((meta[w] | kDirty) == want)
             return true;
     return false;
 }
@@ -151,13 +167,14 @@ bool
 SetAssocCache::invalidate(std::uint64_t addr)
 {
     const std::uint64_t set = setIndex(addr);
-    const std::uint64_t tag = tagOf(addr);
-    Line *base = &lines_[set * geom_.associativity];
+    const std::uint64_t want = (tagOf(addr) << 2) | kDirty | kValid;
+    std::uint64_t *meta =
+        &meta_[std::size_t(set) * geom_.associativity];
     for (std::uint32_t w = 0; w < geom_.associativity; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.valid = false;
-            return line.dirty;
+        if ((meta[w] | kDirty) == want) {
+            const bool dirty = (meta[w] & kDirty) != 0;
+            meta[w] = 0;
+            return dirty;
         }
     }
     return false;

@@ -15,8 +15,7 @@ PrivateCore::accessPrivate(const MemAccess &access)
 {
     // Issue time: the gap instructions plus the memory instruction
     // itself at base CPI.
-    cycle_ += double(access.nonMemInstrs + 1) * params_.baseCpi;
-    instructions_ += access.nonMemInstrs + 1;
+    advanceIssue(access.nonMemInstrs);
 
     PrivateAccessOutcome out;
 

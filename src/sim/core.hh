@@ -79,6 +79,21 @@ class PrivateCore
     PrivateAccessOutcome accessPrivate(const MemAccess &access);
 
     /**
+     * The instruction-issue half of accessPrivate alone: advance the
+     * local clock and instruction count for a reference with @p
+     * nonMemInstrs gap instructions, without touching the caches.
+     * Used when replaying a PrivateTrace, where the cache outcome is
+     * already recorded; the arithmetic is identical to
+     * accessPrivate's, so the clock evolves bit-identically.
+     */
+    void
+    advanceIssue(std::uint32_t nonMemInstrs)
+    {
+        cycle_ += double(nonMemInstrs + 1) * params_.baseCpi;
+        instructions_ += nonMemInstrs + 1;
+    }
+
+    /**
      * Charge the post-overlap stall for a reference of @p kind whose
      * total hierarchy latency was @p latencyCycles.
      */

@@ -66,8 +66,8 @@ DramModel::exportStats(MetricsRegistry &reg,
     reg.counter(prefix + ".reads").inc(reads_);
     reg.counter(prefix + ".writes").inc(writes_);
     reg.counter(prefix + ".queueCycles").inc(queueCycles_);
-    reg.distribution(prefix + ".queueDelay").merge(queueDelayDist_);
-    reg.distribution(prefix + ".queueDepth").merge(queueDepthDist_);
+    reg.distribution(prefix + ".queueDelay").merge(queueDelayDist_.snapshot());
+    reg.distribution(prefix + ".queueDepth").merge(queueDepthDist_.snapshot());
 }
 
 } // namespace nvmcache

@@ -73,8 +73,8 @@ class DramModel
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
     std::uint64_t queueCycles_ = 0;
-    Distribution queueDelayDist_; ///< wait cycles per request
-    Distribution queueDepthDist_; ///< backlogged requests at arrival
+    LocalDistribution queueDelayDist_; ///< wait cycles per request
+    LocalDistribution queueDepthDist_; ///< backlogged requests at arrival
 };
 
 } // namespace nvmcache

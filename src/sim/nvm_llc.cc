@@ -171,8 +171,8 @@ SharedLlc::exportStats(MetricsRegistry &reg,
     reg.gauge(prefix + ".writeEnergy").add(stats_.writeEnergy);
     reg.gauge(prefix + ".missRate").set(missRate());
 
-    reg.distribution(prefix + ".writeStall").merge(writeStallDist_);
-    reg.distribution(prefix + ".readWait").merge(readWaitDist_);
+    reg.distribution(prefix + ".writeStall").merge(writeStallDist_.snapshot());
+    reg.distribution(prefix + ".readWait").merge(readWaitDist_.snapshot());
     reg.gauge(prefix + ".maxLineWrites")
         .set(double(tags_.maxLineWrites()));
     tags_.exportStats(reg, prefix + ".tags");

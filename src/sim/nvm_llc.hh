@@ -115,6 +115,12 @@ class SharedLlc
     /** Writeback (dirty L2 eviction) at global cycle @p now. */
     LlcWritebackOutcome writeback(std::uint64_t addr, std::uint64_t now);
 
+    /** Host prefetch of @p addr's tag set (perf hint, no effect). */
+    void prefetchTag(std::uint64_t addr) const
+    {
+        tags_.prefetchSet(addr);
+    }
+
     const LlcStats &stats() const { return stats_; }
     const LlcModel &model() const { return model_; }
     const Config &config() const { return cfg_; }
@@ -156,8 +162,8 @@ class SharedLlc
     std::vector<std::uint64_t> bankFreeAt_;
 
     LlcStats stats_;
-    Distribution writeStallDist_; ///< stall cycles per writeback
-    Distribution readWaitDist_;   ///< bank-wait cycles per demand read
+    LocalDistribution writeStallDist_; ///< stall cycles/writeback
+    LocalDistribution readWaitDist_; ///< bank-wait cycles/read
 };
 
 } // namespace nvmcache

@@ -1,0 +1,119 @@
+#include "sim/private_trace.hh"
+
+#include "util/logging.hh"
+
+namespace nvmcache {
+
+void
+PrivateTrace::CachePortrait::capture(const SetAssocCache &cache)
+{
+    hits = cache.hits();
+    misses = cache.misses();
+    writebacks = cache.writebacks();
+    setEvictions = cache.setEvictionsBySet();
+    lineWrites = cache.lineWritesByWay();
+}
+
+void
+PrivateTrace::CachePortrait::exportInto(MetricsRegistry &reg,
+                                        const std::string &prefix) const
+{
+    // Mirror SetAssocCache::exportStats stat for stat and element for
+    // element: the distributions' Welford state depends on add order,
+    // and a replay run's registry must match a live run's bit for bit.
+    reg.counter(prefix + ".hits").inc(hits);
+    reg.counter(prefix + ".misses").inc(misses);
+    reg.counter(prefix + ".writebacks").inc(writebacks);
+
+    Distribution &evictions =
+        reg.distribution(prefix + ".evictionsPerSet");
+    for (std::uint32_t e : setEvictions)
+        evictions.add(double(e));
+
+    Distribution &writes = reg.distribution(prefix + ".writesPerLine");
+    for (std::uint32_t w : lineWrites)
+        writes.add(double(w));
+}
+
+std::shared_ptr<const PrivateTrace>
+PrivateTrace::record(const std::vector<BatchSource *> &sources,
+                     const CoreParams &params)
+{
+    if (sources.empty())
+        fatal("PrivateTrace: need at least one source");
+
+    std::shared_ptr<PrivateTrace> trace(new PrivateTrace());
+    trace->lanes_.resize(sources.size());
+
+    std::array<MemAccess, 256> batch;
+    for (std::size_t t = 0; t < sources.size(); ++t) {
+        PrivateCore core(params);
+        Lane &lane = trace->lanes_[t];
+        std::uint64_t prevWb = 0;
+        std::size_t n;
+        while ((n = sources[t]->fill(batch)) > 0) {
+            for (std::size_t i = 0; i < n; ++i) {
+                PrivateAccessOutcome out =
+                    core.accessPrivate(batch[i]);
+                const std::uint8_t outcome =
+                    out.satisfied ? (out.latencyCycles
+                                         ? PrivateEvent::kL2Hit
+                                         : PrivateEvent::kL1Hit)
+                                  : PrivateEvent::kMiss;
+                const std::uint8_t nib = std::uint8_t(
+                    outcome | (out.writebacks.count << 2));
+                if ((lane.count & 1) == 0)
+                    lane.events.push_back(0);
+                lane.events.back() |=
+                    std::uint8_t(nib << ((lane.count & 1) * 4));
+                for (std::uint32_t w = 0; w < out.writebacks.count;
+                     ++w) {
+                    const std::uint64_t a = out.writebacks.addr[w];
+                    putVarint(lane.wbStream,
+                              zigzag(std::int64_t(a - prevWb)));
+                    prevWb = a;
+                }
+                ++lane.count;
+            }
+        }
+        lane.wbStream.insert(lane.wbStream.end(), kVarintPad, 0);
+        lane.events.shrink_to_fit();
+        lane.wbStream.shrink_to_fit();
+        lane.l1i.capture(core.l1i());
+        lane.l1d.capture(core.l1d());
+        lane.l2.capture(core.l2());
+    }
+    return trace;
+}
+
+std::uint64_t
+PrivateTrace::packedBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const Lane &lane : lanes_)
+        bytes += lane.events.size() + lane.wbStream.size();
+    return bytes;
+}
+
+PrivateCursor
+PrivateTrace::cursor(std::uint32_t thread) const
+{
+    if (thread >= lanes_.size())
+        fatal("PrivateTrace: bad thread index ", thread);
+    return PrivateCursor(&lanes_[thread]);
+}
+
+void
+PrivateTrace::exportCaches(MetricsRegistry &reg,
+                           const std::string &prefix,
+                           std::uint32_t thread) const
+{
+    if (thread >= lanes_.size())
+        fatal("PrivateTrace: bad thread index ", thread);
+    const Lane &lane = lanes_[thread];
+    lane.l1i.exportInto(reg, prefix + ".l1i");
+    lane.l1d.exportInto(reg, prefix + ".l1d");
+    lane.l2.exportInto(reg, prefix + ".l2");
+}
+
+} // namespace nvmcache

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Record-once / replay-many materialization of the private cache
+ * levels (L1I / L1D / L2).
+ *
+ * The private hierarchy's behavior for one thread is a pure function
+ * of that thread's access sequence and the CoreParams: the caches are
+ * per-core, each core consumes its own trace in order, and nothing
+ * below L2 feeds back into which level satisfies a reference. The LLC
+ * model and the cross-core interleaving only affect *timing*. A tech
+ * sweep therefore re-simulates identical L1/L2 walks once per LLC
+ * model — by far the hottest loops in the simulator — to reach the
+ * only part that differs.
+ *
+ * A PrivateTrace walks each thread's trace through a real PrivateCore
+ * exactly once and freezes, per access, everything System::step needs
+ * from the private levels:
+ *
+ *  - the outcome (L1 hit / L2 hit / miss that reaches the LLC),
+ *    packed 2 bits, plus the dirty-L2-victim count, 2 bits;
+ *  - the victim (writeback) addresses as zigzag-varint deltas;
+ *  - and, per core, the final private-cache counter state
+ *    (hits/misses/writebacks and the per-set / per-line vectors), so
+ *    a replay run exports bit-identical "sim.core.*" stats.
+ *
+ * Replaying through PrivateCursor::next is bit-exact: System applies
+ * the same cycle arithmetic in the same order with the same operands,
+ * so SimStats — including every floating-point field — matches a live
+ * simulation of the same traces. The recording is immutable after
+ * record() and safely shared across concurrent simulations.
+ */
+
+#ifndef NVMCACHE_SIM_PRIVATE_TRACE_HH
+#define NVMCACHE_SIM_PRIVATE_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/core.hh"
+#include "sim/types.hh"
+#include "util/varint.hh"
+
+namespace nvmcache {
+
+class PrivateCursor;
+
+/** One access's recorded private-level outcome. */
+struct PrivateEvent
+{
+    /** Values of outcome (order matters only for packing). */
+    static constexpr std::uint8_t kL1Hit = 0;
+    static constexpr std::uint8_t kL2Hit = 1;
+    static constexpr std::uint8_t kMiss = 2; ///< demand reaches LLC
+
+    std::uint8_t outcome = kL1Hit;
+    std::uint8_t wbCount = 0;              ///< dirty L2 victims
+    std::array<std::uint64_t, 2> wb{};     ///< ... their addresses
+};
+
+/**
+ * All threads' private-level outcomes for one (trace, CoreParams)
+ * pair, materialized once. Immutable after record().
+ */
+class PrivateTrace
+{
+  public:
+    /**
+     * Drive every source through a fresh PrivateCore with @p params
+     * and record the outcomes. @p sources are consumed (drained);
+     * callers pass fresh cursors.
+     */
+    static std::shared_ptr<const PrivateTrace>
+    record(const std::vector<BatchSource *> &sources,
+           const CoreParams &params);
+
+    std::uint32_t threads() const
+    {
+        return std::uint32_t(lanes_.size());
+    }
+
+    /** Resident size of the packed per-access buffers, in bytes. */
+    std::uint64_t packedBytes() const;
+
+    /** Fresh replay cursor over one thread's lane. */
+    PrivateCursor cursor(std::uint32_t thread) const;
+
+    /**
+     * Export thread @p thread's recorded private-cache stats under
+     * "<prefix>.{l1i,l1d,l2}.*", replicating PrivateCore's cache
+     * export exactly (same stat paths, same per-element distribution
+     * add order), so a replay run's registry matches a live run's.
+     */
+    void exportCaches(MetricsRegistry &reg, const std::string &prefix,
+                      std::uint32_t thread) const;
+
+  private:
+    friend class PrivateCursor;
+
+    /** Final counter state of one private cache. */
+    struct CachePortrait
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t writebacks = 0;
+        std::vector<std::uint32_t> setEvictions;
+        std::vector<std::uint32_t> lineWrites;
+
+        void capture(const SetAssocCache &cache);
+        void exportInto(MetricsRegistry &reg,
+                        const std::string &prefix) const;
+    };
+
+    /** One thread's packed outcome columns. */
+    struct Lane
+    {
+        /** outcome(2) | wbCount(2) nibbles, two accesses per byte. */
+        std::vector<std::uint8_t> events;
+        /** zigzag varint deltas of writeback addresses, in order. */
+        std::vector<std::uint8_t> wbStream;
+        std::uint64_t count = 0; ///< accesses recorded
+
+        CachePortrait l1i;
+        CachePortrait l1d;
+        CachePortrait l2;
+    };
+
+    PrivateTrace() = default;
+
+    std::vector<Lane> lanes_;
+};
+
+/**
+ * Non-virtual decoder over one recorded lane. Holds only replay
+ * position; the lane data stays in the (shared, const) PrivateTrace,
+ * which must outlive the cursor.
+ */
+class PrivateCursor
+{
+  public:
+    PrivateCursor() = default;
+
+    /** Decode the next access's outcome; one call per trace access. */
+    PrivateEvent
+    next()
+    {
+        PrivateEvent ev;
+        const std::uint8_t nib =
+            (lane_->events[idx_ >> 1] >> ((idx_ & 1) * 4)) & 0xF;
+        ++idx_;
+        ev.outcome = nib & 3;
+        ev.wbCount = nib >> 2;
+        for (std::uint8_t i = 0; i < ev.wbCount; ++i) {
+            wbAddr_ += std::uint64_t(unzigzag(getVarintFast(wbPos_)));
+            ev.wb[i] = wbAddr_;
+        }
+        return ev;
+    }
+
+  private:
+    friend class PrivateTrace;
+
+    explicit PrivateCursor(const PrivateTrace::Lane *lane)
+        : lane_(lane), wbPos_(lane->wbStream.data())
+    {
+    }
+
+    const PrivateTrace::Lane *lane_ = nullptr;
+    const std::uint8_t *wbPos_ = nullptr;
+    std::uint64_t idx_ = 0;
+    std::uint64_t wbAddr_ = 0; ///< delta-decoding state
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_SIM_PRIVATE_TRACE_HH

@@ -1,11 +1,37 @@
 #include "sim/system.hh"
 
 #include <algorithm>
-#include <limits>
+#include <array>
 
 #include "util/logging.hh"
 
 namespace nvmcache {
+
+namespace {
+
+/** References a core prefetches from its source at a time. */
+constexpr std::size_t kBatch = 128;
+
+/** BatchSource view of a virtual per-access TraceSource. */
+class SourceBatcher final : public BatchSource
+{
+  public:
+    explicit SourceBatcher(TraceSource *src) : src_(src) {}
+
+    std::size_t
+    fill(std::span<MemAccess> out) override
+    {
+        std::size_t n = 0;
+        while (n < out.size() && src_->next(out[n]))
+            ++n;
+        return n;
+    }
+
+  private:
+    TraceSource *src_;
+};
+
+} // namespace
 
 System::System(const SystemConfig &cfg, const LlcModel &llcModel)
     : cfg_(cfg)
@@ -20,13 +46,9 @@ System::System(const SystemConfig &cfg, const LlcModel &llcModel)
     dram_ = std::make_unique<DramModel>(cfg_.dram, cfg_.frequency);
 }
 
-bool
-System::step(std::uint32_t coreIdx, TraceSource &trace)
+void
+System::step(std::uint32_t coreIdx, const MemAccess &access)
 {
-    MemAccess access;
-    if (!trace.next(access))
-        return false;
-
     PrivateCore &core = cores_[coreIdx];
     PrivateAccessOutcome out = core.accessPrivate(access);
     const std::uint64_t now = std::uint64_t(core.cycle());
@@ -51,7 +73,7 @@ System::step(std::uint32_t coreIdx, TraceSource &trace)
     if (out.satisfied) {
         if (out.latencyCycles) // L2 hit
             core.applyStall(access.kind, out.latencyCycles);
-        return true;
+        return;
     }
 
     ++l2Misses_;
@@ -66,7 +88,6 @@ System::step(std::uint32_t coreIdx, TraceSource &trace)
             dram_->write(rd.victimAddr, now + latency);
     }
     core.applyStall(access.kind, latency);
-    return true;
 }
 
 SimStats
@@ -74,34 +95,174 @@ System::run(const std::vector<TraceSource *> &threads)
 {
     if (threads.empty())
         fatal("System::run: no threads");
-    if (threads.size() > cores_.size())
-        fatal("System::run: more threads (", threads.size(),
+    std::vector<SourceBatcher> batchers;
+    batchers.reserve(threads.size());
+    for (TraceSource *t : threads)
+        batchers.emplace_back(t);
+    std::vector<BatchSource *> sources;
+    sources.reserve(threads.size());
+    for (SourceBatcher &b : batchers)
+        sources.push_back(&b);
+    return run(sources);
+}
+
+SimStats
+System::run(const std::vector<BatchSource *> &sources)
+{
+    return run(sources, nullptr);
+}
+
+SimStats
+System::run(const std::vector<BatchSource *> &sources,
+            const PrivateTrace *privateTrace)
+{
+    if (sources.empty())
+        fatal("System::run: no threads");
+    if (sources.size() > cores_.size())
+        fatal("System::run: more threads (", sources.size(),
               ") than cores (", cores_.size(), ")");
+    if (privateTrace && privateTrace->threads() != sources.size())
+        fatal("System::run: private trace has ",
+              privateTrace->threads(), " lanes for ", sources.size(),
+              " sources");
 
-    // threads[i] runs on core i (round-robin is the identity while
-    // threads <= cores, which the check above guarantees).
-    std::vector<bool> active(threads.size(), true);
-    std::size_t remaining = threads.size();
-
-    while (remaining > 0) {
-        // Min-local-time scheduling keeps shared-resource timestamps
-        // approximately globally ordered.
-        std::size_t pick = threads.size();
-        double best = std::numeric_limits<double>::infinity();
-        for (std::size_t i = 0; i < threads.size(); ++i) {
-            if (active[i] && cores_[i].cycle() < best) {
-                best = cores_[i].cycle();
-                pick = i;
-            }
-        }
-        if (!step(std::uint32_t(pick), *threads[pick])) {
-            active[pick] = false;
-            --remaining;
-        }
+    std::vector<PrivateCursor> privateCursors;
+    if (privateTrace) {
+        privateCursors.reserve(sources.size());
+        for (std::uint32_t i = 0; i < sources.size(); ++i)
+            privateCursors.push_back(privateTrace->cursor(i));
     }
 
+    // sources[i] runs on core i (round-robin is the identity while
+    // threads <= cores, which the check above guarantees).
+    struct Lane
+    {
+        std::array<MemAccess, kBatch> buf;
+        std::uint32_t pos = 0;
+        std::uint32_t count = 0;
+    };
+    std::vector<Lane> lanes(sources.size());
+
+    // Min-local-time scheduling keeps shared-resource timestamps
+    // approximately globally ordered. Active cores live in a binary
+    // min-heap keyed on (local cycle, core index) — the same pick
+    // order as a linear scan taking the first strict minimum, at
+    // O(log cores) per step. A core's key only grows, so after each
+    // step the root is re-sunk in place.
+    struct Entry
+    {
+        double cycle;
+        std::uint32_t core;
+    };
+    std::vector<Entry> heap(sources.size());
+    for (std::uint32_t i = 0; i < sources.size(); ++i)
+        heap[i] = {0.0, i}; // equal keys in index order: a valid heap
+
+    auto before = [](const Entry &a, const Entry &b) {
+        return a.cycle < b.cycle ||
+               (a.cycle == b.cycle && a.core < b.core);
+    };
+    auto siftDown = [&] {
+        std::size_t i = 0;
+        const std::size_t n = heap.size();
+        Entry e = heap[0];
+        while (true) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && before(heap[child + 1], heap[child]))
+                ++child;
+            if (!before(heap[child], e))
+                break;
+            heap[i] = heap[child];
+            i = child;
+        }
+        heap[i] = e;
+    };
+
+    while (!heap.empty()) {
+        const std::uint32_t i = heap[0].core;
+        Lane &lane = lanes[i];
+        if (lane.pos == lane.count) {
+            lane.count = std::uint32_t(
+                sources[i]->fill({lane.buf.data(), kBatch}));
+            lane.pos = 0;
+            if (lane.count == 0) { // trace drained: retire the core
+                heap[0] = heap.back();
+                heap.pop_back();
+                if (!heap.empty())
+                    siftDown();
+                continue;
+            }
+        }
+        // The lane's future is already decoded, so pull the LLC tag
+        // set of a near-future access toward the host caches while
+        // this access simulates (hides the host-memory latency that
+        // otherwise dominates large-cache tag walks).
+        const std::uint32_t ahead = lane.pos + 8;
+        if (ahead < lane.count)
+            llc_->prefetchTag(lane.buf[ahead].addr);
+        if (privateTrace)
+            replayStep(i, lane.buf[lane.pos++], privateCursors[i]);
+        else
+            step(i, lane.buf[lane.pos++]);
+        heap[0].cycle = cores_[i].cycle();
+        siftDown();
+    }
+
+    return collectStats(sources.size(), privateTrace);
+}
+
+void
+System::replayStep(std::uint32_t coreIdx, const MemAccess &access,
+                   PrivateCursor &cursor)
+{
+    // Mirrors step() operation for operation; only the private-level
+    // outcome comes from the recording instead of the L1/L2 walk.
+    PrivateCore &core = cores_[coreIdx];
+    core.advanceIssue(access.nonMemInstrs);
+    const PrivateEvent ev = cursor.next();
+    const std::uint64_t now = std::uint64_t(core.cycle());
+
+    if (ev.outcome != PrivateEvent::kL1Hit)
+        ++l1Misses_;
+
+    for (std::uint8_t i = 0; i < ev.wbCount; ++i) {
+        LlcWritebackOutcome wb = llc_->writeback(ev.wb[i], now);
+        if (wb.stallCycles)
+            core.applyRawStall(wb.stallCycles);
+        if (wb.forwardedToDram)
+            dram_->write(ev.wb[i], now);
+        if (wb.victimDirty)
+            dram_->write(wb.victimAddr, now);
+    }
+
+    if (ev.outcome == PrivateEvent::kL1Hit)
+        return;
+    if (ev.outcome == PrivateEvent::kL2Hit) {
+        core.applyStall(access.kind, cfg_.core.l2Cycles);
+        return;
+    }
+
+    ++l2Misses_;
+
+    std::uint64_t latency = cfg_.core.l2Cycles;
+    LlcReadOutcome rd = llc_->demandRead(access.addr, now + latency);
+    latency += rd.latencyCycles;
+    if (!rd.hit) {
+        latency += dram_->read(access.addr, now + latency);
+        if (rd.victimDirty)
+            dram_->write(rd.victimAddr, now + latency);
+    }
+    core.applyStall(access.kind, latency);
+}
+
+SimStats
+System::collectStats(std::size_t numThreads,
+                     const PrivateTrace *privateTrace)
+{
     SimStats stats;
-    for (std::size_t i = 0; i < threads.size(); ++i) {
+    for (std::size_t i = 0; i < numThreads; ++i) {
         stats.instructions += cores_[i].instructions();
         stats.coreCycles.push_back(cores_[i].cycle());
         stats.cycles = std::max(stats.cycles, cores_[i].cycle());
@@ -123,8 +284,20 @@ System::run(const std::vector<TraceSource *> &threads)
     dram_->exportStats(reg, "sim.dram");
     Distribution &core_cycles = reg.distribution("sim.cores.cycles");
     double min_cycles = stats.cycles;
-    for (std::size_t i = 0; i < threads.size(); ++i) {
-        cores_[i].exportStats(reg, "sim.core");
+    for (std::size_t i = 0; i < numThreads; ++i) {
+        if (privateTrace) {
+            // A replay run never touched the cores' caches; the core
+            // counters are live, the cache stats come from the
+            // recording, in exactly PrivateCore::exportStats's order.
+            reg.counter("sim.core.instructions")
+                .inc(cores_[i].instructions());
+            reg.counter("sim.core.stallCycles")
+                .inc(cores_[i].stallCycles());
+            privateTrace->exportCaches(reg, "sim.core",
+                                       std::uint32_t(i));
+        } else {
+            cores_[i].exportStats(reg, "sim.core");
+        }
         core_cycles.add(cores_[i].cycle());
         min_cycles = std::min(min_cycles, cores_[i].cycle());
     }

@@ -16,6 +16,7 @@
 #include "sim/core.hh"
 #include "sim/dram.hh"
 #include "sim/nvm_llc.hh"
+#include "sim/private_trace.hh"
 #include "sim/types.hh"
 #include "util/metrics.hh"
 
@@ -96,9 +97,32 @@ class System
      * (multi-threaded suites) or a single thread (cpu2006/2017).
      *
      * Cores are interleaved in min-local-time order so shared-LLC and
-     * DRAM contention is observed in approximately global time.
+     * DRAM contention is observed in approximately global time. Each
+     * core prefetches its thread's references in batches; per-thread
+     * sources must therefore be independent of each other (true of
+     * every TraceSource in the tree), since a core may pull ahead of
+     * the globally-interleaved consumption order.
      */
     SimStats run(const std::vector<TraceSource *> &threads);
+
+    /**
+     * Same simulation over batched sources (e.g. RecordedTrace
+     * cursors). Produces bit-identical SimStats to the TraceSource
+     * overload for the same access sequences: both feed one scheduler
+     * that picks the min-local-time core (ties to the lowest index)
+     * via an index-min heap, O(log cores) per step.
+     */
+    SimStats run(const std::vector<BatchSource *> &sources);
+
+    /**
+     * Replay run: @p privateTrace carries the recorded private-level
+     * outcomes of exactly these sources under this system's
+     * CoreParams, so the L1/L2 walks are skipped and only the shared
+     * LLC and DRAM are simulated. Bit-identical SimStats to the other
+     * overloads (see private_trace.hh); pass nullptr for a live run.
+     */
+    SimStats run(const std::vector<BatchSource *> &sources,
+                 const PrivateTrace *privateTrace);
 
     const SharedLlc &llc() const { return *llc_; }
 
@@ -110,8 +134,20 @@ class System
     std::uint64_t l1Misses_ = 0;
     std::uint64_t l2Misses_ = 0;
 
-    /** Process one reference on @p coreIdx; false when trace ended. */
-    bool step(std::uint32_t coreIdx, TraceSource &trace);
+    /** Process one reference on @p coreIdx. */
+    void step(std::uint32_t coreIdx, const MemAccess &access);
+
+    /**
+     * step() with the private-level outcome replayed from @p cursor
+     * instead of simulated (same shared-level effects, same cycle
+     * arithmetic, in the same order).
+     */
+    void replayStep(std::uint32_t coreIdx, const MemAccess &access,
+                    PrivateCursor &cursor);
+
+    /** Gather SimStats after all cores drained their sources. */
+    SimStats collectStats(std::size_t numThreads,
+                          const PrivateTrace *privateTrace);
 };
 
 } // namespace nvmcache

@@ -7,7 +7,9 @@
 #ifndef NVMCACHE_SIM_TYPES_HH
 #define NVMCACHE_SIM_TYPES_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 namespace nvmcache {
 
@@ -48,6 +50,26 @@ class TraceSource
 
     /** Rewind to the beginning (same deterministic sequence). */
     virtual void reset() = 0;
+};
+
+/**
+ * Batched per-thread trace source: fills a caller-provided span
+ * instead of paying a virtual call per access. Consumers (System's
+ * run loop, the PRISM characterizer) drain local batches, so the
+ * virtual dispatch is amortized over a whole batch; producers with a
+ * non-virtual fill (TraceCursor) decode straight into the span.
+ */
+class BatchSource
+{
+  public:
+    virtual ~BatchSource() = default;
+
+    /**
+     * Produce up to out.size() references; returns the count
+     * produced. 0 means end of trace (sources never return a short
+     * non-empty batch followed by more data for a non-empty request).
+     */
+    virtual std::size_t fill(std::span<MemAccess> out) = 0;
 };
 
 } // namespace nvmcache

@@ -89,15 +89,6 @@ Distribution::operator=(const Distribution &other)
     return *this;
 }
 
-int
-Distribution::bucketOf(double x)
-{
-    if (!(x >= 1.0)) // < 1, zero, negative, NaN
-        return 0;
-    const int b = std::ilogb(x) + 1;
-    return b >= kBuckets ? kBuckets - 1 : b;
-}
-
 double
 Distribution::bucketLow(int b)
 {
@@ -150,6 +141,22 @@ Distribution::snapshot() const
     snap.mean = acc_.welfordMean();
     snap.m2 = acc_.sumSquaredDev();
     for (int b = 0; b < kBuckets; ++b)
+        if (buckets_[std::size_t(b)])
+            snap.buckets[b] = buckets_[std::size_t(b)];
+    return snap;
+}
+
+DistributionSnapshot
+LocalDistribution::snapshot() const
+{
+    DistributionSnapshot snap;
+    snap.count = acc_.count();
+    snap.sum = acc_.total();
+    snap.minimum = acc_.minimum();
+    snap.maximum = acc_.maximum();
+    snap.mean = acc_.welfordMean();
+    snap.m2 = acc_.sumSquaredDev();
+    for (int b = 0; b < Distribution::kBuckets; ++b)
         if (buckets_[std::size_t(b)])
             snap.buckets[b] = buckets_[std::size_t(b)];
     return snap;

@@ -35,6 +35,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -155,7 +156,14 @@ class Distribution : public Stat
     DistributionSnapshot snapshot() const;
 
     /** Bucket index a sample lands in. */
-    static int bucketOf(double x);
+    static int
+    bucketOf(double x)
+    {
+        if (!(x >= 1.0)) // < 1, zero, negative, NaN
+            return 0;
+        const int b = std::ilogb(x) + 1;
+        return b >= kBuckets ? kBuckets - 1 : b;
+    }
     /** Inclusive lower edge of bucket @p b. */
     static double bucketLow(int b);
     /** Exclusive upper edge of bucket @p b. */
@@ -168,6 +176,31 @@ class Distribution : public Stat
     mutable std::mutex mu_;
     Accumulator acc_;
     std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/**
+ * Unsynchronized twin of Distribution for single-owner hot paths
+ * (per-access simulator histograms): identical sample semantics —
+ * the same Welford accumulator and the same buckets, fed in the same
+ * order, reach the same state bit for bit — without the per-sample
+ * mutex round trip. Publish it by merging its snapshot() into a
+ * registry Distribution at export time.
+ */
+class LocalDistribution
+{
+  public:
+    void
+    add(double x)
+    {
+        acc_.add(x);
+        ++buckets_[std::size_t(Distribution::bucketOf(x))];
+    }
+
+    DistributionSnapshot snapshot() const;
+
+  private:
+    Accumulator acc_;
+    std::array<std::uint64_t, Distribution::kBuckets> buckets_{};
 };
 
 /** Escape a string for inclusion in a JSON string literal. */

@@ -119,22 +119,6 @@ linearFit(const std::vector<double> &xs, const std::vector<double> &ys)
 }
 
 void
-Accumulator::add(double x)
-{
-    if (n_ == 0) {
-        min_ = max_ = x;
-    } else {
-        min_ = std::min(min_, x);
-        max_ = std::max(max_, x);
-    }
-    sum_ += x;
-    ++n_;
-    const double delta = x - mean_;
-    mean_ += delta / double(n_);
-    m2_ += delta * (x - mean_);
-}
-
-void
 Accumulator::merge(const Accumulator &other)
 {
     if (other.n_ == 0)

@@ -7,6 +7,7 @@
 #ifndef NVMCACHE_UTIL_STATS_HH
 #define NVMCACHE_UTIL_STATS_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -53,7 +54,21 @@ LinearFit linearFit(const std::vector<double> &xs,
 class Accumulator
 {
   public:
-    void add(double x);
+    void
+    add(double x)
+    {
+        if (n_ == 0) {
+            min_ = max_ = x;
+        } else {
+            min_ = std::min(min_, x);
+            max_ = std::max(max_, x);
+        }
+        sum_ += x;
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / double(n_);
+        m2_ += delta * (x - mean_);
+    }
 
     /** Fold another accumulator in (Chan's parallel combination). */
     void merge(const Accumulator &other);

@@ -90,6 +90,25 @@ SyntheticTrace::buildStreams()
     setup(cfg_.loads, loads_);
     setup(cfg_.stores, stores_);
     setup(cfg_.ifetches, ifetches_);
+
+    // Effective kind fractions: a kind with an empty mixture emits
+    // nothing and its configured share falls through to loads, which
+    // take the remainder — so the three fractions sum to exactly 1.
+    effStore_ = stores_.pick ? cfg_.storeFraction : 0.0;
+    effIfetch_ = ifetches_.pick
+                     ? 1.0 - cfg_.loadFraction - cfg_.storeFraction
+                     : 0.0;
+    if (effStore_ < 0.0 || effIfetch_ < 0.0 ||
+        effStore_ + effIfetch_ > 1.0)
+        fatal("SyntheticTrace: store/ifetch fractions must be "
+              "nonnegative and sum to <= 1 (store ", effStore_,
+              ", ifetch ", effIfetch_, ")");
+    effLoad_ = 1.0 - effStore_ - effIfetch_;
+    if (effLoad_ > 0.0 && !loads_.pick)
+        fatal("SyntheticTrace: nonzero load share but the load "
+              "mixture is empty");
+
+    ++streamBuilds_;
 }
 
 std::uint64_t
@@ -136,21 +155,12 @@ SyntheticTrace::next(MemAccess &out)
         return false;
     ++emitted_;
 
-    // Effective kind fractions: a kind with an empty mixture donates
-    // its share to loads.
-    double f_load = cfg_.loadFraction;
-    double f_store = stores_.pick ? cfg_.storeFraction : 0.0;
-    double f_ifetch =
-        ifetches_.pick ? 1.0 - cfg_.loadFraction - cfg_.storeFraction
-                       : 0.0;
-    (void)f_load;
-
     const double u = rng_.uniform();
     KindState *ks = nullptr;
-    if (u < f_store) {
+    if (u < effStore_) {
         out.kind = AccessKind::Store;
         ks = &stores_;
-    } else if (u < f_store + f_ifetch) {
+    } else if (u < effStore_ + effIfetch_) {
         out.kind = AccessKind::IFetch;
         ks = &ifetches_;
     } else {
@@ -164,12 +174,28 @@ SyntheticTrace::next(MemAccess &out)
     return true;
 }
 
+std::size_t
+SyntheticTrace::fill(std::span<MemAccess> out)
+{
+    std::size_t n = 0;
+    while (n < out.size() && next(out[n]))
+        ++n;
+    return n;
+}
+
 void
 SyntheticTrace::reset()
 {
+    // Rewind only: the stream structures (regions, samplers, picks)
+    // are immutable after construction, so a reset just re-seeds the
+    // RNG and rewinds the per-stream cursors. No reallocation.
     rng_ = Rng(deriveSeed(cfg_.seed, threadId_));
     emitted_ = 0;
-    buildStreams();
+    for (KindState *ks : {&loads_, &stores_, &ifetches_})
+        for (StreamState &st : ks->streams) {
+            st.seqPos = 0;
+            st.chasePos = threadId_ % st.lines;
+        }
 }
 
 std::vector<std::unique_ptr<SyntheticTrace>>

@@ -78,7 +78,7 @@ struct GeneratorConfig
 /**
  * One thread's deterministic synthetic trace.
  */
-class SyntheticTrace : public TraceSource
+class SyntheticTrace final : public TraceSource
 {
   public:
     /**
@@ -91,6 +91,20 @@ class SyntheticTrace : public TraceSource
 
     bool next(MemAccess &out) override;
     void reset() override;
+
+    /**
+     * Generate up to out.size() accesses (the batched counterpart of
+     * next(), same sequence); returns the count produced, 0 at end of
+     * trace. Trace recording drains the generator through this.
+     */
+    std::size_t fill(std::span<MemAccess> out);
+
+    /**
+     * Times the stream structures (regions, samplers) have been
+     * built. Stays at 1 across reset(), which only rewinds cursors —
+     * a regression guard against reallocating per reset.
+     */
+    std::uint32_t streamBuilds() const { return streamBuilds_; }
 
   private:
     struct StreamState
@@ -121,6 +135,18 @@ class SyntheticTrace : public TraceSource
     Rng rng_;
     std::uint64_t emitted_ = 0;
     KindState loads_, stores_, ifetches_;
+
+    /**
+     * Effective kind fractions: an empty mixture emits nothing, so
+     * its configured share falls through to loads. Renormalized to
+     * sum to exactly 1 at build time (fatal if the configured store +
+     * ifetch shares exceed 1).
+     */
+    double effLoad_ = 1.0;
+    double effStore_ = 0.0;
+    double effIfetch_ = 0.0;
+
+    std::uint32_t streamBuilds_ = 0;
 };
 
 /**

@@ -1,0 +1,155 @@
+#include "workload/recorded_trace.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/varint.hh"
+
+namespace nvmcache {
+
+std::shared_ptr<const RecordedTrace>
+RecordedTrace::record(const GeneratorConfig &cfg,
+                      std::uint32_t numThreads)
+{
+    if (numThreads == 0)
+        fatal("RecordedTrace: need at least one thread");
+
+    std::shared_ptr<RecordedTrace> trace(new RecordedTrace());
+    trace->tracks_.resize(numThreads);
+
+    std::array<MemAccess, 256> batch;
+    for (std::uint32_t t = 0; t < numThreads; ++t) {
+        SyntheticTrace gen(cfg, t, numThreads);
+        Track &track = trace->tracks_[t];
+        const std::uint64_t expected =
+            cfg.totalAccesses / numThreads +
+            (t == 0 ? cfg.totalAccesses % numThreads : 0);
+        // Deltas are mostly <= 4 bytes and gaps 1 byte; 6 per access
+        // over-reserves slightly, then we trim once below.
+        track.stream.reserve(expected * 6);
+        track.kinds.reserve(expected / 4 + 1);
+
+        std::uint64_t prev = 0;
+        std::size_t n;
+        while ((n = gen.fill(batch)) > 0) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const MemAccess &a = batch[i];
+                putVarint(track.stream,
+                          zigzag(std::int64_t(a.addr - prev)));
+                prev = a.addr;
+                putVarint(track.stream, a.nonMemInstrs);
+                if ((track.count & 3) == 0)
+                    track.kinds.push_back(0);
+                track.kinds.back() |= std::uint8_t(
+                    std::uint8_t(a.kind) << ((track.count & 3) * 2));
+                ++track.count;
+            }
+        }
+        track.stream.insert(track.stream.end(), kVarintPad, 0);
+        track.stream.shrink_to_fit();
+        track.kinds.shrink_to_fit();
+    }
+    return trace;
+}
+
+std::uint64_t
+RecordedTrace::accesses(std::uint32_t thread) const
+{
+    if (thread >= tracks_.size())
+        fatal("RecordedTrace: bad thread index ", thread);
+    return tracks_[thread].count;
+}
+
+std::uint64_t
+RecordedTrace::totalAccesses() const
+{
+    std::uint64_t total = 0;
+    for (const Track &t : tracks_)
+        total += t.count;
+    return total;
+}
+
+std::uint64_t
+RecordedTrace::packedBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const Track &t : tracks_)
+        bytes += t.stream.size() + t.kinds.size();
+    return bytes;
+}
+
+TraceCursor
+RecordedTrace::cursor(std::uint32_t thread) const
+{
+    if (thread >= tracks_.size())
+        fatal("RecordedTrace: bad thread index ", thread);
+    return TraceCursor(&tracks_[thread]);
+}
+
+std::vector<TraceCursor>
+RecordedTrace::cursors() const
+{
+    std::vector<TraceCursor> all;
+    all.reserve(tracks_.size());
+    for (const Track &t : tracks_)
+        all.push_back(TraceCursor(&t));
+    return all;
+}
+
+std::size_t
+TraceCursor::fill(std::span<MemAccess> out)
+{
+    if (!track_)
+        return 0;
+    const std::uint64_t left = track_->count - idx_;
+    const std::size_t n =
+        std::size_t(std::min<std::uint64_t>(out.size(), left));
+    const std::uint8_t *p = pos_;
+    const std::uint8_t *kinds = track_->kinds.data();
+    std::uint64_t addr = addr_;
+    std::uint64_t idx = idx_;
+    for (std::size_t i = 0; i < n; ++i, ++idx) {
+        addr += std::uint64_t(unzigzag(getVarintFast(p)));
+        const std::uint64_t gap = getVarintFast(p);
+        MemAccess &a = out[i];
+        a.addr = addr;
+        a.kind = AccessKind((kinds[idx >> 2] >> ((idx & 3) * 2)) & 3);
+        a.nonMemInstrs = std::uint32_t(gap);
+    }
+    pos_ = p;
+    addr_ = addr;
+    idx_ = idx;
+    return n;
+}
+
+void
+TraceCursor::reset()
+{
+    if (!track_)
+        return;
+    pos_ = track_->stream.data();
+    idx_ = 0;
+    addr_ = 0;
+}
+
+bool
+RecordedTraceSource::next(MemAccess &out)
+{
+    if (pos_ == n_) {
+        n_ = std::uint32_t(cur_.fill(buf_));
+        pos_ = 0;
+        if (n_ == 0)
+            return false;
+    }
+    out = buf_[pos_++];
+    return true;
+}
+
+void
+RecordedTraceSource::reset()
+{
+    cur_.reset();
+    pos_ = n_ = 0;
+}
+
+} // namespace nvmcache

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Record-once / replay-many trace materialization.
+ *
+ * Every study in the paper consumes each workload's trace many times
+ * (11 LLC technologies per sweep, plus the core sweep and the PRISM
+ * characterization), yet synthetic generation — Zipf rejection
+ * sampling, alias-method mixture draws, exponential gaps — costs more
+ * per access than the simulator itself in the Zipf-heavy workloads. A
+ * RecordedTrace runs each per-thread generator exactly once and
+ * freezes the sequence into compact per-thread SoA tracks:
+ *
+ *  - addresses as zigzag-varint deltas (consecutive references
+ *    cluster by stream region, so deltas are short);
+ *  - access kinds packed 2 bits each;
+ *  - non-memory gaps as varints (mean ~2, almost always one byte).
+ *
+ * Replay decodes through TraceCursor::fill into caller batches with a
+ * non-virtual inner loop, is bit-exact (every MemAccess field
+ * round-trips losslessly), and is read-only after construction, so
+ * one RecordedTrace is safely shared by any number of concurrent
+ * simulations.
+ */
+
+#ifndef NVMCACHE_WORKLOAD_RECORDED_TRACE_HH
+#define NVMCACHE_WORKLOAD_RECORDED_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hh"
+#include "workload/generators.hh"
+
+namespace nvmcache {
+
+class TraceCursor;
+
+/**
+ * One benchmark's full set of per-thread traces, materialized once.
+ * Immutable after record(); share freely across threads.
+ */
+class RecordedTrace
+{
+  public:
+    /**
+     * Generate and encode every thread's trace for @p cfg split
+     * across @p numThreads, exactly as buildThreadTraces would
+     * produce them.
+     */
+    static std::shared_ptr<const RecordedTrace>
+    record(const GeneratorConfig &cfg, std::uint32_t numThreads);
+
+    std::uint32_t threads() const
+    {
+        return std::uint32_t(tracks_.size());
+    }
+
+    /** Accesses recorded for one thread. */
+    std::uint64_t accesses(std::uint32_t thread) const;
+
+    /** Accesses recorded across all threads. */
+    std::uint64_t totalAccesses() const;
+
+    /** Resident size of the packed buffers, in bytes. */
+    std::uint64_t packedBytes() const;
+
+    /** Fresh replay cursor over one thread's track. */
+    TraceCursor cursor(std::uint32_t thread) const;
+
+    /** Fresh cursors for every thread, in thread order. */
+    std::vector<TraceCursor> cursors() const;
+
+  private:
+    friend class TraceCursor;
+
+    /** One thread's packed columns. */
+    struct Track
+    {
+        std::vector<std::uint8_t> stream; ///< addr-delta + gap varints
+        std::vector<std::uint8_t> kinds;  ///< 2-bit packed AccessKind
+        std::uint64_t count = 0;          ///< accesses encoded
+    };
+
+    RecordedTrace() = default;
+
+    std::vector<Track> tracks_;
+};
+
+/**
+ * Non-virtual batched decoder over one recorded thread track. Holds
+ * only replay position; the track data stays in the (shared, const)
+ * RecordedTrace, which must outlive the cursor.
+ */
+class TraceCursor final : public BatchSource
+{
+  public:
+    TraceCursor() = default;
+
+    /** Decode up to out.size() accesses; 0 at end of trace. */
+    std::size_t fill(std::span<MemAccess> out) override;
+
+    /** Rewind to the beginning of the track. */
+    void reset();
+
+    std::uint64_t remaining() const
+    {
+        return track_ ? track_->count - idx_ : 0;
+    }
+
+  private:
+    friend class RecordedTrace;
+
+    explicit TraceCursor(const RecordedTrace::Track *track)
+        : track_(track), pos_(track->stream.data())
+    {
+    }
+
+    const RecordedTrace::Track *track_ = nullptr;
+    const std::uint8_t *pos_ = nullptr; ///< varint stream position
+    std::uint64_t idx_ = 0;             ///< accesses decoded so far
+    std::uint64_t addr_ = 0;            ///< delta-decoding state
+};
+
+/**
+ * TraceSource view of one recorded track, for consumers of the
+ * virtual per-access interface (trace export, generic tests). The
+ * backing RecordedTrace must outlive it.
+ */
+class RecordedTraceSource final : public TraceSource
+{
+  public:
+    explicit RecordedTraceSource(TraceCursor cursor) : cur_(cursor) {}
+
+    bool next(MemAccess &out) override;
+    void reset() override;
+
+  private:
+    TraceCursor cur_;
+    std::array<MemAccess, 64> buf_;
+    std::uint32_t pos_ = 0;
+    std::uint32_t n_ = 0;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_WORKLOAD_RECORDED_TRACE_HH

@@ -85,6 +85,37 @@ TEST(Generators, ResetReproducesSequence)
         EXPECT_EQ(first[i].addr, second[i].addr);
 }
 
+TEST(Generators, ResetRewindsWithoutRebuildingStreams)
+{
+    // Regression: reset() must rewind the existing streams, not
+    // rebuild them — rebuilding re-runs stream construction (Zipf
+    // tables, chase permutations) on every replay and shows up as
+    // streamBuilds() climbing.
+    SyntheticTrace trace(baseConfig(), 0, 1);
+    ASSERT_EQ(trace.streamBuilds(), 1u);
+    auto first = drain(trace);
+    trace.reset();
+    EXPECT_EQ(trace.streamBuilds(), 1u);
+    auto second = drain(trace);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].addr, second[i].addr);
+        EXPECT_EQ(first[i].kind, second[i].kind);
+        EXPECT_EQ(first[i].nonMemInstrs, second[i].nonMemInstrs);
+    }
+
+    // Reset mid-trace rewinds to the very beginning.
+    trace.reset();
+    MemAccess a;
+    for (int i = 0; i < 100; ++i)
+        ASSERT_TRUE(trace.next(a));
+    trace.reset();
+    auto third = drain(trace);
+    ASSERT_EQ(first.size(), third.size());
+    EXPECT_EQ(first.front().addr, third.front().addr);
+    EXPECT_EQ(trace.streamBuilds(), 1u);
+}
+
 TEST(Generators, DifferentThreadsDifferentStreams)
 {
     auto cfg = baseConfig();

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests of the record-once/replay-many stores: RecordedTrace replay
+ * fidelity, PrivateTrace-backed simulation bit-identity against
+ * on-the-fly generation, concurrency independence, and the
+ * exactly-once build discipline across whole studies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/study.hh"
+#include "nvsim/published.hh"
+#include "workload/recorded_trace.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+/** A trimmed copy of a suite workload to keep runs fast. */
+BenchmarkSpec
+trimmed(const std::string &name, std::uint64_t accesses = 150'000)
+{
+    BenchmarkSpec spec = benchmark(name);
+    spec.gen.totalAccesses = accesses;
+    return spec;
+}
+
+GeneratorConfig
+oneStreamConfig(StreamConfig::Kind kind)
+{
+    GeneratorConfig cfg;
+    cfg.totalAccesses = 30'000;
+    cfg.loadFraction = 0.5;
+    cfg.storeFraction = 0.3;
+    cfg.meanGap = 2.0;
+    StreamConfig s;
+    s.kind = kind;
+    s.regionBytes = 1 << 20;
+    if (kind == StreamConfig::Kind::Zipf)
+        s.zipfSkew = 0.9;
+    cfg.loads.streams = {s};
+    cfg.stores.streams = {s};
+    cfg.ifetches.streams = {s};
+    cfg.seed = 11;
+    return cfg;
+}
+
+std::vector<MemAccess>
+drainSource(TraceSource &trace)
+{
+    std::vector<MemAccess> out;
+    MemAccess a;
+    while (trace.next(a))
+        out.push_back(a);
+    return out;
+}
+
+std::vector<MemAccess>
+drainCursor(TraceCursor cur)
+{
+    std::vector<MemAccess> out;
+    std::array<MemAccess, 100> batch;
+    std::size_t n;
+    while ((n = cur.fill(batch)) != 0)
+        out.insert(out.end(), batch.begin(), batch.begin() + n);
+    return out;
+}
+
+void
+expectSameAccesses(const std::vector<MemAccess> &a,
+                   const std::vector<MemAccess> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].addr, b[i].addr) << "access " << i;
+        ASSERT_EQ(a[i].kind, b[i].kind) << "access " << i;
+        ASSERT_EQ(a[i].nonMemInstrs, b[i].nonMemInstrs)
+            << "access " << i;
+    }
+}
+
+/**
+ * Every field of both SimStats exactly equal — floating-point fields
+ * compared with ==, i.e. bit-identity for non-NaN values, including
+ * the full hierarchical detail report.
+ */
+void
+expectSimStatsIdentical(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.llc.demandReads, b.llc.demandReads);
+    EXPECT_EQ(a.llc.demandHits, b.llc.demandHits);
+    EXPECT_EQ(a.llc.demandMisses, b.llc.demandMisses);
+    EXPECT_EQ(a.llc.fills, b.llc.fills);
+    EXPECT_EQ(a.llc.writebacksIn, b.llc.writebacksIn);
+    EXPECT_EQ(a.llc.dirtyEvictions, b.llc.dirtyEvictions);
+    EXPECT_EQ(a.llc.writeBypasses, b.llc.writeBypasses);
+    EXPECT_EQ(a.llc.readWaitCycles, b.llc.readWaitCycles);
+    EXPECT_EQ(a.llc.writeStallCycles, b.llc.writeStallCycles);
+    EXPECT_EQ(a.llc.hitEnergy, b.llc.hitEnergy);
+    EXPECT_EQ(a.llc.missEnergy, b.llc.missEnergy);
+    EXPECT_EQ(a.llc.writeEnergy, b.llc.writeEnergy);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+    EXPECT_EQ(a.dramWrites, b.dramWrites);
+    EXPECT_EQ(a.dramQueueCycles, b.dramQueueCycles);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.coreCycles, b.coreCycles);
+    EXPECT_EQ(a.llcLeakageEnergy, b.llcLeakageEnergy);
+    EXPECT_EQ(a.llcDynamicEnergy, b.llcDynamicEnergy);
+    EXPECT_TRUE(a.detail == b.detail);
+}
+
+} // namespace
+
+TEST(TraceStore, ReplayMatchesGeneratorForEveryStreamKind)
+{
+    for (StreamConfig::Kind kind :
+         {StreamConfig::Kind::Zipf, StreamConfig::Kind::Uniform,
+          StreamConfig::Kind::Sequential, StreamConfig::Kind::Chase}) {
+        const GeneratorConfig cfg = oneStreamConfig(kind);
+        SyntheticTrace gen(cfg, 0, 1);
+        auto trace = RecordedTrace::record(cfg, 1);
+        EXPECT_EQ(trace->totalAccesses(), cfg.totalAccesses);
+        expectSameAccesses(drainCursor(trace->cursor(0)),
+                           drainSource(gen));
+    }
+}
+
+TEST(TraceStore, ReplayMatchesGeneratorPerThread)
+{
+    const GeneratorConfig cfg =
+        oneStreamConfig(StreamConfig::Kind::Zipf);
+    const std::uint32_t threads = 3;
+    auto trace = RecordedTrace::record(cfg, threads);
+    ASSERT_EQ(trace->threads(), threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        SyntheticTrace gen(cfg, t, threads);
+        expectSameAccesses(drainCursor(trace->cursor(t)),
+                           drainSource(gen));
+    }
+}
+
+TEST(TraceStore, CursorResetRewindsToTheBeginning)
+{
+    const GeneratorConfig cfg =
+        oneStreamConfig(StreamConfig::Kind::Uniform);
+    auto trace = RecordedTrace::record(cfg, 1);
+    TraceCursor cur = trace->cursor(0);
+    const auto first = drainCursor(cur);
+
+    // Full drain, reset, drain again.
+    cur.reset();
+    std::vector<MemAccess> second;
+    std::array<MemAccess, 100> batch;
+    std::size_t n;
+    while ((n = cur.fill(batch)) != 0)
+        second.insert(second.end(), batch.begin(),
+                      batch.begin() + n);
+    expectSameAccesses(first, second);
+
+    // Partial drain, reset: replay starts over, not mid-stream.
+    cur.reset();
+    (void)cur.fill(batch);
+    cur.reset();
+    EXPECT_EQ(cur.remaining(), trace->totalAccesses());
+    std::vector<MemAccess> third;
+    while ((n = cur.fill(batch)) != 0)
+        third.insert(third.end(), batch.begin(), batch.begin() + n);
+    expectSameAccesses(first, third);
+}
+
+TEST(TraceStore, ReplayedSimStatsBitIdenticalToOnTheFly)
+{
+    // The replay path skips generator and L1/L2 work entirely; its
+    // SimStats — every scalar, every per-core cycle, the whole
+    // exported detail tree — must still match a live simulation bit
+    // for bit.
+    for (const char *name : {"tonto", "vips"}) {
+        const BenchmarkSpec spec = trimmed(name);
+        const std::uint32_t threads = spec.defaultThreads;
+        const LlcModel &llc =
+            publishedLlcModel("Jan", CapacityMode::FixedCapacity);
+
+        ExperimentRunner runner;
+        runner.setJobs(1);
+        const SimStats replayed = runner.runOne(spec, llc);
+
+        SystemConfig cfg = runner.baseConfig();
+        cfg.numCores = threads;
+        System system(cfg, llc);
+        auto traces = buildThreadTraces(spec.gen, threads);
+        std::vector<TraceSource *> ptrs;
+        for (auto &t : traces)
+            ptrs.push_back(t.get());
+        const SimStats live = system.run(ptrs);
+
+        expectSimStatsIdentical(replayed, live);
+    }
+}
+
+TEST(TraceStore, SweepBitIdenticalAtAnyJobCount)
+{
+    const BenchmarkSpec spec = trimmed("tonto");
+    ExperimentRunner serial;
+    serial.setJobs(1);
+    ExperimentRunner parallel;
+    parallel.setJobs(8);
+    const TechSweep a =
+        serial.sweepTechs(spec, CapacityMode::FixedCapacity);
+    const TechSweep b =
+        parallel.sweepTechs(spec, CapacityMode::FixedCapacity);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_EQ(a.results[i].tech, b.results[i].tech);
+        EXPECT_EQ(a.results[i].speedup, b.results[i].speedup);
+        EXPECT_EQ(a.results[i].normEnergy, b.results[i].normEnergy);
+        EXPECT_EQ(a.results[i].normEd2p, b.results[i].normEd2p);
+        expectSimStatsIdentical(a.results[i].stats,
+                                b.results[i].stats);
+    }
+}
+
+TEST(TraceStore, SweepRecordsOnceAndReplaysElevenTimes)
+{
+    const BenchmarkSpec spec = trimmed("tonto");
+    ExperimentRunner runner;
+    runner.setJobs(1);
+    (void)runner.sweepTechs(spec, CapacityMode::FixedCapacity);
+    const RunnerStats rs = runner.runnerStats();
+    // One recording each; every one of the 11 models replays. The
+    // private-level recording itself replays the recorded trace,
+    // which accounts for the extra trace-store hit.
+    EXPECT_EQ(rs.traceBuilds, 1u);
+    EXPECT_EQ(rs.traceHits, 11u);
+    EXPECT_EQ(rs.privateBuilds, 1u);
+    EXPECT_EQ(rs.privateHits, 10u);
+    EXPECT_GT(rs.traceBytes, 0u);
+    EXPECT_GT(rs.privateBytes, 0u);
+}
+
+TEST(TraceStore, FigureAndCorrelationStudiesRecordEachTraceOnce)
+{
+    // A figure study touches every workload once per (generator,
+    // threads) pair; the correlation study re-uses the same scaled
+    // specs, so the union of both studies still builds each trace
+    // exactly once.
+    const double scale = 0.02;
+    ExperimentRunner runner;
+    const FigureStudy fig =
+        runFigureStudy(CapacityMode::FixedCapacity, runner, scale);
+    const std::size_t workloads =
+        fig.singleThreaded.size() + fig.multiThreaded.size();
+    RunnerStats rs = runner.runnerStats();
+    EXPECT_EQ(rs.traceBuilds, workloads);
+    EXPECT_EQ(rs.privateBuilds, workloads);
+    EXPECT_GE(rs.traceHits, 10 * rs.traceBuilds);
+
+    (void)runCorrelationStudy(true, {"Jan"},
+                              {CapacityMode::FixedCapacity}, runner,
+                              scale);
+    rs = runner.runnerStats();
+    EXPECT_EQ(rs.traceBuilds, workloads); // no re-recording
+    EXPECT_EQ(rs.privateBuilds, workloads);
+}
