@@ -98,17 +98,33 @@ privKey(const GeneratorConfig &gen, std::uint32_t threads,
     return key;
 }
 
+void
+appendFaults(std::string &key, const FaultConfig &f)
+{
+    appendBytes(key, f.enabled);
+    appendBytes(key, f.berScale);
+    appendBytes(key, f.wearLevelingFactor);
+    appendBytes(key, f.wearScale);
+    appendBytes(key, f.maxWriteRetries);
+    appendBytes(key, f.scrubCycles);
+    appendBytes(key, f.seed);
+    appendBytes(key, f.capacitySampleInterval);
+}
+
 /**
  * Exact identity of one simulation: the trace identity plus every
  * LLC-model input that can change its SimStats. The base SystemConfig
- * is per-runner (the memo is too), so it needs no representation
- * here.
+ * is per-runner (the memo is too), so it needs no representation here
+ * — except the fault-injection knobs, which are included defensively
+ * because reliability sweeps vary them across otherwise-identical
+ * configurations.
  */
 std::string
 runKey(const GeneratorConfig &gen, const LlcModel &llc,
-       std::uint32_t threads)
+       std::uint32_t threads, const FaultConfig &faults)
 {
     std::string key = genKey(gen, threads);
+    appendFaults(key, faults);
     key += llc.name;
     key += '\0';
     appendBytes(key, llc.klass);
@@ -385,7 +401,8 @@ ExperimentRunner::runOne(const BenchmarkSpec &spec, const LlcModel &llc,
     if (threads == 0)
         threads = spec.defaultThreads;
 
-    const std::string key = runKey(spec.gen, llc, threads);
+    const std::string key =
+        runKey(spec.gen, llc, threads, base_.llc.faults);
     std::shared_ptr<Memo::Entry> entry;
     bool owner = false;
     {

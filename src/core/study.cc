@@ -1,5 +1,7 @@
 #include "core/study.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/parallel.hh"
@@ -242,6 +244,119 @@ runCorrelationStudy(bool aiOnly, const std::vector<std::string> &techs,
     return study;
 }
 
+const ReliabilityPoint &
+ReliabilityStudy::at(const std::string &tech, double berScale,
+                     double wearLevelingFactor) const
+{
+    for (const ReliabilityPoint &p : points)
+        if (p.tech == tech && p.berScale == berScale &&
+            p.wearLevelingFactor == wearLevelingFactor)
+            return p;
+    fatal("ReliabilityStudy: missing point (", tech, ", ", berScale,
+          ", ", wearLevelingFactor, ")");
+}
+
+namespace {
+
+/** Counter/gauge value at @p path in a detail report; 0 if absent. */
+double
+detailValue(const StatsSnapshot &snap, const std::string &path)
+{
+    auto it = snap.entries.find(path);
+    return it == snap.entries.end() ? 0.0 : it->second.scalar;
+}
+
+} // namespace
+
+ReliabilityStudy
+runReliabilityStudy(const ReliabilityConfig &cfg)
+{
+    if (cfg.traceScale <= 0.0 || cfg.traceScale > 1.0)
+        fatal("runReliabilityStudy: traceScale must be in (0, 1]");
+    if (cfg.berScales.empty() || cfg.wearLevelingFactors.empty())
+        fatal("runReliabilityStudy: empty sweep axis");
+
+    BenchmarkSpec spec = benchmark(cfg.workload);
+    spec.gen.totalAccesses =
+        std::uint64_t(double(spec.gen.totalAccesses) * cfg.traceScale);
+
+    ReliabilityStudy study;
+    study.config = cfg;
+
+    PhaseTimer timer("phase.reliability");
+    progressBegin("reliability sweep", cfg.berScales.size() *
+                                           cfg.wearLevelingFactors.size());
+    for (double ber : cfg.berScales) {
+        for (double wl : cfg.wearLevelingFactors) {
+            // One runner per grid point: the fault knobs live in the
+            // runner's base SystemConfig, so sharing a memo across
+            // points would conflate different fault settings.
+            SystemConfig sys;
+            sys.llc.faults.enabled = true;
+            sys.llc.faults.berScale = ber;
+            sys.llc.faults.wearLevelingFactor = wl;
+            sys.llc.faults.wearScale = cfg.wearScale;
+            sys.llc.faults.maxWriteRetries = cfg.maxWriteRetries;
+            ExperimentRunner runner(sys);
+            runner.setJobs(cfg.jobs);
+
+            TechSweep sweep =
+                runner.sweepTechs(spec, cfg.mode, cfg.threads);
+            for (RunResult &r : sweep.results) {
+                ReliabilityPoint p;
+                p.tech = r.tech;
+                p.klass = r.klass;
+                p.berScale = ber;
+                p.wearLevelingFactor = wl;
+                p.speedup = r.speedup;
+                p.normEnergy = r.normEnergy;
+
+                const StatsSnapshot &d = r.stats.detail;
+                const std::string f = "sim.llc.faults.";
+                p.writeRetries = std::uint64_t(
+                    detailValue(d, f + "writeRetries"));
+                p.writeScrubs = std::uint64_t(
+                    detailValue(d, f + "writeScrubs"));
+                p.readScrubs = std::uint64_t(
+                    detailValue(d, f + "readScrubs"));
+                p.uncorrectable = std::uint64_t(
+                    detailValue(d, f + "uncorrectable"));
+                p.retiredLines = std::uint64_t(
+                    detailValue(d, f + "retiredLines"));
+                const double frac =
+                    detailValue(d, f + "effectiveCapacityFraction");
+                p.effectiveCapacityFraction = frac > 0.0 ? frac : 1.0;
+
+                // Close the loop with the closed-form endurance
+                // model: project lifetime from this run's observed
+                // write traffic and measured hottest-line imbalance.
+                const LlcModel &model =
+                    publishedLlcModel(r.tech, cfg.mode);
+                LifetimeInputs in;
+                in.llcWrites = r.stats.llc.fills +
+                               r.stats.llc.writebacksIn -
+                               r.stats.llc.writeBypasses;
+                in.seconds = r.stats.seconds;
+                in.cacheLines =
+                    model.capacityBytes / sys.llc.blockBytes;
+                const double mean = double(in.llcWrites) /
+                                    double(in.cacheLines);
+                const double hottest =
+                    detailValue(d, "sim.llc.maxLineWrites");
+                in.writeImbalance =
+                    mean > 0.0 ? std::max(1.0, hottest / mean) : 1.0;
+                p.lifetime = estimateLifetime(p.klass, in, wl);
+
+                p.stats = std::move(r.stats);
+                study.points.push_back(std::move(p));
+            }
+            progressTick();
+        }
+    }
+    progressEnd();
+    return study;
+}
+
 StatsSnapshot
 aggregateSimStats(const FigureStudy &study)
 {
@@ -259,6 +374,15 @@ aggregateSimStats(const CoreSweepStudy &study)
 {
     StatsSnapshot total;
     for (const CoreSweepPoint &p : study.points)
+        total.mergeSum(p.stats.detail);
+    return total;
+}
+
+StatsSnapshot
+aggregateSimStats(const ReliabilityStudy &study)
+{
+    StatsSnapshot total;
+    for (const ReliabilityPoint &p : study.points)
         total.mergeSum(p.stats.detail);
     return total;
 }

@@ -14,6 +14,7 @@
 
 #include "core/experiment.hh"
 #include "correlate/framework.hh"
+#include "nvm/endurance.hh"
 #include "prism/metrics.hh"
 
 namespace nvmcache {
@@ -121,6 +122,74 @@ CorrelationStudy runCorrelationStudy(
     const ExperimentRunner &runner, double traceScale = 1.0);
 
 /**
+ * Reliability sweep configuration: one workload, every published
+ * technology, a grid of (BER scale x wear-leveling factor) fault
+ * settings (sim/faults.hh).
+ */
+struct ReliabilityConfig
+{
+    std::string workload = "lbm"; ///< the suite's write-heaviest
+    CapacityMode mode = CapacityMode::FixedCapacity;
+    std::uint32_t threads = 0; ///< 0 = workload default
+    unsigned jobs = 0;         ///< 0 = defaultJobs()
+    double traceScale = 1.0;
+    std::vector<double> berScales{1.0, 8.0, 64.0};
+    std::vector<double> wearLevelingFactors{1.0, 0.5, 0.125};
+    /**
+     * Wear units per array-write attempt. The class endurance bounds
+     * (>= 1e7 writes/line) are unreachable within one simulation, so
+     * retirement studies accelerate aging; the default keeps real
+     * time (no in-sim retirements, lifetime from the closed form).
+     */
+    double wearScale = 1.0;
+    std::uint32_t maxWriteRetries = 3;
+};
+
+/** One (technology, BER scale, wear-leveling) reliability point. */
+struct ReliabilityPoint
+{
+    std::string tech;
+    NvmClass klass = NvmClass::SRAM;
+    double berScale = 1.0;
+    double wearLevelingFactor = 1.0;
+
+    SimStats stats;
+
+    // Fault-layer outcomes (from the run's "sim.llc.faults.*" detail).
+    std::uint64_t writeRetries = 0;
+    std::uint64_t writeScrubs = 0;
+    std::uint64_t readScrubs = 0;
+    std::uint64_t uncorrectable = 0;
+    std::uint64_t retiredLines = 0;
+    double effectiveCapacityFraction = 1.0;
+
+    double speedup = 1.0;    ///< vs same-grid-point SRAM
+    double normEnergy = 1.0; ///< LLC energy vs same-grid-point SRAM
+
+    /** Closed-form endurance projection at this wear-leveling level. */
+    LifetimeEstimate lifetime;
+};
+
+struct ReliabilityStudy
+{
+    ReliabilityConfig config;
+    /** Grid-major: berScales x wearLevelingFactors x Table III order. */
+    std::vector<ReliabilityPoint> points;
+
+    const ReliabilityPoint &at(const std::string &tech, double berScale,
+                               double wearLevelingFactor) const;
+};
+
+/**
+ * Sweep the fault-injection grid over every published technology
+ * (plus the SRAM control, whose raw error rates are zero). Each grid
+ * point owns an ExperimentRunner whose base system carries that
+ * point's FaultConfig, so memoization never mixes fault settings; all
+ * statistics are bit-identical at any `jobs` level.
+ */
+ReliabilityStudy runReliabilityStudy(const ReliabilityConfig &cfg);
+
+/**
  * Accumulate every run's "sim.*" detail report into one study-level
  * report (counters add, distributions merge). Runs are folded in
  * deterministic study order, so the aggregate is identical at any
@@ -128,6 +197,7 @@ CorrelationStudy runCorrelationStudy(
  */
 StatsSnapshot aggregateSimStats(const FigureStudy &study);
 StatsSnapshot aggregateSimStats(const CoreSweepStudy &study);
+StatsSnapshot aggregateSimStats(const ReliabilityStudy &study);
 
 } // namespace nvmcache
 

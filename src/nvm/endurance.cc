@@ -27,6 +27,34 @@ writeEndurance(NvmClass klass)
     panic("bad NvmClass");
 }
 
+RawBitErrorRates
+rawBitErrorRates(NvmClass klass)
+{
+    switch (klass) {
+      case NvmClass::PCRAM:
+        // Incomplete crystallization / melt-quench variation leaves a
+        // cell between resistance bands on ~1e-5 of write pulses
+        // (SII-A's "write instability"); resistance drift over time
+        // shows up as a rare retention read error.
+        return {1e-5, 1e-7};
+      case NvmClass::STTRAM:
+        // Thermally-assisted MTJ switching is inherently stochastic:
+        // a nominal pulse fails to flip the free layer on ~1e-4 of
+        // attempts — the dominant NVM write-error mechanism (SII-B).
+        // Read disturb (the read current nudging the MTJ) is rare.
+        return {1e-4, 1e-8};
+      case NvmClass::RRAM:
+        // Filament formation/rupture variability (SII-C) sits between
+        // the other two classes.
+        return {3e-5, 1e-8};
+      case NvmClass::SRAM:
+        // Volatile baseline: no analog state to miss; soft errors are
+        // out of scope, so the fault layer is a no-op for SRAM.
+        return {0.0, 0.0};
+    }
+    panic("bad NvmClass");
+}
+
 LifetimeEstimate
 estimateLifetime(NvmClass klass, const LifetimeInputs &inputs,
                  double wearLevelingFactor)

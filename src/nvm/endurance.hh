@@ -35,6 +35,25 @@ namespace nvmcache {
  */
 double writeEndurance(NvmClass klass);
 
+/**
+ * Raw (pre-ECC) per-bit error rates of one LLC array operation, per
+ * technology class. These drive the fault-injection layer
+ * (sim/faults.hh): `writeError` is the probability that one bit of a
+ * line lands in the wrong resistance state after a single write pulse
+ * (the write-instability drawback Table I names per class), and
+ * `readError` is the probability that one stored bit reads back wrong
+ * (retention drift / read disturb). Values are class-representative
+ * device figures; experiments scale them with the fault layer's
+ * `berScale` knob rather than editing the table.
+ */
+struct RawBitErrorRates
+{
+    double writeError = 0.0; ///< P(bit wrong after one write pulse)
+    double readError = 0.0;  ///< P(bit wrong on one array read)
+};
+
+RawBitErrorRates rawBitErrorRates(NvmClass klass);
+
 /** Inputs to a lifetime estimate, all from one simulation run. */
 struct LifetimeInputs
 {

@@ -38,6 +38,7 @@ SetAssocCache::SetAssocCache(const CacheGeometry &geom) : geom_(geom)
     } else {
         lastUse_.resize(meta_.size());
     }
+    retired_.assign(sets, 0);
     setEvictions_.resize(sets);
     lineWrites_.resize(meta_.size());
 }
@@ -70,33 +71,48 @@ SetAssocCache::accessImplFixed(std::uint64_t addr, bool write)
                 ++lineWrites_[base + w];
             }
             result.hit = true;
+            result.lineIndex = base + w;
             return result;
         }
     }
 
-    // Miss: fill the first invalid way, else the policy's victim.
+    // Miss: fill the first invalid live way, else the policy's victim.
+    // Retired ways are masked out of both scans; with no retirements
+    // (dead == 0, the only state reachable without fault injection)
+    // the masks are no-ops and this is the historical behaviour bit
+    // for bit.
+    const std::uint64_t dead = retired_[set];
     std::uint32_t victim = assoc;
     for (std::uint32_t w = 0; w < assoc; ++w)
-        if (!(meta[w] & kValid)) {
+        if (!((meta[w] & kValid) | ((dead >> w) & 1))) {
             victim = w;
             break;
         }
     if (victim == assoc) {
-        switch (geom_.replacement) {
-          case ReplacementPolicy::LRU:
-          case ReplacementPolicy::FIFO:
-            // Both take the oldest entry; they differ in whether hits
-            // refresh recency above.
-            victim = oldestWay(set, base);
-            break;
-          case ReplacementPolicy::Random:
-            // xorshift64*: deterministic per cache instance.
-            randState_ ^= randState_ >> 12;
-            randState_ ^= randState_ << 25;
-            randState_ ^= randState_ >> 27;
-            victim = std::uint32_t(
-                (randState_ * 0x2545f4914f6cdd1dull) % assoc);
-            break;
+        if (dead == 0) [[likely]] {
+            switch (geom_.replacement) {
+              case ReplacementPolicy::LRU:
+              case ReplacementPolicy::FIFO:
+                // Both take the oldest entry; they differ in whether
+                // hits refresh recency above.
+                victim = oldestWay(set, base);
+                break;
+              case ReplacementPolicy::Random:
+                // xorshift64*: deterministic per cache instance.
+                randState_ ^= randState_ >> 12;
+                randState_ ^= randState_ << 25;
+                randState_ ^= randState_ >> 27;
+                victim = std::uint32_t(
+                    (randState_ * 0x2545f4914f6cdd1dull) % assoc);
+                break;
+            }
+        } else {
+            victim = victimAmongLive(set, base, dead);
+            if (victim == assoc) {
+                // Whole set retired: nothing to install or displace.
+                result.noWay = true;
+                return result;
+            }
         }
         const std::uint64_t m = meta[victim];
         result.evictedValid = true;
@@ -110,6 +126,7 @@ SetAssocCache::accessImplFixed(std::uint64_t addr, bool write)
     touch(set, base, victim);
     // Every fill rewrites the victim way's data array.
     ++lineWrites_[base + victim];
+    result.lineIndex = base + victim;
     return result;
 }
 
@@ -161,6 +178,84 @@ SetAssocCache::installWriteback(std::uint64_t addr)
     // Same replacement behaviour as a demand write, but not counted as
     // a demand hit/miss: writebacks are not on the demand path.
     return accessImpl(addr, true);
+}
+
+bool
+SetAssocCache::retireLine(std::uint64_t lineIndex)
+{
+    const std::uint64_t set = lineIndex / geom_.associativity;
+    const std::uint32_t way =
+        std::uint32_t(lineIndex % geom_.associativity);
+    const std::uint64_t bit = std::uint64_t(1) << way;
+    if (retired_[set] & bit)
+        return false;
+    retired_[set] |= bit;
+    ++retiredCount_;
+    std::uint64_t &m = meta_[lineIndex];
+    const bool dirty = (m & (kDirty | kValid)) == (kDirty | kValid);
+    // meta == 0 can never match the hit scan's want (valid bit set),
+    // so a retired way is invisible there without any extra test.
+    m = 0;
+    return dirty;
+}
+
+std::uint32_t
+SetAssocCache::victimAmongLive(std::uint64_t set, std::size_t base,
+                               std::uint64_t dead)
+{
+    const std::uint32_t assoc = geom_.associativity;
+    const std::uint64_t allWays =
+        assoc == 64 ? ~std::uint64_t(0)
+                    : (std::uint64_t(1) << assoc) - 1;
+    const std::uint64_t live = allWays & ~dead;
+    if (live == 0)
+        return assoc;
+    // The caller found no fillable way, so every live way is valid.
+    switch (geom_.replacement) {
+      case ReplacementPolicy::LRU:
+      case ReplacementPolicy::FIFO:
+        if (ranked_) {
+            // Oldest live way = highest rank among live ways (the
+            // permutation still covers retired ways; they simply
+            // never win).
+            const std::uint64_t r = ranks_[set];
+            std::uint32_t victim = assoc;
+            std::uint64_t best = 0;
+            for (std::uint32_t w = 0; w < assoc; ++w) {
+                if (!((live >> w) & 1))
+                    continue;
+                const std::uint64_t rank = (r >> (4 * w)) & 0xF;
+                if (victim == assoc || rank > best) {
+                    best = rank;
+                    victim = w;
+                }
+            }
+            return victim;
+        } else {
+            std::uint32_t victim = assoc;
+            std::uint64_t oldest = 0;
+            for (std::uint32_t w = 0; w < assoc; ++w) {
+                if (!((live >> w) & 1))
+                    continue;
+                if (victim == assoc || lastUse_[base + w] < oldest) {
+                    oldest = lastUse_[base + w];
+                    victim = w;
+                }
+            }
+            return victim;
+        }
+      case ReplacementPolicy::Random: {
+        randState_ ^= randState_ >> 12;
+        randState_ ^= randState_ << 25;
+        randState_ ^= randState_ >> 27;
+        std::uint32_t w = std::uint32_t(
+            (randState_ * 0x2545f4914f6cdd1dull) % assoc);
+        while (!((live >> w) & 1))
+            w = (w + 1) % assoc;
+        return w;
+      }
+    }
+    return assoc; // unreachable: the switch is exhaustive
 }
 
 bool

@@ -53,6 +53,17 @@ struct CacheAccessResult
     bool evictedValid = false;  ///< a victim line was displaced
     bool evictedDirty = false;  ///< ... and it was dirty (writeback)
     std::uint64_t evictedAddr = 0; ///< block-aligned victim address
+    /**
+     * Set-major index (set * assoc + way) of the line the access hit
+     * or filled; the fault layer keys its per-line RNG streams and
+     * wear counters on it. Meaningless when `noWay` is set.
+     */
+    std::uint64_t lineIndex = 0;
+    /**
+     * Every way of the target set is retired: nothing was installed
+     * and no victim was displaced (the access degenerates to a probe).
+     */
+    bool noWay = false;
 };
 
 /**
@@ -99,6 +110,26 @@ class SetAssocCache
 
     /** Invalidate a line if present; returns true if it was dirty. */
     bool invalidate(std::uint64_t addr);
+
+    /**
+     * Permanently retire the line at set-major index @p lineIndex
+     * (wear-out or uncorrectable error): the line is invalidated and
+     * its way is excluded from all future fills and victim picks, so
+     * the set's effective associativity shrinks by one. Returns true
+     * if the line held dirty data (the caller must push it down).
+     * Retiring an already-retired line is a no-op returning false.
+     */
+    bool retireLine(std::uint64_t lineIndex);
+
+    /** Lines retired so far. */
+    std::uint64_t retiredLines() const { return retiredCount_; }
+
+    /** Usable (non-retired) lines: the effective capacity. */
+    std::uint64_t
+    liveLines() const
+    {
+        return meta_.size() - retiredCount_;
+    }
 
     const CacheGeometry &geometry() const { return geom_; }
 
@@ -227,6 +258,15 @@ class SetAssocCache
         }
     }
 
+    /**
+     * Policy victim among the set's non-retired ways (@p dead is the
+     * set's retirement bitmask, known non-zero); returns the
+     * associativity when every way is dead. Split from the dead == 0
+     * fast paths so the no-faults hot loop stays untouched.
+     */
+    std::uint32_t victimAmongLive(std::uint64_t set, std::size_t base,
+                                  std::uint64_t dead);
+
     /** Way holding the oldest (LRU/FIFO) line of a full set. */
     std::uint32_t
     oldestWay(std::uint64_t set, std::size_t base) const
@@ -262,6 +302,9 @@ class SetAssocCache
     std::vector<std::uint64_t> lastUse_; ///< assoc > 16 fallback
     std::uint64_t useClock_ = 0;
     std::uint64_t randState_ = 0x2545f4914f6cdd1dull;
+
+    std::vector<std::uint64_t> retired_; ///< dead-way bitmask per set
+    std::uint64_t retiredCount_ = 0;
 
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

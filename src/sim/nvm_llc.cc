@@ -32,6 +32,10 @@ SharedLlc::SharedLlc(const LlcModel &model, const Config &cfg,
     readCycles_ = toCycles(model_.readLatency, coreFrequency);
     writeCycles_ = toCycles(model_.writeLatency(), coreFrequency);
     bankFreeAt_.assign(cfg_.numBanks, 0);
+    if (cfg_.faults.enabled)
+        injector_ = std::make_unique<FaultInjector>(
+            cfg_.faults, model_.klass, tags_.geometry().numLines(),
+            cfg_.blockBytes);
 }
 
 std::uint32_t
@@ -49,7 +53,8 @@ SharedLlc::reserveRead(std::uint32_t bank, std::uint64_t now)
 }
 
 std::uint64_t
-SharedLlc::accountWrite(std::uint32_t bank, std::uint64_t now)
+SharedLlc::accountWrite(std::uint32_t bank, std::uint64_t now,
+                        std::uint64_t cycles)
 {
     switch (cfg_.writePolicy) {
       case WritePolicy::Posted:
@@ -58,10 +63,11 @@ SharedLlc::accountWrite(std::uint32_t bank, std::uint64_t now)
         return 0;
       case WritePolicy::BankContention: {
         const std::uint64_t start = std::max(now, bankFreeAt_[bank]);
-        bankFreeAt_[bank] = start + writeCycles_;
+        bankFreeAt_[bank] = start + cycles;
         // The requester only stalls once the backlog exceeds the
         // write queue: it must wait for the backlog to drain down to
-        // queue depth.
+        // queue depth (sized in base write pulses — retry pulses
+        // consume queue slots' worth of bank time like any others).
         const std::uint64_t backlog = bankFreeAt_[bank] - now;
         const std::uint64_t budget =
             std::uint64_t(cfg_.writeQueueDepth) * writeCycles_;
@@ -69,11 +75,38 @@ SharedLlc::accountWrite(std::uint32_t bank, std::uint64_t now)
       }
       case WritePolicy::Blocking: {
         const std::uint64_t start = std::max(now, bankFreeAt_[bank]);
-        bankFreeAt_[bank] = start + writeCycles_;
-        return (start - now) + writeCycles_;
+        bankFreeAt_[bank] = start + cycles;
+        return (start - now) + cycles;
       }
     }
     panic("bad WritePolicy");
+}
+
+std::uint64_t
+SharedLlc::applyWriteFaults(std::uint64_t lineIndex, bool &retired)
+{
+    const FaultInjector::WriteOutcome wo =
+        injector_->onArrayWrite(lineIndex);
+    FaultStats &st = injector_->stats();
+    std::uint64_t extra = 0;
+    if (wo.retries > 0) {
+        // Escalated pulses: total cost 2^(retries+1)-1 base pulses,
+        // of which one is already charged by the caller.
+        const std::uint64_t mult = retryCostMultiplier(wo.retries);
+        const std::uint64_t cycles = (mult - 1) * writeCycles_;
+        extra += cycles;
+        st.retryCycles += cycles;
+        stats_.writeEnergy += model_.eWrite * double(mult - 1);
+    }
+    if (wo.scrubbed) {
+        // SECDED corrected the residual single-bit error; the scrub
+        // rewrites the corrected line.
+        extra += cfg_.faults.scrubCycles;
+        st.scrubCycles += cfg_.faults.scrubCycles;
+        stats_.writeEnergy += model_.eWrite;
+    }
+    retired = wo.retired();
+    return extra;
 }
 
 LlcReadOutcome
@@ -82,18 +115,46 @@ SharedLlc::demandRead(std::uint64_t addr, std::uint64_t now)
     LlcReadOutcome out;
     const std::uint32_t bank = bankOf(addr);
     ++stats_.demandReads;
+    if (injector_)
+        injector_->tick(tags_.liveLines());
 
     CacheAccessResult res = tags_.access(addr, false);
     out.hit = res.hit;
 
     if (res.hit) {
-        ++stats_.demandHits;
-        stats_.hitEnergy += model_.eHit;
-        const std::uint64_t wait = reserveRead(bank, now);
-        stats_.readWaitCycles += wait;
-        readWaitDist_.add(double(wait));
-        out.latencyCycles =
-            wait + cfg_.controllerCycles + tagCycles_ + readCycles_;
+        std::uint64_t scrubExtra = 0;
+        bool lineLost = false;
+        if (injector_) {
+            const FaultInjector::ReadOutcome ro =
+                injector_->onRead(res.lineIndex);
+            if (ro.scrubbed) {
+                // SECDED corrected a single-bit error under the read;
+                // the scrub rewrites the corrected line.
+                scrubExtra = cfg_.faults.scrubCycles;
+                injector_->stats().scrubCycles += scrubExtra;
+                stats_.writeEnergy += model_.eWrite;
+            } else if (ro.retired) {
+                // Multi-bit error: the line's data is gone and its
+                // way is withdrawn; the request falls through to DRAM
+                // with no refill (there is nowhere to put it).
+                tags_.retireLine(res.lineIndex);
+                lineLost = true;
+            }
+        }
+        if (!lineLost) {
+            ++stats_.demandHits;
+            stats_.hitEnergy += model_.eHit;
+            const std::uint64_t wait = reserveRead(bank, now);
+            stats_.readWaitCycles += wait;
+            readWaitDist_.add(double(wait));
+            out.latencyCycles = wait + cfg_.controllerCycles +
+                                tagCycles_ + readCycles_ + scrubExtra;
+            return out;
+        }
+        out.hit = false;
+        ++stats_.demandMisses;
+        stats_.missEnergy += model_.eMiss;
+        out.latencyCycles = cfg_.controllerCycles + tagCycles_;
         return out;
     }
 
@@ -103,9 +164,27 @@ SharedLlc::demandRead(std::uint64_t addr, std::uint64_t now)
     // returns (state updated now, timing accounted via accountWrite).
     out.latencyCycles = cfg_.controllerCycles + tagCycles_;
 
+    if (res.noWay) {
+        // Every way of the set is retired: the read is serviced by
+        // DRAM and nothing is installed. noWay is only reachable
+        // through retirements, so injector_ is live here.
+        injector_->noteNoWay();
+        return out;
+    }
+
     ++stats_.fills;
     stats_.writeEnergy += model_.eWrite;
-    out.latencyCycles += accountWrite(bank, now);
+    std::uint64_t writeBusy = writeCycles_;
+    if (injector_) {
+        bool retired = false;
+        writeBusy += applyWriteFaults(res.lineIndex, retired);
+        if (retired) {
+            // The freshly filled line is clean; dropping it costs
+            // nothing beyond the lost way.
+            tags_.retireLine(res.lineIndex);
+        }
+    }
+    out.latencyCycles += accountWrite(bank, now, writeBusy);
     if (res.evictedValid && res.evictedDirty) {
         ++stats_.dirtyEvictions;
         out.victimDirty = true;
@@ -120,6 +199,8 @@ SharedLlc::writeback(std::uint64_t addr, std::uint64_t now)
     LlcWritebackOutcome out;
     const std::uint32_t bank = bankOf(addr);
     ++stats_.writebacksIn;
+    if (injector_)
+        injector_->tick(tags_.liveLines());
 
     if (cfg_.bypassWritebackMiss && !tags_.probe(addr)) {
         // Bypass: pay only the tag probe, never touch the NVM array.
@@ -129,9 +210,30 @@ SharedLlc::writeback(std::uint64_t addr, std::uint64_t now)
         return out;
     }
 
-    stats_.writeEnergy += model_.eWrite;
     CacheAccessResult res = tags_.installWriteback(addr);
-    out.stallCycles = accountWrite(bank, now);
+    if (res.noWay) {
+        // Every way of the set is retired: the dirty line continues
+        // to DRAM unmodified, paying only the tag probe.
+        injector_->noteNoWay();
+        ++stats_.writeBypasses;
+        stats_.missEnergy += model_.eMiss;
+        out.forwardedToDram = true;
+        return out;
+    }
+
+    stats_.writeEnergy += model_.eWrite;
+    std::uint64_t writeBusy = writeCycles_;
+    if (injector_) {
+        bool retired = false;
+        writeBusy += applyWriteFaults(res.lineIndex, retired);
+        if (retired) {
+            // The just-installed dirty line is lost with its way;
+            // its data carries on to DRAM.
+            tags_.retireLine(res.lineIndex);
+            out.forwardedToDram = true;
+        }
+    }
+    out.stallCycles = accountWrite(bank, now, writeBusy);
     stats_.writeStallCycles += out.stallCycles;
     writeStallDist_.add(double(out.stallCycles));
     if (res.evictedValid && res.evictedDirty) {
@@ -176,6 +278,14 @@ SharedLlc::exportStats(MetricsRegistry &reg,
     reg.gauge(prefix + ".maxLineWrites")
         .set(double(tags_.maxLineWrites()));
     tags_.exportStats(reg, prefix + ".tags");
+
+    // The faults section exists only when injection is enabled, so a
+    // faults-off run's snapshot stays byte-identical to the
+    // pre-fault-layer simulator's.
+    if (injector_)
+        injector_->exportStats(reg, prefix + ".faults",
+                               tags_.liveLines(),
+                               tags_.geometry().numLines());
 }
 
 } // namespace nvmcache

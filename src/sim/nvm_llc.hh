@@ -23,10 +23,12 @@
 #define NVMCACHE_SIM_NVM_LLC_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "nvsim/llc_model.hh"
 #include "sim/cache.hh"
+#include "sim/faults.hh"
 
 namespace nvmcache {
 
@@ -100,6 +102,13 @@ class SharedLlc
          * wear).
          */
         bool bypassWritebackMiss = false;
+        /**
+         * Fault-injection layer (sim/faults.hh): write-verify-retry,
+         * SECDED scrubs, and wear-driven line retirement. Disabled by
+         * default; when disabled the LLC's behaviour and statistics
+         * are byte-identical to a build without the layer.
+         */
+        FaultConfig faults;
     };
 
     /**
@@ -146,10 +155,23 @@ class SharedLlc
     std::uint64_t reserveRead(std::uint32_t bank, std::uint64_t now);
 
     /**
-     * Account an array write beginning at @p now; returns stall
-     * cycles chargeable to the requester under the active policy.
+     * Account an array write occupying its bank for @p cycles
+     * beginning at @p now; returns stall cycles chargeable to the
+     * requester under the active policy. @p cycles exceeds the base
+     * writeCycles_ when the fault layer added retry pulses or scrubs.
      */
-    std::uint64_t accountWrite(std::uint32_t bank, std::uint64_t now);
+    std::uint64_t accountWrite(std::uint32_t bank, std::uint64_t now,
+                               std::uint64_t cycles);
+
+    /**
+     * Run the fault layer's verify-retry verdict for an array write
+     * to @p lineIndex, charging retry/scrub energy to the LLC stats;
+     * returns extra bank-busy cycles and sets @p retired when the
+     * line must be withdrawn (wear-out or uncorrectable residue).
+     * Caller must hold a live injector_.
+     */
+    std::uint64_t applyWriteFaults(std::uint64_t lineIndex,
+                                   bool &retired);
 
     LlcModel model_;
     Config cfg_;
@@ -160,6 +182,9 @@ class SharedLlc
     std::uint64_t writeCycles_;
 
     std::vector<std::uint64_t> bankFreeAt_;
+
+    /** Present only when cfg_.faults.enabled. */
+    std::unique_ptr<FaultInjector> injector_;
 
     LlcStats stats_;
     LocalDistribution writeStallDist_; ///< stall cycles/writeback

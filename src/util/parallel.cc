@@ -1,5 +1,6 @@
 #include "util/parallel.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 
@@ -20,6 +21,44 @@ defaultJobs()
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
+}
+
+std::string
+describeException(std::exception_ptr e)
+{
+    try {
+        std::rethrow_exception(e);
+    } catch (const std::exception &ex) {
+        return ex.what();
+    } catch (...) {
+        return "(non-standard exception)";
+    }
+}
+
+void
+throwJobFailures(const std::vector<std::exception_ptr> &failed,
+                 std::size_t totalJobs)
+{
+    if (failed.empty())
+        return;
+    if (failed.size() == 1)
+        std::rethrow_exception(failed.front());
+
+    // Several jobs failed: one exception carrying every diagnostic
+    // (capped so a mass failure stays readable).
+    constexpr std::size_t kMaxMessages = 4;
+    std::string msg = "parallelMap: " + std::to_string(failed.size()) +
+                      " of " + std::to_string(totalJobs) +
+                      " jobs failed:";
+    const std::size_t shown =
+        std::min(failed.size(), kMaxMessages);
+    for (std::size_t i = 0; i < shown; ++i)
+        msg += "\n  [" + std::to_string(i + 1) + "] " +
+               describeException(failed[i]);
+    if (failed.size() > shown)
+        msg += "\n  ... and " +
+               std::to_string(failed.size() - shown) + " more";
+    throw std::runtime_error(msg);
 }
 
 ThreadPool::ThreadPool(unsigned jobs)

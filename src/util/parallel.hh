@@ -25,6 +25,8 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -37,6 +39,18 @@ namespace nvmcache {
  * std::thread::hardware_concurrency(), never less than 1.
  */
 unsigned defaultJobs();
+
+/** what() of @p e, or a placeholder for non-std exceptions. */
+std::string describeException(std::exception_ptr e);
+
+/**
+ * Terminal failure handling shared by parallelMap instantiations:
+ * rethrow a lone failure unchanged, aggregate several into one
+ * runtime_error carrying the count and the first few messages.
+ * @p failed holds the failures in input order; no-op when empty.
+ */
+void throwJobFailures(const std::vector<std::exception_ptr> &failed,
+                      std::size_t totalJobs);
 
 /**
  * Fixed pool of worker threads draining one shared task queue.
@@ -86,8 +100,12 @@ class ThreadPool
  * Apply @p fn to every element of @p items, running up to @p jobs
  * applications concurrently, and return the results in input order.
  *
- * The first exception thrown by any job is rethrown here after all
- * jobs finish; jobs <= 1 executes inline with no threads.
+ * Failures surface after all jobs finish: a single failed job
+ * rethrows its original exception unchanged; multiple failures throw
+ * one std::runtime_error aggregating the failure count and the first
+ * few messages (in input order), so no job's diagnostic is silently
+ * dropped. jobs <= 1 executes inline with no threads, so the first
+ * failure propagates immediately.
  */
 template <typename T, typename Fn>
 auto
@@ -112,19 +130,17 @@ parallelMap(unsigned jobs, const std::vector<T> &items, Fn fn)
             return fn(item);
         }));
     // Drain every future (in order) even if one throws, so the pool
-    // never destructs with tasks still touching caller state; the
-    // first exception wins.
-    std::exception_ptr first;
+    // never destructs with tasks still touching caller state; every
+    // failure is collected and reported together.
+    std::vector<std::exception_ptr> failed;
     for (std::future<R> &fut : futures) {
         try {
             results.push_back(fut.get());
         } catch (...) {
-            if (!first)
-                first = std::current_exception();
+            failed.push_back(std::current_exception());
         }
     }
-    if (first)
-        std::rethrow_exception(first);
+    throwJobFailures(failed, items.size());
     return results;
 }
 

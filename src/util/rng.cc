@@ -66,8 +66,7 @@ Rng::operator()()
 double
 Rng::uniform()
 {
-    // 53 high bits -> [0,1) with full double precision.
-    return double((*this)() >> 11) * 0x1.0p-53;
+    return toUnitInterval((*this)());
 }
 
 std::uint64_t

@@ -33,6 +33,18 @@ namespace nvmcache {
  */
 std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream);
 
+/**
+ * Map raw 64-bit randomness onto [0, 1) with full double precision
+ * (53 high bits). This is the shared uniform-mapping used by
+ * Rng::uniform() and by counter-based draw schemes (sim/faults.hh)
+ * that hash an event index instead of advancing generator state.
+ */
+inline double
+toUnitInterval(std::uint64_t bits)
+{
+    return double(bits >> 11) * 0x1.0p-53;
+}
+
 class Rng
 {
   public:

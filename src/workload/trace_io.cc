@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 
 #include "util/logging.hh"
 
@@ -99,31 +100,77 @@ writeTraceFile(const std::string &path, TraceSource &source)
     return count;
 }
 
+namespace {
+
+/**
+ * fread for the load path: unlike readRaw, failures throw (corrupt or
+ * truncated input files are a caller-recoverable condition, not a
+ * programming error).
+ */
+void
+loadRaw(std::FILE *f, void *data, std::size_t size,
+        const std::string &path, const char *what)
+{
+    if (std::fread(data, 1, size, f) != size)
+        throw std::runtime_error("truncated NVMT trace file (EOF in " +
+                                 std::string(what) + "): " + path);
+}
+
+} // namespace
+
 FileTrace
 readTraceFile(const std::string &path)
 {
     FileHandle f(std::fopen(path.c_str(), "rb"));
     if (!f)
-        fatal("cannot open trace file: ", path);
+        throw std::runtime_error("cannot open trace file: " + path);
 
     char magic[4];
-    readRaw(f.get(), magic, sizeof(magic), path);
+    loadRaw(f.get(), magic, sizeof(magic), path, "header");
     if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        fatal("not an NVMT trace file: ", path);
+        throw std::runtime_error(
+            "not an NVMT trace file (bad magic): " + path);
     std::uint32_t version = 0;
-    readRaw(f.get(), &version, sizeof(version), path);
+    loadRaw(f.get(), &version, sizeof(version), path, "header");
     if (version != kVersion)
-        fatal("unsupported trace version ", version, ": ", path);
+        throw std::runtime_error(
+            "unsupported NVMT trace version " +
+            std::to_string(version) + " (expected " +
+            std::to_string(kVersion) + "): " + path);
     std::uint64_t count = 0;
-    readRaw(f.get(), &count, sizeof(count), path);
+    loadRaw(f.get(), &count, sizeof(count), path, "header");
+
+    // Validate the declared record count against the payload actually
+    // present before allocating or reading anything: a corrupt count
+    // would otherwise turn into a giant reserve() or a slow walk to a
+    // mid-record EOF.
+    constexpr std::uint64_t kRecordBytes =
+        sizeof(std::uint64_t) + sizeof(std::uint16_t);
+    const long payloadStart = std::ftell(f.get());
+    if (payloadStart < 0 || std::fseek(f.get(), 0, SEEK_END) != 0)
+        throw std::runtime_error("cannot size trace file: " + path);
+    const long end = std::ftell(f.get());
+    if (end < 0 ||
+        std::fseek(f.get(), payloadStart, SEEK_SET) != 0)
+        throw std::runtime_error("cannot size trace file: " + path);
+    const std::uint64_t payload = std::uint64_t(end - payloadStart);
+    // Divide instead of multiplying so an adversarial count near
+    // 2^64 cannot overflow the comparison.
+    if (payload % kRecordBytes != 0 ||
+        payload / kRecordBytes != count)
+        throw std::runtime_error(
+            "corrupt NVMT trace file: header declares " +
+            std::to_string(count) + " records but the file holds " +
+            std::to_string(payload) + " payload bytes (" +
+            std::to_string(kRecordBytes) + " per record): " + path);
 
     std::vector<MemAccess> records;
     records.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         std::uint64_t word = 0;
         std::uint16_t gap = 0;
-        readRaw(f.get(), &word, sizeof(word), path);
-        readRaw(f.get(), &gap, sizeof(gap), path);
+        loadRaw(f.get(), &word, sizeof(word), path, "record");
+        loadRaw(f.get(), &gap, sizeof(gap), path, "record");
         MemAccess a;
         a.addr = word & kAddrMask;
         a.kind = AccessKind(std::uint8_t(word >> 62));

@@ -53,7 +53,16 @@ class FileTrace : public TraceSource
 std::uint64_t writeTraceFile(const std::string &path,
                              TraceSource &source);
 
-/** Load a trace file written by writeTraceFile. fatal() on errors. */
+/**
+ * Load a trace file written by writeTraceFile.
+ *
+ * Throws std::runtime_error — naming the file and the defect — for
+ * anything malformed: unopenable path, bad magic, unsupported
+ * version, or a record count that disagrees with the file's actual
+ * payload size (truncation/corruption). Trace files are user-supplied
+ * input, so these are recoverable conditions, not fatal() programming
+ * errors.
+ */
 FileTrace readTraceFile(const std::string &path);
 
 } // namespace nvmcache

@@ -127,6 +127,73 @@ TEST(ParallelMap, PropagatesExceptions)
     EXPECT_EQ(ran.load(), 8);
 }
 
+TEST(ParallelMap, SingleFailureRethrowsOriginalType)
+{
+    // One failed job must surface its original exception, not the
+    // aggregated runtime_error wrapper.
+    std::vector<int> items{0, 1, 2, 3};
+    EXPECT_THROW(parallelMap(4, items,
+                             [](const int &i) {
+                                 if (i == 2)
+                                     throw std::out_of_range("lone");
+                                 return i;
+                             }),
+                 std::out_of_range);
+}
+
+TEST(ParallelMap, AggregatesEveryFailure)
+{
+    std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7};
+    std::atomic<int> ran{0};
+    std::string what;
+    try {
+        parallelMap(4, items, [&](const int &i) {
+            ++ran;
+            if (i == 1 || i == 4 || i == 6)
+                throw std::runtime_error("job " + std::to_string(i) +
+                                         " exploded");
+            return i;
+        });
+        FAIL() << "parallelMap did not throw";
+    } catch (const std::runtime_error &e) {
+        what = e.what();
+    }
+    EXPECT_EQ(ran.load(), 8); // no abandoned futures
+    EXPECT_NE(what.find("3 of 8 jobs failed"), std::string::npos);
+    // Every failure's message survives, in input order.
+    const std::size_t p1 = what.find("job 1 exploded");
+    const std::size_t p4 = what.find("job 4 exploded");
+    const std::size_t p6 = what.find("job 6 exploded");
+    ASSERT_NE(p1, std::string::npos);
+    ASSERT_NE(p4, std::string::npos);
+    ASSERT_NE(p6, std::string::npos);
+    EXPECT_LT(p1, p4);
+    EXPECT_LT(p4, p6);
+}
+
+TEST(ParallelMap, CapsAggregatedMessages)
+{
+    // A mass failure reports the count plus the first few messages
+    // and summarizes the rest instead of printing all of them.
+    std::vector<int> items;
+    for (int i = 0; i < 12; ++i)
+        items.push_back(i);
+    std::string what;
+    try {
+        parallelMap(4, items, [](const int &i) -> int {
+            throw std::runtime_error("boom " + std::to_string(i));
+        });
+        FAIL() << "parallelMap did not throw";
+    } catch (const std::runtime_error &e) {
+        what = e.what();
+    }
+    EXPECT_NE(what.find("12 of 12 jobs failed"), std::string::npos);
+    EXPECT_NE(what.find("boom 0"), std::string::npos);
+    EXPECT_NE(what.find("boom 3"), std::string::npos);
+    EXPECT_EQ(what.find("boom 4"), std::string::npos);
+    EXPECT_NE(what.find("... and 8 more"), std::string::npos);
+}
+
 TEST(ParallelMap, RunsEveryItemExactlyOnce)
 {
     std::vector<int> items(100, 1);

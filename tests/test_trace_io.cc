@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "prism/metrics.hh"
@@ -113,6 +117,33 @@ TEST(TraceIo, WriterResetsSourceForReuse)
     std::remove(path.c_str());
 }
 
+namespace {
+
+/** readTraceFile's runtime_error message for @p path. */
+std::string
+loadError(const std::string &path)
+{
+    try {
+        readTraceFile(path);
+    } catch (const std::runtime_error &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "readTraceFile(" << path << ") did not throw";
+    return "";
+}
+
+/** Write a valid single-record trace and return its path. */
+std::string
+writeTinyTrace(const char *tag)
+{
+    const std::string path = tempPath(tag);
+    FileTrace source({{0x40, AccessKind::Load, 1}});
+    writeTraceFile(path, source);
+    return path;
+}
+
+} // namespace
+
 TEST(TraceIo, RejectsGarbageFile)
 {
     const std::string path = tempPath("garbage");
@@ -120,14 +151,69 @@ TEST(TraceIo, RejectsGarbageFile)
     ASSERT_NE(f, nullptr);
     std::fputs("not a trace", f);
     std::fclose(f);
-    EXPECT_DEATH(readTraceFile(path), "not an NVMT");
+    EXPECT_NE(loadError(path).find("bad magic"), std::string::npos);
     std::remove(path.c_str());
 }
 
 TEST(TraceIo, RejectsMissingFile)
 {
-    EXPECT_DEATH(readTraceFile("/nonexistent/dir/x.nvmt"),
-                 "cannot open");
+    EXPECT_NE(loadError("/nonexistent/dir/x.nvmt").find("cannot open"),
+              std::string::npos);
+}
+
+TEST(TraceIo, RejectsUnsupportedVersion)
+{
+    const std::string path = writeTinyTrace("version");
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const std::uint32_t bogus = 99;
+    ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0); // past the magic
+    ASSERT_EQ(std::fwrite(&bogus, 1, sizeof(bogus), f), sizeof(bogus));
+    std::fclose(f);
+    const std::string msg = loadError(path);
+    EXPECT_NE(msg.find("version 99"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsTruncatedHeader)
+{
+    const std::string path = tempPath("shortheader");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NVMT", f); // magic only, no version/count
+    std::fclose(f);
+    EXPECT_NE(loadError(path).find("truncated"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsTruncatedPayload)
+{
+    // A valid two-record trace cut mid-payload must be diagnosed
+    // from the size check, naming both byte counts.
+    const std::string path = tempPath("truncated");
+    FileTrace source({{0x40, AccessKind::Load, 1},
+                      {0x80, AccessKind::Store, 2}});
+    writeTraceFile(path, source);
+    ASSERT_EQ(::truncate(path.c_str(), 16 + 10 + 3), 0);
+    const std::string msg = loadError(path);
+    EXPECT_NE(msg.find("declares 2 records"), std::string::npos);
+    EXPECT_NE(msg.find("13 payload bytes"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsOverstatedRecordCount)
+{
+    // An adversarial count (here the max u64) must be rejected by the
+    // size check without attempting a giant allocation.
+    const std::string path = writeTinyTrace("overcount");
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const std::uint64_t huge = ~std::uint64_t(0);
+    ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0); // magic + version
+    ASSERT_EQ(std::fwrite(&huge, 1, sizeof(huge), f), sizeof(huge));
+    std::fclose(f);
+    EXPECT_NE(loadError(path).find("corrupt"), std::string::npos);
+    std::remove(path.c_str());
 }
 
 TEST(TraceIo, SaturatesOversizedGaps)

@@ -16,10 +16,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/study.hh"
 #include "nvm/heuristics.hh"
 #include "nvm/model_library.hh"
 #include "nvsim/estimator.hh"
@@ -55,6 +58,14 @@ usage()
         "  characterize <workload|file.nvmt>  PRISM-style features\n"
         "  export-trace <workload> <file.nvmt> [--threads N]\n"
         "  workloads                          list the Table V suite\n"
+        "  reliability [workload] [--ber-scale A,B,..] "
+        "[--wear-leveling A,B,..]\n"
+        "           [--wear-scale X] [--max-retries N] [--scale F] "
+        "[--fixed-area]\n"
+        "           [--threads N] [--jobs N] [--stats-out FILE] "
+        "[--stats-format json|csv]\n"
+        "           [--progress]        fault-injection sweep over "
+        "all technologies\n"
         "\n"
         "--jobs N (or NVMCACHE_JOBS=N) caps the experiment engine's "
         "worker threads;\nthe default is the hardware thread count. "
@@ -74,14 +85,91 @@ hasFlag(const std::vector<std::string> &args, const char *flag)
     return false;
 }
 
+/** Parse a full token as a u32; throws naming the flag on garbage. */
+std::uint32_t
+parseU32(const char *flag, const std::string &token)
+{
+    try {
+        std::size_t pos = 0;
+        const unsigned long v = std::stoul(token, &pos);
+        if (pos != token.size() ||
+            v > std::numeric_limits<std::uint32_t>::max())
+            throw std::invalid_argument(token);
+        return std::uint32_t(v);
+    } catch (const std::exception &) {
+        throw std::runtime_error(std::string("bad value '") + token +
+                                 "' for " + flag +
+                                 " (expected a non-negative integer)");
+    }
+}
+
+/** Parse a full token as a double; throws naming the flag on garbage. */
+double
+parseDouble(const char *flag, const std::string &token)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(token, &pos);
+        if (pos != token.size())
+            throw std::invalid_argument(token);
+        return v;
+    } catch (const std::exception &) {
+        throw std::runtime_error(std::string("bad value '") + token +
+                                 "' for " + flag +
+                                 " (expected a number)");
+    }
+}
+
+/** The token following @p flag; throws if the flag ends the line. */
+const std::string *
+flagToken(const std::vector<std::string> &args, const char *flag)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] != flag)
+            continue;
+        if (i + 1 >= args.size())
+            throw std::runtime_error(std::string(flag) +
+                                     " needs a value");
+        return &args[i + 1];
+    }
+    return nullptr;
+}
+
 std::uint32_t
 flagValue(const std::vector<std::string> &args, const char *flag,
           std::uint32_t fallback)
 {
-    for (std::size_t i = 0; i + 1 < args.size(); ++i)
-        if (args[i] == flag)
-            return std::uint32_t(std::stoul(args[i + 1]));
-    return fallback;
+    const std::string *token = flagToken(args, flag);
+    return token ? parseU32(flag, *token) : fallback;
+}
+
+double
+flagDouble(const std::vector<std::string> &args, const char *flag,
+           double fallback)
+{
+    const std::string *token = flagToken(args, flag);
+    return token ? parseDouble(flag, *token) : fallback;
+}
+
+/** Comma-separated list of doubles, e.g. "--ber-scale 1,8,64". */
+std::vector<double>
+flagDoubleList(const std::vector<std::string> &args, const char *flag,
+               std::vector<double> fallback)
+{
+    const std::string *token = flagToken(args, flag);
+    if (!token)
+        return fallback;
+    std::vector<double> values;
+    std::size_t start = 0;
+    while (start <= token->size()) {
+        std::size_t comma = token->find(',', start);
+        if (comma == std::string::npos)
+            comma = token->size();
+        values.push_back(
+            parseDouble(flag, token->substr(start, comma - start)));
+        start = comma + 1;
+    }
+    return values;
 }
 
 std::string
@@ -155,7 +243,9 @@ cmdEstimate(const std::vector<std::string> &args)
     const CellSpec &cell = publishedCell(args[0]);
     CacheOrgConfig org;
     if (args.size() > 1)
-        org.capacityBytes = std::stoull(args[1]) << 20;
+        org.capacityBytes = std::uint64_t(
+                                parseU32("capacityMB", args[1]))
+                            << 20;
     LlcModel m = Estimator().estimate(cell, org);
     std::printf("%s @ %.0f MB: area %.3f mm^2, tag %.3f ns, read "
                 "%.3f ns, write %.3f ns,\n  Ehit %.3f nJ, Emiss %.3f "
@@ -270,6 +360,57 @@ cmdExportTrace(const std::vector<std::string> &args)
 }
 
 int
+cmdReliability(const std::vector<std::string> &args)
+{
+    ReliabilityConfig cfg;
+    if (!args.empty() && args[0][0] != '-')
+        cfg.workload = args[0];
+    cfg.mode = hasFlag(args, "--fixed-area")
+                   ? CapacityMode::FixedArea
+                   : CapacityMode::FixedCapacity;
+    cfg.threads = flagValue(args, "--threads", 0);
+    cfg.jobs = flagValue(args, "--jobs", 0);
+    cfg.traceScale = flagDouble(args, "--scale", 0.25);
+    cfg.berScales =
+        flagDoubleList(args, "--ber-scale", cfg.berScales);
+    cfg.wearLevelingFactors = flagDoubleList(
+        args, "--wear-leveling", cfg.wearLevelingFactors);
+    cfg.wearScale = flagDouble(args, "--wear-scale", 1.0);
+    cfg.maxWriteRetries = flagValue(args, "--max-retries", 3);
+    setProgressEnabled(hasFlag(args, "--progress"));
+
+    ReliabilityStudy study = runReliabilityStudy(cfg);
+
+    std::printf("%s (%s), wearScale %g, maxRetries %u:\n",
+                cfg.workload.c_str(), toString(cfg.mode).c_str(),
+                cfg.wearScale, cfg.maxWriteRetries);
+    std::printf("%-6s %-6s %-12s %10s %8s %8s %8s %8s %8s %10s\n",
+                "ber", "wear", "tech", "retries", "scrubs", "uncorr",
+                "retired", "effCap%", "speedup", "life[y]");
+    for (const ReliabilityPoint &p : study.points)
+        std::printf("%-6g %-6g %-12s %10llu %8llu %8llu %8llu "
+                    "%8.2f %8.3f %10.3g\n",
+                    p.berScale, p.wearLevelingFactor, p.tech.c_str(),
+                    (unsigned long long)p.writeRetries,
+                    (unsigned long long)(p.writeScrubs + p.readScrubs),
+                    (unsigned long long)p.uncorrectable,
+                    (unsigned long long)p.retiredLines,
+                    p.effectiveCapacityFraction * 100.0, p.speedup,
+                    p.lifetime.lifetimeYears);
+
+    const std::string stats_out = flagString(args, "--stats-out", "");
+    if (!stats_out.empty()) {
+        StatsSnapshot report = aggregateSimStats(study);
+        report.mergeSum(MetricsRegistry::global().snapshot());
+        writeStatsFile(stats_out, report,
+                       parseStatsFormat(flagString(
+                           args, "--stats-format", "json")));
+        std::printf("stats written to %s\n", stats_out.c_str());
+    }
+    return 0;
+}
+
+int
 cmdWorkloads()
 {
     std::printf("%-10s %-10s %-8s %-11s %s\n", "name", "suite",
@@ -279,6 +420,52 @@ cmdWorkloads()
                     b.suite.c_str(), b.defaultThreads, b.paperMpki,
                     b.description.c_str());
     return 0;
+}
+
+/** Throws when @p cmd got fewer positional tokens than it needs. */
+void
+requireArgs(const std::string &cmd,
+            const std::vector<std::string> &args, std::size_t need)
+{
+    if (args.size() < need)
+        throw std::runtime_error(
+            "'" + cmd + "' needs at least " + std::to_string(need) +
+            (need == 1 ? " argument" : " arguments") +
+            " (run nvmcache with no arguments for usage)");
+}
+
+int
+run(const std::string &cmd, const std::vector<std::string> &args)
+{
+    if (cmd == "models")
+        return cmdModels();
+    if (cmd == "llc")
+        return cmdLlc(args);
+    if (cmd == "complete") {
+        requireArgs(cmd, args, 1);
+        return cmdComplete(args[0]);
+    }
+    if (cmd == "estimate") {
+        requireArgs(cmd, args, 1);
+        return cmdEstimate(args);
+    }
+    if (cmd == "simulate") {
+        requireArgs(cmd, args, 2);
+        return cmdSimulate(args);
+    }
+    if (cmd == "characterize") {
+        requireArgs(cmd, args, 1);
+        return cmdCharacterize(args[0]);
+    }
+    if (cmd == "export-trace") {
+        requireArgs(cmd, args, 2);
+        return cmdExportTrace(args);
+    }
+    if (cmd == "workloads")
+        return cmdWorkloads();
+    if (cmd == "reliability")
+        return cmdReliability(args);
+    throw std::runtime_error("unknown command '" + cmd + "'");
 }
 
 } // namespace
@@ -291,21 +478,13 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     std::vector<std::string> args(argv + 2, argv + argc);
 
-    if (cmd == "models")
-        return cmdModels();
-    if (cmd == "llc")
-        return cmdLlc(args);
-    if (cmd == "complete" && args.size() >= 1)
-        return cmdComplete(args[0]);
-    if (cmd == "estimate" && args.size() >= 1)
-        return cmdEstimate(args);
-    if (cmd == "simulate" && args.size() >= 2)
-        return cmdSimulate(args);
-    if (cmd == "characterize" && args.size() >= 1)
-        return cmdCharacterize(args[0]);
-    if (cmd == "export-trace" && args.size() >= 2)
-        return cmdExportTrace(args);
-    if (cmd == "workloads")
-        return cmdWorkloads();
-    return usage();
+    // Every library-level validation failure below this point either
+    // throws or fatal()s; the throws surface here as one diagnostic
+    // line and a nonzero exit instead of std::terminate.
+    try {
+        return run(cmd, args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "nvmcache: error: %s\n", e.what());
+        return 1;
+    }
 }
