@@ -9,15 +9,20 @@
 #define NVMCACHE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <stdexcept>
 #include <string>
 
+#include "util/args.hh"
+#include "util/logging.hh"
 #include "util/metrics.hh"
 
 namespace nvmcache::bench {
 
-/** Parse common harness flags. */
+/**
+ * Parse common harness flags (via the shared util/args.hh parser).
+ * Unknown flags are left alone — several harnesses parse their own on
+ * top of these.
+ */
 struct HarnessOptions
 {
     bool csv = false;
@@ -31,28 +36,23 @@ struct HarnessOptions
     parse(int argc, char **argv)
     {
         HarnessOptions o;
-        for (int i = 1; i < argc; ++i) {
-            if (!std::strcmp(argv[i], "--csv")) {
+        try {
+            ArgParser parser(argc, argv);
+            if (parser.flag("--csv")) {
                 o.csv = true;
                 o.color = false;
-            } else if (!std::strcmp(argv[i], "--no-color")) {
-                o.color = false;
-            } else if (!std::strcmp(argv[i], "--quick")) {
-                o.quick = true;
-            } else if (!std::strcmp(argv[i], "--jobs") &&
-                       i + 1 < argc) {
-                const long n = std::strtol(argv[++i], nullptr, 10);
-                if (n > 0)
-                    o.jobs = unsigned(n);
-            } else if (!std::strcmp(argv[i], "--stats-out") &&
-                       i + 1 < argc) {
-                o.statsOut = argv[++i];
-            } else if (!std::strcmp(argv[i], "--stats-format") &&
-                       i + 1 < argc) {
-                o.statsFormat = parseStatsFormat(argv[++i]);
-            } else if (!std::strcmp(argv[i], "--progress")) {
-                setProgressEnabled(true);
             }
+            if (parser.flag("--no-color"))
+                o.color = false;
+            o.quick = parser.flag("--quick");
+            o.jobs = parser.u32("--jobs", 0);
+            o.statsOut = parser.str("--stats-out", "");
+            o.statsFormat =
+                parseStatsFormat(parser.str("--stats-format", "json"));
+            if (parser.flag("--progress"))
+                setProgressEnabled(true);
+        } catch (const std::exception &e) {
+            fatal(e.what());
         }
         return o;
     }

@@ -162,6 +162,37 @@ findByClass(const std::vector<LlcModel> &models, NvmClass klass)
     });
 }
 
+std::string
+faultConfigKey(const FaultConfig &faults)
+{
+    std::string key;
+    key.reserve(64);
+    appendFaults(key, faults);
+    return key;
+}
+
+ExperimentRunner
+RunnerPool::acquire(const SystemConfig &base)
+{
+    const std::string key = faultConfigKey(base.llc.faults);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = runners_.find(key);
+    if (it == runners_.end()) {
+        it = runners_.emplace(key, ExperimentRunner(base)).first;
+        MetricsRegistry::global()
+            .gauge("service.runnerPoolSize")
+            .set(double(runners_.size()));
+    }
+    return it->second;
+}
+
+std::size_t
+RunnerPool::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return runners_.size();
+}
+
 /**
  * Run cache with exactly-once semantics: the first caller of a key
  * owns the simulation, concurrent callers of the same key block on

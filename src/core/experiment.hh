@@ -20,7 +20,9 @@
 #ifndef NVMCACHE_CORE_EXPERIMENT_HH
 #define NVMCACHE_CORE_EXPERIMENT_HH
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -171,6 +173,47 @@ class ExperimentRunner
     SystemConfig base_;
     unsigned jobs_;
     std::shared_ptr<Memo> memo_; ///< shared so copies reuse runs
+};
+
+/**
+ * Stable byte-key of a FaultConfig: every knob that distinguishes one
+ * fault-injection setting from another, in declaration order. This is
+ * the RunnerPool index — runs under different fault settings must
+ * never share a memoized result (see runKey()).
+ */
+std::string faultConfigKey(const FaultConfig &faults);
+
+/**
+ * Keyed pool of long-lived ExperimentRunners, one per fault-config
+ * key. The batch service (and any other long-lived host) acquires
+ * runners from one pool so memo caches, RecordedTrace/PrivateTrace
+ * stores, and estimator results persist across requests: the second
+ * request for a study hits warm stores instead of re-simulating.
+ *
+ * acquire() returns a *copy* of the pooled runner. Copies share the
+ * memo and trace stores (the expensive state) but carry their own
+ * jobs knob, so concurrent studies can set different concurrency
+ * levels without racing. The pool assumes every caller uses the same
+ * non-fault base SystemConfig (true of all studies today, which vary
+ * only the fault knobs); the first acquire() of a key captures its
+ * full base config.
+ */
+class RunnerPool
+{
+  public:
+    RunnerPool() = default;
+    RunnerPool(const RunnerPool &) = delete;
+    RunnerPool &operator=(const RunnerPool &) = delete;
+
+    /** Runner sharing the pooled state for @p base's fault config. */
+    ExperimentRunner acquire(const SystemConfig &base = SystemConfig());
+
+    /** Number of distinct fault-config runners materialized. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, ExperimentRunner> runners_;
 };
 
 } // namespace nvmcache

@@ -48,14 +48,21 @@ FigureStudy
 runFigureStudy(CapacityMode mode, const ExperimentRunner &runner,
                double traceScale)
 {
-    if (traceScale <= 0.0 || traceScale > 1.0)
+    return runFigureStudy(FigureConfig{mode, traceScale}, runner);
+}
+
+FigureStudy
+runFigureStudy(const FigureConfig &cfg, const ExperimentRunner &runner)
+{
+    const CapacityMode mode = cfg.mode;
+    if (cfg.traceScale <= 0.0 || cfg.traceScale > 1.0)
         fatal("runFigureStudy: traceScale must be in (0, 1]");
 
     // Scale every workload first so job specs are stable in memory.
     std::vector<BenchmarkSpec> specs = benchmarkSuite();
     for (BenchmarkSpec &spec : specs)
         spec.gen.totalAccesses = std::uint64_t(
-            double(spec.gen.totalAccesses) * traceScale);
+            double(spec.gen.totalAccesses) * cfg.traceScale);
 
     // Phase 1: every (workload, technology) point is independent —
     // fan the whole figure out at once.
@@ -103,6 +110,20 @@ runCoreSweep(const std::vector<std::string> &workloads,
              const std::vector<std::uint32_t> &coreCounts,
              const ExperimentRunner &runner)
 {
+    CoreSweepConfig cfg;
+    cfg.workloads = workloads;
+    cfg.techs = techs;
+    cfg.coreCounts = coreCounts;
+    return runCoreSweep(cfg, runner);
+}
+
+CoreSweepStudy
+runCoreSweep(const CoreSweepConfig &cfg, const ExperimentRunner &runner)
+{
+    const std::vector<std::string> &workloads = cfg.workloads;
+    const std::vector<std::string> &techs = cfg.techs;
+    const std::vector<std::uint32_t> &coreCounts = cfg.coreCounts;
+
     CoreSweepStudy study;
     study.workloads = workloads;
     study.techs = techs;
@@ -163,7 +184,23 @@ runCorrelationStudy(bool aiOnly, const std::vector<std::string> &techs,
                     const std::vector<CapacityMode> &modes,
                     const ExperimentRunner &runner, double traceScale)
 {
-    if (traceScale <= 0.0 || traceScale > 1.0)
+    CorrelationConfig cfg;
+    cfg.aiOnly = aiOnly;
+    cfg.techs = techs;
+    cfg.modes = modes;
+    cfg.traceScale = traceScale;
+    return runCorrelationStudy(cfg, runner);
+}
+
+CorrelationStudy
+runCorrelationStudy(const CorrelationConfig &cfg,
+                    const ExperimentRunner &runner)
+{
+    const bool aiOnly = cfg.aiOnly;
+    const std::vector<std::string> &techs = cfg.techs;
+    const std::vector<CapacityMode> &modes = cfg.modes;
+
+    if (cfg.traceScale <= 0.0 || cfg.traceScale > 1.0)
         fatal("runCorrelationStudy: traceScale must be in (0, 1]");
     CorrelationStudy study;
 
@@ -172,7 +209,7 @@ runCorrelationStudy(bool aiOnly, const std::vector<std::string> &techs,
          aiOnly ? aiBenchmarks() : characterizedBenchmarks()) {
         specs.push_back(*spec);
         specs.back().gen.totalAccesses = std::uint64_t(
-            double(spec->gen.totalAccesses) * traceScale);
+            double(spec->gen.totalAccesses) * cfg.traceScale);
     }
 
     // Feature pass (PRISM): one characterization per workload, each
@@ -244,6 +281,34 @@ runCorrelationStudy(bool aiOnly, const std::vector<std::string> &techs,
     return study;
 }
 
+CompareResult
+runCompare(const CompareConfig &cfg, const ExperimentRunner &runner)
+{
+    if (cfg.traceScale <= 0.0 || cfg.traceScale > 1.0)
+        fatal("runCompare: traceScale must be in (0, 1]");
+
+    BenchmarkSpec spec = benchmark(cfg.workload);
+    spec.gen.totalAccesses = std::uint64_t(
+        double(spec.gen.totalAccesses) * cfg.traceScale);
+    const LlcModel &llc = publishedLlcModel(cfg.tech, cfg.mode);
+    const LlcModel &sram = publishedLlcModel("SRAM", cfg.mode);
+
+    CompareResult r;
+    r.config = cfg;
+    {
+        PhaseTimer timer("phase.compare.nvm");
+        r.nvm = runner.runOne(spec, llc, cfg.threads);
+    }
+    {
+        PhaseTimer timer("phase.compare.sram");
+        r.sram = runner.runOne(spec, sram, cfg.threads);
+    }
+    r.speedup = r.sram.seconds / r.nvm.seconds;
+    r.normEnergy = r.nvm.llcEnergy() / r.sram.llcEnergy();
+    r.normEd2p = r.nvm.ed2p() / r.sram.ed2p();
+    return r;
+}
+
 const ReliabilityPoint &
 ReliabilityStudy::at(const std::string &tech, double berScale,
                      double wearLevelingFactor) const
@@ -269,7 +334,7 @@ detailValue(const StatsSnapshot &snap, const std::string &path)
 } // namespace
 
 ReliabilityStudy
-runReliabilityStudy(const ReliabilityConfig &cfg)
+runReliabilityStudy(const ReliabilityConfig &cfg, RunnerPool *pool)
 {
     if (cfg.traceScale <= 0.0 || cfg.traceScale > 1.0)
         fatal("runReliabilityStudy: traceScale must be in (0, 1]");
@@ -290,14 +355,17 @@ runReliabilityStudy(const ReliabilityConfig &cfg)
         for (double wl : cfg.wearLevelingFactors) {
             // One runner per grid point: the fault knobs live in the
             // runner's base SystemConfig, so sharing a memo across
-            // points would conflate different fault settings.
+            // points would conflate different fault settings. A
+            // caller-owned pool keys runners the same way and keeps
+            // them warm across repeated sweeps.
             SystemConfig sys;
             sys.llc.faults.enabled = true;
             sys.llc.faults.berScale = ber;
             sys.llc.faults.wearLevelingFactor = wl;
             sys.llc.faults.wearScale = cfg.wearScale;
             sys.llc.faults.maxWriteRetries = cfg.maxWriteRetries;
-            ExperimentRunner runner(sys);
+            ExperimentRunner runner =
+                pool ? pool->acquire(sys) : ExperimentRunner(sys);
             runner.setJobs(cfg.jobs);
 
             TechSweep sweep =

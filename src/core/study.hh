@@ -28,10 +28,23 @@ struct FigureStudy
 };
 
 /**
- * @param traceScale  fraction of each workload's configured access
- *        count to simulate (1.0 = full length; bench --quick uses
- *        0.25). Statistics converge by ~0.25 for everything except
- *        the leakage-dominated energy tails.
+ * Figure study configuration. traceScale is the fraction of each
+ * workload's configured access count to simulate (1.0 = full length;
+ * bench --quick uses 0.25). Statistics converge by ~0.25 for
+ * everything except the leakage-dominated energy tails.
+ */
+struct FigureConfig
+{
+    CapacityMode mode = CapacityMode::FixedCapacity;
+    double traceScale = 1.0;
+};
+
+FigureStudy runFigureStudy(const FigureConfig &cfg,
+                           const ExperimentRunner &runner);
+
+/**
+ * @deprecated Positional wrapper kept so existing bench binaries
+ * compile unchanged; prefer the FigureConfig overload.
  */
 FigureStudy runFigureStudy(CapacityMode mode,
                            const ExperimentRunner &runner,
@@ -63,8 +76,28 @@ struct CoreSweepStudy
 };
 
 /**
+ * Core-sweep configuration; the defaults reproduce the paper's §V-C
+ * grid (the five NPB kernels over the technologies its discussion
+ * revolves around, 1 -> 32 cores).
+ */
+struct CoreSweepConfig
+{
+    std::vector<std::string> workloads{"ft", "cg", "mg", "sp", "lu"};
+    std::vector<std::string> techs{"Umeki",    "Jan",   "Xue",
+                                   "Hayakawa", "Zhang", "SRAM"};
+    std::vector<std::uint32_t> coreCounts{1, 2, 4, 8, 16, 32};
+};
+
+/**
  * §V-C: multi-core sensitivity, fixed-area models, baseline is the
  * single-core SRAM system running the same total work.
+ */
+CoreSweepStudy runCoreSweep(const CoreSweepConfig &cfg,
+                            const ExperimentRunner &runner);
+
+/**
+ * @deprecated Positional wrapper kept so existing bench binaries
+ * compile unchanged; prefer the CoreSweepConfig overload.
  */
 CoreSweepStudy runCoreSweep(const std::vector<std::string> &workloads,
                             const std::vector<std::string> &techs,
@@ -106,20 +139,60 @@ struct CorrelationStudy
 };
 
 /**
- * Run the Fig 3 framework.
- *
- * @param aiOnly  true reproduces Fig 4 (the 3 cpu2017 AI workloads,
- *                normalized outcomes); false reproduces the
- *                general-purpose analysis over all 16 characterized
- *                workloads (absolute energy/time outcomes, as in the
- *                paper's §VI discussion).
- * @param techs   technologies to study (paper: Jan, Xue, Hayakawa).
- * @param modes   capacity modes to include.
+ * Correlation-framework configuration. aiOnly=true reproduces Fig 4
+ * (the 3 cpu2017 AI workloads, normalized outcomes); false reproduces
+ * the general-purpose analysis over all 16 characterized workloads
+ * (absolute energy/time outcomes, as in the paper's §VI discussion).
+ * The default technologies are the paper's (Jan, Xue, Hayakawa).
+ */
+struct CorrelationConfig
+{
+    bool aiOnly = false;
+    std::vector<std::string> techs{"Jan", "Xue", "Hayakawa"};
+    std::vector<CapacityMode> modes{CapacityMode::FixedCapacity,
+                                    CapacityMode::FixedArea};
+    double traceScale = 1.0;
+};
+
+/** Run the Fig 3 framework. */
+CorrelationStudy runCorrelationStudy(const CorrelationConfig &cfg,
+                                     const ExperimentRunner &runner);
+
+/**
+ * @deprecated Positional wrapper kept so existing bench binaries
+ * compile unchanged; prefer the CorrelationConfig overload.
  */
 CorrelationStudy runCorrelationStudy(
     bool aiOnly, const std::vector<std::string> &techs,
     const std::vector<CapacityMode> &modes,
     const ExperimentRunner &runner, double traceScale = 1.0);
+
+/**
+ * One-workload, one-technology comparison against the SRAM baseline
+ * (the `nvmcache simulate` / `compare` study): both runs share the
+ * runner's memo and trace stores.
+ */
+struct CompareConfig
+{
+    std::string workload = "lbm";
+    std::string tech = "Oh";
+    CapacityMode mode = CapacityMode::FixedCapacity;
+    std::uint32_t threads = 0; ///< 0 = workload default
+    double traceScale = 1.0;
+};
+
+struct CompareResult
+{
+    CompareConfig config;
+    SimStats nvm;
+    SimStats sram;
+    double speedup = 1.0;    ///< T_sram / T_nvm
+    double normEnergy = 1.0; ///< E_llc,nvm / E_llc,sram
+    double normEd2p = 1.0;
+};
+
+CompareResult runCompare(const CompareConfig &cfg,
+                         const ExperimentRunner &runner);
 
 /**
  * Reliability sweep configuration: one workload, every published
@@ -183,11 +256,18 @@ struct ReliabilityStudy
 /**
  * Sweep the fault-injection grid over every published technology
  * (plus the SRAM control, whose raw error rates are zero). Each grid
- * point owns an ExperimentRunner whose base system carries that
+ * point uses an ExperimentRunner whose base system carries that
  * point's FaultConfig, so memoization never mixes fault settings; all
  * statistics are bit-identical at any `jobs` level.
+ *
+ * @param pool  optional long-lived runner pool (the batch service's):
+ *        when given, each grid point's runner is drawn from it keyed
+ *        by fault config, so repeated sweeps reuse warm memo caches
+ *        and trace stores. nullptr builds ephemeral per-point runners
+ *        (the historical behavior); results are identical either way.
  */
-ReliabilityStudy runReliabilityStudy(const ReliabilityConfig &cfg);
+ReliabilityStudy runReliabilityStudy(const ReliabilityConfig &cfg,
+                                     RunnerPool *pool = nullptr);
 
 /**
  * Accumulate every run's "sim.*" detail report into one study-level

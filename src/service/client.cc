@@ -1,0 +1,114 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace nvmcache {
+
+ServiceClient::ServiceClient(const std::string &socketPath)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("socket path too long: " + socketPath);
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error("connect " + socketPath + ": " +
+                                 std::strerror(err));
+    }
+    reader_ = std::make_unique<LineReader>(fd_);
+}
+
+ServiceClient::~ServiceClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+ServiceClient::send(const std::string &line)
+{
+    if (!writeLine(fd_, line))
+        throw std::runtime_error("service connection lost on write");
+}
+
+void
+ServiceClient::send(const JsonValue &request)
+{
+    send(request.dump());
+}
+
+JsonValue
+ServiceClient::receive()
+{
+    std::string line;
+    if (!reader_->readLine(line))
+        throw std::runtime_error(
+            "service connection closed before response");
+    return JsonValue::parse(line);
+}
+
+JsonValue
+ServiceClient::request(const JsonValue &req)
+{
+    send(req);
+    return receive();
+}
+
+JsonValue
+ServiceClient::run(const StudyRequest &study, const std::string &id)
+{
+    JsonValue req = study.toJson();
+    req.set("op", JsonValue::makeString("run"));
+    if (!id.empty())
+        req.set("id", JsonValue::makeString(id));
+    return request(req);
+}
+
+bool
+ServiceClient::ping()
+{
+    JsonValue req = JsonValue::makeObject();
+    req.set("op", JsonValue::makeString("ping"));
+    return request(req).boolOr("ok", false);
+}
+
+JsonValue
+ServiceClient::studies()
+{
+    JsonValue req = JsonValue::makeObject();
+    req.set("op", JsonValue::makeString("studies"));
+    return request(req);
+}
+
+JsonValue
+ServiceClient::metrics()
+{
+    JsonValue req = JsonValue::makeObject();
+    req.set("op", JsonValue::makeString("metrics"));
+    return request(req);
+}
+
+JsonValue
+ServiceClient::shutdown()
+{
+    JsonValue req = JsonValue::makeObject();
+    req.set("op", JsonValue::makeString("shutdown"));
+    return request(req);
+}
+
+} // namespace nvmcache

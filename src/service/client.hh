@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Client side of the evaluation daemon protocol.
+ *
+ * ServiceClient wraps one Unix-socket connection: it frames requests
+ * as protocol lines, reads response lines back, and offers typed
+ * helpers for each op. The synchronous request() helper covers the
+ * CLI; send()/receive() are split out so tests can put several
+ * requests in flight on one connection (coalescing, queue-full).
+ */
+
+#ifndef NVMCACHE_SERVICE_CLIENT_HH
+#define NVMCACHE_SERVICE_CLIENT_HH
+
+#include <memory>
+#include <string>
+
+#include "core/study_registry.hh"
+#include "service/protocol.hh"
+#include "util/json.hh"
+
+namespace nvmcache {
+
+class ServiceClient
+{
+  public:
+    /** Connect to a serving daemon. Throws on connection failure. */
+    explicit ServiceClient(const std::string &socketPath);
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** Fire one raw request line (already-dumped JSON object). */
+    void send(const std::string &line);
+    /** Fire one request object. */
+    void send(const JsonValue &request);
+
+    /**
+     * Block for the next response line. Throws std::runtime_error on
+     * EOF (daemon went away) or malformed JSON.
+     */
+    JsonValue receive();
+
+    /** send() + receive() — valid while exactly one is in flight. */
+    JsonValue request(const JsonValue &req);
+
+    // --- typed ops --------------------------------------------------
+
+    /** Run a study; returns the full response object. */
+    JsonValue run(const StudyRequest &study, const std::string &id = "");
+    bool ping();
+    JsonValue studies();
+    JsonValue metrics();
+    /** Ask the daemon to drain and exit; returns its acknowledgement. */
+    JsonValue shutdown();
+
+  private:
+    int fd_ = -1;
+    std::unique_ptr<LineReader> reader_;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_SERVICE_CLIENT_HH

@@ -1,0 +1,126 @@
+#include "service/protocol.hh"
+
+#include <cerrno>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace nvmcache {
+
+ServiceRequest
+parseServiceRequest(const std::string &line)
+{
+    const JsonValue v = JsonValue::parse(line);
+    if (!v.isObject())
+        throw std::runtime_error("request must be a JSON object");
+
+    ServiceRequest req;
+    req.op = v.stringOr("op", v.find("study") ? "run" : "");
+    req.id = v.stringOr("id", "");
+    if (req.op.empty())
+        throw std::runtime_error(
+            "request needs an \"op\" (or a \"study\" to run)");
+    if (req.op == "run")
+        req.study = StudyRequest::fromJson(v);
+    return req;
+}
+
+JsonValue
+errorResponse(const std::string &id, const std::string &error,
+              bool rejected)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("id", JsonValue::makeString(id));
+    v.set("ok", JsonValue::makeBool(false));
+    v.set("error", JsonValue::makeString(error));
+    if (rejected)
+        v.set("rejected", JsonValue::makeBool(true));
+    return v;
+}
+
+JsonValue
+snapshotToJson(const StatsSnapshot &snap, const std::string &prefix)
+{
+    JsonValue out = JsonValue::makeObject();
+    for (const auto &[path, value] : snap.entries) {
+        if (!prefix.empty() && path.compare(0, prefix.size(), prefix))
+            continue;
+        if (value.kind == StatKind::Distribution) {
+            JsonValue d = JsonValue::makeObject();
+            d.set("count",
+                  JsonValue::makeNumber(double(value.dist.count)));
+            d.set("sum", JsonValue::makeNumber(value.dist.sum));
+            d.set("min", JsonValue::makeNumber(value.dist.minimum));
+            d.set("max", JsonValue::makeNumber(value.dist.maximum));
+            d.set("mean", JsonValue::makeNumber(value.dist.mean));
+            out.set(path, std::move(d));
+        } else {
+            out.set(path, JsonValue::makeNumber(value.scalar));
+        }
+    }
+    return out;
+}
+
+JsonValue
+studiesToJson()
+{
+    JsonValue studies = JsonValue::makeArray();
+    const StudyRegistry &registry = StudyRegistry::global();
+    for (const std::string &name : registry.names()) {
+        auto study = registry.create(name);
+        JsonValue v = JsonValue::makeObject();
+        v.set("name", JsonValue::makeString(name));
+        v.set("description",
+              JsonValue::makeString(study->description()));
+        JsonValue defaults = JsonValue::makeObject();
+        for (const auto &[key, value] : study->defaultConfig())
+            defaults.set(key, JsonValue::makeString(value));
+        v.set("defaults", std::move(defaults));
+        studies.push(std::move(v));
+    }
+    return studies;
+}
+
+bool
+LineReader::readLine(std::string &line)
+{
+    for (;;) {
+        const std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[4096];
+        ssize_t n;
+        do {
+            n = ::read(fd_, chunk, sizeof(chunk));
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0)
+            return false;
+        buf_.append(chunk, std::size_t(n));
+    }
+}
+
+bool
+writeLine(int fd, const std::string &line)
+{
+    std::string out = line;
+    out += '\n';
+    std::size_t done = 0;
+    while (done < out.size()) {
+        // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of
+        // killing the daemon with SIGPIPE.
+        ssize_t n;
+        do {
+            n = ::send(fd, out.data() + done, out.size() - done,
+                       MSG_NOSIGNAL);
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0)
+            return false;
+        done += std::size_t(n);
+    }
+    return true;
+}
+
+} // namespace nvmcache

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Wire protocol of the nvmcache evaluation daemon.
+ *
+ * Transport: a Unix stream socket carrying newline-delimited JSON —
+ * every request and every response is exactly one LF-terminated line
+ * (JsonValue::dump never emits a newline). Multiple requests may be
+ * in flight per connection; responses carry the request's "id" and
+ * may arrive in any order.
+ *
+ * Requests:
+ *   {"op":"run","id":"r1","study":"figure","params":{"scale":0.25}}
+ *   {"op":"ping"}            liveness probe
+ *   {"op":"studies"}         registry listing with default configs
+ *   {"op":"metrics"}         server-side engine/service metrics
+ *   {"op":"shutdown"}        acknowledge, then drain and exit
+ * "op" defaults to "run" when a "study" member is present. Params
+ * values may be strings, numbers, or bools.
+ *
+ * Responses (one object per request):
+ *   {"id":"r1","ok":true,"study":"figure","coalesced":false,
+ *    "queueDepth":0,"queueSeconds":...,"runSeconds":...,
+ *    "metrics":{"runner.memo.hits":...},"result":{...}}
+ *   {"id":"r1","ok":false,"error":"...","rejected":true}
+ * "rejected" marks admission-control refusals (queue full, draining):
+ * the request was never queued and can be retried elsewhere/later.
+ * "metrics" is the delta of the engine's runner.* stats over the
+ * execution — a warm request shows memo hits and zero simulations.
+ * "result" is deterministic: byte-identical to the same study run
+ * through the direct CLI path.
+ */
+
+#ifndef NVMCACHE_SERVICE_PROTOCOL_HH
+#define NVMCACHE_SERVICE_PROTOCOL_HH
+
+#include <string>
+
+#include "core/study_registry.hh"
+#include "util/json.hh"
+#include "util/metrics.hh"
+
+namespace nvmcache {
+
+/** One parsed protocol request. */
+struct ServiceRequest
+{
+    std::string op; ///< "run", "ping", "studies", "metrics", "shutdown"
+    std::string id; ///< client-chosen, echoed verbatim ("" allowed)
+    StudyRequest study; ///< op == "run" only
+};
+
+/**
+ * Parse one request line. Throws std::runtime_error (with the JSON
+ * byte offset or the missing member) on malformed input.
+ */
+ServiceRequest parseServiceRequest(const std::string &line);
+
+/** {"id":...,"ok":false,"error":...,"rejected":...}. */
+JsonValue errorResponse(const std::string &id, const std::string &error,
+                        bool rejected = false);
+
+/**
+ * Flatten a StatsSnapshot into a JSON object keyed by dotted path.
+ * Counters/gauges become numbers; distributions become
+ * {count,sum,min,max,mean} objects. @p prefix keeps only entries
+ * whose path starts with it ("" keeps everything).
+ */
+JsonValue snapshotToJson(const StatsSnapshot &snap,
+                         const std::string &prefix = "");
+
+/** Registry listing for the "studies" op. */
+JsonValue studiesToJson();
+
+// --- line-framed socket I/O -----------------------------------------
+
+/** Buffered LF-delimited reader over a blocking fd. */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /**
+     * Next line with the trailing '\n' stripped; false on EOF or
+     * error with no buffered line.
+     */
+    bool readLine(std::string &line);
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+/** Write @p line plus '\n', retrying partial writes; false on error. */
+bool writeLine(int fd, const std::string &line);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_SERVICE_PROTOCOL_HH

@@ -1,0 +1,401 @@
+#include "service/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+#include "util/metrics.hh"
+
+namespace nvmcache {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+int
+bindUnixSocket(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("socket path too long: " + path);
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    // A previous daemon instance that died hard leaves the node behind;
+    // a live instance would still fail bind with EADDRINUSE after this.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error("bind " + path + ": " +
+                                 std::strerror(err));
+    }
+    if (::listen(fd, 64) < 0) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        throw std::runtime_error("listen " + path + ": " +
+                                 std::strerror(err));
+    }
+    return fd;
+}
+
+} // namespace
+
+EvalServer::EvalServer(ServeConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.workers == 0)
+        cfg_.workers = 1;
+}
+
+EvalServer::~EvalServer()
+{
+    if (running_.load()) {
+        requestStop();
+        wait();
+    }
+}
+
+void
+EvalServer::start()
+{
+    listenFd_ = bindUnixSocket(cfg_.socketPath);
+    running_.store(true);
+    MetricsRegistry::global().gauge("service.queueDepth").set(0.0);
+    for (unsigned i = 0; i < cfg_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+EvalServer::requestStop()
+{
+    stopping_.store(true);
+    queueCv_.notify_all();
+}
+
+void
+EvalServer::wait()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // Accept loop is down; workers drain whatever is queued, then exit.
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+    workers_.clear();
+    // All responses are flushed. Kick reader threads off their blocking
+    // read()s and join them.
+    {
+        std::lock_guard<std::mutex> lk(connsMu_);
+        for (const auto &conn : conns_)
+            if (conn->fd >= 0)
+                ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    for (;;) {
+        std::shared_ptr<Conn> conn;
+        {
+            std::lock_guard<std::mutex> lk(connsMu_);
+            if (conns_.empty())
+                break;
+            conn = conns_.back();
+            conns_.pop_back();
+        }
+        if (conn->reader.joinable())
+            conn->reader.join();
+        if (conn->fd >= 0)
+            ::close(conn->fd);
+    }
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    ::unlink(cfg_.socketPath.c_str());
+    running_.store(false);
+}
+
+void
+EvalServer::acceptLoop()
+{
+    while (!stopping_.load()) {
+        if (cfg_.externalStop && *cfg_.externalStop) {
+            requestStop();
+            break;
+        }
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int n = ::poll(&pfd, 1, 200);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break;
+        }
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        {
+            std::lock_guard<std::mutex> lk(connsMu_);
+            conns_.push_back(conn);
+        }
+        MetricsRegistry::global().counter("service.connections").inc();
+        conn->reader = std::thread([this, conn] { readerLoop(conn); });
+    }
+    // No new work can arrive; let workers finish the queue and exit.
+    queueCv_.notify_all();
+}
+
+void
+EvalServer::readerLoop(std::shared_ptr<Conn> conn)
+{
+    LineReader reader(conn->fd);
+    std::string line;
+    while (reader.readLine(line)) {
+        if (line.empty())
+            continue;
+        handleLine(conn, line);
+    }
+}
+
+void
+EvalServer::handleLine(const std::shared_ptr<Conn> &conn,
+                       const std::string &line)
+{
+    ServiceRequest req;
+    try {
+        req = parseServiceRequest(line);
+    } catch (const std::exception &e) {
+        respond(conn, errorResponse("", e.what()));
+        return;
+    }
+
+    if (req.op == "ping") {
+        JsonValue v = JsonValue::makeObject();
+        v.set("id", JsonValue::makeString(req.id));
+        v.set("ok", JsonValue::makeBool(true));
+        v.set("op", JsonValue::makeString("ping"));
+        respond(conn, v);
+    } else if (req.op == "studies") {
+        JsonValue v = JsonValue::makeObject();
+        v.set("id", JsonValue::makeString(req.id));
+        v.set("ok", JsonValue::makeBool(true));
+        v.set("studies", studiesToJson());
+        respond(conn, v);
+    } else if (req.op == "metrics") {
+        JsonValue v = JsonValue::makeObject();
+        v.set("id", JsonValue::makeString(req.id));
+        v.set("ok", JsonValue::makeBool(true));
+        v.set("metrics",
+              snapshotToJson(MetricsRegistry::global().snapshot()));
+        respond(conn, v);
+    } else if (req.op == "shutdown") {
+        JsonValue v = JsonValue::makeObject();
+        v.set("id", JsonValue::makeString(req.id));
+        v.set("ok", JsonValue::makeBool(true));
+        v.set("op", JsonValue::makeString("shutdown"));
+        respond(conn, v);
+        requestStop();
+    } else if (req.op == "run") {
+        handleRun(conn, req);
+    } else {
+        respond(conn,
+                errorResponse(req.id, "unknown op '" + req.op + "'"));
+    }
+}
+
+void
+EvalServer::handleRun(const std::shared_ptr<Conn> &conn,
+                      const ServiceRequest &req)
+{
+    // Create and parse up front so malformed requests fail immediately
+    // instead of occupying a queue slot.
+    std::unique_ptr<Study> study;
+    try {
+        study = StudyRegistry::global().create(req.study.kind);
+        study->parse(req.study.params);
+    } catch (const std::exception &e) {
+        respond(conn, errorResponse(req.id, e.what()));
+        return;
+    }
+
+    Waiter waiter;
+    waiter.conn = conn;
+    waiter.id = req.id;
+    waiter.enqueued = std::chrono::steady_clock::now();
+
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    {
+        std::lock_guard<std::mutex> lk(queueMu_);
+        const std::string key = req.study.canonicalKey();
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            // Identical request already queued or executing: share its
+            // execution rather than occupying a queue slot.
+            waiter.coalesced = true;
+            it->second->waiters.push_back(std::move(waiter));
+            metrics.counter("service.coalesced").inc();
+            return;
+        }
+        if (stopping_.load()) {
+            respond(conn, errorResponse(req.id, "server is draining",
+                                        /*rejected=*/true));
+            metrics.counter("service.rejectedDraining").inc();
+            return;
+        }
+        if (queue_.size() >= cfg_.queueDepth) {
+            respond(conn,
+                    errorResponse(req.id,
+                                  "queue full (depth " +
+                                      std::to_string(cfg_.queueDepth) +
+                                      ")",
+                                  /*rejected=*/true));
+            metrics.counter("service.rejectedQueueFull").inc();
+            return;
+        }
+        auto exec = std::make_shared<Execution>();
+        exec->request = req.study;
+        exec->key = key;
+        exec->study = std::move(study);
+        exec->queueDepthAtEnqueue = queue_.size();
+        exec->waiters.push_back(std::move(waiter));
+        inflight_.emplace(key, exec);
+        queue_.push_back(std::move(exec));
+        metrics.counter("service.enqueued").inc();
+        metrics.gauge("service.queueDepth").set(double(queue_.size()));
+    }
+    queueCv_.notify_one();
+}
+
+void
+EvalServer::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Execution> exec;
+        {
+            std::unique_lock<std::mutex> lk(queueMu_);
+            queueCv_.wait(lk, [this] {
+                return !queue_.empty() ||
+                       (stopping_.load() && queue_.empty());
+            });
+            // Drain semantics: exit only once the queue is empty.
+            if (queue_.empty())
+                return;
+            exec = std::move(queue_.front());
+            queue_.pop_front();
+            MetricsRegistry::global()
+                .gauge("service.queueDepth")
+                .set(double(queue_.size()));
+        }
+        runExecution(exec);
+    }
+}
+
+void
+EvalServer::runExecution(const std::shared_ptr<Execution> &exec)
+{
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    const auto runStart = std::chrono::steady_clock::now();
+
+    JsonValue response = JsonValue::makeObject();
+    bool ok = true;
+    try {
+        StudyRunOptions opts;
+        opts.jobs = cfg_.jobs;
+        opts.pool = &pool_;
+        const StatsSnapshot before = metrics.snapshot();
+        const StudyReport report = runStudy(*exec->study, opts);
+        const StatsSnapshot delta = metrics.snapshot().diff(before);
+        response.set("ok", JsonValue::makeBool(true));
+        response.set("study", JsonValue::makeString(exec->request.kind));
+        response.set("metrics", snapshotToJson(delta, "runner."));
+        response.set("result", report.result);
+    } catch (const std::exception &e) {
+        ok = false;
+        response.set("ok", JsonValue::makeBool(false));
+        response.set("error", JsonValue::makeString(e.what()));
+    }
+    const double runSeconds = secondsSince(runStart);
+    metrics.distribution("service.runSeconds").add(runSeconds);
+    metrics.counter(ok ? "service.completed" : "service.failed").inc();
+    response.set("runSeconds", JsonValue::makeNumber(runSeconds));
+    response.set("queueDepth",
+                 JsonValue::makeNumber(
+                     double(exec->queueDepthAtEnqueue)));
+
+    // Detach from the coalescing map *before* responding so a new
+    // identical request starts a fresh execution instead of attaching
+    // to one whose waiters are already being flushed.
+    std::vector<Waiter> waiters;
+    {
+        std::lock_guard<std::mutex> lk(queueMu_);
+        inflight_.erase(exec->key);
+        waiters = std::move(exec->waiters);
+    }
+    for (const Waiter &w : waiters) {
+        JsonValue v = response;
+        v.set("id", JsonValue::makeString(w.id));
+        v.set("coalesced", JsonValue::makeBool(w.coalesced));
+        const double queueSeconds = secondsSince(w.enqueued);
+        v.set("queueSeconds", JsonValue::makeNumber(queueSeconds));
+        metrics.distribution("service.queueSeconds").add(queueSeconds);
+        respond(w.conn, v);
+    }
+}
+
+void
+EvalServer::respond(const std::shared_ptr<Conn> &conn,
+                    const JsonValue &response)
+{
+    std::lock_guard<std::mutex> lk(conn->writeMu);
+    writeLine(conn->fd, response.dump());
+}
+
+namespace {
+volatile std::sig_atomic_t g_serveStop = 0;
+extern "C" void
+serveStopHandler(int)
+{
+    g_serveStop = 1;
+}
+} // namespace
+
+int
+serveMain(ServeConfig cfg)
+{
+    g_serveStop = 0;
+    cfg.externalStop = &g_serveStop;
+
+    struct sigaction sa{};
+    sa.sa_handler = serveStopHandler;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    EvalServer server(cfg);
+    server.start();
+    server.wait();
+    return 0;
+}
+
+} // namespace nvmcache

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Persistent batch evaluation daemon (`nvmcache serve`).
+ *
+ * EvalServer listens on a Unix socket, speaks the newline-delimited
+ * JSON protocol (service/protocol.hh), and executes studies through
+ * the uniform Study API on worker threads. Its defining property is
+ * that the expensive engine state outlives requests: one RunnerPool
+ * holds a long-lived ExperimentRunner per fault-config key, so memo
+ * caches, RecordedTrace/PrivateTrace stores, and estimator results
+ * are shared across every client — a repeated study request replays
+ * entirely from warm stores and returns in milliseconds.
+ *
+ * Request lifecycle:
+ *  - admission control: a bounded FIFO job queue; a request arriving
+ *    when the queue is full is rejected immediately with a reason
+ *    (never silently dropped, never unboundedly buffered);
+ *  - coalescing: a run request identical (by StudyRequest
+ *    canonicalKey) to one queued or executing attaches to that
+ *    execution instead of occupying a queue slot; every attached
+ *    waiter gets its own response, flagged "coalesced":true;
+ *  - graceful drain: SIGTERM or a {"op":"shutdown"} request stops
+ *    accepting new work, finishes everything queued, flushes all
+ *    responses, then exits.
+ *
+ * Per-request latency, queue depth, coalesce and rejection counts
+ * flow through the process MetricsRegistry under "service.*".
+ */
+
+#ifndef NVMCACHE_SERVICE_SERVER_HH
+#define NVMCACHE_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/study_registry.hh"
+#include "service/protocol.hh"
+
+namespace nvmcache {
+
+struct ServeConfig
+{
+    std::string socketPath;
+    /** Queued (not yet executing) run requests beyond which new ones
+        are rejected with "queue full". */
+    unsigned queueDepth = 16;
+    /** Concurrent study executions. */
+    unsigned workers = 2;
+    /** Experiment-engine jobs per study (0 = engine default). */
+    unsigned jobs = 0;
+    /**
+     * Optional external stop flag (a signal handler's
+     * sig_atomic_t); polled by the accept loop so SIGTERM initiates
+     * the same graceful drain as a shutdown request.
+     */
+    const volatile std::sig_atomic_t *externalStop = nullptr;
+};
+
+class EvalServer
+{
+  public:
+    explicit EvalServer(ServeConfig cfg);
+    ~EvalServer();
+
+    EvalServer(const EvalServer &) = delete;
+    EvalServer &operator=(const EvalServer &) = delete;
+
+    /** Bind + listen + spawn threads. Throws on socket failure. */
+    void start();
+
+    /**
+     * Block until the server has fully drained and every thread is
+     * joined. Returns only after requestStop() (or a shutdown
+     * request / external stop flag) triggered the drain.
+     */
+    void wait();
+
+    /** Initiate graceful drain (idempotent, callable from any thread). */
+    void requestStop();
+
+    /** True from start() until wait() finishes tearing down. */
+    bool running() const { return running_.load(); }
+
+    /** The long-lived engine state shared by all requests. */
+    RunnerPool &runners() { return pool_; }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::mutex writeMu;
+        std::thread reader;
+    };
+
+    /** One pending response target of an execution. */
+    struct Waiter
+    {
+        std::shared_ptr<Conn> conn;
+        std::string id;
+        std::chrono::steady_clock::time_point enqueued;
+        bool coalesced = false;
+    };
+
+    /** One coalesced study execution (>= 1 waiters). */
+    struct Execution
+    {
+        StudyRequest request;
+        std::string key;
+        std::unique_ptr<Study> study; ///< parsed, ready to run
+        std::vector<Waiter> waiters;  ///< guarded by queueMu_
+        std::size_t queueDepthAtEnqueue = 0;
+    };
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Conn> conn);
+    void workerLoop();
+    void handleLine(const std::shared_ptr<Conn> &conn,
+                    const std::string &line);
+    void handleRun(const std::shared_ptr<Conn> &conn,
+                   const ServiceRequest &req);
+    void runExecution(const std::shared_ptr<Execution> &exec);
+    void respond(const std::shared_ptr<Conn> &conn,
+                 const JsonValue &response);
+
+    ServeConfig cfg_;
+    int listenFd_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> running_{false};
+
+    RunnerPool pool_;
+
+    std::mutex queueMu_;
+    std::condition_variable queueCv_;
+    std::deque<std::shared_ptr<Execution>> queue_;
+    /** canonicalKey -> queued-or-executing execution. */
+    std::map<std::string, std::shared_ptr<Execution>> inflight_;
+
+    std::mutex connsMu_;
+    std::vector<std::shared_ptr<Conn>> conns_;
+
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * The `nvmcache serve` entry: install SIGTERM/SIGINT handlers, run
+ * an EvalServer until a signal or shutdown request drains it.
+ * Returns the process exit code.
+ */
+int serveMain(ServeConfig cfg);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_SERVICE_SERVER_HH

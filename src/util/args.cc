@@ -1,0 +1,175 @@
+#include "util/args.hh"
+
+#include <limits>
+#include <stdexcept>
+
+namespace nvmcache {
+
+ArgParser::ArgParser(int argc, char **argv, int first)
+{
+    for (int i = first; i < argc; ++i)
+        tokens_.emplace_back(argv[i]);
+    consumed_.assign(tokens_.size(), false);
+}
+
+ArgParser::ArgParser(std::vector<std::string> tokens)
+    : tokens_(std::move(tokens))
+{
+    consumed_.assign(tokens_.size(), false);
+}
+
+std::size_t
+ArgParser::findFlag(const std::string &name)
+{
+    for (std::size_t i = 0; i < tokens_.size(); ++i)
+        if (!consumed_[i] && tokens_[i] == name)
+            return i;
+    return std::string::npos;
+}
+
+bool
+ArgParser::flag(const std::string &name)
+{
+    bool seen = false;
+    for (std::size_t i; (i = findFlag(name)) != std::string::npos;) {
+        consumed_[i] = true;
+        seen = true;
+    }
+    return seen;
+}
+
+const std::string *
+ArgParser::valueToken(const std::string &name)
+{
+    const std::size_t i = findFlag(name);
+    if (i == std::string::npos)
+        return nullptr;
+    consumed_[i] = true;
+    if (i + 1 >= tokens_.size())
+        throw std::runtime_error(name + " needs a value");
+    consumed_[i + 1] = true;
+    return &tokens_[i + 1];
+}
+
+std::string
+ArgParser::str(const std::string &name, std::string fallback)
+{
+    const std::string *token = valueToken(name);
+    return token ? *token : std::move(fallback);
+}
+
+std::uint32_t
+ArgParser::u32(const std::string &name, std::uint32_t fallback)
+{
+    const std::string *token = valueToken(name);
+    return token ? parseU32(name, *token) : fallback;
+}
+
+double
+ArgParser::num(const std::string &name, double fallback)
+{
+    const std::string *token = valueToken(name);
+    return token ? parseNum(name, *token) : fallback;
+}
+
+std::vector<double>
+ArgParser::numList(const std::string &name,
+                   std::vector<double> fallback)
+{
+    const std::string *token = valueToken(name);
+    return token ? parseNumList(name, *token) : std::move(fallback);
+}
+
+std::vector<std::string>
+ArgParser::strList(const std::string &name,
+                   std::vector<std::string> fallback)
+{
+    const std::string *token = valueToken(name);
+    return token ? parseStrList(*token) : std::move(fallback);
+}
+
+std::vector<std::string>
+ArgParser::positionals() const
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < tokens_.size(); ++i)
+        if (!consumed_[i])
+            out.push_back(tokens_[i]);
+    return out;
+}
+
+void
+ArgParser::rejectUnknown(const std::string &context) const
+{
+    for (std::size_t i = 0; i < tokens_.size(); ++i)
+        if (!consumed_[i] && tokens_[i].size() >= 2 &&
+            tokens_[i][0] == '-' && tokens_[i][1] == '-')
+            throw std::runtime_error("unknown flag '" + tokens_[i] +
+                                     "' for " + context);
+}
+
+std::uint32_t
+ArgParser::parseU32(const std::string &what, const std::string &token)
+{
+    try {
+        std::size_t pos = 0;
+        const unsigned long v = std::stoul(token, &pos);
+        if (pos != token.size() ||
+            v > std::numeric_limits<std::uint32_t>::max())
+            throw std::invalid_argument(token);
+        return std::uint32_t(v);
+    } catch (const std::exception &) {
+        throw std::runtime_error("bad value '" + token + "' for " +
+                                 what +
+                                 " (expected a non-negative integer)");
+    }
+}
+
+double
+ArgParser::parseNum(const std::string &what, const std::string &token)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(token, &pos);
+        if (pos != token.size())
+            throw std::invalid_argument(token);
+        return v;
+    } catch (const std::exception &) {
+        throw std::runtime_error("bad value '" + token + "' for " +
+                                 what + " (expected a number)");
+    }
+}
+
+std::vector<double>
+ArgParser::parseNumList(const std::string &what,
+                        const std::string &token)
+{
+    std::vector<double> values;
+    std::size_t start = 0;
+    while (start <= token.size()) {
+        std::size_t comma = token.find(',', start);
+        if (comma == std::string::npos)
+            comma = token.size();
+        values.push_back(
+            parseNum(what, token.substr(start, comma - start)));
+        start = comma + 1;
+    }
+    return values;
+}
+
+std::vector<std::string>
+ArgParser::parseStrList(const std::string &token)
+{
+    std::vector<std::string> values;
+    std::size_t start = 0;
+    while (start <= token.size()) {
+        std::size_t comma = token.find(',', start);
+        if (comma == std::string::npos)
+            comma = token.size();
+        values.push_back(token.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return values;
+}
+
+} // namespace nvmcache

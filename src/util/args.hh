@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Typed command-line flag parsing, shared by the nvmcache CLI and the
+ * bench harness binaries (this consolidates the previously duplicated
+ * helpers in tools/nvmcache_cli.cc and bench/bench_util.hh).
+ *
+ * ArgParser wraps the raw token list: each accessor consumes the
+ * named flag (and its value, for valued flags) and every parse
+ * failure throws std::runtime_error naming the flag and the offending
+ * token — the same diagnostics the CLI has always printed. After all
+ * known flags are consumed, positionals() returns the remaining
+ * non-flag tokens in order and rejectUnknown() turns any leftover
+ * "--flag" into a diagnostic, so misspelled options fail loudly
+ * instead of being silently ignored.
+ */
+
+#ifndef NVMCACHE_UTIL_ARGS_HH
+#define NVMCACHE_UTIL_ARGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvmcache {
+
+class ArgParser
+{
+  public:
+    ArgParser(int argc, char **argv, int first = 1);
+    explicit ArgParser(std::vector<std::string> tokens);
+
+    /** True (and consumed) when "--name" appears anywhere. */
+    bool flag(const std::string &name);
+
+    /** Value of "--name VALUE"; @p fallback when absent. */
+    std::string str(const std::string &name, std::string fallback);
+    std::uint32_t u32(const std::string &name, std::uint32_t fallback);
+    double num(const std::string &name, double fallback);
+
+    /** Comma-separated list value, e.g. "--ber-scale 1,8,64". */
+    std::vector<double> numList(const std::string &name,
+                                std::vector<double> fallback);
+    std::vector<std::string> strList(const std::string &name,
+                                     std::vector<std::string> fallback);
+
+    /** Unconsumed non-flag tokens, in order. */
+    std::vector<std::string> positionals() const;
+
+    /**
+     * Throws listing any unconsumed "--flag" token, naming
+     * @p context (typically the subcommand). Call after all known
+     * flags have been consumed.
+     */
+    void rejectUnknown(const std::string &context) const;
+
+    // Token-level parsers, reusable outside flag context (e.g. for
+    // "key=value" study parameters). All throw std::runtime_error
+    // naming @p what on garbage.
+    static std::uint32_t parseU32(const std::string &what,
+                                  const std::string &token);
+    static double parseNum(const std::string &what,
+                           const std::string &token);
+    static std::vector<double> parseNumList(const std::string &what,
+                                            const std::string &token);
+    static std::vector<std::string>
+    parseStrList(const std::string &token);
+
+  private:
+    /** Index of the first unconsumed "--name"; npos when absent. */
+    std::size_t findFlag(const std::string &name);
+    /** Value token following flag @p name; nullptr when flag absent. */
+    const std::string *valueToken(const std::string &name);
+
+    std::vector<std::string> tokens_;
+    std::vector<bool> consumed_;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_UTIL_ARGS_HH

@@ -1,0 +1,478 @@
+#include "util/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/metrics.hh" // jsonEscape
+
+namespace nvmcache {
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind = Kind::Bool;
+    v.boolean = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double x)
+{
+    JsonValue v;
+    v.kind = Kind::Number;
+    v.number = x;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind = Kind::String;
+    v.string = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue v;
+    v.kind = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue v;
+    v.kind = Kind::Object;
+    return v;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = members.find(key);
+    return it == members.end() ? nullptr : &it->second;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        throw std::runtime_error("json: missing member '" + key + "'");
+    return *v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind != Kind::Bool)
+        throw std::runtime_error("json: value is not a bool");
+    return boolean;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind != Kind::Number)
+        throw std::runtime_error("json: value is not a number");
+    return number;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind != Kind::String)
+        throw std::runtime_error("json: value is not a string");
+    return string;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->string : fallback;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+bool
+JsonValue::boolOr(const std::string &key, bool fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isBool() ? v->boolean : fallback;
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    kind = Kind::Object;
+    members[key] = std::move(v);
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    kind = Kind::Array;
+    items.push_back(std::move(v));
+}
+
+namespace {
+
+/** Shortest round-trip double; JSON has no NaN/Inf, emit null. */
+void
+dumpNumber(std::string &out, double x)
+{
+    if (!std::isfinite(x)) {
+        out += "null";
+        return;
+    }
+    char buf[40];
+    auto r = std::to_chars(buf, buf + sizeof(buf), x);
+    out.append(buf, r.ptr);
+}
+
+void
+dumpValue(std::string &out, const JsonValue &v)
+{
+    switch (v.kind) {
+    case JsonValue::Kind::Null:
+        out += "null";
+        return;
+    case JsonValue::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        return;
+    case JsonValue::Kind::Number:
+        dumpNumber(out, v.number);
+        return;
+    case JsonValue::Kind::String:
+        out += '"';
+        out += jsonEscape(v.string);
+        out += '"';
+        return;
+    case JsonValue::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue &e : v.items) {
+            if (!first)
+                out += ',';
+            first = false;
+            dumpValue(out, e);
+        }
+        out += ']';
+        return;
+    }
+    case JsonValue::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, member] : v.members) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += jsonEscape(key);
+            out += "\":";
+            dumpValue(out, member);
+        }
+        out += '}';
+        return;
+    }
+    }
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing content");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("json parse error at byte " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        skipSpace();
+        switch (peek()) {
+        case '{':
+            return object();
+        case '[':
+            return array();
+        case '"':
+            return JsonValue::makeString(stringLiteral());
+        case 't':
+            if (!consumeWord("true"))
+                fail("bad literal");
+            return JsonValue::makeBool(true);
+        case 'f':
+            if (!consumeWord("false"))
+                fail("bad literal");
+            return JsonValue::makeBool(false);
+        case 'n':
+            if (!consumeWord("null"))
+                fail("bad literal");
+            return JsonValue::makeNull();
+        default:
+            return numberLiteral();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v = JsonValue::makeObject();
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipSpace();
+            std::string key = stringLiteral();
+            skipSpace();
+            expect(':');
+            v.members[std::move(key)] = value();
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v = JsonValue::makeArray();
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    unsigned
+    hex4()
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = peek();
+            ++pos_;
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= unsigned(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= unsigned(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= unsigned(c - 'A' + 10);
+            else
+                fail("bad \\u escape");
+        }
+        return code;
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += char(code);
+        } else if (code < 0x800) {
+            out += char(0xC0 | (code >> 6));
+            out += char(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += char(0xE0 | (code >> 12));
+            out += char(0x80 | ((code >> 6) & 0x3F));
+            out += char(0x80 | (code & 0x3F));
+        } else {
+            out += char(0xF0 | (code >> 18));
+            out += char(0x80 | ((code >> 12) & 0x3F));
+            out += char(0x80 | ((code >> 6) & 0x3F));
+            out += char(0x80 | (code & 0x3F));
+        }
+    }
+
+    std::string
+    stringLiteral()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            char e = peek();
+            ++pos_;
+            switch (e) {
+            case '"':
+            case '\\':
+            case '/':
+                out += e;
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                unsigned code = hex4();
+                // Surrogate pair -> one code point.
+                if (code >= 0xD800 && code <= 0xDBFF &&
+                    pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                    text_[pos_ + 1] == 'u') {
+                    pos_ += 2;
+                    unsigned low = hex4();
+                    if (low >= 0xDC00 && low <= 0xDFFF)
+                        code = 0x10000 + ((code - 0xD800) << 10) +
+                               (low - 0xDC00);
+                    else
+                        fail("bad surrogate pair");
+                }
+                appendUtf8(out, code);
+                break;
+            }
+            default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    numberLiteral()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        double out = 0.0;
+        auto r = std::from_chars(text_.data() + start,
+                                 text_.data() + pos_, out);
+        if (r.ec != std::errc() || r.ptr != text_.data() + pos_ ||
+            pos_ == start)
+            fail("bad number");
+        return JsonValue::makeNumber(out);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpValue(out, *this);
+    return out;
+}
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace nvmcache

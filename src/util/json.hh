@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal JSON value model for the service wire protocol and the
+ * structured study results.
+ *
+ * JsonValue is a small tagged union over the six JSON kinds. Objects
+ * are std::map (sorted keys) and numbers serialize via the shortest
+ * round-trip representation (std::to_chars), so dump() is fully
+ * deterministic: two equal values always produce byte-identical text.
+ * That determinism is load-bearing — the batch service's acceptance
+ * check compares server-returned study results byte-for-byte against
+ * the direct CLI path.
+ *
+ * parse() accepts standard JSON (RFC 8259): nested containers,
+ * string escapes including \uXXXX (encoded to UTF-8), and the usual
+ * number grammar. Errors throw std::runtime_error naming the byte
+ * offset, because protocol lines come from untrusted clients.
+ */
+
+#ifndef NVMCACHE_UTIL_JSON_HH
+#define NVMCACHE_UTIL_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nvmcache {
+
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> items;          ///< Array elements
+    std::map<std::string, JsonValue> members; ///< Object (sorted)
+
+    JsonValue() = default;
+
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member, or nullptr when absent / not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member; throws naming @p key when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Typed accessors; throw std::runtime_error on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Member of @p key as a string, or @p fallback when absent. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+    /** Member of @p key as a number, or @p fallback when absent. */
+    double numberOr(const std::string &key, double fallback) const;
+    /** Member of @p key as a bool, or @p fallback when absent. */
+    bool boolOr(const std::string &key, bool fallback) const;
+
+    /** Set (insert or replace) an object member. */
+    void set(const std::string &key, JsonValue v);
+
+    /** Append an array element. */
+    void push(JsonValue v);
+
+    /**
+     * Compact, deterministic serialization: sorted object keys, no
+     * whitespace, shortest round-trip numbers. Never contains a
+     * newline, so one dump() is always one protocol line.
+     */
+    std::string dump() const;
+
+    /** Parse @p text; throws std::runtime_error with a byte offset. */
+    static JsonValue parse(const std::string &text);
+
+    bool operator==(const JsonValue &) const = default;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_UTIL_JSON_HH

@@ -1,0 +1,629 @@
+/**
+ * @file
+ * Batch evaluation service tests: the JSON value model, the shared
+ * flag parser, the study registry, the fault-keyed runner pool, the
+ * wire protocol, and an in-process EvalServer exercised end to end
+ * (byte-identity with the direct path, warm-request memoization,
+ * coalescing, admission control, graceful drain, jobs-invariance).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/study_registry.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+#include "util/args.hh"
+#include "util/json.hh"
+#include "util/metrics.hh"
+#include "workload/suite.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+/** Small-but-real compare request; scale keeps runs sub-second. */
+StudyRequest
+compareRequest(const std::string &scale,
+               const std::string &workload = "lbm")
+{
+    StudyRequest req;
+    req.kind = "compare";
+    req.params["workload"] = workload;
+    req.params["scale"] = scale;
+    return req;
+}
+
+} // namespace
+
+// --- JsonValue ------------------------------------------------------
+
+TEST(Json, DumpIsCompactSortedAndDeterministic)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("zeta", JsonValue::makeNumber(1.5));
+    v.set("alpha", JsonValue::makeString("x"));
+    JsonValue arr = JsonValue::makeArray();
+    arr.push(JsonValue::makeBool(true));
+    arr.push(JsonValue::makeNull());
+    v.set("list", std::move(arr));
+    EXPECT_EQ(v.dump(),
+              "{\"alpha\":\"x\",\"list\":[true,null],\"zeta\":1.5}");
+    // Insertion order must not matter.
+    JsonValue w = JsonValue::makeObject();
+    JsonValue arr2 = JsonValue::makeArray();
+    arr2.push(JsonValue::makeBool(true));
+    arr2.push(JsonValue::makeNull());
+    w.set("list", std::move(arr2));
+    w.set("alpha", JsonValue::makeString("x"));
+    w.set("zeta", JsonValue::makeNumber(1.5));
+    EXPECT_EQ(v.dump(), w.dump());
+}
+
+TEST(Json, NumbersUseShortestRoundTrip)
+{
+    EXPECT_EQ(JsonValue::makeNumber(0.25).dump(), "0.25");
+    EXPECT_EQ(JsonValue::makeNumber(3).dump(), "3");
+    EXPECT_EQ(JsonValue::makeNumber(1e21).dump(), "1e+21");
+    // Non-finite numbers are not representable in JSON.
+    EXPECT_EQ(JsonValue::makeNumber(0.0 / 0.0).dump(), "null");
+}
+
+TEST(Json, ParseRoundTripsDump)
+{
+    const std::string text =
+        "{\"a\":[1,2.5,\"s\"],\"b\":{\"c\":false,\"d\":null},"
+        "\"e\":\"q\\\"uo\\nte\"}";
+    const JsonValue v = JsonValue::parse(text);
+    EXPECT_EQ(v.dump(), text);
+    EXPECT_EQ(JsonValue::parse(v.dump()), v);
+}
+
+TEST(Json, ParseHandlesUnicodeEscapes)
+{
+    const JsonValue v = JsonValue::parse("\"\\u00e9\\u20ac\"");
+    EXPECT_EQ(v.asString(), "\xc3\xa9\xe2\x82\xac"); // é €
+}
+
+TEST(Json, ParseErrorsCarryByteOffset)
+{
+    try {
+        JsonValue::parse("{\"a\":}");
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("byte"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"),
+                 std::runtime_error);
+    EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+}
+
+TEST(Json, DumpNeverContainsNewline)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("s", JsonValue::makeString("line1\nline2\r\ttab"));
+    EXPECT_EQ(v.dump().find('\n'), std::string::npos);
+    EXPECT_EQ(JsonValue::parse(v.dump()).at("s").asString(),
+              "line1\nline2\r\ttab");
+}
+
+// --- ArgParser ------------------------------------------------------
+
+TEST(Args, TypedFlagsAndPositionals)
+{
+    ArgParser p({"lbm", "--jobs", "4", "--fixed-area", "Oh",
+                 "--scale", "0.5"});
+    EXPECT_TRUE(p.flag("--fixed-area"));
+    EXPECT_FALSE(p.flag("--fixed-area")); // consumed
+    EXPECT_EQ(p.u32("--jobs", 0), 4u);
+    EXPECT_DOUBLE_EQ(p.num("--scale", 1.0), 0.5);
+    EXPECT_EQ(p.u32("--threads", 7), 7u); // absent -> fallback
+    const auto pos = p.positionals();
+    ASSERT_EQ(pos.size(), 2u);
+    EXPECT_EQ(pos[0], "lbm");
+    EXPECT_EQ(pos[1], "Oh");
+    EXPECT_NO_THROW(p.rejectUnknown("test"));
+}
+
+TEST(Args, ListsAndStrings)
+{
+    ArgParser p({"--ber-scale", "1,8,64", "--techs", "Jan,Xue",
+                 "--stats-out", "out.json"});
+    const auto nums = p.numList("--ber-scale", {});
+    ASSERT_EQ(nums.size(), 3u);
+    EXPECT_DOUBLE_EQ(nums[1], 8.0);
+    const auto strs = p.strList("--techs", {});
+    ASSERT_EQ(strs.size(), 2u);
+    EXPECT_EQ(strs[0], "Jan");
+    EXPECT_EQ(p.str("--stats-out", ""), "out.json");
+}
+
+TEST(Args, DiagnosticsNameFlagAndToken)
+{
+    ArgParser bad({"--jobs", "many"});
+    try {
+        bad.u32("--jobs", 0);
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("--jobs"), std::string::npos);
+        EXPECT_NE(msg.find("many"), std::string::npos);
+    }
+    ArgParser dangling({"--scale"});
+    EXPECT_THROW(dangling.num("--scale", 1.0), std::runtime_error);
+    ArgParser unknown({"--no-such-flag"});
+    try {
+        unknown.rejectUnknown("simulate");
+        FAIL() << "expected rejection";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("--no-such-flag"), std::string::npos);
+        EXPECT_NE(msg.find("simulate"), std::string::npos);
+    }
+}
+
+// --- study registry -------------------------------------------------
+
+TEST(Registry, GlobalCarriesTheFiveStudies)
+{
+    const StudyRegistry &r = StudyRegistry::global();
+    for (const char *name : {"figure", "core-sweep", "correlation",
+                             "reliability", "compare"}) {
+        EXPECT_TRUE(r.contains(name)) << name;
+        EXPECT_NE(r.helpText().find(name), std::string::npos);
+    }
+    EXPECT_EQ(r.names().size(), 5u);
+}
+
+TEST(Registry, UnknownStudyListsValidNames)
+{
+    try {
+        StudyRegistry::global().create("nope");
+        FAIL() << "expected error";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("nope"), std::string::npos);
+        EXPECT_NE(msg.find("compare"), std::string::npos);
+    }
+}
+
+TEST(Registry, UnknownParameterListsValidKeys)
+{
+    auto study = StudyRegistry::global().create("compare");
+    try {
+        study->parse({{"wrkload", "lbm"}});
+        FAIL() << "expected error";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("wrkload"), std::string::npos);
+        EXPECT_NE(msg.find("workload"), std::string::npos);
+        EXPECT_NE(msg.find("compare"), std::string::npos);
+    }
+}
+
+TEST(Registry, BadParameterValueNamesKey)
+{
+    auto study = StudyRegistry::global().create("figure");
+    EXPECT_THROW(study->parse({{"mode", "sideways"}}),
+                 std::runtime_error);
+}
+
+TEST(Registry, RequestJsonRoundTrip)
+{
+    const StudyRequest req = compareRequest("0.25");
+    const StudyRequest back = StudyRequest::fromJson(req.toJson());
+    EXPECT_EQ(back.kind, req.kind);
+    EXPECT_EQ(back.params, req.params);
+    EXPECT_EQ(back.canonicalKey(), req.canonicalKey());
+}
+
+TEST(Registry, RequestAcceptsNumericAndBoolParams)
+{
+    const StudyRequest req = StudyRequest::fromJson(JsonValue::parse(
+        "{\"study\":\"figure\",\"params\":{\"scale\":0.25}}"));
+    EXPECT_EQ(req.params.at("scale"), "0.25");
+    const StudyRequest b = StudyRequest::fromJson(JsonValue::parse(
+        "{\"study\":\"correlation\",\"params\":{\"ai\":true}}"));
+    EXPECT_EQ(b.params.at("ai"), "true");
+}
+
+TEST(Registry, CanonicalKeySeparatesKinds)
+{
+    EXPECT_NE(compareRequest("0.25").canonicalKey(),
+              compareRequest("0.5").canonicalKey());
+    StudyRequest a = compareRequest("0.25");
+    StudyRequest b;
+    b.kind = "figure";
+    b.params = a.params;
+    EXPECT_NE(a.canonicalKey(), b.canonicalKey());
+}
+
+// --- runner pool ----------------------------------------------------
+
+TEST(RunnerPoolT, KeysRunnersByFaultConfig)
+{
+    RunnerPool pool;
+    (void)pool.acquire();
+    (void)pool.acquire();
+    EXPECT_EQ(pool.size(), 1u);
+
+    SystemConfig faulty;
+    faulty.llc.faults.enabled = true;
+    faulty.llc.faults.berScale = 8.0;
+    (void)pool.acquire(faulty);
+    EXPECT_EQ(pool.size(), 2u);
+    (void)pool.acquire(faulty);
+    EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(RunnerPoolT, AcquiredRunnersShareMemo)
+{
+    BenchmarkSpec spec = benchmark("lbm");
+    spec.gen.totalAccesses = 50'000;
+    const LlcModel llc =
+        publishedLlcModel("Oh", CapacityMode::FixedCapacity);
+
+    RunnerPool pool;
+    ExperimentRunner first = pool.acquire();
+    const SimStats cold = first.runOne(spec, llc);
+
+    Counter &sims =
+        MetricsRegistry::global().counter("runner.memo.simulations");
+    const std::uint64_t before = sims.get();
+    ExperimentRunner second = pool.acquire();
+    const SimStats warm = second.runOne(spec, llc);
+    EXPECT_EQ(sims.get(), before); // pure memo hit
+    EXPECT_EQ(warm.detail, cold.detail);
+}
+
+// --- protocol -------------------------------------------------------
+
+TEST(Protocol, OpDefaultsToRunWhenStudyPresent)
+{
+    const ServiceRequest req = parseServiceRequest(
+        "{\"id\":\"r1\",\"study\":\"compare\","
+        "\"params\":{\"scale\":\"0.1\"}}");
+    EXPECT_EQ(req.op, "run");
+    EXPECT_EQ(req.id, "r1");
+    EXPECT_EQ(req.study.kind, "compare");
+    EXPECT_EQ(req.study.params.at("scale"), "0.1");
+}
+
+TEST(Protocol, MalformedRequestsThrow)
+{
+    EXPECT_THROW(parseServiceRequest("not json"), std::runtime_error);
+    EXPECT_THROW(parseServiceRequest("[1,2]"), std::runtime_error);
+    EXPECT_THROW(parseServiceRequest("{\"id\":\"x\"}"),
+                 std::runtime_error); // no op, no study
+}
+
+TEST(Protocol, ErrorResponseShape)
+{
+    const JsonValue v = errorResponse("r9", "boom", true);
+    EXPECT_EQ(v.at("id").asString(), "r9");
+    EXPECT_FALSE(v.at("ok").asBool());
+    EXPECT_EQ(v.at("error").asString(), "boom");
+    EXPECT_TRUE(v.boolOr("rejected", false));
+    EXPECT_FALSE(errorResponse("", "e").find("rejected"));
+}
+
+TEST(Protocol, SnapshotToJsonFlattensAndFilters)
+{
+    StatsSnapshot snap;
+    snap.setCounter("runner.memo.hits", 3);
+    snap.setGauge("service.queueDepth", 2.0);
+    Distribution d;
+    d.add(1.0);
+    d.add(3.0);
+    snap.set("service.runSeconds", d.value());
+
+    const JsonValue all = snapshotToJson(snap);
+    EXPECT_DOUBLE_EQ(all.at("runner.memo.hits").asNumber(), 3.0);
+    EXPECT_DOUBLE_EQ(all.at("service.queueDepth").asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(all.at("service.runSeconds").at("count")
+                         .asNumber(),
+                     2.0);
+    EXPECT_DOUBLE_EQ(all.at("service.runSeconds").at("sum").asNumber(),
+                     4.0);
+
+    const JsonValue runner = snapshotToJson(snap, "runner.");
+    EXPECT_TRUE(runner.find("runner.memo.hits"));
+    EXPECT_FALSE(runner.find("service.queueDepth"));
+}
+
+// --- the server, end to end -----------------------------------------
+
+namespace {
+
+/**
+ * ServiceClient wrapper that matches responses to requests by id, so
+ * tests can hold several requests in flight on one connection.
+ */
+struct TestClient
+{
+    ServiceClient client;
+    std::map<std::string, JsonValue> pending;
+
+    explicit TestClient(const std::string &socket) : client(socket) {}
+
+    void
+    sendRun(const StudyRequest &study, const std::string &id)
+    {
+        JsonValue req = study.toJson();
+        req.set("op", JsonValue::makeString("run"));
+        req.set("id", JsonValue::makeString(id));
+        client.send(req);
+    }
+
+    void
+    sendOp(const std::string &op, const std::string &id)
+    {
+        JsonValue req = JsonValue::makeObject();
+        req.set("op", JsonValue::makeString(op));
+        req.set("id", JsonValue::makeString(id));
+        client.send(req);
+    }
+
+    JsonValue
+    waitFor(const std::string &id)
+    {
+        auto it = pending.find(id);
+        if (it != pending.end()) {
+            JsonValue v = it->second;
+            pending.erase(it);
+            return v;
+        }
+        for (;;) {
+            JsonValue v = client.receive();
+            if (v.stringOr("id", "") == id)
+                return v;
+            pending.emplace(v.stringOr("id", ""), std::move(v));
+        }
+    }
+
+    /** Engine/service metric via the "metrics" op. */
+    double
+    metric(const std::string &path, int seq)
+    {
+        const std::string id = "metric-" + std::to_string(seq);
+        sendOp("metrics", id);
+        const JsonValue v = waitFor(id);
+        return v.at("metrics").numberOr(path, 0.0);
+    }
+};
+
+std::string
+socketPathFor(const std::string &name)
+{
+    return ::testing::TempDir() + "nvmcache_" + name + ".sock";
+}
+
+/** Sub-second compare blocker: long enough to hold a 1-worker queue. */
+StudyRequest
+blockerRequest(const std::string &scale)
+{
+    return compareRequest(scale);
+}
+
+} // namespace
+
+TEST(Service, PingStudiesAndMetricsOps)
+{
+    ServeConfig cfg;
+    cfg.socketPath = socketPathFor("ops");
+    cfg.workers = 1;
+    EvalServer server(cfg);
+    server.start();
+    {
+        ServiceClient client(cfg.socketPath);
+        EXPECT_TRUE(client.ping());
+
+        const JsonValue studies = client.studies();
+        EXPECT_TRUE(studies.at("ok").asBool());
+        EXPECT_EQ(studies.at("studies").items.size(), 5u);
+        bool sawCompare = false;
+        for (const JsonValue &s : studies.at("studies").items)
+            if (s.at("name").asString() == "compare") {
+                sawCompare = true;
+                EXPECT_EQ(s.at("defaults").at("workload").asString(),
+                          "lbm");
+            }
+        EXPECT_TRUE(sawCompare);
+
+        const JsonValue metrics = client.metrics();
+        EXPECT_TRUE(metrics.at("ok").asBool());
+        EXPECT_TRUE(metrics.at("metrics").isObject());
+
+        const JsonValue bad = client.request(JsonValue::parse(
+            "{\"op\":\"run\",\"study\":\"compare\","
+            "\"params\":{\"wrkload\":\"lbm\"}}"));
+        EXPECT_FALSE(bad.at("ok").asBool());
+        EXPECT_NE(bad.at("error").asString().find("wrkload"),
+                  std::string::npos);
+    }
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Service, WarmRepeatIsMemoizedAndByteIdentical)
+{
+    const StudyRequest req = compareRequest("0.02");
+    // The reference result through the direct (CLI `study`) path.
+    const std::string direct = runStudyRequest(req).resultJson();
+
+    ServeConfig cfg;
+    cfg.socketPath = socketPathFor("warm");
+    cfg.workers = 1;
+    EvalServer server(cfg);
+    server.start();
+    {
+        TestClient tc(cfg.socketPath);
+        tc.sendRun(req, "cold");
+        const JsonValue cold = tc.waitFor("cold");
+        ASSERT_TRUE(cold.at("ok").asBool()) << cold.dump();
+        EXPECT_FALSE(cold.at("coalesced").asBool());
+        // First execution actually simulates (NVM + SRAM baseline).
+        EXPECT_GE(cold.at("metrics")
+                      .numberOr("runner.memo.simulations", 0.0),
+                  2.0);
+        // Server result is byte-identical to the direct path.
+        EXPECT_EQ(cold.at("result").dump(), direct);
+
+        tc.sendRun(req, "hot");
+        const JsonValue hot = tc.waitFor("hot");
+        ASSERT_TRUE(hot.at("ok").asBool()) << hot.dump();
+        // The warm request replays entirely from the pooled runner's
+        // memo: zero fresh simulations, only hits.
+        EXPECT_DOUBLE_EQ(hot.at("metrics")
+                             .numberOr("runner.memo.simulations", 0.0),
+                         0.0);
+        EXPECT_GE(hot.at("metrics").numberOr("runner.memo.hits", 0.0),
+                  2.0);
+        EXPECT_EQ(hot.at("result").dump(), direct);
+    }
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Service, CoalescesIdenticalInflightRequests)
+{
+    ServeConfig cfg;
+    cfg.socketPath = socketPathFor("coalesce");
+    cfg.workers = 1;
+    EvalServer server(cfg);
+    server.start();
+    {
+        TestClient tc(cfg.socketPath);
+        // Occupy the single worker, then make sure it has dequeued.
+        tc.sendRun(blockerRequest("0.1"), "blocker");
+        for (int i = 0; i < 2000; ++i) {
+            if (tc.metric("service.enqueued", i) >= 1.0 &&
+                tc.metric("service.queueDepth", i + 10000) == 0.0)
+                break;
+        }
+        // Two identical requests: the first queues, the second must
+        // attach to it instead of occupying another slot.
+        const StudyRequest req = compareRequest("0.02");
+        tc.sendRun(req, "first");
+        tc.sendRun(req, "second");
+
+        const JsonValue first = tc.waitFor("first");
+        const JsonValue second = tc.waitFor("second");
+        ASSERT_TRUE(first.at("ok").asBool()) << first.dump();
+        ASSERT_TRUE(second.at("ok").asBool()) << second.dump();
+        EXPECT_FALSE(first.at("coalesced").asBool());
+        EXPECT_TRUE(second.at("coalesced").asBool());
+        EXPECT_EQ(first.at("result").dump(),
+                  second.at("result").dump());
+        // One shared execution: both responses carry the same
+        // simulation count (the single cold run's), and the service
+        // counted exactly one coalesce.
+        EXPECT_EQ(first.at("metrics").dump(),
+                  second.at("metrics").dump());
+        EXPECT_GE(tc.metric("service.coalesced", 99001), 1.0);
+        (void)tc.waitFor("blocker");
+    }
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Service, RejectsWhenQueueIsFull)
+{
+    ServeConfig cfg;
+    cfg.socketPath = socketPathFor("full");
+    cfg.workers = 1;
+    cfg.queueDepth = 1;
+    EvalServer server(cfg);
+    server.start();
+    {
+        TestClient tc(cfg.socketPath);
+        tc.sendRun(blockerRequest("0.1"), "blocker");
+        for (int i = 0; i < 2000; ++i) {
+            if (tc.metric("service.enqueued", i) >= 1.0 &&
+                tc.metric("service.queueDepth", i + 10000) == 0.0)
+                break;
+        }
+        // Distinct requests so coalescing cannot absorb them: one
+        // fills the single queue slot, the next must be rejected.
+        tc.sendRun(compareRequest("0.02"), "queued");
+        tc.sendRun(compareRequest("0.03"), "rejected");
+
+        const JsonValue rejected = tc.waitFor("rejected");
+        EXPECT_FALSE(rejected.at("ok").asBool());
+        EXPECT_TRUE(rejected.boolOr("rejected", false));
+        EXPECT_NE(rejected.at("error").asString().find("queue full"),
+                  std::string::npos);
+
+        const JsonValue queued = tc.waitFor("queued");
+        EXPECT_TRUE(queued.at("ok").asBool()) << queued.dump();
+        (void)tc.waitFor("blocker");
+        EXPECT_GE(tc.metric("service.rejectedQueueFull", 99002), 1.0);
+    }
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Service, ShutdownDrainsQueuedWorkThenExits)
+{
+    ServeConfig cfg;
+    cfg.socketPath = socketPathFor("drain");
+    cfg.workers = 1;
+    EvalServer server(cfg);
+    server.start();
+    {
+        TestClient tc(cfg.socketPath);
+        tc.sendRun(compareRequest("0.04"), "a");
+        tc.sendRun(compareRequest("0.05"), "b");
+        tc.sendOp("shutdown", "bye");
+        // The acknowledgement comes immediately; both queued studies
+        // must still complete and respond before the server exits.
+        EXPECT_TRUE(tc.waitFor("bye").at("ok").asBool());
+        EXPECT_TRUE(tc.waitFor("a").at("ok").asBool());
+        EXPECT_TRUE(tc.waitFor("b").at("ok").asBool());
+
+        server.wait();
+        EXPECT_FALSE(server.running());
+        // The socket node is gone; new connections must fail.
+        EXPECT_THROW(ServiceClient{cfg.socketPath},
+                     std::runtime_error);
+        // A request sent while draining is rejected with a reason.
+        // (Connection is already torn down here, so just check the
+        // counters saw both studies complete.)
+        EXPECT_GE(MetricsRegistry::global()
+                      .counter("service.completed")
+                      .get(),
+                  2u);
+    }
+}
+
+TEST(Service, ResultsAreByteIdenticalAcrossJobCounts)
+{
+    const StudyRequest req = compareRequest("0.02", "tonto");
+    std::string results[2];
+    const unsigned jobCounts[2] = {1, 8};
+    for (int i = 0; i < 2; ++i) {
+        ServeConfig cfg;
+        cfg.socketPath = socketPathFor("jobs" +
+                                       std::to_string(jobCounts[i]));
+        cfg.workers = 1;
+        cfg.jobs = jobCounts[i];
+        EvalServer server(cfg);
+        server.start();
+        {
+            ServiceClient client(cfg.socketPath);
+            const JsonValue response = client.run(req, "r");
+            ASSERT_TRUE(response.at("ok").asBool())
+                << response.dump();
+            results[i] = response.at("result").dump();
+        }
+        server.requestStop();
+        server.wait();
+    }
+    EXPECT_EQ(results[0], results[1]);
+    EXPECT_FALSE(results[0].empty());
+}

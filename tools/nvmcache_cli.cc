@@ -12,22 +12,31 @@
  *   nvmcache characterize <workload|tracefile.nvmt>
  *   nvmcache export-trace <workload> <file.nvmt> [--threads N]
  *   nvmcache workloads                   list the Table V suite
+ *   nvmcache studies                     list the study registry
+ *   nvmcache study <kind> [key=value ..] run any registered study
+ *   nvmcache serve --socket PATH         persistent evaluation daemon
+ *   nvmcache client --socket PATH <kind> [key=value ..]
+ *
+ * All flag parsing goes through util/args.hh; every subcommand rejects
+ * unknown flags with a diagnostic naming the flag and the subcommand.
  */
 
 #include <cstdio>
-#include <cstring>
-#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
 #include "core/study.hh"
+#include "core/study_registry.hh"
 #include "nvm/heuristics.hh"
 #include "nvm/model_library.hh"
 #include "nvsim/estimator.hh"
 #include "nvsim/published.hh"
 #include "prism/metrics.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+#include "util/args.hh"
 #include "util/metrics.hh"
 #include "util/units.hh"
 #include "workload/suite.hh"
@@ -38,10 +47,10 @@ using namespace nvmcache;
 namespace {
 
 int
-usage()
+usage(std::FILE *out)
 {
     std::fprintf(
-        stderr,
+        out,
         "usage: nvmcache <command> [args]\n"
         "  models                             list released NVM "
         "cell models (Table II)\n"
@@ -53,8 +62,8 @@ usage()
         "model\n"
         "  simulate <workload> <tech> [--fixed-area] [--threads N] "
         "[--jobs N]\n"
-        "           [--stats-out FILE] [--stats-format json|csv] "
-        "[--progress]\n"
+        "           [--scale F] [--stats-out FILE] "
+        "[--stats-format json|csv] [--progress]\n"
         "  characterize <workload|file.nvmt>  PRISM-style features\n"
         "  export-trace <workload> <file.nvmt> [--threads N]\n"
         "  workloads                          list the Table V suite\n"
@@ -66,120 +75,51 @@ usage()
         "[--stats-format json|csv]\n"
         "           [--progress]        fault-injection sweep over "
         "all technologies\n"
+        "  studies                            list registered studies "
+        "with defaults\n"
+        "  study <kind> [key=value ..] [--jobs N] [--stats-out FILE]\n"
+        "           [--stats-format json|csv] [--progress]   run one "
+        "study, print JSON\n"
+        "  serve --socket PATH [--queue-depth N] [--workers N] "
+        "[--jobs N]\n"
+        "           persistent evaluation daemon (newline-delimited "
+        "JSON protocol)\n"
+        "  client --socket PATH <kind> [key=value ..] [--id X] "
+        "[--result-only]\n"
+        "           [--op ping|studies|metrics|shutdown]   talk to a "
+        "serving daemon\n"
         "\n"
         "--jobs N (or NVMCACHE_JOBS=N) caps the experiment engine's "
         "worker threads;\nthe default is the hardware thread count. "
         "Results are bit-identical at any\njob count.\n"
         "--stats-out FILE writes the structured run report "
         "(sim.*, runner.*,\nestimator.*, phase.* metrics); "
-        "--stats-format picks json (default) or csv.\n");
-    return 2;
+        "--stats-format picks json (default) or csv.\n"
+        "\nRun `nvmcache studies` for every study's parameters and "
+        "defaults.\n");
+    return out == stdout ? 0 : 2;
 }
 
-bool
-hasFlag(const std::vector<std::string> &args, const char *flag)
+/** "key=value" positional tokens -> a StudyRequest. */
+StudyRequest
+buildStudyRequest(const std::vector<std::string> &pos,
+                  const std::string &context)
 {
-    for (const auto &a : args)
-        if (a == flag)
-            return true;
-    return false;
-}
-
-/** Parse a full token as a u32; throws naming the flag on garbage. */
-std::uint32_t
-parseU32(const char *flag, const std::string &token)
-{
-    try {
-        std::size_t pos = 0;
-        const unsigned long v = std::stoul(token, &pos);
-        if (pos != token.size() ||
-            v > std::numeric_limits<std::uint32_t>::max())
-            throw std::invalid_argument(token);
-        return std::uint32_t(v);
-    } catch (const std::exception &) {
-        throw std::runtime_error(std::string("bad value '") + token +
-                                 "' for " + flag +
-                                 " (expected a non-negative integer)");
+    if (pos.empty())
+        throw std::runtime_error(
+            "'" + context +
+            "' needs a study name (run `nvmcache studies` for the "
+            "list)");
+    StudyRequest req;
+    req.kind = pos[0];
+    for (std::size_t i = 1; i < pos.size(); ++i) {
+        const std::size_t eq = pos[i].find('=');
+        if (eq == std::string::npos || eq == 0)
+            throw std::runtime_error("study parameter '" + pos[i] +
+                                     "' is not of the form key=value");
+        req.params[pos[i].substr(0, eq)] = pos[i].substr(eq + 1);
     }
-}
-
-/** Parse a full token as a double; throws naming the flag on garbage. */
-double
-parseDouble(const char *flag, const std::string &token)
-{
-    try {
-        std::size_t pos = 0;
-        const double v = std::stod(token, &pos);
-        if (pos != token.size())
-            throw std::invalid_argument(token);
-        return v;
-    } catch (const std::exception &) {
-        throw std::runtime_error(std::string("bad value '") + token +
-                                 "' for " + flag +
-                                 " (expected a number)");
-    }
-}
-
-/** The token following @p flag; throws if the flag ends the line. */
-const std::string *
-flagToken(const std::vector<std::string> &args, const char *flag)
-{
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        if (args[i] != flag)
-            continue;
-        if (i + 1 >= args.size())
-            throw std::runtime_error(std::string(flag) +
-                                     " needs a value");
-        return &args[i + 1];
-    }
-    return nullptr;
-}
-
-std::uint32_t
-flagValue(const std::vector<std::string> &args, const char *flag,
-          std::uint32_t fallback)
-{
-    const std::string *token = flagToken(args, flag);
-    return token ? parseU32(flag, *token) : fallback;
-}
-
-double
-flagDouble(const std::vector<std::string> &args, const char *flag,
-           double fallback)
-{
-    const std::string *token = flagToken(args, flag);
-    return token ? parseDouble(flag, *token) : fallback;
-}
-
-/** Comma-separated list of doubles, e.g. "--ber-scale 1,8,64". */
-std::vector<double>
-flagDoubleList(const std::vector<std::string> &args, const char *flag,
-               std::vector<double> fallback)
-{
-    const std::string *token = flagToken(args, flag);
-    if (!token)
-        return fallback;
-    std::vector<double> values;
-    std::size_t start = 0;
-    while (start <= token->size()) {
-        std::size_t comma = token->find(',', start);
-        if (comma == std::string::npos)
-            comma = token->size();
-        values.push_back(
-            parseDouble(flag, token->substr(start, comma - start)));
-        start = comma + 1;
-    }
-    return values;
-}
-
-std::string
-flagString(const std::vector<std::string> &args, const char *flag,
-           const std::string &fallback)
-{
-    for (std::size_t i = 0; i + 1 < args.size(); ++i)
-        if (args[i] == flag)
-            return args[i + 1];
-    return fallback;
+    return req;
 }
 
 int
@@ -196,11 +136,12 @@ cmdModels()
 }
 
 int
-cmdLlc(const std::vector<std::string> &args)
+cmdLlc(ArgParser &parser)
 {
-    const CapacityMode mode = hasFlag(args, "--fixed-area")
+    const CapacityMode mode = parser.flag("--fixed-area")
                                   ? CapacityMode::FixedArea
                                   : CapacityMode::FixedCapacity;
+    parser.rejectUnknown("llc");
     std::printf("%-12s %-8s %-9s %-9s %-10s %-9s %-9s\n", "model",
                 "cap[MB]", "read[ns]", "write[ns]", "Ewrite[nJ]",
                 "Ehit[nJ]", "leak[W]");
@@ -238,14 +179,14 @@ cmdComplete(const std::string &name)
 }
 
 int
-cmdEstimate(const std::vector<std::string> &args)
+cmdEstimate(const std::vector<std::string> &pos)
 {
-    const CellSpec &cell = publishedCell(args[0]);
+    const CellSpec &cell = publishedCell(pos[0]);
     CacheOrgConfig org;
-    if (args.size() > 1)
-        org.capacityBytes = std::uint64_t(
-                                parseU32("capacityMB", args[1]))
-                            << 20;
+    if (pos.size() > 1)
+        org.capacityBytes =
+            std::uint64_t(ArgParser::parseU32("capacityMB", pos[1]))
+            << 20;
     LlcModel m = Estimator().estimate(cell, org);
     std::printf("%s @ %.0f MB: area %.3f mm^2, tag %.3f ns, read "
                 "%.3f ns, write %.3f ns,\n  Ehit %.3f nJ, Emiss %.3f "
@@ -259,52 +200,49 @@ cmdEstimate(const std::vector<std::string> &args)
 }
 
 int
-cmdSimulate(const std::vector<std::string> &args)
+cmdSimulate(ArgParser &parser)
 {
-    const BenchmarkSpec &spec = benchmark(args[0]);
-    const CapacityMode mode = hasFlag(args, "--fixed-area")
-                                  ? CapacityMode::FixedArea
-                                  : CapacityMode::FixedCapacity;
-    const std::uint32_t threads = flagValue(args, "--threads", 0);
-    const LlcModel &llc = publishedLlcModel(args[1], mode);
+    CompareConfig cfg;
+    cfg.mode = parser.flag("--fixed-area") ? CapacityMode::FixedArea
+                                           : CapacityMode::FixedCapacity;
+    cfg.threads = parser.u32("--threads", 0);
+    cfg.traceScale = parser.num("--scale", 1.0);
+    const unsigned jobs = parser.u32("--jobs", 0);
+    setProgressEnabled(parser.flag("--progress"));
+    const std::string statsOut = parser.str("--stats-out", "");
+    const std::string statsFormat = parser.str("--stats-format", "json");
+    parser.rejectUnknown("simulate");
 
-    setProgressEnabled(hasFlag(args, "--progress"));
+    const std::vector<std::string> pos = parser.positionals();
+    if (pos.size() < 2)
+        throw std::runtime_error(
+            "'simulate' needs a workload and a technology");
+    cfg.workload = pos[0];
+    cfg.tech = pos[1];
 
     ExperimentRunner runner;
-    runner.setJobs(flagValue(args, "--jobs", 0));
-    SimStats nvm;
-    {
-        PhaseTimer timer("phase.simulate.nvm");
-        nvm = runner.runOne(spec, llc, threads);
-    }
-    SimStats sram;
-    {
-        PhaseTimer timer("phase.simulate.sram");
-        sram = runner.runOne(spec, publishedLlcModel("SRAM", mode),
-                             threads);
-    }
-    std::printf("%s on %s (%s):\n", spec.name.c_str(),
-                llc.citationName().c_str(), toString(mode).c_str());
+    runner.setJobs(jobs);
+    const CompareResult r = runCompare(cfg, runner);
+    const LlcModel &llc = publishedLlcModel(cfg.tech, cfg.mode);
+
+    std::printf("%s on %s (%s):\n", cfg.workload.c_str(),
+                llc.citationName().c_str(), toString(cfg.mode).c_str());
     std::printf("  runtime %.3f ms (SRAM %.3f), mpki %.1f\n",
-                nvm.seconds * 1e3, sram.seconds * 1e3, nvm.llcMpki());
+                r.nvm.seconds * 1e3, r.sram.seconds * 1e3,
+                r.nvm.llcMpki());
     std::printf("  speedup %.3f, energy %.3f, ED^2P %.3f "
                 "(vs SRAM)\n",
-                sram.seconds / nvm.seconds,
-                nvm.llcEnergy() / sram.llcEnergy(),
-                nvm.ed2p() / sram.ed2p());
+                r.speedup, r.normEnergy, r.normEd2p);
 
-    const std::string stats_out = flagString(args, "--stats-out", "");
-    if (!stats_out.empty()) {
+    if (!statsOut.empty()) {
         // Report = the NVM run's deterministic detail, the SRAM
         // baseline's detail under "baseline.", and the process-wide
         // engine metrics (runner.*, estimator.*, phase.*).
-        StatsSnapshot report = nvm.detail;
-        report.mergeSum(sram.detail.withPrefix("baseline"));
+        StatsSnapshot report = r.nvm.detail;
+        report.mergeSum(r.sram.detail.withPrefix("baseline"));
         report.mergeSum(MetricsRegistry::global().snapshot());
-        writeStatsFile(stats_out, report,
-                       parseStatsFormat(flagString(
-                           args, "--stats-format", "json")));
-        std::printf("  stats written to %s\n", stats_out.c_str());
+        writeStatsFile(statsOut, report, parseStatsFormat(statsFormat));
+        std::printf("  stats written to %s\n", statsOut.c_str());
     }
     return 0;
 }
@@ -337,15 +275,21 @@ cmdCharacterize(const std::string &what)
 }
 
 int
-cmdExportTrace(const std::vector<std::string> &args)
+cmdExportTrace(ArgParser &parser)
 {
-    const BenchmarkSpec &spec = benchmark(args[0]);
+    const std::uint32_t threadsFlag = parser.u32("--threads", 0);
+    parser.rejectUnknown("export-trace");
+    const std::vector<std::string> pos = parser.positionals();
+    if (pos.size() < 2)
+        throw std::runtime_error(
+            "'export-trace' needs a workload and an output file");
+    const BenchmarkSpec &spec = benchmark(pos[0]);
     const std::uint32_t threads =
-        flagValue(args, "--threads", spec.defaultThreads);
+        threadsFlag ? threadsFlag : spec.defaultThreads;
     auto traces = buildTraces(spec, threads);
     std::uint64_t total = 0;
     for (std::uint32_t t = 0; t < traces.size(); ++t) {
-        std::string path = args[1];
+        std::string path = pos[1];
         if (traces.size() > 1) {
             // One file per thread: insert ".tN" before the suffix.
             const auto dot = path.rfind(".nvmt");
@@ -360,24 +304,27 @@ cmdExportTrace(const std::vector<std::string> &args)
 }
 
 int
-cmdReliability(const std::vector<std::string> &args)
+cmdReliability(ArgParser &parser)
 {
     ReliabilityConfig cfg;
-    if (!args.empty() && args[0][0] != '-')
-        cfg.workload = args[0];
-    cfg.mode = hasFlag(args, "--fixed-area")
-                   ? CapacityMode::FixedArea
-                   : CapacityMode::FixedCapacity;
-    cfg.threads = flagValue(args, "--threads", 0);
-    cfg.jobs = flagValue(args, "--jobs", 0);
-    cfg.traceScale = flagDouble(args, "--scale", 0.25);
-    cfg.berScales =
-        flagDoubleList(args, "--ber-scale", cfg.berScales);
-    cfg.wearLevelingFactors = flagDoubleList(
-        args, "--wear-leveling", cfg.wearLevelingFactors);
-    cfg.wearScale = flagDouble(args, "--wear-scale", 1.0);
-    cfg.maxWriteRetries = flagValue(args, "--max-retries", 3);
-    setProgressEnabled(hasFlag(args, "--progress"));
+    cfg.mode = parser.flag("--fixed-area") ? CapacityMode::FixedArea
+                                           : CapacityMode::FixedCapacity;
+    cfg.threads = parser.u32("--threads", 0);
+    cfg.jobs = parser.u32("--jobs", 0);
+    cfg.traceScale = parser.num("--scale", 0.25);
+    cfg.berScales = parser.numList("--ber-scale", cfg.berScales);
+    cfg.wearLevelingFactors =
+        parser.numList("--wear-leveling", cfg.wearLevelingFactors);
+    cfg.wearScale = parser.num("--wear-scale", 1.0);
+    cfg.maxWriteRetries = parser.u32("--max-retries", 3);
+    setProgressEnabled(parser.flag("--progress"));
+    const std::string statsOut = parser.str("--stats-out", "");
+    const std::string statsFormat = parser.str("--stats-format", "json");
+    parser.rejectUnknown("reliability");
+
+    const std::vector<std::string> pos = parser.positionals();
+    if (!pos.empty())
+        cfg.workload = pos[0];
 
     ReliabilityStudy study = runReliabilityStudy(cfg);
 
@@ -398,14 +345,11 @@ cmdReliability(const std::vector<std::string> &args)
                     p.effectiveCapacityFraction * 100.0, p.speedup,
                     p.lifetime.lifetimeYears);
 
-    const std::string stats_out = flagString(args, "--stats-out", "");
-    if (!stats_out.empty()) {
+    if (!statsOut.empty()) {
         StatsSnapshot report = aggregateSimStats(study);
         report.mergeSum(MetricsRegistry::global().snapshot());
-        writeStatsFile(stats_out, report,
-                       parseStatsFormat(flagString(
-                           args, "--stats-format", "json")));
-        std::printf("stats written to %s\n", stats_out.c_str());
+        writeStatsFile(statsOut, report, parseStatsFormat(statsFormat));
+        std::printf("stats written to %s\n", statsOut.c_str());
     }
     return 0;
 }
@@ -420,6 +364,95 @@ cmdWorkloads()
                     b.suite.c_str(), b.defaultThreads, b.paperMpki,
                     b.description.c_str());
     return 0;
+}
+
+int
+cmdStudies()
+{
+    std::printf("%s", StudyRegistry::global().helpText().c_str());
+    return 0;
+}
+
+int
+cmdStudy(ArgParser &parser)
+{
+    StudyRunOptions opts;
+    opts.jobs = parser.u32("--jobs", 0);
+    setProgressEnabled(parser.flag("--progress"));
+    const std::string statsOut = parser.str("--stats-out", "");
+    const std::string statsFormat = parser.str("--stats-format", "json");
+    parser.rejectUnknown("study");
+
+    const StudyRequest req =
+        buildStudyRequest(parser.positionals(), "study");
+    const StudyReport report = runStudyRequest(req, opts);
+    std::printf("%s\n", report.resultJson().c_str());
+
+    if (!statsOut.empty()) {
+        StatsSnapshot out = report.stats;
+        out.mergeSum(MetricsRegistry::global().snapshot());
+        writeStatsFile(statsOut, out, parseStatsFormat(statsFormat));
+        std::fprintf(stderr, "stats written to %s\n", statsOut.c_str());
+    }
+    return 0;
+}
+
+int
+cmdServe(ArgParser &parser)
+{
+    ServeConfig cfg;
+    cfg.socketPath = parser.str("--socket", "");
+    cfg.queueDepth = parser.u32("--queue-depth", 16);
+    cfg.workers = parser.u32("--workers", 2);
+    cfg.jobs = parser.u32("--jobs", 0);
+    setProgressEnabled(parser.flag("--progress"));
+    parser.rejectUnknown("serve");
+    if (cfg.socketPath.empty())
+        throw std::runtime_error("'serve' needs --socket PATH");
+    std::fprintf(stderr,
+                 "nvmcache serve: listening on %s (queue %u, "
+                 "workers %u)\n",
+                 cfg.socketPath.c_str(), cfg.queueDepth, cfg.workers);
+    return serveMain(cfg);
+}
+
+int
+cmdClient(ArgParser &parser)
+{
+    const std::string socket = parser.str("--socket", "");
+    const std::string op = parser.str("--op", "");
+    const std::string id = parser.str("--id", "");
+    const bool resultOnly = parser.flag("--result-only");
+    parser.rejectUnknown("client");
+    if (socket.empty())
+        throw std::runtime_error("'client' needs --socket PATH");
+
+    ServiceClient client(socket);
+    JsonValue response;
+    if (!op.empty()) {
+        JsonValue req = JsonValue::makeObject();
+        req.set("op", JsonValue::makeString(op));
+        if (!id.empty())
+            req.set("id", JsonValue::makeString(id));
+        response = client.request(req);
+    } else {
+        response = client.run(
+            buildStudyRequest(parser.positionals(), "client"), id);
+    }
+
+    if (resultOnly) {
+        // The deterministic payload only — byte-identical to
+        // `nvmcache study <kind> ...` run locally.
+        const JsonValue *result = response.find("result");
+        if (!result) {
+            std::fprintf(stderr, "%s\n", response.dump().c_str());
+            return 1;
+        }
+        std::printf("%s\n", result->dump().c_str());
+    } else {
+        std::printf("%s\n", response.dump().c_str());
+    }
+    return response.boolOr("ok", false) ? 0 : 1;
 }
 
 /** Throws when @p cmd got fewer positional tokens than it needs. */
@@ -437,34 +470,45 @@ requireArgs(const std::string &cmd,
 int
 run(const std::string &cmd, const std::vector<std::string> &args)
 {
+    ArgParser parser(args);
     if (cmd == "models")
         return cmdModels();
     if (cmd == "llc")
-        return cmdLlc(args);
+        return cmdLlc(parser);
     if (cmd == "complete") {
         requireArgs(cmd, args, 1);
         return cmdComplete(args[0]);
     }
     if (cmd == "estimate") {
         requireArgs(cmd, args, 1);
-        return cmdEstimate(args);
+        return cmdEstimate(parser.positionals());
     }
-    if (cmd == "simulate") {
-        requireArgs(cmd, args, 2);
-        return cmdSimulate(args);
-    }
+    if (cmd == "simulate")
+        return cmdSimulate(parser);
     if (cmd == "characterize") {
         requireArgs(cmd, args, 1);
         return cmdCharacterize(args[0]);
     }
-    if (cmd == "export-trace") {
-        requireArgs(cmd, args, 2);
-        return cmdExportTrace(args);
-    }
+    if (cmd == "export-trace")
+        return cmdExportTrace(parser);
     if (cmd == "workloads")
         return cmdWorkloads();
     if (cmd == "reliability")
-        return cmdReliability(args);
+        return cmdReliability(parser);
+    if (cmd == "studies")
+        return cmdStudies();
+    if (cmd == "study")
+        return cmdStudy(parser);
+    if (cmd == "serve")
+        return cmdServe(parser);
+    if (cmd == "client")
+        return cmdClient(parser);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+        usage(stdout);
+        std::printf("\n%s",
+                    StudyRegistry::global().helpText().c_str());
+        return 0;
+    }
     throw std::runtime_error("unknown command '" + cmd + "'");
 }
 
@@ -474,7 +518,7 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2)
-        return usage();
+        return usage(stderr);
     const std::string cmd = argv[1];
     std::vector<std::string> args(argv + 2, argv + argc);
 
