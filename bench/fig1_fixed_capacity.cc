@@ -48,6 +48,7 @@ main(int argc, char **argv)
     const auto opts = HarnessOptions::parse(argc, argv);
     ExperimentRunner runner;
     runner.setJobs(opts.jobs);
+    runner.setShards(opts.shards);
 
     banner("Figure 1: Gainestown with fixed-capacity LLC");
     printArchitecture(runner.baseConfig());

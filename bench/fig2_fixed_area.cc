@@ -21,6 +21,7 @@ main(int argc, char **argv)
     const auto opts = HarnessOptions::parse(argc, argv);
     ExperimentRunner runner;
     runner.setJobs(opts.jobs);
+    runner.setShards(opts.shards);
 
     banner("Figure 2: Gainestown with fixed-area LLC");
     std::printf("Capacities at the 6.55 mm^2 budget:\n  ");

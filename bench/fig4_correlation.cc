@@ -63,6 +63,7 @@ main(int argc, char **argv)
     const auto opts = bench::HarnessOptions::parse(argc, argv);
     ExperimentRunner runner;
     runner.setJobs(opts.jobs);
+    runner.setShards(opts.shards);
     const std::vector<std::string> techs{"Jan", "Xue", "Hayakawa"};
     const std::vector<CapacityMode> modes{CapacityMode::FixedCapacity,
                                           CapacityMode::FixedArea};

@@ -33,6 +33,7 @@ main(int argc, char **argv)
 
     ExperimentRunner runner;
     runner.setJobs(opts.jobs);
+    runner.setShards(opts.shards);
     CoreSweepStudy study = runCoreSweep(workloads, techs, cores,
                                         runner);
 

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "sim/cache.hh"
 #include "sim/nvm_llc.hh"
 #include "sim/system.hh"
+#include "util/metrics.hh"
 #include "util/rng.hh"
 #include "workload/generators.hh"
 #include "workload/recorded_trace.hh"
@@ -155,8 +157,10 @@ BM_RecordTrace(benchmark::State &state)
 BENCHMARK(BM_RecordTrace)->Arg(200'000)->Unit(benchmark::kMillisecond);
 
 static void
-BM_ReplayTrace(benchmark::State &state)
+BM_DecodeTrace(benchmark::State &state)
 {
+    // Decode-only cost of a packed trace (no simulation attached):
+    // the floor any replay scheduler pays.
     const std::uint64_t accesses = std::uint64_t(state.range(0));
     auto trace = RecordedTrace::record(microConfig(accesses), 1);
     TraceCursor cur = trace->cursor(0);
@@ -169,7 +173,46 @@ BM_ReplayTrace(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * accesses);
 }
-BENCHMARK(BM_ReplayTrace)->Arg(200'000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DecodeTrace)->Arg(200'000)->Unit(benchmark::kMillisecond);
+
+static void
+BM_ReplayTrace(benchmark::State &state)
+{
+    // Full LLC+DRAM replay of one recorded thread. arg1 selects the
+    // scheduler: 0 = legacy per-access, 1 = batch kernel (serial),
+    // 4 = batch kernel with 4 set shards. The recording is built
+    // once; each iteration replays it through a fresh System.
+    const std::uint64_t accesses = std::uint64_t(state.range(0));
+    const unsigned mode = unsigned(state.range(1));
+    SystemConfig cfg;
+    cfg.numCores = 1;
+    auto trace = RecordedTrace::record(microConfig(accesses), 1);
+    auto cursors = trace->cursors();
+    std::vector<BatchSource *> srcs{&cursors[0]};
+    auto priv = PrivateTrace::record(srcs, cfg.core);
+    cfg.batchReplay = mode != 0;
+    cfg.shards = mode == 0 ? 1 : mode;
+    const LlcModel model =
+        publishedLlcModel("Chung", CapacityMode::FixedCapacity);
+    for (auto _ : state) {
+        cursors = trace->cursors();
+        std::vector<ReplaySource *> ptrs{&cursors[0]};
+        System system(cfg, model);
+        benchmark::DoNotOptimize(
+            system.runReplay(ptrs, priv.get()));
+    }
+    state.SetItemsProcessed(state.iterations() * accesses);
+    MetricsRegistry &reg = MetricsRegistry::global();
+    state.counters["replayAccessesPerSecond"] =
+        reg.gauge("sim.replay.accessesPerSecond").get();
+    state.counters["replayBlockFillRatio"] =
+        reg.gauge("sim.replay.blockFillRatio").get();
+}
+BENCHMARK(BM_ReplayTrace)
+    ->Args({200'000, 0})
+    ->Args({200'000, 1})
+    ->Args({200'000, 4})
+    ->Unit(benchmark::kMillisecond);
 
 static void
 BM_TechSweep(benchmark::State &state)
@@ -177,16 +220,24 @@ BM_TechSweep(benchmark::State &state)
     // End-to-end 11-model sweep of a Zipf-heavy workload through the
     // experiment engine: this is the figure-level cost the record-
     // once/replay-many stores exist to cut. A fresh runner per
-    // iteration (jobs=1) makes every iteration pay one trace record,
-    // one private-level record, and eleven replays.
+    // iteration makes every iteration pay one trace record, one
+    // private-level record, and eleven replays. arg1 = jobs, arg2 =
+    // shards (0 = legacy per-access scheduler instead of the batch
+    // kernel). Single-threaded recording, so replays go through the
+    // batch kernel (multi-source runs fall back to the legacy
+    // scheduler regardless of the knobs).
     const std::uint64_t accesses = std::uint64_t(state.range(0));
+    const unsigned jobs = unsigned(state.range(1));
+    const unsigned shards = unsigned(state.range(2));
     BenchmarkSpec spec;
     spec.name = "microzipf";
     spec.gen = microConfig(accesses);
-    spec.defaultThreads = 4;
+    spec.defaultThreads = 1;
     for (auto _ : state) {
         ExperimentRunner runner;
-        runner.setJobs(1);
+        runner.setJobs(jobs);
+        runner.setShards(shards == 0 ? 1 : shards);
+        runner.setBatchReplay(shards != 0);
         TechSweep sweep =
             runner.sweepTechs(spec, CapacityMode::FixedCapacity);
         benchmark::DoNotOptimize(sweep);
@@ -197,6 +248,11 @@ BM_TechSweep(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * accesses);
 }
-BENCHMARK(BM_TechSweep)->Arg(200'000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TechSweep)
+    ->Args({200'000, 1, 0})
+    ->Args({200'000, 1, 1})
+    ->Args({200'000, 1, 4})
+    ->Args({200'000, 4, 1})
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

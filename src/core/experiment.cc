@@ -291,7 +291,7 @@ TechSweep::byClass(NvmClass klass) const
 
 ExperimentRunner::ExperimentRunner(SystemConfig base)
     : base_(std::move(base)), jobs_(defaultJobs()),
-      memo_(std::make_shared<Memo>())
+      shards_(defaultShards()), memo_(std::make_shared<Memo>())
 {
 }
 
@@ -300,6 +300,14 @@ ExperimentRunner::setJobs(unsigned jobs)
 {
     jobs_ = jobs == 0 ? defaultJobs() : jobs;
     MetricsRegistry::global().gauge("runner.jobs").set(double(jobs_));
+}
+
+void
+ExperimentRunner::setShards(unsigned shards)
+{
+    shards_ = shards == 0 ? defaultShards() : shards;
+    MetricsRegistry::global().gauge("runner.shards")
+        .set(double(shards_));
 }
 
 RunnerStats
@@ -407,22 +415,25 @@ ExperimentRunner::simulateUncached(const BenchmarkSpec &spec,
 {
     SystemConfig cfg = base_;
     cfg.numCores = threads;
+    cfg.shards = shards_;
+    cfg.batchReplay = batchReplay_;
 
     // Replay the workload's recorded trace: generation happens once
     // per (generator, threads) for the runner's lifetime, and every
     // model replays the identical packed sequence. The private-level
     // recording rides one layer above it, so each model simulates
-    // only the shared LLC and DRAM.
+    // only the shared LLC and DRAM — through the batch kernel when
+    // single-threaded (bit-identical either way).
     auto trace = recordedTrace(spec.gen, threads);
     auto priv = privateTrace(spec.gen, threads);
     auto cursors = trace->cursors();
-    std::vector<BatchSource *> ptrs;
+    std::vector<ReplaySource *> ptrs;
     ptrs.reserve(cursors.size());
     for (TraceCursor &c : cursors)
         ptrs.push_back(&c);
 
     System system(cfg, llc);
-    return system.run(ptrs, priv.get());
+    return system.runReplay(ptrs, priv.get());
 }
 
 SimStats

@@ -367,6 +367,7 @@ runReliabilityStudy(const ReliabilityConfig &cfg, RunnerPool *pool)
             ExperimentRunner runner =
                 pool ? pool->acquire(sys) : ExperimentRunner(sys);
             runner.setJobs(cfg.jobs);
+            runner.setShards(cfg.shards);
 
             TechSweep sweep =
                 runner.sweepTechs(spec, cfg.mode, cfg.threads);

@@ -205,6 +205,7 @@ struct ReliabilityConfig
     CapacityMode mode = CapacityMode::FixedCapacity;
     std::uint32_t threads = 0; ///< 0 = workload default
     unsigned jobs = 0;         ///< 0 = defaultJobs()
+    unsigned shards = 0;       ///< LLC set shards/run; 0 = default
     double traceScale = 1.0;
     std::vector<double> berScales{1.0, 8.0, 64.0};
     std::vector<double> wearLevelingFactors{1.0, 0.5, 0.125};

@@ -232,9 +232,12 @@ EvalServer::handleRun(const std::shared_ptr<Conn> &conn,
     // Create and parse up front so malformed requests fail immediately
     // instead of occupying a queue slot.
     std::unique_ptr<Study> study;
+    unsigned shards = cfg_.shards;
     try {
         study = StudyRegistry::global().create(req.study.kind);
-        study->parse(req.study.params);
+        ParamMap params = req.study.params;
+        shards = extractShardsParam(params, cfg_.shards);
+        study->parse(params);
     } catch (const std::exception &e) {
         respond(conn, errorResponse(req.id, e.what()));
         return;
@@ -279,6 +282,7 @@ EvalServer::handleRun(const std::shared_ptr<Conn> &conn,
         exec->key = key;
         exec->study = std::move(study);
         exec->queueDepthAtEnqueue = queue_.size();
+        exec->shards = shards;
         exec->waiters.push_back(std::move(waiter));
         inflight_.emplace(key, exec);
         queue_.push_back(std::move(exec));
@@ -323,6 +327,7 @@ EvalServer::runExecution(const std::shared_ptr<Execution> &exec)
     try {
         StudyRunOptions opts;
         opts.jobs = cfg_.jobs;
+        opts.shards = exec->shards;
         opts.pool = &pool_;
         const StatsSnapshot before = metrics.snapshot();
         const StudyReport report = runStudy(*exec->study, opts);

@@ -57,6 +57,9 @@ struct ServeConfig
     unsigned workers = 2;
     /** Experiment-engine jobs per study (0 = engine default). */
     unsigned jobs = 0;
+    /** LLC set shards per simulation run (0 = engine default); a
+        request-level "shards" parameter overrides this. */
+    unsigned shards = 0;
     /**
      * Optional external stop flag (a signal handler's
      * sig_atomic_t); polled by the accept loop so SIGTERM initiates
@@ -118,6 +121,8 @@ class EvalServer
         std::unique_ptr<Study> study; ///< parsed, ready to run
         std::vector<Waiter> waiters;  ///< guarded by queueMu_
         std::size_t queueDepthAtEnqueue = 0;
+        unsigned shards = 0; ///< resolved execution knob
+
     };
 
     void acceptLoop();

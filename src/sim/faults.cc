@@ -85,6 +85,14 @@ FaultInjector::draw(std::uint64_t line)
 FaultInjector::WriteOutcome
 FaultInjector::onArrayWrite(std::uint64_t line)
 {
+    const WriteOutcome out = classifyArrayWrite(line);
+    noteRetries(out.retries);
+    return out;
+}
+
+FaultInjector::WriteOutcome
+FaultInjector::classifyArrayWrite(std::uint64_t line)
+{
     WriteOutcome out;
     ++st_.injectedWrites;
 
@@ -109,7 +117,6 @@ FaultInjector::onArrayWrite(std::uint64_t line)
             ++st_.writeRetries;
         }
     }
-    retriesDist_.add(double(out.retries));
 
     if (wearPerAttempt_ > 0.0 && !out.eccRetired) {
         wear_[line] += double(1 + out.retries) * wearPerAttempt_;
@@ -119,6 +126,27 @@ FaultInjector::onArrayWrite(std::uint64_t line)
         }
     }
     return out;
+}
+
+void
+FaultInjector::absorbShard(const FaultInjector &shard,
+                           std::uint64_t lineBegin,
+                           std::uint64_t lineEnd)
+{
+    for (std::uint64_t i = lineBegin; i < lineEnd; ++i) {
+        drawCount_[i] = shard.drawCount_[i];
+        wear_[i] = shard.wear_[i];
+    }
+    st_.injectedWrites += shard.st_.injectedWrites;
+    st_.writeRetries += shard.st_.writeRetries;
+    st_.retryCycles += shard.st_.retryCycles;
+    st_.writeScrubs += shard.st_.writeScrubs;
+    st_.readScrubs += shard.st_.readScrubs;
+    st_.scrubCycles += shard.st_.scrubCycles;
+    st_.uncorrectable += shard.st_.uncorrectable;
+    st_.eccRetirements += shard.st_.eccRetirements;
+    st_.wearRetirements += shard.st_.wearRetirements;
+    st_.noWayBypasses += shard.st_.noWayBypasses;
 }
 
 FaultInjector::ReadOutcome

@@ -83,66 +83,111 @@ SharedLlc::accountWrite(std::uint32_t bank, std::uint64_t now,
 }
 
 std::uint64_t
-SharedLlc::applyWriteFaults(std::uint64_t lineIndex, bool &retired)
+SharedLlc::finishArrayWrite(const LlcDecision &d)
 {
-    const FaultInjector::WriteOutcome wo =
-        injector_->onArrayWrite(lineIndex);
     FaultStats &st = injector_->stats();
     std::uint64_t extra = 0;
-    if (wo.retries > 0) {
+    if (d.retries > 0) {
         // Escalated pulses: total cost 2^(retries+1)-1 base pulses,
         // of which one is already charged by the caller.
-        const std::uint64_t mult = retryCostMultiplier(wo.retries);
+        const std::uint64_t mult = retryCostMultiplier(d.retries);
         const std::uint64_t cycles = (mult - 1) * writeCycles_;
         extra += cycles;
         st.retryCycles += cycles;
         stats_.writeEnergy += model_.eWrite * double(mult - 1);
     }
-    if (wo.scrubbed) {
+    if (d.writeScrubbed) {
         // SECDED corrected the residual single-bit error; the scrub
         // rewrites the corrected line.
         extra += cfg_.faults.scrubCycles;
         st.scrubCycles += cfg_.faults.scrubCycles;
         stats_.writeEnergy += model_.eWrite;
     }
-    retired = wo.retired();
+    injector_->noteRetries(d.retries);
     return extra;
 }
 
-LlcReadOutcome
-SharedLlc::demandRead(std::uint64_t addr, std::uint64_t now)
+LlcDecision
+SharedLlc::classifyRead(std::uint64_t addr)
 {
-    LlcReadOutcome out;
-    const std::uint32_t bank = bankOf(addr);
+    LlcDecision d;
     ++stats_.demandReads;
-    if (injector_)
-        injector_->tick(tags_.liveLines());
 
     CacheAccessResult res = tags_.access(addr, false);
-    out.hit = res.hit;
+    d.hit = res.hit;
 
     if (res.hit) {
-        std::uint64_t scrubExtra = 0;
-        bool lineLost = false;
         if (injector_) {
             const FaultInjector::ReadOutcome ro =
                 injector_->onRead(res.lineIndex);
             if (ro.scrubbed) {
-                // SECDED corrected a single-bit error under the read;
-                // the scrub rewrites the corrected line.
-                scrubExtra = cfg_.faults.scrubCycles;
-                injector_->stats().scrubCycles += scrubExtra;
-                stats_.writeEnergy += model_.eWrite;
+                // SECDED corrected a single-bit error under the
+                // read; the scrub rewrites the corrected line.
+                d.readScrubbed = true;
             } else if (ro.retired) {
                 // Multi-bit error: the line's data is gone and its
-                // way is withdrawn; the request falls through to DRAM
-                // with no refill (there is nowhere to put it).
+                // way is withdrawn; the request falls through to
+                // DRAM with no refill (there is nowhere to put it).
                 tags_.retireLine(res.lineIndex);
-                lineLost = true;
+                ++d.retirements;
+                d.lineLost = true;
             }
         }
-        if (!lineLost) {
+        if (!d.lineLost)
             ++stats_.demandHits;
+        else
+            ++stats_.demandMisses;
+        return d;
+    }
+
+    ++stats_.demandMisses;
+    if (res.noWay) {
+        // Every way of the set is retired: the read is serviced by
+        // DRAM and nothing is installed. noWay is only reachable
+        // through retirements, so injector_ is live here.
+        injector_->noteNoWay();
+        d.noWay = true;
+        return d;
+    }
+
+    ++stats_.fills;
+    if (injector_) {
+        const FaultInjector::WriteOutcome wo =
+            injector_->classifyArrayWrite(res.lineIndex);
+        d.retries = std::uint8_t(wo.retries);
+        d.writeScrubbed = wo.scrubbed;
+        if (wo.retired()) {
+            // The freshly filled line is clean; dropping it costs
+            // nothing beyond the lost way.
+            tags_.retireLine(res.lineIndex);
+            ++d.retirements;
+            d.retiredOnWrite = true;
+        }
+    }
+    if (res.evictedValid && res.evictedDirty) {
+        ++stats_.dirtyEvictions;
+        d.victimDirty = true;
+        d.victimAddr = res.evictedAddr;
+    }
+    return d;
+}
+
+LlcReadOutcome
+SharedLlc::finishRead(const LlcDecision &d, std::uint64_t addr,
+                      std::uint64_t now)
+{
+    LlcReadOutcome out;
+    const std::uint32_t bank = bankOf(addr);
+
+    if (d.hit) {
+        std::uint64_t scrubExtra = 0;
+        if (d.readScrubbed) {
+            scrubExtra = cfg_.faults.scrubCycles;
+            injector_->stats().scrubCycles += scrubExtra;
+            stats_.writeEnergy += model_.eWrite;
+        }
+        if (!d.lineLost) {
+            out.hit = true;
             stats_.hitEnergy += model_.eHit;
             const std::uint64_t wait = reserveRead(bank, now);
             stats_.readWaitCycles += wait;
@@ -151,63 +196,52 @@ SharedLlc::demandRead(std::uint64_t addr, std::uint64_t now)
                                 tagCycles_ + readCycles_ + scrubExtra;
             return out;
         }
-        out.hit = false;
-        ++stats_.demandMisses;
         stats_.missEnergy += model_.eMiss;
         out.latencyCycles = cfg_.controllerCycles + tagCycles_;
         return out;
     }
 
-    ++stats_.demandMisses;
     stats_.missEnergy += model_.eMiss;
     // Miss detection costs the tag probe; the fill happens when DRAM
-    // returns (state updated now, timing accounted via accountWrite).
+    // returns (state updated at classify time, timing accounted via
+    // accountWrite).
     out.latencyCycles = cfg_.controllerCycles + tagCycles_;
 
-    if (res.noWay) {
-        // Every way of the set is retired: the read is serviced by
-        // DRAM and nothing is installed. noWay is only reachable
-        // through retirements, so injector_ is live here.
-        injector_->noteNoWay();
+    if (d.noWay)
         return out;
-    }
 
-    ++stats_.fills;
     stats_.writeEnergy += model_.eWrite;
     std::uint64_t writeBusy = writeCycles_;
-    if (injector_) {
-        bool retired = false;
-        writeBusy += applyWriteFaults(res.lineIndex, retired);
-        if (retired) {
-            // The freshly filled line is clean; dropping it costs
-            // nothing beyond the lost way.
-            tags_.retireLine(res.lineIndex);
-        }
-    }
+    if (injector_)
+        writeBusy += finishArrayWrite(d);
     out.latencyCycles += accountWrite(bank, now, writeBusy);
-    if (res.evictedValid && res.evictedDirty) {
-        ++stats_.dirtyEvictions;
+    if (d.victimDirty) {
         out.victimDirty = true;
-        out.victimAddr = res.evictedAddr;
+        out.victimAddr = d.victimAddr;
     }
     return out;
 }
 
-LlcWritebackOutcome
-SharedLlc::writeback(std::uint64_t addr, std::uint64_t now)
+LlcReadOutcome
+SharedLlc::demandRead(std::uint64_t addr, std::uint64_t now)
 {
-    LlcWritebackOutcome out;
-    const std::uint32_t bank = bankOf(addr);
-    ++stats_.writebacksIn;
     if (injector_)
         injector_->tick(tags_.liveLines());
+    const LlcDecision d = classifyRead(addr);
+    return finishRead(d, addr, now);
+}
+
+LlcDecision
+SharedLlc::classifyWriteback(std::uint64_t addr)
+{
+    LlcDecision d;
+    ++stats_.writebacksIn;
 
     if (cfg_.bypassWritebackMiss && !tags_.probe(addr)) {
         // Bypass: pay only the tag probe, never touch the NVM array.
         ++stats_.writeBypasses;
-        stats_.missEnergy += model_.eMiss;
-        out.forwardedToDram = true;
-        return out;
+        d.bypassed = true;
+        return d;
     }
 
     CacheAccessResult res = tags_.installWriteback(addr);
@@ -216,32 +250,85 @@ SharedLlc::writeback(std::uint64_t addr, std::uint64_t now)
         // to DRAM unmodified, paying only the tag probe.
         injector_->noteNoWay();
         ++stats_.writeBypasses;
+        d.noWay = true;
+        return d;
+    }
+
+    if (injector_) {
+        const FaultInjector::WriteOutcome wo =
+            injector_->classifyArrayWrite(res.lineIndex);
+        d.retries = std::uint8_t(wo.retries);
+        d.writeScrubbed = wo.scrubbed;
+        if (wo.retired()) {
+            // The just-installed dirty line is lost with its way;
+            // its data carries on to DRAM.
+            tags_.retireLine(res.lineIndex);
+            ++d.retirements;
+            d.retiredOnWrite = true;
+        }
+    }
+    if (res.evictedValid && res.evictedDirty) {
+        ++stats_.dirtyEvictions;
+        d.victimDirty = true;
+        d.victimAddr = res.evictedAddr;
+    }
+    return d;
+}
+
+LlcWritebackOutcome
+SharedLlc::finishWriteback(const LlcDecision &d, std::uint64_t addr,
+                           std::uint64_t now)
+{
+    LlcWritebackOutcome out;
+    if (d.bypassed || d.noWay) {
         stats_.missEnergy += model_.eMiss;
         out.forwardedToDram = true;
         return out;
     }
 
+    const std::uint32_t bank = bankOf(addr);
     stats_.writeEnergy += model_.eWrite;
     std::uint64_t writeBusy = writeCycles_;
-    if (injector_) {
-        bool retired = false;
-        writeBusy += applyWriteFaults(res.lineIndex, retired);
-        if (retired) {
-            // The just-installed dirty line is lost with its way;
-            // its data carries on to DRAM.
-            tags_.retireLine(res.lineIndex);
-            out.forwardedToDram = true;
-        }
-    }
+    if (injector_)
+        writeBusy += finishArrayWrite(d);
+    if (d.retiredOnWrite)
+        out.forwardedToDram = true;
     out.stallCycles = accountWrite(bank, now, writeBusy);
     stats_.writeStallCycles += out.stallCycles;
     writeStallDist_.add(double(out.stallCycles));
-    if (res.evictedValid && res.evictedDirty) {
-        ++stats_.dirtyEvictions;
+    if (d.victimDirty) {
         out.victimDirty = true;
-        out.victimAddr = res.evictedAddr;
+        out.victimAddr = d.victimAddr;
     }
     return out;
+}
+
+LlcWritebackOutcome
+SharedLlc::writeback(std::uint64_t addr, std::uint64_t now)
+{
+    if (injector_)
+        injector_->tick(tags_.liveLines());
+    const LlcDecision d = classifyWriteback(addr);
+    return finishWriteback(d, addr, now);
+}
+
+void
+SharedLlc::absorbShard(const SharedLlc &shard, std::uint64_t setBegin,
+                       std::uint64_t setEnd)
+{
+    tags_.absorbShard(shard.tags_, setBegin, setEnd);
+    stats_.demandReads += shard.stats_.demandReads;
+    stats_.demandHits += shard.stats_.demandHits;
+    stats_.demandMisses += shard.stats_.demandMisses;
+    stats_.fills += shard.stats_.fills;
+    stats_.writebacksIn += shard.stats_.writebacksIn;
+    stats_.dirtyEvictions += shard.stats_.dirtyEvictions;
+    stats_.writeBypasses += shard.stats_.writeBypasses;
+    if (injector_)
+        injector_->absorbShard(
+            *shard.injector_,
+            setBegin * cfg_.associativity,
+            setEnd * cfg_.associativity);
 }
 
 double

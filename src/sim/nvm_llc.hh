@@ -82,6 +82,31 @@ struct LlcWritebackOutcome
     bool forwardedToDram = false;
 };
 
+/**
+ * Timing-independent verdict of one LLC operation: everything the
+ * tag walk and the fault draws decide, with no cycle arithmetic and
+ * no floating-point statistics. classifyRead/classifyWriteback
+ * produce one; finishRead/finishWriteback consume it later (possibly
+ * on a different thread) to apply the order-sensitive half —
+ * latencies, bank accounting, energies and histograms — in global
+ * access order, so a sharded classification pass composes into
+ * bit-identical SimStats.
+ */
+struct LlcDecision
+{
+    std::uint64_t victimAddr = 0;
+    std::uint8_t retries = 0;     ///< write verify-retry attempts
+    std::uint8_t retirements = 0; ///< lines retired during the op
+    bool hit = false;             ///< tag hit (reads only)
+    bool lineLost = false;     ///< read hit lost to multi-bit error
+    bool noWay = false;        ///< whole target set is retired
+    bool bypassed = false;     ///< writeback bypassed on probe miss
+    bool writeScrubbed = false; ///< post-retry single-bit fix
+    bool readScrubbed = false;  ///< on-read single-bit fix
+    bool retiredOnWrite = false; ///< array write retired the line
+    bool victimDirty = false;    ///< displaced a dirty line
+};
+
 class SharedLlc
 {
   public:
@@ -124,6 +149,63 @@ class SharedLlc
     /** Writeback (dirty L2 eviction) at global cycle @p now. */
     LlcWritebackOutcome writeback(std::uint64_t addr, std::uint64_t now);
 
+    // --- split demand path (set-sharded replay) ----------------------
+    //
+    // demandRead == tickFaults + classifyRead + finishRead, and
+    // writeback == tickFaults + classifyWriteback + finishWriteback,
+    // by construction (the fused entry points above are implemented
+    // as exactly that composition). classify* mutates only per-set
+    // tag state, per-line fault state and integer counters, so a
+    // disjoint set partition may run its classifications on separate
+    // SharedLlc instances concurrently; finish* applies the
+    // order-sensitive remainder and must run in global access order
+    // on the instance that reports statistics.
+
+    /** Tag walk + fault draws of one demand read (no timing). */
+    LlcDecision classifyRead(std::uint64_t addr);
+
+    /** Tag walk + fault draws of one writeback (no timing). */
+    LlcDecision classifyWriteback(std::uint64_t addr);
+
+    /** Timing/energy/histograms of a classified demand read. */
+    LlcReadOutcome finishRead(const LlcDecision &d, std::uint64_t addr,
+                              std::uint64_t now);
+
+    /** Timing/energy/histograms of a classified writeback. */
+    LlcWritebackOutcome finishWriteback(const LlcDecision &d,
+                                        std::uint64_t addr,
+                                        std::uint64_t now);
+
+    /** The fault layer's per-access heartbeat (no-op when off). */
+    void
+    tickFaults(std::uint64_t liveLines)
+    {
+        if (injector_)
+            injector_->tick(liveLines);
+    }
+
+    bool faultsEnabled() const { return injector_ != nullptr; }
+
+    /** Set index @p addr maps to in the tag array. */
+    std::uint64_t setIndexOf(std::uint64_t addr) const
+    {
+        return tags_.setIndexOf(addr);
+    }
+
+    /** Tag-array geometry (set count, line count, replacement). */
+    const CacheGeometry &geometry() const { return tags_.geometry(); }
+
+    /**
+     * Fold a set-shard's classification state back in: tag array and
+     * fault state of sets [@p setBegin, @p setEnd) plus the integer
+     * counters the classify pass accumulates. The shard must share
+     * this LLC's model/config and must only have classified accesses
+     * of that set range; its timing-side state (banks, energies,
+     * histograms) is provably untouched and is not transferred.
+     */
+    void absorbShard(const SharedLlc &shard, std::uint64_t setBegin,
+                     std::uint64_t setEnd);
+
     /** Host prefetch of @p addr's tag set (perf hint, no effect). */
     void prefetchTag(std::uint64_t addr) const
     {
@@ -164,14 +246,13 @@ class SharedLlc
                                std::uint64_t cycles);
 
     /**
-     * Run the fault layer's verify-retry verdict for an array write
-     * to @p lineIndex, charging retry/scrub energy to the LLC stats;
-     * returns extra bank-busy cycles and sets @p retired when the
-     * line must be withdrawn (wear-out or uncorrectable residue).
-     * Caller must hold a live injector_.
+     * Charge the cost side of one classified array write: retry
+     * pulses and a possible scrub (cycles + write energy), plus the
+     * retries-per-write histogram sample. Returns the extra
+     * bank-busy cycles beyond the base pulse. Caller must hold a
+     * live injector_.
      */
-    std::uint64_t applyWriteFaults(std::uint64_t lineIndex,
-                                   bool &retired);
+    std::uint64_t finishArrayWrite(const LlcDecision &d);
 
     LlcModel model_;
     Config cfg_;

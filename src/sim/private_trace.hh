@@ -40,12 +40,31 @@
 #include <vector>
 
 #include "sim/core.hh"
+#include "sim/replay.hh"
 #include "sim/types.hh"
 #include "util/varint.hh"
 
 namespace nvmcache {
 
 class PrivateCursor;
+
+/**
+ * One decoded block of private-level outcomes, SoA layout, aligned
+ * with the TraceBlock decoded from the same accesses: entry i here
+ * describes access i of the paired block. Writeback addresses are
+ * flattened in event order (access i's wbCount[i] victims are the
+ * next entries of wbAddr after access i-1's).
+ */
+struct PrivateBlock
+{
+    static constexpr std::size_t kCapacity = TraceBlock::kCapacity;
+
+    std::array<std::uint8_t, kCapacity> outcome; ///< PrivateEvent::k*
+    std::array<std::uint8_t, kCapacity> wbCount; ///< dirty L2 victims
+    std::array<std::uint64_t, 2 * kCapacity> wbAddr;
+    std::uint32_t count = 0;   ///< events decoded
+    std::uint32_t wbTotal = 0; ///< entries of wbAddr used
+};
 
 /** One access's recorded private-level outcome. */
 struct PrivateEvent
@@ -157,6 +176,39 @@ class PrivateCursor
             ev.wb[i] = wbAddr_;
         }
         return ev;
+    }
+
+    /**
+     * Decode exactly @p n events (the caller's paired TraceBlock
+     * count; never past end of lane) into @p out's SoA arrays. Same
+     * position and values as n calls to next().
+     */
+    std::uint32_t
+    fillBlock(std::uint32_t n, PrivateBlock &out)
+    {
+        const std::uint8_t *events = lane_->events.data();
+        const std::uint8_t *p = wbPos_;
+        std::uint64_t idx = idx_;
+        std::uint64_t wbAddr = wbAddr_;
+        std::uint32_t wb = 0;
+        for (std::uint32_t i = 0; i < n; ++i, ++idx) {
+            const std::uint8_t nib =
+                (events[idx >> 1] >> ((idx & 1) * 4)) & 0xF;
+            out.outcome[i] = nib & 3;
+            const std::uint8_t c = nib >> 2;
+            out.wbCount[i] = c;
+            for (std::uint8_t j = 0; j < c; ++j) {
+                wbAddr +=
+                    std::uint64_t(unzigzag(getVarintFast(p)));
+                out.wbAddr[wb++] = wbAddr;
+            }
+        }
+        wbPos_ = p;
+        idx_ = idx;
+        wbAddr_ = wbAddr;
+        out.count = n;
+        out.wbTotal = wb;
+        return n;
     }
 
   private:

@@ -198,8 +198,10 @@ System::run(const std::vector<BatchSource *> &sources,
         // The lane's future is already decoded, so pull the LLC tag
         // set of a near-future access toward the host caches while
         // this access simulates (hides the host-memory latency that
-        // otherwise dominates large-cache tag walks).
-        const std::uint32_t ahead = lane.pos + 8;
+        // otherwise dominates large-cache tag walks). The distance
+        // covers the full simulation cost of the accesses in between;
+        // shorter lookaheads leave part of the tag-walk miss exposed.
+        const std::uint32_t ahead = lane.pos + 24;
         if (ahead < lane.count)
             llc_->prefetchTag(lane.buf[ahead].addr);
         if (privateTrace)

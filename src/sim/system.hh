@@ -17,6 +17,7 @@
 #include "sim/dram.hh"
 #include "sim/nvm_llc.hh"
 #include "sim/private_trace.hh"
+#include "sim/replay.hh"
 #include "sim/types.hh"
 #include "util/metrics.hh"
 
@@ -30,6 +31,23 @@ struct SystemConfig
     CoreParams core;
     SharedLlc::Config llc;
     DramConfig dram;
+
+    /**
+     * LLC set shards of a batch replay run (runReplay): 0 resolves
+     * to defaultShards() (NVMCACHE_SHARDS, else 1). Results are
+     * bit-identical at any value; >1 classifies the LLC's disjoint
+     * set ranges on that many threads. Capped at the tag array's
+     * set count.
+     */
+    std::uint32_t shards = 0;
+
+    /**
+     * Drive single-source replay runs through the batch-decode
+     * kernel (runReplay's fast path). Off forces the per-access
+     * min-local-time scheduler everywhere — same results, slower;
+     * kept as the measured baseline for benches and oracle tests.
+     */
+    bool batchReplay = true;
 };
 
 /** Results of one simulation run. */
@@ -123,6 +141,24 @@ class System
      */
     SimStats run(const std::vector<BatchSource *> &sources,
                  const PrivateTrace *privateTrace);
+
+    /**
+     * Replay run through the vectorized batch kernel (sim/replay.cc):
+     * decode SoA blocks, classify every LLC operation over
+     * cfg.shards disjoint set ranges (own tag array and fault state
+     * per shard, simulated concurrently when shards > 1), then apply
+     * timing in global access order from the precomputed decisions.
+     * Bit-identical SimStats to run(sources, privateTrace) at every
+     * shard count.
+     *
+     * The kernel requires a single source with a private-level
+     * recording (the tech-sweep hot path); multi-source runs, runs
+     * without @p privateTrace, and cfg.batchReplay == false fall
+     * back to the per-access scheduler, with the fallback counted in
+     * the global "sim.replay.runs.fallback" metric.
+     */
+    SimStats runReplay(const std::vector<ReplaySource *> &sources,
+                       const PrivateTrace *privateTrace);
 
     const SharedLlc &llc() const { return *llc_; }
 

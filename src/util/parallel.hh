@@ -40,6 +40,15 @@ namespace nvmcache {
  */
 unsigned defaultJobs();
 
+/**
+ * LLC set shards to use when a replay run does not specify a count:
+ * NVMCACHE_SHARDS if set to a positive integer, otherwise 1. The
+ * conservative fallback (unlike defaultJobs()) keeps intra-run
+ * threading opt-in: shards multiply the experiment layer's cross-run
+ * jobs fan-out, so turning both on by default would oversubscribe.
+ */
+unsigned defaultShards();
+
 /** what() of @p e, or a placeholder for non-std exceptions. */
 std::string describeException(std::exception_ptr e);
 
@@ -122,23 +131,30 @@ parallelMap(unsigned jobs, const std::vector<T> &items, Fn fn)
         return results;
     }
 
-    ThreadPool pool(std::min<std::size_t>(jobs, items.size()));
-    std::vector<std::future<R>> futures;
-    futures.reserve(items.size());
-    for (const T &item : items)
-        futures.push_back(pool.submit([&fn, &item]() {
-            return fn(item);
-        }));
-    // Drain every future (in order) even if one throws, so the pool
-    // never destructs with tasks still touching caller state; every
-    // failure is collected and reported together.
     std::vector<std::exception_ptr> failed;
-    for (std::future<R> &fut : futures) {
-        try {
-            results.push_back(fut.get());
-        } catch (...) {
-            failed.push_back(std::current_exception());
+    {
+        ThreadPool pool(std::min<std::size_t>(jobs, items.size()));
+        std::vector<std::future<R>> futures;
+        futures.reserve(items.size());
+        for (const T &item : items)
+            futures.push_back(pool.submit([&fn, &item]() {
+                return fn(item);
+            }));
+        // Drain every future (in order) even if one throws, so the
+        // pool never destructs with tasks still touching caller
+        // state; every failure is collected and reported together.
+        for (std::future<R> &fut : futures) {
+            try {
+                results.push_back(fut.get());
+            } catch (...) {
+                failed.push_back(std::current_exception());
+            }
         }
+        // The pool joins its workers here, before any captured
+        // exception is inspected: a worker releases its task state
+        // (and with it a shared exception-message buffer) after the
+        // future becomes ready, so reading messages while workers
+        // still run would race with that teardown.
     }
     throwJobFailures(failed, items.size());
     return results;

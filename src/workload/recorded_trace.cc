@@ -122,6 +122,34 @@ TraceCursor::fill(std::span<MemAccess> out)
     return n;
 }
 
+std::uint32_t
+TraceCursor::fillBlock(TraceBlock &out)
+{
+    if (!track_) {
+        out.count = 0;
+        return 0;
+    }
+    const std::uint64_t left = track_->count - idx_;
+    const std::uint32_t n = std::uint32_t(
+        std::min<std::uint64_t>(TraceBlock::kCapacity, left));
+    const std::uint8_t *p = pos_;
+    const std::uint8_t *kinds = track_->kinds.data();
+    std::uint64_t addr = addr_;
+    std::uint64_t idx = idx_;
+    for (std::uint32_t i = 0; i < n; ++i, ++idx) {
+        addr += std::uint64_t(unzigzag(getVarintFast(p)));
+        const std::uint64_t gap = getVarintFast(p);
+        out.addr[i] = addr;
+        out.gap[i] = std::uint32_t(gap);
+        out.kind[i] = (kinds[idx >> 2] >> ((idx & 3) * 2)) & 3;
+    }
+    pos_ = p;
+    addr_ = addr;
+    idx_ = idx;
+    out.count = n;
+    return n;
+}
+
 void
 TraceCursor::reset()
 {

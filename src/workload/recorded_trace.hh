@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/replay.hh"
 #include "sim/types.hh"
 #include "workload/generators.hh"
 
@@ -93,13 +94,19 @@ class RecordedTrace
  * only replay position; the track data stays in the (shared, const)
  * RecordedTrace, which must outlive the cursor.
  */
-class TraceCursor final : public BatchSource
+class TraceCursor final : public ReplaySource
 {
   public:
     TraceCursor() = default;
 
     /** Decode up to out.size() accesses; 0 at end of trace. */
     std::size_t fill(std::span<MemAccess> out) override;
+
+    /**
+     * Decode up to TraceBlock::kCapacity accesses into @p out's SoA
+     * arrays (same position, same values as fill()); 0 at end.
+     */
+    std::uint32_t fillBlock(TraceBlock &out) override;
 
     /** Rewind to the beginning of the track. */
     void reset();

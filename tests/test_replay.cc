@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests of the vectorized batch-replay kernel and set-sharded LLC
+ * classification (sim/replay.cc): bit-identity against the per-access
+ * scheduler at every shard count, with and without fault injection,
+ * across write-timing policies, through the experiment engine's
+ * (shards x jobs) matrix, and the multi-source fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/study.hh"
+#include "nvsim/published.hh"
+#include "util/metrics.hh"
+#include "workload/recorded_trace.hh"
+#include "workload/suite.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+/** A trimmed copy of a suite workload to keep runs fast. */
+BenchmarkSpec
+trimmed(const std::string &name, std::uint64_t accesses)
+{
+    BenchmarkSpec spec = benchmark(name);
+    spec.gen.totalAccesses = accesses;
+    return spec;
+}
+
+/** Every field of both SimStats exactly equal (== on doubles). */
+void
+expectSimStatsIdentical(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.llc.demandReads, b.llc.demandReads);
+    EXPECT_EQ(a.llc.demandHits, b.llc.demandHits);
+    EXPECT_EQ(a.llc.demandMisses, b.llc.demandMisses);
+    EXPECT_EQ(a.llc.fills, b.llc.fills);
+    EXPECT_EQ(a.llc.writebacksIn, b.llc.writebacksIn);
+    EXPECT_EQ(a.llc.dirtyEvictions, b.llc.dirtyEvictions);
+    EXPECT_EQ(a.llc.writeBypasses, b.llc.writeBypasses);
+    EXPECT_EQ(a.llc.readWaitCycles, b.llc.readWaitCycles);
+    EXPECT_EQ(a.llc.writeStallCycles, b.llc.writeStallCycles);
+    EXPECT_EQ(a.llc.hitEnergy, b.llc.hitEnergy);
+    EXPECT_EQ(a.llc.missEnergy, b.llc.missEnergy);
+    EXPECT_EQ(a.llc.writeEnergy, b.llc.writeEnergy);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+    EXPECT_EQ(a.dramWrites, b.dramWrites);
+    EXPECT_EQ(a.dramQueueCycles, b.dramQueueCycles);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.coreCycles, b.coreCycles);
+    EXPECT_EQ(a.llcLeakageEnergy, b.llcLeakageEnergy);
+    EXPECT_EQ(a.llcDynamicEnergy, b.llcDynamicEnergy);
+    EXPECT_TRUE(a.detail == b.detail);
+}
+
+/** Shared per-suite recording: trace + private outcomes. */
+struct Recording
+{
+    std::shared_ptr<const RecordedTrace> trace;
+    std::shared_ptr<const PrivateTrace> priv;
+};
+
+Recording
+makeRecording(const BenchmarkSpec &spec, const SystemConfig &base,
+              std::uint32_t threads = 0)
+{
+    Recording r;
+    if (threads == 0)
+        threads = spec.defaultThreads;
+    r.trace = RecordedTrace::record(spec.gen, threads);
+    auto cursors = r.trace->cursors();
+    std::vector<BatchSource *> srcs;
+    for (TraceCursor &c : cursors)
+        srcs.push_back(&c);
+    r.priv = PrivateTrace::record(srcs, base.core);
+    return r;
+}
+
+/**
+ * One replay run through System::runReplay with the given knobs.
+ * batch == false forces the per-access scheduler (the oracle).
+ */
+SimStats
+runReplay(const Recording &rec, const SystemConfig &base,
+          const LlcModel &llc, std::uint32_t shards, bool batch)
+{
+    SystemConfig cfg = base;
+    cfg.numCores = rec.trace->threads();
+    cfg.shards = shards;
+    cfg.batchReplay = batch;
+    System system(cfg, llc);
+    auto cursors = rec.trace->cursors();
+    std::vector<ReplaySource *> ptrs;
+    for (TraceCursor &c : cursors)
+        ptrs.push_back(&c);
+    return system.runReplay(ptrs, rec.priv.get());
+}
+
+double
+globalCounter(const std::string &name)
+{
+    return double(MetricsRegistry::global().counter(name).get());
+}
+
+double
+detailScalar(const SimStats &s, const std::string &path)
+{
+    auto it = s.detail.entries.find(path);
+    return it == s.detail.entries.end() ? -1.0 : it->second.scalar;
+}
+
+} // namespace
+
+TEST(ShardedReplay, KernelMatchesLegacyScheduler)
+{
+    // The batch kernel against the per-access min-local-time
+    // scheduler on the same recording: every SimStats field,
+    // including the full detail tree, bit for bit.
+    const BenchmarkSpec spec = trimmed("tonto", 120'000);
+    const SystemConfig base;
+    const Recording rec = makeRecording(spec, base);
+    const LlcModel &jan =
+        publishedLlcModel("Jan", CapacityMode::FixedCapacity);
+
+    const SimStats legacy = runReplay(rec, base, jan, 1, false);
+    const SimStats kernel = runReplay(rec, base, jan, 1, true);
+    expectSimStatsIdentical(legacy, kernel);
+}
+
+TEST(ShardedReplay, BitIdenticalAcrossShardCounts)
+{
+    // Shard counts that divide the set count evenly, unevenly (7),
+    // and degenerately (1) must all merge back to the serial state.
+    const BenchmarkSpec spec = trimmed("tonto", 120'000);
+    const SystemConfig base;
+    const Recording rec = makeRecording(spec, base);
+    const LlcModel &jan =
+        publishedLlcModel("Jan", CapacityMode::FixedCapacity);
+
+    const SimStats serial = runReplay(rec, base, jan, 1, true);
+    for (std::uint32_t shards : {2u, 4u, 7u}) {
+        const SimStats sharded =
+            runReplay(rec, base, jan, shards, true);
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        expectSimStatsIdentical(serial, sharded);
+    }
+}
+
+TEST(ShardedReplay, FaultSweepBitIdentical)
+{
+    // With the fault layer injecting aggressively (retries, scrubs,
+    // wear retirements), the per-line draw and wear state the shards
+    // classify must absorb back losslessly: every llc.faults.*
+    // counter and distribution rides in the detail tree.
+    const BenchmarkSpec spec = trimmed("lbm", 120'000);
+    SystemConfig base;
+    base.llc.faults.enabled = true;
+    base.llc.faults.berScale = 64.0;
+    base.llc.faults.wearScale = 1e6;
+    const Recording rec = makeRecording(spec, base);
+    const LlcModel &jan =
+        publishedLlcModel("Jan", CapacityMode::FixedCapacity);
+
+    const SimStats legacy = runReplay(rec, base, jan, 1, false);
+    ASSERT_GT(detailScalar(legacy, "sim.llc.faults.writeRetries"),
+              0.0); // the config actually injects
+    for (std::uint32_t shards : {1u, 4u, 7u}) {
+        const SimStats sharded =
+            runReplay(rec, base, jan, shards, true);
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        expectSimStatsIdentical(legacy, sharded);
+    }
+}
+
+TEST(ShardedReplay, WritePoliciesAndBypassBitIdentical)
+{
+    // The non-default write-timing policies exercise accountWrite's
+    // order-sensitive bank state, and bypassWritebackMiss exercises
+    // the probe-miss forwarding path; all of it lives in the timing
+    // pass, so sharded classification must not perturb any of it.
+    const BenchmarkSpec spec = trimmed("lbm", 80'000);
+    const LlcModel &jan =
+        publishedLlcModel("Jan", CapacityMode::FixedCapacity);
+
+    SystemConfig variants[3];
+    variants[0].llc.writePolicy = WritePolicy::BankContention;
+    variants[1].llc.writePolicy = WritePolicy::Blocking;
+    variants[2].llc.bypassWritebackMiss = true;
+
+    for (const SystemConfig &base : variants) {
+        const Recording rec = makeRecording(spec, base);
+        const SimStats legacy = runReplay(rec, base, jan, 1, false);
+        const SimStats sharded = runReplay(rec, base, jan, 4, true);
+        expectSimStatsIdentical(legacy, sharded);
+    }
+}
+
+TEST(ShardedReplay, OvershardingClampsToSetCountAndMatches)
+{
+    // More shards than the run needs (and than makes sense) must
+    // clamp rather than misroute: a huge shard count still merges to
+    // the serial state.
+    const BenchmarkSpec spec = trimmed("tonto", 60'000);
+    const SystemConfig base;
+    const Recording rec = makeRecording(spec, base);
+    const LlcModel &jan =
+        publishedLlcModel("Jan", CapacityMode::FixedCapacity);
+
+    const SimStats serial = runReplay(rec, base, jan, 1, true);
+    const SimStats sharded =
+        runReplay(rec, base, jan, 1u << 30, true);
+    expectSimStatsIdentical(serial, sharded);
+}
+
+TEST(ShardedReplay, MultiThreadTraceFallsBack)
+{
+    // A multi-source replay interleaves cores by local time, which
+    // the kernel cannot precompute; runReplay must route it through
+    // the legacy scheduler (counting the fallback) with identical
+    // results.
+    const BenchmarkSpec spec = trimmed("vips", 120'000);
+    const SystemConfig base;
+    const Recording rec = makeRecording(spec, base);
+    ASSERT_GT(rec.trace->threads(), 1u);
+    const LlcModel &jan =
+        publishedLlcModel("Jan", CapacityMode::FixedCapacity);
+
+    SystemConfig cfg = base;
+    cfg.numCores = rec.trace->threads();
+    System direct(cfg, jan);
+    auto directCursors = rec.trace->cursors();
+    std::vector<BatchSource *> batch;
+    for (TraceCursor &c : directCursors)
+        batch.push_back(&c);
+    const SimStats viaRun = direct.run(batch, rec.priv.get());
+
+    const double fallbackBefore =
+        globalCounter("sim.replay.runs.fallback");
+    const SimStats viaReplay = runReplay(rec, base, jan, 4, true);
+    EXPECT_EQ(globalCounter("sim.replay.runs.fallback"),
+              fallbackBefore + 1.0);
+    expectSimStatsIdentical(viaRun, viaReplay);
+}
+
+TEST(ShardedReplay, RunnerMatrixShardsJobsBitIdentical)
+{
+    // The full experiment engine: a tech sweep per (shards, jobs)
+    // combination, every result compared against the serial
+    // reference. jobs threads run whole simulations concurrently;
+    // shards thread inside each simulation; neither may leak into
+    // results.
+    const BenchmarkSpec spec = trimmed("tonto", 60'000);
+
+    ExperimentRunner reference;
+    reference.setJobs(1);
+    reference.setShards(1);
+    const TechSweep want =
+        reference.sweepTechs(spec, CapacityMode::FixedCapacity);
+
+    for (unsigned jobs : {1u, 8u}) {
+        for (unsigned shards : {1u, 2u, 4u, 7u}) {
+            ExperimentRunner runner;
+            runner.setJobs(jobs);
+            runner.setShards(shards);
+            const TechSweep got =
+                runner.sweepTechs(spec, CapacityMode::FixedCapacity);
+            SCOPED_TRACE("jobs=" + std::to_string(jobs) +
+                         " shards=" + std::to_string(shards));
+            ASSERT_EQ(want.results.size(), got.results.size());
+            for (std::size_t i = 0; i < want.results.size(); ++i) {
+                EXPECT_EQ(want.results[i].tech, got.results[i].tech);
+                EXPECT_EQ(want.results[i].speedup,
+                          got.results[i].speedup);
+                EXPECT_EQ(want.results[i].normEnergy,
+                          got.results[i].normEnergy);
+                EXPECT_EQ(want.results[i].normEd2p,
+                          got.results[i].normEd2p);
+                expectSimStatsIdentical(want.results[i].stats,
+                                        got.results[i].stats);
+            }
+        }
+    }
+}
+
+TEST(ShardedReplay, ReliabilityStudyShardsInvariant)
+{
+    // The reliability grid drives fault-heavy sweeps through the
+    // study layer; its report must not depend on the shards knob.
+    ReliabilityConfig serialCfg;
+    serialCfg.workload = "lbm";
+    serialCfg.traceScale = 0.02;
+    serialCfg.berScales = {64.0};
+    serialCfg.wearLevelingFactors = {0.5};
+    serialCfg.wearScale = 1e6;
+    serialCfg.jobs = 1;
+    serialCfg.shards = 1;
+    ReliabilityConfig shardedCfg = serialCfg;
+    shardedCfg.jobs = 8;
+    shardedCfg.shards = 7;
+
+    const ReliabilityStudy a = runReliabilityStudy(serialCfg);
+    const ReliabilityStudy b = runReliabilityStudy(shardedCfg);
+
+    ASSERT_EQ(a.points.size(), b.points.size());
+    bool sawFaults = false;
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        const ReliabilityPoint &pa = a.points[i];
+        const ReliabilityPoint &pb = b.points[i];
+        EXPECT_EQ(pa.tech, pb.tech);
+        EXPECT_EQ(pa.writeRetries, pb.writeRetries);
+        EXPECT_EQ(pa.writeScrubs, pb.writeScrubs);
+        EXPECT_EQ(pa.readScrubs, pb.readScrubs);
+        EXPECT_EQ(pa.uncorrectable, pb.uncorrectable);
+        EXPECT_EQ(pa.retiredLines, pb.retiredLines);
+        EXPECT_EQ(pa.speedup, pb.speedup);
+        EXPECT_TRUE(pa.stats.detail == pb.stats.detail) << pa.tech;
+        sawFaults = sawFaults || pa.writeRetries > 0;
+    }
+    EXPECT_TRUE(sawFaults);
+    EXPECT_TRUE(aggregateSimStats(a) == aggregateSimStats(b));
+}

@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -14,6 +17,7 @@
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "util/units.hh"
+#include "util/varint.hh"
 
 using namespace nvmcache;
 
@@ -335,4 +339,124 @@ TEST(Table, BlankCellsExcludedFromCsvQuoting)
     t.startRow("r");
     t.addBlank();
     EXPECT_NE(t.toCsv().find("r,"), std::string::npos);
+}
+
+// --- varint / zigzag edge cases (util/varint.hh) -------------------
+
+namespace {
+
+/** Encode @p v, pad per the fast-decoder contract, decode both ways. */
+void
+expectVarintRoundTrip(std::uint64_t v)
+{
+    std::vector<std::uint8_t> buf;
+    putVarint(buf, v);
+    const std::size_t encoded = buf.size();
+    buf.resize(encoded + kVarintPad, 0);
+
+    const std::uint8_t *slow = buf.data();
+    EXPECT_EQ(getVarint(slow), v);
+    EXPECT_EQ(std::size_t(slow - buf.data()), encoded);
+
+    const std::uint8_t *fast = buf.data();
+    EXPECT_EQ(getVarintFast(fast), v);
+    // Both decoders must consume exactly the encoded bytes — a
+    // length disagreement silently desynchronizes a whole stream.
+    EXPECT_EQ(fast, slow);
+}
+
+} // namespace
+
+TEST(Varint, EveryEncodedLengthRoundTrips)
+{
+    // One value per encoded length 1..10: the k*7-bit boundaries on
+    // both sides. Length 9 is the first to take getVarintFast's
+    // byte-loop fallback; length 10 is the 64-bit maximum.
+    for (unsigned bits = 7; bits <= 63; bits += 7) {
+        expectVarintRoundTrip((std::uint64_t(1) << bits) - 1);
+        expectVarintRoundTrip(std::uint64_t(1) << bits);
+    }
+    expectVarintRoundTrip(0);
+    expectVarintRoundTrip(~std::uint64_t(0)); // 10 bytes, all bits
+}
+
+TEST(Varint, MaxLengthEncodingIsTenBytes)
+{
+    std::vector<std::uint8_t> buf;
+    putVarint(buf, ~std::uint64_t(0));
+    EXPECT_EQ(buf.size(), 10u);
+    // Continuation bit set on all but the final byte.
+    for (std::size_t i = 0; i + 1 < buf.size(); ++i)
+        EXPECT_TRUE(buf[i] & 0x80) << "byte " << i;
+    EXPECT_FALSE(buf.back() & 0x80);
+}
+
+TEST(Varint, FastDecoderMatchesSlowOnDenseStream)
+{
+    // A stream mixing every length class back to back, decoded by
+    // both decoders in lockstep. Catches any window-masking bug that
+    // a single-varint test would miss (the next varint's bytes are
+    // live data here, not padding).
+    std::vector<std::uint64_t> values;
+    for (unsigned bits = 0; bits < 64; ++bits) {
+        values.push_back((std::uint64_t(1) << bits) - 1);
+        values.push_back(std::uint64_t(1) << bits);
+        values.push_back((std::uint64_t(1) << bits) | 0x55);
+    }
+    std::vector<std::uint8_t> buf;
+    for (std::uint64_t v : values)
+        putVarint(buf, v);
+    buf.resize(buf.size() + kVarintPad, 0);
+
+    const std::uint8_t *slow = buf.data();
+    const std::uint8_t *fast = buf.data();
+    for (std::uint64_t v : values) {
+        EXPECT_EQ(getVarint(slow), v);
+        EXPECT_EQ(getVarintFast(fast), v);
+        EXPECT_EQ(fast, slow);
+    }
+}
+
+TEST(Varint, FastDecoderStaysInsidePaddedBuffer)
+{
+    // The fast decoder's contract: exactly kVarintPad zero bytes
+    // after the last varint suffice. Decode a stream whose final
+    // varint ends flush against the pad from a heap buffer sized to
+    // the byte — under ASan, any over-read past the pad faults.
+    std::vector<std::uint8_t> stream;
+    putVarint(stream, 1);               // 1-byte path
+    putVarint(stream, ~std::uint64_t(0)); // 10-byte fallback path
+    putVarint(stream, 0x80);            // 2-byte path, last varint
+    const std::size_t bytes = stream.size() + kVarintPad;
+    auto buf = std::make_unique<std::uint8_t[]>(bytes);
+    std::memcpy(buf.get(), stream.data(), stream.size());
+    std::memset(buf.get() + stream.size(), 0, kVarintPad);
+
+    const std::uint8_t *p = buf.get();
+    EXPECT_EQ(getVarintFast(p), 1u);
+    EXPECT_EQ(getVarintFast(p), ~std::uint64_t(0));
+    EXPECT_EQ(getVarintFast(p), 0x80u);
+    EXPECT_EQ(std::size_t(p - buf.get()), stream.size());
+}
+
+TEST(Varint, ZigzagExtremes)
+{
+    const std::int64_t cases[] = {
+        0,
+        1,
+        -1,
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::min() + 1,
+    };
+    for (std::int64_t d : cases) {
+        EXPECT_EQ(unzigzag(zigzag(d)), d) << d;
+        expectVarintRoundTrip(zigzag(d));
+    }
+    // Small magnitudes stay small — the property the delta encoding
+    // of the trace stores relies on for density.
+    EXPECT_EQ(zigzag(0), 0u);
+    EXPECT_EQ(zigzag(-1), 1u);
+    EXPECT_EQ(zigzag(1), 2u);
+    EXPECT_EQ(zigzag(-2), 3u);
 }

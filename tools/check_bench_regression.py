@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Perf regression gate over google-benchmark JSON output.
+
+Compares a freshly measured microbenchmark run against the committed
+baseline (bench/BENCH_baseline.json) and fails when any benchmark got
+more than --threshold slower after correcting for overall machine
+speed.
+
+Machine-speed correction: CI runners and developer machines differ in
+clock and cache by far more than any real regression, so raw times
+cannot be compared across hosts. A fixed anchor benchmark
+(--anchor, default BM_CacheAccess/32768: pure in-core cache-walk
+arithmetic, untouched by replay-path changes) measures the host's
+speed relative to the baseline host, and every comparison is scaled
+by that factor. The gate therefore tests "did this benchmark slow
+down relative to the others", which is host-independent.
+
+Benchmarks present in only one file are reported and skipped, so
+adding or renaming a benchmark does not require regenerating the
+baseline in the same commit (but regenerate it when benchmarks'
+workloads change meaning).
+
+Exit status: 0 when no benchmark regressed, 1 otherwise, 2 on bad
+input.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json
+        [--threshold 1.20] [--anchor BM_CacheAccess/32768]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_times(path):
+    """name -> real_time in ns from a google-benchmark JSON file."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    times = {}
+    for b in doc.get("benchmarks", []):
+        # Skip mean/median/stddev aggregate rows; with
+        # --benchmark_repetitions we take the minimum across the
+        # iteration rows ourselves. The minimum is the standard
+        # noise-robust estimator for a deterministic benchmark: other
+        # tenants and scheduler waves only ever add time.
+        if b.get("run_type") == "aggregate":
+            continue
+        ns = float(b["real_time"]) * unit_ns.get(
+            b.get("time_unit", "ns"), 1.0)
+        name = b.get("run_name", b["name"])
+        times[name] = min(ns, times.get(name, ns))
+    if not times:
+        sys.exit(f"error: no benchmarks in {path}")
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=1.20,
+                    help="fail when current > baseline * factor * "
+                         "threshold (default 1.20)")
+    ap.add_argument("--anchor", default="BM_CacheAccess/32768",
+                    help="machine-speed anchor benchmark name")
+    ap.add_argument("--skip", default=None, metavar="REGEX",
+                    help="skip benchmarks matching REGEX (e.g. "
+                         "multi-threaded arms whose wall time "
+                         "measures the host's core count, not the "
+                         "code)")
+    args = ap.parse_args()
+    skip = re.compile(args.skip) if args.skip else None
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+
+    factor = 1.0
+    if args.anchor in base and args.anchor in cur:
+        factor = cur[args.anchor] / base[args.anchor]
+        print(f"machine-speed factor ({args.anchor}): {factor:.3f}")
+    else:
+        print(f"warning: anchor {args.anchor} missing; comparing "
+              "raw times", file=sys.stderr)
+
+    regressed = []
+    print(f"{'benchmark':<28} {'base':>10} {'scaled':>10} "
+          f"{'current':>10} {'ratio':>7}")
+    for name in sorted(base):
+        if name == args.anchor:
+            continue
+        if skip and skip.search(name):
+            print(f"{name:<28} {'(skipped by --skip)':>40}")
+            continue
+        if name not in cur:
+            print(f"{name:<28} {'(missing from current run)':>40}")
+            continue
+        scaled = base[name] * factor
+        ratio = cur[name] / scaled
+        flag = " REGRESSED" if ratio > args.threshold else ""
+        print(f"{name:<28} {base[name]:>10.0f} {scaled:>10.0f} "
+              f"{cur[name]:>10.0f} {ratio:>7.2f}{flag}")
+        if ratio > args.threshold:
+            regressed.append((name, ratio))
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name:<28} {'(new; no baseline, skipped)':>40}")
+
+    if regressed:
+        print(f"\n{len(regressed)} benchmark(s) regressed beyond "
+              f"{args.threshold:.2f}x:", file=sys.stderr)
+        for name, ratio in regressed:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,7 +61,7 @@ usage(std::FILE *out)
         "  estimate <cell> [capacityMB]       circuit-estimate an LLC "
         "model\n"
         "  simulate <workload> <tech> [--fixed-area] [--threads N] "
-        "[--jobs N]\n"
+        "[--jobs N] [--shards N]\n"
         "           [--scale F] [--stats-out FILE] "
         "[--stats-format json|csv] [--progress]\n"
         "  characterize <workload|file.nvmt>  PRISM-style features\n"
@@ -71,17 +71,18 @@ usage(std::FILE *out)
         "[--wear-leveling A,B,..]\n"
         "           [--wear-scale X] [--max-retries N] [--scale F] "
         "[--fixed-area]\n"
-        "           [--threads N] [--jobs N] [--stats-out FILE] "
-        "[--stats-format json|csv]\n"
+        "           [--threads N] [--jobs N] [--shards N] "
+        "[--stats-out FILE] [--stats-format json|csv]\n"
         "           [--progress]        fault-injection sweep over "
         "all technologies\n"
         "  studies                            list registered studies "
         "with defaults\n"
-        "  study <kind> [key=value ..] [--jobs N] [--stats-out FILE]\n"
+        "  study <kind> [key=value ..] [--jobs N] [--shards N] "
+        "[--stats-out FILE]\n"
         "           [--stats-format json|csv] [--progress]   run one "
         "study, print JSON\n"
         "  serve --socket PATH [--queue-depth N] [--workers N] "
-        "[--jobs N]\n"
+        "[--jobs N] [--shards N]\n"
         "           persistent evaluation daemon (newline-delimited "
         "JSON protocol)\n"
         "  client --socket PATH <kind> [key=value ..] [--id X] "
@@ -92,6 +93,10 @@ usage(std::FILE *out)
         "--jobs N (or NVMCACHE_JOBS=N) caps the experiment engine's "
         "worker threads;\nthe default is the hardware thread count. "
         "Results are bit-identical at any\njob count.\n"
+        "--shards N (or NVMCACHE_SHARDS=N) splits each simulated "
+        "LLC's sets over N\nthreads inside one run (default 1). "
+        "Results are bit-identical at any shard\ncount; total "
+        "threads scale with jobs x shards.\n"
         "--stats-out FILE writes the structured run report "
         "(sim.*, runner.*,\nestimator.*, phase.* metrics); "
         "--stats-format picks json (default) or csv.\n"
@@ -208,6 +213,7 @@ cmdSimulate(ArgParser &parser)
     cfg.threads = parser.u32("--threads", 0);
     cfg.traceScale = parser.num("--scale", 1.0);
     const unsigned jobs = parser.u32("--jobs", 0);
+    const unsigned shards = parser.u32("--shards", 0);
     setProgressEnabled(parser.flag("--progress"));
     const std::string statsOut = parser.str("--stats-out", "");
     const std::string statsFormat = parser.str("--stats-format", "json");
@@ -222,6 +228,7 @@ cmdSimulate(ArgParser &parser)
 
     ExperimentRunner runner;
     runner.setJobs(jobs);
+    runner.setShards(shards);
     const CompareResult r = runCompare(cfg, runner);
     const LlcModel &llc = publishedLlcModel(cfg.tech, cfg.mode);
 
@@ -311,6 +318,7 @@ cmdReliability(ArgParser &parser)
                                            : CapacityMode::FixedCapacity;
     cfg.threads = parser.u32("--threads", 0);
     cfg.jobs = parser.u32("--jobs", 0);
+    cfg.shards = parser.u32("--shards", 0);
     cfg.traceScale = parser.num("--scale", 0.25);
     cfg.berScales = parser.numList("--ber-scale", cfg.berScales);
     cfg.wearLevelingFactors =
@@ -378,6 +386,7 @@ cmdStudy(ArgParser &parser)
 {
     StudyRunOptions opts;
     opts.jobs = parser.u32("--jobs", 0);
+    opts.shards = parser.u32("--shards", 0);
     setProgressEnabled(parser.flag("--progress"));
     const std::string statsOut = parser.str("--stats-out", "");
     const std::string statsFormat = parser.str("--stats-format", "json");
@@ -405,6 +414,7 @@ cmdServe(ArgParser &parser)
     cfg.queueDepth = parser.u32("--queue-depth", 16);
     cfg.workers = parser.u32("--workers", 2);
     cfg.jobs = parser.u32("--jobs", 0);
+    cfg.shards = parser.u32("--shards", 0);
     setProgressEnabled(parser.flag("--progress"));
     parser.rejectUnknown("serve");
     if (cfg.socketPath.empty())
