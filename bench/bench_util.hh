@@ -15,6 +15,7 @@
 #include "util/args.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
+#include "util/trace_events.hh"
 
 namespace nvmcache::bench {
 
@@ -32,6 +33,7 @@ struct HarnessOptions
     unsigned shards = 0; ///< 0 = engine default (NVMCACHE_SHARDS / 1)
     std::string statsOut;      ///< "" = no structured report
     StatsFormat statsFormat = StatsFormat::Json;
+    std::string traceOut;      ///< "" = tracing off
 
     static HarnessOptions
     parse(int argc, char **argv)
@@ -51,6 +53,9 @@ struct HarnessOptions
             o.statsOut = parser.str("--stats-out", "");
             o.statsFormat =
                 parseStatsFormat(parser.str("--stats-format", "json"));
+            o.traceOut = parser.str("--trace-out", "");
+            if (!o.traceOut.empty())
+                setTracingEnabled(true);
             if (parser.flag("--progress"))
                 setProgressEnabled(true);
         } catch (const std::exception &e) {
@@ -68,6 +73,7 @@ struct HarnessOptions
     void
     writeStats(const StatsSnapshot &studyAggregate = {}) const
     {
+        writeTrace(); // every harness ends here; piggyback the dump
         if (statsOut.empty())
             return;
         StatsSnapshot report = MetricsRegistry::global().snapshot();
@@ -75,6 +81,17 @@ struct HarnessOptions
         writeStatsFile(statsOut, report, statsFormat);
         std::fprintf(stderr, "stats written to %s\n",
                      statsOut.c_str());
+    }
+
+    /** Dump the collected span/counter trace if --trace-out was given. */
+    void
+    writeTrace() const
+    {
+        if (traceOut.empty())
+            return;
+        writeTraceFile(traceOut);
+        std::fprintf(stderr, "trace written to %s\n",
+                     traceOut.c_str());
     }
 };
 

@@ -9,6 +9,7 @@
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/parallel.hh"
+#include "util/trace_events.hh"
 
 namespace nvmcache {
 
@@ -349,6 +350,10 @@ ExperimentRunner::recordedTrace(const GeneratorConfig &gen,
         std::shared_ptr<const RecordedTrace> trace;
         {
             PhaseTimer timer("runner.recordSeconds");
+            // Self-contained id: trace recording ownership races the
+            // same way runs do (see traceRunId).
+            TraceSpan span("runner.record", "engine",
+                           "trace/" + traceHashId(key));
             trace = RecordedTrace::record(gen, threads);
         }
         const std::uint64_t total =
@@ -393,6 +398,8 @@ ExperimentRunner::privateTrace(const GeneratorConfig &gen,
         std::shared_ptr<const PrivateTrace> priv;
         {
             PhaseTimer timer("runner.recordPrivateSeconds");
+            TraceSpan span("runner.recordPrivate", "engine",
+                           "ptrace/" + traceHashId(key));
             priv = PrivateTrace::record(ptrs, base_.core);
         }
         const std::uint64_t total =
@@ -436,6 +443,28 @@ ExperimentRunner::simulateUncached(const BenchmarkSpec &spec,
     return system.runReplay(ptrs, priv.get());
 }
 
+namespace {
+
+/**
+ * Deterministic trace id of one simulation. Self-contained (not
+ * derived from the caller's context path) on purpose: under jobs>1
+ * which caller becomes the memo owner is a race, so the span must
+ * carry an id that is identical no matter who wins.
+ */
+std::string
+traceRunId(const BenchmarkSpec &spec, const LlcModel &llc,
+           std::uint32_t threads, const FaultConfig &faults)
+{
+    std::string id = "run/" + spec.name + "/" + llc.name + "/c" +
+                     std::to_string(llc.capacityBytes >> 20) + "/t" +
+                     std::to_string(threads);
+    if (faults.enabled)
+        id += "/f" + traceHashId(faultConfigKey(faults));
+    return id;
+}
+
+} // namespace
+
 SimStats
 ExperimentRunner::runOne(const BenchmarkSpec &spec, const LlcModel &llc,
                          std::uint32_t threads) const
@@ -466,11 +495,26 @@ ExperimentRunner::runOne(const BenchmarkSpec &spec, const LlcModel &llc,
             memo_->gBaselines.inc();
         }
         PhaseTimer timer("runner.simulateSeconds");
+        // The run scope REPLACES the caller's path (instead of
+        // extending it) so the simulation's spans read the same
+        // whichever racing caller won ownership.
+        const std::string runId =
+            tracingEnabled()
+                ? traceRunId(spec, llc, threads, base_.llc.faults)
+                : std::string();
+        TraceScope scope(
+            TraceContext{runId, TraceContext::current().traceId});
+        TraceSpan span("runner.simulate", "engine", runId);
         entry->promise.set_value(
             simulateUncached(spec, llc, threads));
     } else {
         memo_->memoHits.fetch_add(1, std::memory_order_relaxed);
         memo_->gMemoHits.inc();
+        if (tracingEnabled())
+            traceInstant(
+                "runner.memoHit", "engine",
+                traceRunId(spec, llc, threads, base_.llc.faults) +
+                    "/hit");
     }
     return entry->future.get();
 }

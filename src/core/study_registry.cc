@@ -5,6 +5,7 @@
 
 #include "nvm/cell.hh"
 #include "util/args.hh"
+#include "util/trace_events.hh"
 #include "workload/suite.hh"
 
 namespace nvmcache {
@@ -696,7 +697,15 @@ runStudy(Study &study, const StudyRunOptions &opts)
     ExperimentRunner runner = pool->acquire();
     runner.setJobs(opts.jobs);
     runner.setShards(opts.shards);
-    study.run(runner);
+    TraceScope scope(
+        TraceContext::current().child("study/" + study.name()));
+    {
+        TraceSpan span("study.run", "study",
+                       TraceContext::current().path);
+        study.run(runner);
+    }
+    TraceSpan span("study.report", "study",
+                   TraceContext::current().path + "/report");
     return study.report();
 }
 

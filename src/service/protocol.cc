@@ -22,6 +22,28 @@ parseServiceRequest(const std::string &line)
             "request needs an \"op\" (or a \"study\" to run)");
     if (req.op == "run")
         req.study = StudyRequest::fromJson(v);
+    if (const JsonValue *tid = v.find("traceId")) {
+        // Accept both the echoed "t<N>" string and a bare number.
+        if (tid->isString()) {
+            const std::string &s = tid->string;
+            const std::size_t start = s.starts_with("t") ? 1 : 0;
+            std::uint64_t n = 0;
+            if (start >= s.size())
+                throw std::runtime_error("bad traceId '" + s + "'");
+            for (std::size_t i = start; i < s.size(); ++i) {
+                if (s[i] < '0' || s[i] > '9')
+                    throw std::runtime_error("bad traceId '" + s +
+                                             "'");
+                n = n * 10 + std::uint64_t(s[i] - '0');
+            }
+            req.traceId = n;
+        } else if (tid->isNumber()) {
+            req.traceId = std::uint64_t(tid->number);
+        } else {
+            throw std::runtime_error(
+                "traceId must be a string or number");
+        }
+    }
     return req;
 }
 

@@ -13,6 +13,11 @@
  *   {"op":"ping"}            liveness probe
  *   {"op":"studies"}         registry listing with default configs
  *   {"op":"metrics"}         server-side engine/service metrics
+ *   {"op":"stats"}           Prometheus text exposition of the same
+ *   {"op":"health"}          uptime, queue depth, per-verb counters
+ *   {"op":"trace"}           collected trace events; an optional
+ *                            "traceId" member ("t7" or 7) filters to
+ *                            one request's spans
  *   {"op":"shutdown"}        acknowledge, then drain and exit
  * "op" defaults to "run" when a "study" member is present. Params
  * values may be strings, numbers, or bools.
@@ -20,14 +25,18 @@
  * Responses (one object per request):
  *   {"id":"r1","ok":true,"study":"figure","coalesced":false,
  *    "queueDepth":0,"queueSeconds":...,"runSeconds":...,
+ *    "traceId":"t7",
  *    "metrics":{"runner.memo.hits":...},"result":{...}}
  *   {"id":"r1","ok":false,"error":"...","rejected":true}
  * "rejected" marks admission-control refusals (queue full, draining):
  * the request was never queued and can be retried elsewhere/later.
  * "metrics" is the delta of the engine's runner.* stats over the
  * execution — a warm request shows memo hits and zero simulations.
- * "result" is deterministic: byte-identical to the same study run
- * through the direct CLI path.
+ * "traceId" names the server-side trace of this execution (coalesced
+ * requests share the winning execution's id); pass it back in an
+ * {"op":"trace"} request to pull that run's span dump while tracing
+ * is enabled. "result" is deterministic: byte-identical to the same
+ * study run through the direct CLI path.
  */
 
 #ifndef NVMCACHE_SERVICE_PROTOCOL_HH
@@ -44,9 +53,11 @@ namespace nvmcache {
 /** One parsed protocol request. */
 struct ServiceRequest
 {
-    std::string op; ///< "run", "ping", "studies", "metrics", "shutdown"
+    std::string op; ///< "run", "ping", "studies", "metrics", "stats",
+                    ///< "health", "trace", "shutdown"
     std::string id; ///< client-chosen, echoed verbatim ("" allowed)
-    StudyRequest study; ///< op == "run" only
+    StudyRequest study;         ///< op == "run" only
+    std::uint64_t traceId = 0;  ///< op == "trace" filter (0 = all)
 };
 
 /**

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "util/metrics.hh"
+#include "util/trace_events.hh"
 
 namespace nvmcache {
 
@@ -78,7 +79,11 @@ EvalServer::start()
 {
     listenFd_ = bindUnixSocket(cfg_.socketPath);
     running_.store(true);
+    startTime_ = std::chrono::steady_clock::now();
+    if (cfg_.trace || !cfg_.traceOut.empty())
+        setTracingEnabled(true);
     MetricsRegistry::global().gauge("service.queueDepth").set(0.0);
+    MetricsRegistry::global().gauge("service.uptimeSeconds").set(0.0);
     for (unsigned i = 0; i < cfg_.workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
     acceptThread_ = std::thread([this] { acceptLoop(); });
@@ -183,13 +188,29 @@ void
 EvalServer::handleLine(const std::shared_ptr<Conn> &conn,
                        const std::string &line)
 {
+    MetricsRegistry &metrics = MetricsRegistry::global();
     ServiceRequest req;
     try {
         req = parseServiceRequest(line);
     } catch (const std::exception &e) {
+        metrics.counter("service.requests.invalid").inc();
         respond(conn, errorResponse("", e.what()));
         return;
     }
+
+    // Per-verb request counters; anything outside the protocol's verb
+    // set lands in one "unknown" bucket so a misbehaving client can't
+    // mint unbounded metric paths.
+    static const char *const kOps[] = {"ping",  "studies", "metrics",
+                                       "stats", "health",  "trace",
+                                       "shutdown", "run"};
+    bool known = false;
+    for (const char *op : kOps)
+        known = known || req.op == op;
+    metrics
+        .counter("service.requests." +
+                 (known ? req.op : std::string("unknown")))
+        .inc();
 
     if (req.op == "ping") {
         JsonValue v = JsonValue::makeObject();
@@ -209,6 +230,53 @@ EvalServer::handleLine(const std::shared_ptr<Conn> &conn,
         v.set("ok", JsonValue::makeBool(true));
         v.set("metrics",
               snapshotToJson(MetricsRegistry::global().snapshot()));
+        respond(conn, v);
+    } else if (req.op == "stats") {
+        // Prometheus text exposition of the full registry, carried as
+        // one JSON string so the line framing holds; a scrape adapter
+        // just unwraps "stats".
+        metrics.gauge("service.uptimeSeconds")
+            .set(secondsSince(startTime_));
+        JsonValue v = JsonValue::makeObject();
+        v.set("id", JsonValue::makeString(req.id));
+        v.set("ok", JsonValue::makeBool(true));
+        v.set("contentType", JsonValue::makeString(
+                                 "text/plain; version=0.0.4"));
+        v.set("stats", JsonValue::makeString(
+                           metrics.snapshot().toPrometheus()));
+        respond(conn, v);
+    } else if (req.op == "health") {
+        metrics.gauge("service.uptimeSeconds")
+            .set(secondsSince(startTime_));
+        std::size_t depth;
+        {
+            std::lock_guard<std::mutex> lk(queueMu_);
+            depth = queue_.size();
+        }
+        JsonValue h = JsonValue::makeObject();
+        h.set("uptimeSeconds",
+              JsonValue::makeNumber(secondsSince(startTime_)));
+        h.set("queueDepth", JsonValue::makeNumber(double(depth)));
+        h.set("queueCapacity",
+              JsonValue::makeNumber(double(cfg_.queueDepth)));
+        h.set("workers", JsonValue::makeNumber(double(cfg_.workers)));
+        h.set("runnerPoolSize",
+              JsonValue::makeNumber(double(pool_.size())));
+        h.set("draining", JsonValue::makeBool(stopping_.load()));
+        h.set("tracing", JsonValue::makeBool(tracingEnabled()));
+        h.set("requests", snapshotToJson(metrics.snapshot(),
+                                         "service.requests."));
+        JsonValue v = JsonValue::makeObject();
+        v.set("id", JsonValue::makeString(req.id));
+        v.set("ok", JsonValue::makeBool(true));
+        v.set("health", std::move(h));
+        respond(conn, v);
+    } else if (req.op == "trace") {
+        JsonValue v = JsonValue::makeObject();
+        v.set("id", JsonValue::makeString(req.id));
+        v.set("ok", JsonValue::makeBool(true));
+        v.set("tracing", JsonValue::makeBool(tracingEnabled()));
+        v.set("trace", traceEventsToJson(req.traceId));
         respond(conn, v);
     } else if (req.op == "shutdown") {
         JsonValue v = JsonValue::makeObject();
@@ -283,6 +351,7 @@ EvalServer::handleRun(const std::shared_ptr<Conn> &conn,
         exec->study = std::move(study);
         exec->queueDepthAtEnqueue = queue_.size();
         exec->shards = shards;
+        exec->traceId = newTraceId();
         exec->waiters.push_back(std::move(waiter));
         inflight_.emplace(key, exec);
         queue_.push_back(std::move(exec));
@@ -322,9 +391,18 @@ EvalServer::runExecution(const std::shared_ptr<Execution> &exec)
     MetricsRegistry &metrics = MetricsRegistry::global();
     const auto runStart = std::chrono::steady_clock::now();
 
+    const std::string traceTag =
+        "t" + std::to_string(exec->traceId);
+
     JsonValue response = JsonValue::makeObject();
     bool ok = true;
     try {
+        // Every span of this execution carries the request's trace id,
+        // so {"op":"trace","traceId":"t<N>"} recovers just this run.
+        TraceScope scope(
+            TraceContext{"req/" + traceTag, exec->traceId});
+        TraceSpan span("service.run", "service",
+                       TraceContext::current().path);
         StudyRunOptions opts;
         opts.jobs = cfg_.jobs;
         opts.shards = exec->shards;
@@ -341,6 +419,7 @@ EvalServer::runExecution(const std::shared_ptr<Execution> &exec)
         response.set("ok", JsonValue::makeBool(false));
         response.set("error", JsonValue::makeString(e.what()));
     }
+    response.set("traceId", JsonValue::makeString(traceTag));
     const double runSeconds = secondsSince(runStart);
     metrics.distribution("service.runSeconds").add(runSeconds);
     metrics.counter(ok ? "service.completed" : "service.failed").inc();
@@ -400,6 +479,8 @@ serveMain(ServeConfig cfg)
     EvalServer server(cfg);
     server.start();
     server.wait();
+    if (!cfg.traceOut.empty())
+        writeTraceFile(cfg.traceOut);
     return 0;
 }
 

@@ -66,6 +66,11 @@ struct ServeConfig
      * the same graceful drain as a shutdown request.
      */
     const volatile std::sig_atomic_t *externalStop = nullptr;
+    /** Enable trace collection for the daemon's lifetime. */
+    bool trace = false;
+    /** When non-empty: enable tracing and write the collected trace
+        here after the drain completes. */
+    std::string traceOut;
 };
 
 class EvalServer
@@ -122,7 +127,8 @@ class EvalServer
         std::vector<Waiter> waiters;  ///< guarded by queueMu_
         std::size_t queueDepthAtEnqueue = 0;
         unsigned shards = 0; ///< resolved execution knob
-
+        /** Server-side trace id; echoed as "t<N>" to every waiter. */
+        std::uint64_t traceId = 0;
     };
 
     void acceptLoop();
@@ -140,6 +146,7 @@ class EvalServer
     int listenFd_ = -1;
     std::atomic<bool> stopping_{false};
     std::atomic<bool> running_{false};
+    std::chrono::steady_clock::time_point startTime_;
 
     RunnerPool pool_;
 

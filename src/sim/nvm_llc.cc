@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/trace_events.hh"
 
 namespace nvmcache {
 
@@ -14,6 +15,13 @@ toCycles(double seconds, double freq)
 {
     return std::uint64_t(std::max(1.0, std::ceil(seconds * freq)));
 }
+
+/**
+ * Simulated cycles between sim-channel counter samples: coarse
+ * enough that traces of multi-million-cycle runs stay small, fine
+ * enough to show wear/retirement progression within one run.
+ */
+constexpr std::uint64_t kSimSampleInterval = std::uint64_t(1) << 18;
 
 } // namespace
 
@@ -36,6 +44,14 @@ SharedLlc::SharedLlc(const LlcModel &model, const Config &cfg,
         injector_ = std::make_unique<FaultInjector>(
             cfg_.faults, model_.klass, tags_.geometry().numLines(),
             cfg_.blockBytes);
+    if (tracingEnabled()) {
+        simChan_ = std::make_unique<SimChannel>();
+        // The constructing thread runs under the owning run's scope
+        // (ExperimentRunner installs it before simulating), so the
+        // ambient context names this LLC's counter tracks.
+        simChan_->runId = TraceContext::current().path + "/llc";
+        simChan_->traceId = TraceContext::current().traceId;
+    }
 }
 
 std::uint32_t
@@ -176,6 +192,8 @@ LlcReadOutcome
 SharedLlc::finishRead(const LlcDecision &d, std::uint64_t addr,
                       std::uint64_t now)
 {
+    if (simChan_)
+        simChannelRead(d, now);
     LlcReadOutcome out;
     const std::uint32_t bank = bankOf(addr);
 
@@ -279,6 +297,8 @@ LlcWritebackOutcome
 SharedLlc::finishWriteback(const LlcDecision &d, std::uint64_t addr,
                            std::uint64_t now)
 {
+    if (simChan_)
+        simChannelWriteback(d, now);
     LlcWritebackOutcome out;
     if (d.bypassed || d.noWay) {
         stats_.missEnergy += model_.eMiss;
@@ -310,6 +330,65 @@ SharedLlc::writeback(std::uint64_t addr, std::uint64_t now)
         injector_->tick(tags_.liveLines());
     const LlcDecision d = classifyWriteback(addr);
     return finishWriteback(d, addr, now);
+}
+
+// --- simulated-time trace channel ------------------------------------
+
+void
+SharedLlc::simChannelRead(const LlcDecision &d, std::uint64_t now)
+{
+    SimChannel &ch = *simChan_;
+    ++ch.reads;
+    if (!d.hit || d.lineLost)
+        ++ch.misses;
+    ch.retries += d.retries;
+    ch.scrubs += (d.writeScrubbed ? 1u : 0u) +
+                 (d.readScrubbed ? 1u : 0u);
+    ch.retirements += d.retirements;
+    if (!d.hit && !d.noWay)
+        ++ch.arrayWrites; // miss fill
+    if (now >= ch.nextSample)
+        simChannelSample(now);
+}
+
+void
+SharedLlc::simChannelWriteback(const LlcDecision &d, std::uint64_t now)
+{
+    SimChannel &ch = *simChan_;
+    ++ch.writebacks;
+    ch.retries += d.retries;
+    ch.scrubs += d.writeScrubbed ? 1u : 0u;
+    ch.retirements += d.retirements;
+    if (!d.bypassed && !d.noWay)
+        ++ch.arrayWrites;
+    if (now >= ch.nextSample)
+        simChannelSample(now);
+}
+
+void
+SharedLlc::simChannelSample(std::uint64_t now)
+{
+    SimChannel &ch = *simChan_;
+    traceSimCounter("llc.demandMisses", ch.runId, now,
+                    double(ch.misses));
+    traceSimCounter("llc.writebacks", ch.runId, now,
+                    double(ch.writebacks));
+    traceSimCounter("llc.writeRetries", ch.runId, now,
+                    double(ch.retries));
+    traceSimCounter("llc.scrubs", ch.runId, now, double(ch.scrubs));
+    traceSimCounter("llc.retiredLines", ch.runId, now,
+                    double(ch.retirements));
+    traceSimCounter("llc.wearWritesPerLine", ch.runId, now,
+                    double(ch.arrayWrites) /
+                        double(tags_.geometry().numLines()));
+    ch.nextSample = now + kSimSampleInterval;
+}
+
+void
+SharedLlc::traceSimFinal(std::uint64_t now)
+{
+    if (simChan_)
+        simChannelSample(now);
 }
 
 void

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nvsim/llc_model.hh"
@@ -227,7 +228,41 @@ class SharedLlc
     void exportStats(MetricsRegistry &reg,
                      const std::string &prefix) const;
 
+    /**
+     * Emit the simulated-time channel's closing counter samples at
+     * cycle @p now (no-op when tracing was off at construction).
+     */
+    void traceSimFinal(std::uint64_t now);
+
   private:
+    /**
+     * Simulated-time trace channel (present only when tracing was
+     * enabled at construction): periodic counter samples of LLC
+     * events against simulated cycles. Keeps its own cumulative
+     * counters fed exclusively from the finish* entry points —
+     * during sharded replay the stats_ counters accumulate on the
+     * shard instances until absorbShard(), so sampling them here
+     * would undercount; finish* always runs in global order on the
+     * reporting instance with identical decisions on every path,
+     * which keeps the channel deterministic at any shard count.
+     */
+    struct SimChannel
+    {
+        std::string runId;         ///< counter-track id (run path)
+        std::uint64_t traceId = 0;
+        std::uint64_t nextSample = 0;
+        std::uint64_t reads = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t writebacks = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t scrubs = 0;
+        std::uint64_t retirements = 0;
+        std::uint64_t arrayWrites = 0;
+    };
+
+    void simChannelRead(const LlcDecision &d, std::uint64_t now);
+    void simChannelWriteback(const LlcDecision &d, std::uint64_t now);
+    void simChannelSample(std::uint64_t now);
     std::uint32_t bankOf(std::uint64_t addr) const;
 
     /**
@@ -266,6 +301,9 @@ class SharedLlc
 
     /** Present only when cfg_.faults.enabled. */
     std::unique_ptr<FaultInjector> injector_;
+
+    /** Present only when tracing was enabled at construction. */
+    std::unique_ptr<SimChannel> simChan_;
 
     LlcStats stats_;
     LocalDistribution writeStallDist_; ///< stall cycles/writeback

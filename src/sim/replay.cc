@@ -42,6 +42,7 @@
 
 #include "util/logging.hh"
 #include "util/parallel.hh"
+#include "util/trace_events.hh"
 
 namespace nvmcache {
 
@@ -111,12 +112,23 @@ System::runReplay(const std::vector<ReplaySource *> &sources,
         // be precomputed; the min-local-time scheduler handles it
         // (and reports any source/recording mismatch).
         greg.counter("sim.replay.runs.fallback").inc(1);
+        if (tracingEnabled())
+            traceInstant("replay.fallback", "engine",
+                         TraceContext::current().path + "/replay");
         std::vector<BatchSource *> batch(sources.begin(),
                                          sources.end());
         return run(batch, privateTrace);
     }
 
     const auto t0 = std::chrono::steady_clock::now();
+
+    // One "replay.run" span covers the whole kernel; the per-block
+    // classify/timing spans below (category "replay") exist only on
+    // the sharded path — they describe host-side execution structure
+    // and are the single shard-dependent trace category.
+    const TraceContext traceCtx = TraceContext::current();
+    const std::string traceBase = traceCtx.path + "/replay";
+    TraceSpan runSpan("replay.run", "engine", traceBase);
 
     const std::uint64_t numSets = llc_->geometry().numSets();
     std::uint32_t S = cfg_.shards ? cfg_.shards : defaultShards();
@@ -259,19 +271,33 @@ System::runReplay(const std::vector<ReplaySource *> &sources,
                          (llc_->setIndexOf(ops[k].addr) * S) >>
                          setBits)]
                 .push_back(k);
-        std::vector<std::future<void>> done;
-        done.reserve(S);
-        for (std::uint32_t s = 0; s < S; ++s)
-            done.push_back(pool->submit([&, s]() {
-                classifyOps(*classifier[s], ops,
-                            shardOps[s].data(),
-                            shardOps[s].size());
-            }));
-        for (std::future<void> &f : done)
-            f.get();
+        const std::string blockId =
+            tracingEnabled()
+                ? traceBase + "/b" + std::to_string(blocks - 1)
+                : std::string();
+        {
+            TraceSpan classifySpan("replay.classify", "replay",
+                                   blockId);
+            std::vector<std::future<void>> done;
+            done.reserve(S);
+            for (std::uint32_t s = 0; s < S; ++s)
+                done.push_back(pool->submit([&, s]() {
+                    TraceScope scope(TraceContext{
+                        blockId + "/s" + std::to_string(s),
+                        traceCtx.traceId});
+                    TraceSpan span("replay.classify.shard", "replay",
+                                   TraceContext::current().path);
+                    classifyOps(*classifier[s], ops,
+                                shardOps[s].data(),
+                                shardOps[s].size());
+                }));
+            for (std::future<void> &f : done)
+                f.get();
+        }
 
         // Timing pass, in global access order: replayStep's exact
         // arithmetic with the classification verdicts precomputed.
+        TraceSpan timingSpan("replay.timing", "replay", blockId);
         std::uint32_t opIdx = 0;
         for (std::uint32_t i = 0; i < n; ++i) {
             core.advanceIssue(tb.gap[i]);

@@ -270,6 +270,9 @@ System::collectStats(std::size_t numThreads,
         stats.cycles = std::max(stats.cycles, cores_[i].cycle());
     }
     stats.seconds = stats.cycles / cfg_.frequency;
+    // Close the simulated-time trace channel with a final sample at
+    // the run's end cycle (no-op when tracing is off).
+    llc_->traceSimFinal(std::uint64_t(stats.cycles));
     stats.llc = llc_->stats();
     stats.dramReads = dram_->reads();
     stats.dramWrites = dram_->writes();

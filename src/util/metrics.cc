@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -30,6 +31,33 @@ DistributionSnapshot::stdev() const
     if (count < 2)
         return 0.0;
     return std::sqrt(std::max(0.0, m2) / double(count));
+}
+
+double
+DistributionSnapshot::percentile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return minimum;
+    if (q >= 1.0)
+        return maximum;
+    // Rank of the requested quantile among the count samples, then a
+    // cumulative walk to the bucket holding that rank.
+    const double rank = q * double(count);
+    double below = 0.0;
+    for (const auto &[bucket, n] : buckets) {
+        const double above = below + double(n);
+        if (rank <= above) {
+            const double low = Distribution::bucketLow(bucket);
+            const double high = Distribution::bucketHigh(bucket);
+            const double frac = (rank - below) / double(n);
+            const double est = low + frac * (high - low);
+            return std::min(maximum, std::max(minimum, est));
+        }
+        below = above;
+    }
+    return maximum;
 }
 
 StatValue
@@ -274,6 +302,12 @@ distToJson(std::ostringstream &os, const DistributionSnapshot &d,
     os << in2 << "\"max\": " << numberToJson(d.maximum) << ",\n";
     os << in2 << "\"mean\": " << numberToJson(d.mean) << ",\n";
     os << in2 << "\"stdev\": " << numberToJson(d.stdev()) << ",\n";
+    os << in2 << "\"p50\": " << numberToJson(d.percentile(0.50))
+       << ",\n";
+    os << in2 << "\"p95\": " << numberToJson(d.percentile(0.95))
+       << ",\n";
+    os << in2 << "\"p99\": " << numberToJson(d.percentile(0.99))
+       << ",\n";
     os << in2 << "\"buckets\": [";
     bool first = true;
     for (const auto &[bucket, n] : d.buckets) {
@@ -550,7 +584,7 @@ std::string
 StatsSnapshot::toCsv() const
 {
     std::ostringstream os;
-    os << "path,kind,value,count,sum,min,max,mean,stdev\n";
+    os << "path,kind,value,count,sum,min,max,mean,stdev,p50,p95,p99\n";
     for (const auto &[path, value] : entries) {
         os << csvField(path) << "," << toString(value.kind) << ",";
         if (value.kind == StatKind::Distribution) {
@@ -559,9 +593,12 @@ StatsSnapshot::toCsv() const
                << numberToJson(d.minimum) << ","
                << numberToJson(d.maximum) << ","
                << numberToJson(d.mean) << ","
-               << numberToJson(d.stdev());
+               << numberToJson(d.stdev()) << ","
+               << numberToJson(d.percentile(0.50)) << ","
+               << numberToJson(d.percentile(0.95)) << ","
+               << numberToJson(d.percentile(0.99));
         } else {
-            os << scalarToJson(value) << ",,,,,,";
+            os << scalarToJson(value) << ",,,,,,,,,";
         }
         os << "\n";
     }
@@ -577,10 +614,84 @@ StatsSnapshot::toPrettyTree() const
     return os.str();
 }
 
+namespace {
+
+/** Dotted path -> Prometheus metric name under @p prefix. */
+std::string
+promName(const std::string &prefix, const std::string &path)
+{
+    std::string out = prefix.empty() ? "" : prefix + "_";
+    for (char c : path) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9');
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+/** Sample value in Prometheus syntax (Inf/NaN have literals here). */
+std::string
+promNumber(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    return numberToJson(v);
+}
+
+} // namespace
+
+std::string
+StatsSnapshot::toPrometheus(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[path, value] : entries) {
+        const std::string name = promName(prefix, path);
+        switch (value.kind) {
+          case StatKind::Counter:
+            os << "# TYPE " << name << " counter\n";
+            os << name << " " << scalarToJson(value) << "\n";
+            break;
+          case StatKind::Gauge:
+            os << "# TYPE " << name << " gauge\n";
+            os << name << " " << promNumber(value.scalar) << "\n";
+            break;
+          case StatKind::Distribution: {
+            const DistributionSnapshot &d = value.dist;
+            os << "# TYPE " << name << " summary\n";
+            for (double q : {0.5, 0.95, 0.99})
+                os << name << "{quantile=\"" << numberToJson(q)
+                   << "\"} " << promNumber(d.percentile(q)) << "\n";
+            os << name << "_sum " << promNumber(d.sum) << "\n";
+            os << name << "_count " << d.count << "\n";
+            break;
+          }
+        }
+    }
+    return os.str();
+}
+
+void
+ensureParentDir(const std::string &path)
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec)
+        fatal("cannot create directory '", parent.string(),
+              "' for output file '", path, "': ", ec.message());
+}
+
 void
 writeStatsFile(const std::string &path, const StatsSnapshot &snap,
                StatsFormat format)
 {
+    ensureParentDir(path);
     std::ofstream out(path);
     if (!out)
         fatal("cannot open stats output file '", path, "'");

@@ -70,6 +70,14 @@ struct DistributionSnapshot
 
     double stdev() const;
 
+    /**
+     * Estimated @p q-quantile (q in [0,1]) by cumulative walk of the
+     * log-2 buckets with linear interpolation inside the crossing
+     * bucket, clamped to the observed [minimum, maximum]. 0 when the
+     * distribution is empty.
+     */
+    double percentile(double q) const;
+
     bool operator==(const DistributionSnapshot &) const = default;
 };
 
@@ -259,13 +267,27 @@ class StatsSnapshot
 
     /** Nested pretty-printed JSON tree. */
     std::string toJson() const;
-    /** Flat CSV: path,kind,value,count,sum,min,max,mean,stdev. */
+    /** Flat CSV: path,kind,value,count,sum,min,max,mean,stdev,p50,p95,p99. */
     std::string toCsv() const;
     /** Indented console tree. */
     std::string toPrettyTree() const;
+    /**
+     * Prometheus text exposition (text/plain version 0.0.4): dotted
+     * paths become underscore-joined metric names under @p prefix,
+     * counters/gauges one sample each, distributions a summary
+     * (quantile-labeled samples plus _sum and _count).
+     */
+    std::string toPrometheus(const std::string &prefix = "nvmcache") const;
 
     bool operator==(const StatsSnapshot &) const = default;
 };
+
+/**
+ * Create @p path's missing parent directories, fatal with both the
+ * directory and the requested file named when creation fails. Shared
+ * by every --stats-out / --trace-out style writer.
+ */
+void ensureParentDir(const std::string &path);
 
 /** Write a report to @p path in @p format (fatal on I/O failure). */
 void writeStatsFile(const std::string &path, const StatsSnapshot &snap,

@@ -31,6 +31,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/trace_events.hh"
+
 namespace nvmcache {
 
 /**
@@ -125,9 +127,17 @@ parallelMap(unsigned jobs, const std::vector<T> &items, Fn fn)
     std::vector<R> results;
     results.reserve(items.size());
 
+    // Jobs run under the caller's trace context on both paths below:
+    // TraceTaskScope installs the identical per-index child context
+    // inline and on the pool, so a trace's semantic content does not
+    // depend on the job count.
+    const TraceContext traceParent = TraceContext::current();
+
     if (jobs <= 1 || items.size() <= 1) {
-        for (const T &item : items)
-            results.push_back(fn(item));
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            TraceTaskScope task(traceParent, i);
+            results.push_back(fn(items[i]));
+        }
         return results;
     }
 
@@ -136,10 +146,12 @@ parallelMap(unsigned jobs, const std::vector<T> &items, Fn fn)
         ThreadPool pool(std::min<std::size_t>(jobs, items.size()));
         std::vector<std::future<R>> futures;
         futures.reserve(items.size());
-        for (const T &item : items)
-            futures.push_back(pool.submit([&fn, &item]() {
-                return fn(item);
-            }));
+        for (std::size_t i = 0; i < items.size(); ++i)
+            futures.push_back(
+                pool.submit([&fn, &item = items[i], traceParent, i]() {
+                    TraceTaskScope task(traceParent, i);
+                    return fn(item);
+                }));
         // Drain every future (in order) even if one throws, so the
         // pool never destructs with tasks still touching caller
         // state; every failure is collected and reported together.

@@ -14,6 +14,9 @@
 #include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -362,6 +365,60 @@ TEST(MetricsSnapshot, WithPrefixRewritesEveryPath)
     EXPECT_EQ(p.entries.size(), 2u);
 }
 
+// --- percentiles -----------------------------------------------------
+
+TEST(MetricsPercentile, ExactForUniformStream)
+{
+    Distribution d;
+    for (int i = 1; i <= 1000; ++i)
+        d.add(double(i));
+    const DistributionSnapshot s = d.snapshot();
+    // Log-2 bucket interpolation: the estimate lands inside the
+    // bucket holding the true rank, i.e. within a factor of 2.
+    const double p50 = s.percentile(0.50);
+    const double p95 = s.percentile(0.95);
+    const double p99 = s.percentile(0.99);
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1024.0);
+    EXPECT_GE(p95, 512.0);
+    EXPECT_LE(p95, 1000.0);
+    EXPECT_GE(p99, p95);
+    EXPECT_LE(p99, s.maximum);
+    EXPECT_LE(p50, p95);
+}
+
+TEST(MetricsPercentile, ClampedToObservedRange)
+{
+    Distribution d;
+    d.add(5.0);
+    d.add(6.0);
+    d.add(7.0);
+    const DistributionSnapshot s = d.snapshot();
+    // All three fall in bucket [4,8); interpolation must never
+    // escape [min, max].
+    for (double q : {0.0, 0.01, 0.5, 0.95, 0.99, 1.0}) {
+        EXPECT_GE(s.percentile(q), 5.0) << q;
+        EXPECT_LE(s.percentile(q), 7.0) << q;
+    }
+    EXPECT_EQ(s.percentile(0.0), 5.0);
+    EXPECT_EQ(s.percentile(1.0), 7.0);
+}
+
+TEST(MetricsPercentile, EmptyDistributionIsZero)
+{
+    const DistributionSnapshot s = Distribution().snapshot();
+    EXPECT_EQ(s.percentile(0.5), 0.0);
+}
+
+TEST(MetricsPercentile, SingleValueIsThatValue)
+{
+    Distribution d;
+    d.add(42.0);
+    const DistributionSnapshot s = d.snapshot();
+    EXPECT_EQ(s.percentile(0.5), 42.0);
+    EXPECT_EQ(s.percentile(0.99), 42.0);
+}
+
 // --- exporters -------------------------------------------------------
 
 TEST(MetricsJson, EscapesControlAndQuoteCharacters)
@@ -414,10 +471,84 @@ TEST(MetricsCsv, OneRowPerPathWithHeader)
     reg.counter("a.hits").inc(2);
     reg.distribution("b.lat").add(4.0);
     const std::string csv = reg.snapshot().toCsv();
-    EXPECT_NE(csv.find("path,kind,value,count,sum,min,max,mean,stdev"),
+    EXPECT_NE(csv.find("path,kind,value,count,sum,min,max,mean,"
+                       "stdev,p50,p95,p99"),
               std::string::npos);
     EXPECT_NE(csv.find("a.hits,counter,2"), std::string::npos);
     EXPECT_NE(csv.find("b.lat,distribution"), std::string::npos);
+    // A single-value distribution's percentile columns are that value.
+    EXPECT_NE(csv.find(",4,4,4\n"), std::string::npos);
+}
+
+TEST(MetricsJson, DistributionsCarryPercentiles)
+{
+    MetricsRegistry reg;
+    Distribution &d = reg.distribution("sim.lat");
+    for (int i = 1; i <= 100; ++i)
+        d.add(double(i));
+    const JsonValue root = parseJson(reg.snapshot().toJson());
+    const JsonValue &dist = at(root, "sim.lat");
+    const double p50 = at(dist, "p50").num;
+    const double p95 = at(dist, "p95").num;
+    const double p99 = at(dist, "p99").num;
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, 100.0);
+}
+
+TEST(MetricsPrometheus, ExposesCountersGaugesAndSummaries)
+{
+    MetricsRegistry reg;
+    reg.counter("service.requests.run").inc(3);
+    reg.gauge("service.uptimeSeconds").set(12.5);
+    Distribution &d = reg.distribution("service.runSeconds");
+    d.add(1.0);
+    d.add(3.0);
+    const std::string text = reg.snapshot().toPrometheus();
+
+    EXPECT_NE(text.find("# TYPE nvmcache_service_requests_run "
+                        "counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("nvmcache_service_requests_run 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE nvmcache_service_uptimeSeconds gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("nvmcache_service_uptimeSeconds 12.5"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE nvmcache_service_runSeconds summary"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("nvmcache_service_runSeconds{quantile=\"0.5\"}"),
+        std::string::npos);
+    EXPECT_NE(text.find("nvmcache_service_runSeconds_sum 4"),
+              std::string::npos);
+    EXPECT_NE(text.find("nvmcache_service_runSeconds_count 2"),
+              std::string::npos);
+    // Exposition format: every line ends in '\n', no blank lines.
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+    EXPECT_EQ(text.find("\n\n"), std::string::npos);
+}
+
+TEST(MetricsStatsFile, CreatesMissingParentDirectories)
+{
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::temp_directory_path() / "nvmcache_test_statsdir";
+    fs::remove_all(root);
+    const fs::path out = root / "a" / "b" / "stats.json";
+
+    StatsSnapshot snap;
+    snap.setCounter("x.hits", 1);
+    writeStatsFile(out.string(), snap, StatsFormat::Json);
+
+    std::ifstream in(out);
+    ASSERT_TRUE(in.good()) << out;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("x"), std::string::npos);
+    fs::remove_all(root);
 }
 
 // --- determinism -----------------------------------------------------

@@ -20,6 +20,7 @@
 #include "util/args.hh"
 #include "util/json.hh"
 #include "util/metrics.hh"
+#include "util/trace_events.hh"
 #include "workload/suite.hh"
 
 using namespace nvmcache;
@@ -300,6 +301,31 @@ TEST(Protocol, MalformedRequestsThrow)
     EXPECT_THROW(parseServiceRequest("[1,2]"), std::runtime_error);
     EXPECT_THROW(parseServiceRequest("{\"id\":\"x\"}"),
                  std::runtime_error); // no op, no study
+}
+
+TEST(Protocol, TraceIdAcceptsEchoedStringAndNumber)
+{
+    EXPECT_EQ(parseServiceRequest("{\"op\":\"trace\"}").traceId, 0u);
+    EXPECT_EQ(parseServiceRequest(
+                  "{\"op\":\"trace\",\"traceId\":\"t7\"}")
+                  .traceId,
+              7u);
+    EXPECT_EQ(parseServiceRequest(
+                  "{\"op\":\"trace\",\"traceId\":\"12\"}")
+                  .traceId,
+              12u);
+    EXPECT_EQ(parseServiceRequest("{\"op\":\"trace\",\"traceId\":3}")
+                  .traceId,
+              3u);
+    EXPECT_THROW(
+        parseServiceRequest("{\"op\":\"trace\",\"traceId\":\"x9\"}"),
+        std::runtime_error);
+    EXPECT_THROW(
+        parseServiceRequest("{\"op\":\"trace\",\"traceId\":\"t\"}"),
+        std::runtime_error);
+    EXPECT_THROW(
+        parseServiceRequest("{\"op\":\"trace\",\"traceId\":true}"),
+        std::runtime_error);
 }
 
 TEST(Protocol, ErrorResponseShape)
@@ -599,6 +625,113 @@ TEST(Service, ShutdownDrainsQueuedWorkThenExits)
                       .get(),
                   2u);
     }
+}
+
+TEST(Service, HealthAndStatsVerbsExposeLiveState)
+{
+    ServeConfig cfg;
+    cfg.socketPath = socketPathFor("health");
+    cfg.workers = 1;
+    EvalServer server(cfg);
+    server.start();
+    {
+        TestClient tc(cfg.socketPath);
+        tc.sendOp("ping", "p1");
+        EXPECT_TRUE(tc.waitFor("p1").at("ok").asBool());
+
+        tc.sendOp("health", "h1");
+        const JsonValue h = tc.waitFor("h1");
+        ASSERT_TRUE(h.at("ok").asBool()) << h.dump();
+        const JsonValue &health = h.at("health");
+        EXPECT_GE(health.at("uptimeSeconds").asNumber(), 0.0);
+        EXPECT_EQ(health.at("queueDepth").asNumber(), 0.0);
+        EXPECT_EQ(health.at("queueCapacity").asNumber(), 16.0);
+        EXPECT_EQ(health.at("workers").asNumber(), 1.0);
+        EXPECT_FALSE(health.at("draining").asBool());
+        EXPECT_FALSE(health.at("tracing").asBool()); // default off
+        // Per-verb request counters: the ping above and this health
+        // request itself have both been counted.
+        const JsonValue &reqs = health.at("requests");
+        EXPECT_GE(reqs.numberOr("service.requests.ping", 0.0), 1.0);
+        EXPECT_GE(reqs.numberOr("service.requests.health", 0.0), 1.0);
+
+        tc.sendOp("stats", "s1");
+        const JsonValue s = tc.waitFor("s1");
+        ASSERT_TRUE(s.at("ok").asBool()) << s.dump();
+        EXPECT_NE(s.at("contentType").asString().find("text/plain"),
+                  std::string::npos);
+        const std::string text = s.at("stats").asString();
+        EXPECT_NE(text.find("# TYPE nvmcache_service_requests_ping "
+                            "counter"),
+                  std::string::npos);
+        EXPECT_NE(text.find("nvmcache_service_uptimeSeconds"),
+                  std::string::npos);
+
+        // Unknown verbs are counted in their own bucket and fail.
+        tc.sendOp("frobnicate", "u1");
+        EXPECT_FALSE(tc.waitFor("u1").at("ok").asBool());
+        tc.sendOp("health", "h2");
+        EXPECT_GE(tc.waitFor("h2")
+                      .at("health")
+                      .at("requests")
+                      .numberOr("service.requests.unknown", 0.0),
+                  1.0);
+    }
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Service, TracedRunEchoesIdAndServesFilteredTrace)
+{
+    ServeConfig cfg;
+    cfg.socketPath = socketPathFor("trace");
+    cfg.workers = 1;
+    cfg.trace = true;
+    EvalServer server(cfg);
+    server.start();
+    {
+        TestClient tc(cfg.socketPath);
+        tc.sendRun(compareRequest("0.02"), "r1");
+        const JsonValue run = tc.waitFor("r1");
+        ASSERT_TRUE(run.at("ok").asBool()) << run.dump();
+        const std::string tag = run.at("traceId").asString();
+        ASSERT_GT(tag.size(), 1u);
+        EXPECT_EQ(tag[0], 't');
+
+        // Filtered dump: only this request's events, which must
+        // include its service.run span and the engine work under it.
+        JsonValue req = JsonValue::makeObject();
+        req.set("op", JsonValue::makeString("trace"));
+        req.set("id", JsonValue::makeString("t1"));
+        req.set("traceId", JsonValue::makeString(tag));
+        tc.client.send(req);
+        const JsonValue traced = tc.waitFor("t1");
+        ASSERT_TRUE(traced.at("ok").asBool()) << traced.dump();
+        EXPECT_TRUE(traced.at("tracing").asBool());
+        const JsonValue &evs = traced.at("trace").at("traceEvents");
+        bool sawServiceRun = false, sawSimulate = false;
+        for (const JsonValue &e : evs.items) {
+            if (e.stringOr("name", "") == "service.run")
+                sawServiceRun = true;
+            if (e.stringOr("name", "") == "runner.simulate")
+                sawSimulate = true;
+            if (e.stringOr("ph", "") != "M")
+                EXPECT_EQ(e.at("args").stringOr("trace", ""), tag)
+                    << e.dump();
+        }
+        EXPECT_TRUE(sawServiceRun);
+        EXPECT_TRUE(sawSimulate);
+
+        // The unfiltered dump is a superset.
+        tc.sendOp("trace", "t2");
+        const JsonValue all = tc.waitFor("t2");
+        EXPECT_GE(all.at("trace").at("traceEvents").items.size(),
+                  evs.items.size());
+    }
+    server.requestStop();
+    server.wait();
+    setTracingEnabled(false);
+    clearTraceEvents();
 }
 
 TEST(Service, ResultsAreByteIdenticalAcrossJobCounts)

@@ -38,6 +38,7 @@
 #include "service/server.hh"
 #include "util/args.hh"
 #include "util/metrics.hh"
+#include "util/trace_events.hh"
 #include "util/units.hh"
 #include "workload/suite.hh"
 #include "workload/trace_io.hh"
@@ -63,7 +64,8 @@ usage(std::FILE *out)
         "  simulate <workload> <tech> [--fixed-area] [--threads N] "
         "[--jobs N] [--shards N]\n"
         "           [--scale F] [--stats-out FILE] "
-        "[--stats-format json|csv] [--progress]\n"
+        "[--stats-format json|csv] [--trace-out FILE]\n"
+        "           [--progress]\n"
         "  characterize <workload|file.nvmt>  PRISM-style features\n"
         "  export-trace <workload> <file.nvmt> [--threads N]\n"
         "  workloads                          list the Table V suite\n"
@@ -73,22 +75,25 @@ usage(std::FILE *out)
         "[--fixed-area]\n"
         "           [--threads N] [--jobs N] [--shards N] "
         "[--stats-out FILE] [--stats-format json|csv]\n"
-        "           [--progress]        fault-injection sweep over "
-        "all technologies\n"
+        "           [--trace-out FILE] [--progress]   fault-injection "
+        "sweep over all technologies\n"
         "  studies                            list registered studies "
         "with defaults\n"
         "  study <kind> [key=value ..] [--jobs N] [--shards N] "
         "[--stats-out FILE]\n"
-        "           [--stats-format json|csv] [--progress]   run one "
-        "study, print JSON\n"
+        "           [--stats-format json|csv] [--trace-out FILE] "
+        "[--progress]\n"
+        "           run one study, print JSON\n"
         "  serve --socket PATH [--queue-depth N] [--workers N] "
         "[--jobs N] [--shards N]\n"
-        "           persistent evaluation daemon (newline-delimited "
-        "JSON protocol)\n"
+        "           [--trace] [--trace-out FILE]   persistent "
+        "evaluation daemon\n"
+        "           (newline-delimited JSON protocol)\n"
         "  client --socket PATH <kind> [key=value ..] [--id X] "
         "[--result-only]\n"
-        "           [--op ping|studies|metrics|shutdown]   talk to a "
-        "serving daemon\n"
+        "           [--op ping|studies|metrics|stats|health|trace|"
+        "shutdown] [--trace-id X]\n"
+        "           talk to a serving daemon\n"
         "\n"
         "--jobs N (or NVMCACHE_JOBS=N) caps the experiment engine's "
         "worker threads;\nthe default is the hardware thread count. "
@@ -100,9 +105,36 @@ usage(std::FILE *out)
         "--stats-out FILE writes the structured run report "
         "(sim.*, runner.*,\nestimator.*, phase.* metrics); "
         "--stats-format picks json (default) or csv.\n"
+        "--trace-out FILE enables span/counter tracing and writes a "
+        "Chrome\ntrace-event JSON (load in Perfetto or "
+        "chrome://tracing). Tracing is off\nwithout the flag and "
+        "costs nothing when disabled.\n"
         "\nRun `nvmcache studies` for every study's parameters and "
         "defaults.\n");
     return out == stdout ? 0 : 2;
+}
+
+/**
+ * Consume `--trace-out FILE` and, when present, switch tracing on
+ * before any engine work runs. Returns the output path ("" = off).
+ */
+std::string
+traceOutFlag(ArgParser &parser)
+{
+    const std::string traceOut = parser.str("--trace-out", "");
+    if (!traceOut.empty())
+        setTracingEnabled(true);
+    return traceOut;
+}
+
+/** Dump the collected trace when --trace-out was given. */
+void
+finishTrace(const std::string &traceOut)
+{
+    if (traceOut.empty())
+        return;
+    writeTraceFile(traceOut);
+    std::fprintf(stderr, "trace written to %s\n", traceOut.c_str());
 }
 
 /** "key=value" positional tokens -> a StudyRequest. */
@@ -217,6 +249,7 @@ cmdSimulate(ArgParser &parser)
     setProgressEnabled(parser.flag("--progress"));
     const std::string statsOut = parser.str("--stats-out", "");
     const std::string statsFormat = parser.str("--stats-format", "json");
+    const std::string traceOut = traceOutFlag(parser);
     parser.rejectUnknown("simulate");
 
     const std::vector<std::string> pos = parser.positionals();
@@ -251,6 +284,7 @@ cmdSimulate(ArgParser &parser)
         writeStatsFile(statsOut, report, parseStatsFormat(statsFormat));
         std::printf("  stats written to %s\n", statsOut.c_str());
     }
+    finishTrace(traceOut);
     return 0;
 }
 
@@ -328,6 +362,7 @@ cmdReliability(ArgParser &parser)
     setProgressEnabled(parser.flag("--progress"));
     const std::string statsOut = parser.str("--stats-out", "");
     const std::string statsFormat = parser.str("--stats-format", "json");
+    const std::string traceOut = traceOutFlag(parser);
     parser.rejectUnknown("reliability");
 
     const std::vector<std::string> pos = parser.positionals();
@@ -359,6 +394,7 @@ cmdReliability(ArgParser &parser)
         writeStatsFile(statsOut, report, parseStatsFormat(statsFormat));
         std::printf("stats written to %s\n", statsOut.c_str());
     }
+    finishTrace(traceOut);
     return 0;
 }
 
@@ -390,6 +426,7 @@ cmdStudy(ArgParser &parser)
     setProgressEnabled(parser.flag("--progress"));
     const std::string statsOut = parser.str("--stats-out", "");
     const std::string statsFormat = parser.str("--stats-format", "json");
+    const std::string traceOut = traceOutFlag(parser);
     parser.rejectUnknown("study");
 
     const StudyRequest req =
@@ -403,6 +440,7 @@ cmdStudy(ArgParser &parser)
         writeStatsFile(statsOut, out, parseStatsFormat(statsFormat));
         std::fprintf(stderr, "stats written to %s\n", statsOut.c_str());
     }
+    finishTrace(traceOut);
     return 0;
 }
 
@@ -415,6 +453,8 @@ cmdServe(ArgParser &parser)
     cfg.workers = parser.u32("--workers", 2);
     cfg.jobs = parser.u32("--jobs", 0);
     cfg.shards = parser.u32("--shards", 0);
+    cfg.trace = parser.flag("--trace");
+    cfg.traceOut = parser.str("--trace-out", "");
     setProgressEnabled(parser.flag("--progress"));
     parser.rejectUnknown("serve");
     if (cfg.socketPath.empty())
@@ -432,6 +472,7 @@ cmdClient(ArgParser &parser)
     const std::string socket = parser.str("--socket", "");
     const std::string op = parser.str("--op", "");
     const std::string id = parser.str("--id", "");
+    const std::string traceId = parser.str("--trace-id", "");
     const bool resultOnly = parser.flag("--result-only");
     parser.rejectUnknown("client");
     if (socket.empty())
@@ -444,6 +485,8 @@ cmdClient(ArgParser &parser)
         req.set("op", JsonValue::makeString(op));
         if (!id.empty())
             req.set("id", JsonValue::makeString(id));
+        if (!traceId.empty())
+            req.set("traceId", JsonValue::makeString(traceId));
         response = client.request(req);
     } else {
         response = client.run(
