@@ -9,9 +9,11 @@
 #define NVMCACHE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
+#include "store/result_store.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
@@ -34,6 +36,7 @@ struct HarnessOptions
     std::string statsOut;      ///< "" = no structured report
     StatsFormat statsFormat = StatsFormat::Json;
     std::string traceOut;      ///< "" = tracing off
+    std::string storeDir;      ///< "" = persistent store off
 
     static HarnessOptions
     parse(int argc, char **argv)
@@ -56,6 +59,14 @@ struct HarnessOptions
             o.traceOut = parser.str("--trace-out", "");
             if (!o.traceOut.empty())
                 setTracingEnabled(true);
+            o.storeDir = parser.str("--store-dir", "");
+            if (o.storeDir.empty()) {
+                const char *env = std::getenv("NVMCACHE_STORE");
+                if (env)
+                    o.storeDir = env;
+            }
+            if (!o.storeDir.empty())
+                ResultStore::setGlobal(o.storeDir);
             if (parser.flag("--progress"))
                 setProgressEnabled(true);
         } catch (const std::exception &e) {

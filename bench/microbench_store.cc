@@ -1,0 +1,162 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the persistent result store:
+ * codec round-trip cost, record put/load cost, and the headline
+ * warm-restart figure — a full tech sweep replayed entirely from
+ * disk by a fresh runner, the path a daemon restart or a second
+ * process takes. The store.* / runner.store.* counters are exported
+ * as benchmark counters so regressions in the disk tier are visible
+ * in the uploaded results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/experiment.hh"
+#include "store/codec.hh"
+#include "store/result_store.hh"
+#include "util/metrics.hh"
+#include "workload/generators.hh"
+#include "workload/suite.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+GeneratorConfig
+microConfig(std::uint64_t accesses)
+{
+    GeneratorConfig cfg;
+    cfg.totalAccesses = accesses;
+    StreamConfig hot;
+    hot.kind = StreamConfig::Kind::Zipf;
+    hot.regionBytes = 1 << 20;
+    hot.zipfSkew = 0.9;
+    hot.weight = 0.8;
+    StreamConfig cold;
+    cold.kind = StreamConfig::Kind::Uniform;
+    cold.regionBytes = 16 << 20;
+    cold.weight = 0.2;
+    cfg.loads.streams = {hot, cold};
+    cfg.stores.streams = {hot, cold};
+    return cfg;
+}
+
+BenchmarkSpec
+microSpec(std::uint64_t accesses)
+{
+    BenchmarkSpec spec;
+    spec.name = "microzipf";
+    spec.gen = microConfig(accesses);
+    spec.defaultThreads = 1;
+    return spec;
+}
+
+/** Fresh mkdtemp directory, removed on destruction. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/nvmstore-bench.XXXXXX";
+        path = ::mkdtemp(tmpl);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+} // namespace
+
+static void
+BM_SimStatsCodec(benchmark::State &state)
+{
+    // Encode+decode cost of one run record, measured on real stats
+    // (including the full detail snapshot) from a small simulation.
+    ExperimentRunner runner;
+    runner.setJobs(1);
+    const SimStats stats =
+        runner.runOne(microSpec(std::uint64_t(state.range(0))),
+                      publishedLlcModel("Chung",
+                                        CapacityMode::FixedCapacity));
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        const std::string payload = encodeSimStats(stats);
+        bytes = payload.size();
+        benchmark::DoNotOptimize(decodeSimStats(payload));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["recordBytes"] = double(bytes);
+}
+BENCHMARK(BM_SimStatsCodec)->Arg(50'000);
+
+static void
+BM_StoreRoundTrip(benchmark::State &state)
+{
+    // put() + load() of one encoded run record through the on-disk
+    // store: the per-record overhead a disk-warm study pays.
+    TempDir dir;
+    ResultStore store(dir.path);
+    ExperimentRunner runner;
+    runner.setJobs(1);
+    const std::string payload = encodeSimStats(
+        runner.runOne(microSpec(std::uint64_t(state.range(0))),
+                      publishedLlcModel(
+                          "Chung", CapacityMode::FixedCapacity)));
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        const std::string k = "bench/" + std::to_string(key++);
+        store.put("run", k, payload);
+        benchmark::DoNotOptimize(store.load("run", k));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["recordBytes"] = double(payload.size());
+}
+BENCHMARK(BM_StoreRoundTrip)->Arg(50'000);
+
+static void
+BM_StoreWarmStart(benchmark::State &state)
+{
+    // The headline: a full 11-model tech sweep by a *fresh* runner
+    // against a warm store — every run, trace, and private trace a
+    // disk hit. This is what a daemon restart or a sibling worker
+    // process pays instead of simulating.
+    TempDir dir;
+    ResultStore::setGlobal(dir.path);
+    const BenchmarkSpec spec =
+        microSpec(std::uint64_t(state.range(0)));
+    {
+        ExperimentRunner cold;
+        cold.setJobs(1);
+        benchmark::DoNotOptimize(
+            cold.sweepTechs(spec, CapacityMode::FixedCapacity));
+    }
+    MetricsRegistry &reg = MetricsRegistry::global();
+    const std::uint64_t hits0 = reg.counter("store.hits").get();
+    std::uint64_t diskHits = 0;
+    for (auto _ : state) {
+        ExperimentRunner warm;
+        warm.setJobs(1);
+        TechSweep sweep =
+            warm.sweepTechs(spec, CapacityMode::FixedCapacity);
+        benchmark::DoNotOptimize(sweep);
+        diskHits = warm.runnerStats().diskHits;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["diskHitsPerSweep"] = double(diskHits);
+    state.counters["storeHits"] =
+        double(reg.counter("store.hits").get() - hits0);
+    // Leave the process store-free for any benchmark registered after
+    // this one (the TempDir is about to disappear).
+    ResultStore::setGlobal("");
+    state.SetLabel("fresh runner, warm disk store");
+}
+BENCHMARK(BM_StoreWarmStart)->Arg(50'000)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

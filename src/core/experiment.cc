@@ -6,6 +6,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "store/codec.hh"
+#include "store/result_store.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/parallel.hh"
@@ -142,6 +144,43 @@ runKey(const GeneratorConfig &gen, const LlcModel &llc,
     return key;
 }
 
+/**
+ * Identity of the non-fault base SystemConfig, prefixed onto every
+ * on-disk run key. The in-memory memo is per-runner so it never needs
+ * this, but the disk store is shared by arbitrary processes whose
+ * base configurations may differ (fault knobs are already inside
+ * runKey(); numCores comes in as the per-run thread count, and
+ * shards/batchReplay are bit-identical execution strategies).
+ */
+std::string
+baseConfigKey(const SystemConfig &cfg)
+{
+    std::string key;
+    key.reserve(160);
+    appendBytes(key, cfg.frequency);
+    appendBytes(key, cfg.core.baseCpi);
+    appendGeometry(key, cfg.core.l1i);
+    appendGeometry(key, cfg.core.l1d);
+    appendGeometry(key, cfg.core.l2);
+    appendBytes(key, cfg.core.l2Cycles);
+    appendBytes(key, cfg.core.loadHide);
+    appendBytes(key, cfg.core.ifetchHide);
+    appendBytes(key, cfg.core.storeHide);
+    appendBytes(key, cfg.core.storeStallFactor);
+    appendBytes(key, cfg.llc.associativity);
+    appendBytes(key, cfg.llc.blockBytes);
+    appendBytes(key, cfg.llc.numBanks);
+    appendBytes(key, cfg.llc.writeQueueDepth);
+    appendBytes(key, cfg.llc.controllerCycles);
+    appendBytes(key, cfg.llc.writePolicy);
+    appendBytes(key, cfg.llc.bypassWritebackMiss);
+    appendBytes(key, cfg.dram.numControllers);
+    appendBytes(key, cfg.dram.deviceLatency);
+    appendBytes(key, cfg.dram.bandwidthPerController);
+    appendBytes(key, cfg.dram.blockBytes);
+    return key;
+}
+
 /** First element of @p v satisfying @p pred; nullptr when absent. */
 template <typename T, typename Pred>
 const T *
@@ -175,7 +214,17 @@ faultConfigKey(const FaultConfig &faults)
 ExperimentRunner
 RunnerPool::acquire(const SystemConfig &base)
 {
-    const std::string key = faultConfigKey(base.llc.faults);
+    std::string key = faultConfigKey(base.llc.faults);
+    // The pooled runner captured its view of the persistent store at
+    // construction. A store swap (epoch) or destructive mutation
+    // (generation: gc, verify --repair) must therefore change the
+    // pool key, or a handle built before the mutation keeps serving
+    // state the store no longer agrees with.
+    if (auto store = ResultStore::global()) {
+        key += '\0';
+        key += "e" + std::to_string(ResultStore::globalEpoch()) + "g" +
+               std::to_string(store->generation());
+    }
     std::lock_guard<std::mutex> lock(mu_);
     auto it = runners_.find(key);
     if (it == runners_.end()) {
@@ -250,6 +299,9 @@ struct ExperimentRunner::Memo
     std::atomic<std::uint64_t> privateHits{0};
     std::atomic<std::uint64_t> privateBytes{0};
 
+    std::atomic<std::uint64_t> diskHits{0};
+    std::atomic<std::uint64_t> diskWrites{0};
+
     Counter &gSimulations =
         MetricsRegistry::global().counter("runner.memo.simulations");
     Counter &gMemoHits =
@@ -268,6 +320,24 @@ struct ExperimentRunner::Memo
         MetricsRegistry::global().counter("runner.privateStore.hits");
     Gauge &gPrivateBytes =
         MetricsRegistry::global().gauge("runner.privateStore.bytes");
+    Counter &gDiskHits =
+        MetricsRegistry::global().counter("runner.store.hits");
+    Counter &gDiskWrites =
+        MetricsRegistry::global().counter("runner.store.writes");
+
+    void
+    countDiskHit()
+    {
+        diskHits.fetch_add(1, std::memory_order_relaxed);
+        gDiskHits.inc();
+    }
+
+    void
+    countDiskWrite()
+    {
+        diskWrites.fetch_add(1, std::memory_order_relaxed);
+        gDiskWrites.inc();
+    }
 };
 
 const RunResult &
@@ -292,7 +362,9 @@ TechSweep::byClass(NvmClass klass) const
 
 ExperimentRunner::ExperimentRunner(SystemConfig base)
     : base_(std::move(base)), jobs_(defaultJobs()),
-      shards_(defaultShards()), memo_(std::make_shared<Memo>())
+      shards_(defaultShards()), memo_(std::make_shared<Memo>()),
+      store_(ResultStore::global()),
+      diskBaseKey_(baseConfigKey(base_))
 {
 }
 
@@ -324,6 +396,8 @@ ExperimentRunner::runnerStats() const
     s.privateBuilds = memo_->privateBuilds.load();
     s.privateHits = memo_->privateHits.load();
     s.privateBytes = memo_->privateBytes.load();
+    s.diskHits = memo_->diskHits.load();
+    s.diskWrites = memo_->diskWrites.load();
     return s;
 }
 
@@ -345,16 +419,33 @@ ExperimentRunner::recordedTrace(const GeneratorConfig &gen,
     }
 
     if (owner) {
-        memo_->traceBuilds.fetch_add(1, std::memory_order_relaxed);
-        memo_->gTraceBuilds.inc();
         std::shared_ptr<const RecordedTrace> trace;
-        {
-            PhaseTimer timer("runner.recordSeconds");
-            // Self-contained id: trace recording ownership races the
-            // same way runs do (see traceRunId).
-            TraceSpan span("runner.record", "engine",
-                           "trace/" + traceHashId(key));
-            trace = RecordedTrace::record(gen, threads);
+        if (store_) {
+            if (auto payload = store_->load("trace", key)) {
+                try {
+                    trace = RecordedTrace::deserialize(*payload);
+                    memo_->countDiskHit();
+                } catch (const std::exception &) {
+                    trace.reset(); // damaged payload: re-record below
+                }
+            }
+        }
+        if (!trace) {
+            memo_->traceBuilds.fetch_add(1,
+                                         std::memory_order_relaxed);
+            memo_->gTraceBuilds.inc();
+            {
+                PhaseTimer timer("runner.recordSeconds");
+                // Self-contained id: trace recording ownership races
+                // the same way runs do (see traceRunId).
+                TraceSpan span("runner.record", "engine",
+                               "trace/" + traceHashId(key));
+                trace = RecordedTrace::record(gen, threads);
+            }
+            if (store_) {
+                store_->put("trace", key, trace->serialize());
+                memo_->countDiskWrite();
+            }
         }
         const std::uint64_t total =
             memo_->traceBytes.fetch_add(trace->packedBytes(),
@@ -387,20 +478,37 @@ ExperimentRunner::privateTrace(const GeneratorConfig &gen,
     }
 
     if (owner) {
-        memo_->privateBuilds.fetch_add(1, std::memory_order_relaxed);
-        memo_->gPrivateBuilds.inc();
-        auto trace = recordedTrace(gen, threads);
-        auto cursors = trace->cursors();
-        std::vector<BatchSource *> ptrs;
-        ptrs.reserve(cursors.size());
-        for (TraceCursor &c : cursors)
-            ptrs.push_back(&c);
         std::shared_ptr<const PrivateTrace> priv;
-        {
-            PhaseTimer timer("runner.recordPrivateSeconds");
-            TraceSpan span("runner.recordPrivate", "engine",
-                           "ptrace/" + traceHashId(key));
-            priv = PrivateTrace::record(ptrs, base_.core);
+        if (store_) {
+            if (auto payload = store_->load("ptrace", key)) {
+                try {
+                    priv = PrivateTrace::deserialize(*payload);
+                    memo_->countDiskHit();
+                } catch (const std::exception &) {
+                    priv.reset(); // damaged payload: re-record below
+                }
+            }
+        }
+        if (!priv) {
+            memo_->privateBuilds.fetch_add(1,
+                                           std::memory_order_relaxed);
+            memo_->gPrivateBuilds.inc();
+            auto trace = recordedTrace(gen, threads);
+            auto cursors = trace->cursors();
+            std::vector<BatchSource *> ptrs;
+            ptrs.reserve(cursors.size());
+            for (TraceCursor &c : cursors)
+                ptrs.push_back(&c);
+            {
+                PhaseTimer timer("runner.recordPrivateSeconds");
+                TraceSpan span("runner.recordPrivate", "engine",
+                               "ptrace/" + traceHashId(key));
+                priv = PrivateTrace::record(ptrs, base_.core);
+            }
+            if (store_) {
+                store_->put("ptrace", key, priv->serialize());
+                memo_->countDiskWrite();
+            }
         }
         const std::uint64_t total =
             memo_->privateBytes.fetch_add(priv->packedBytes(),
@@ -487,26 +595,61 @@ ExperimentRunner::runOne(const BenchmarkSpec &spec, const LlcModel &llc,
     }
 
     if (owner) {
-        memo_->simulations.fetch_add(1, std::memory_order_relaxed);
-        memo_->gSimulations.inc();
-        if (llc.klass == NvmClass::SRAM) {
-            memo_->baselineSimulations.fetch_add(
-                1, std::memory_order_relaxed);
-            memo_->gBaselines.inc();
+        // Disk tier: a run persisted by an earlier process (or an
+        // earlier store-backed runner in this one) decodes to stats
+        // bit-identical to a fresh simulation, so serve it without
+        // simulating. Damaged payloads fall through to re-simulate
+        // and rewrite.
+        bool served = false;
+        if (store_) {
+            if (auto payload =
+                    store_->load("run", diskBaseKey_ + key)) {
+                try {
+                    SimStats stats = decodeSimStats(*payload);
+                    memo_->countDiskHit();
+                    if (tracingEnabled())
+                        traceInstant("runner.diskHit", "engine",
+                                     traceRunId(spec, llc, threads,
+                                                base_.llc.faults) +
+                                         "/disk");
+                    entry->promise.set_value(std::move(stats));
+                    served = true;
+                } catch (const std::exception &) {
+                }
+            }
         }
-        PhaseTimer timer("runner.simulateSeconds");
-        // The run scope REPLACES the caller's path (instead of
-        // extending it) so the simulation's spans read the same
-        // whichever racing caller won ownership.
-        const std::string runId =
-            tracingEnabled()
-                ? traceRunId(spec, llc, threads, base_.llc.faults)
-                : std::string();
-        TraceScope scope(
-            TraceContext{runId, TraceContext::current().traceId});
-        TraceSpan span("runner.simulate", "engine", runId);
-        entry->promise.set_value(
-            simulateUncached(spec, llc, threads));
+        if (!served) {
+            memo_->simulations.fetch_add(1,
+                                         std::memory_order_relaxed);
+            memo_->gSimulations.inc();
+            if (llc.klass == NvmClass::SRAM) {
+                memo_->baselineSimulations.fetch_add(
+                    1, std::memory_order_relaxed);
+                memo_->gBaselines.inc();
+            }
+            SimStats stats;
+            {
+                PhaseTimer timer("runner.simulateSeconds");
+                // The run scope REPLACES the caller's path (instead
+                // of extending it) so the simulation's spans read the
+                // same whichever racing caller won ownership.
+                const std::string runId =
+                    tracingEnabled()
+                        ? traceRunId(spec, llc, threads,
+                                     base_.llc.faults)
+                        : std::string();
+                TraceScope scope(TraceContext{
+                    runId, TraceContext::current().traceId});
+                TraceSpan span("runner.simulate", "engine", runId);
+                stats = simulateUncached(spec, llc, threads);
+            }
+            if (store_) {
+                store_->put("run", diskBaseKey_ + key,
+                            encodeSimStats(stats));
+                memo_->countDiskWrite();
+            }
+            entry->promise.set_value(std::move(stats));
+        }
     } else {
         memo_->memoHits.fetch_add(1, std::memory_order_relaxed);
         memo_->gMemoHits.inc();

@@ -33,6 +33,8 @@
 
 namespace nvmcache {
 
+class ResultStore;
+
 /** One normalized (workload, technology) data point. */
 struct RunResult
 {
@@ -99,6 +101,16 @@ struct RunnerStats
     std::uint64_t privateBuilds = 0;
     std::uint64_t privateHits = 0;
     std::uint64_t privateBytes = 0;
+
+    /**
+     * Persistent-store counters (zero when no --store-dir is
+     * configured): diskHits counts runs and trace recordings served
+     * from the on-disk store instead of simulated/recorded — they are
+     * deliberately NOT counted in `simulations`/`traceBuilds` —
+     * diskWrites counts records persisted after a miss.
+     */
+    std::uint64_t diskHits = 0;
+    std::uint64_t diskWrites = 0;
 };
 
 class ExperimentRunner
@@ -193,6 +205,17 @@ class ExperimentRunner
     unsigned shards_;
     bool batchReplay_ = true;
     std::shared_ptr<Memo> memo_; ///< shared so copies reuse runs
+
+    /**
+     * Persistent tier between the in-memory memo and simulation,
+     * captured from ResultStore::global() at construction (null =
+     * persistence off). Disk keys prefix the memo key with
+     * diskBaseKey_ — the non-fault base SystemConfig identity — since
+     * on disk, unlike in this runner's memo, records from differently
+     * configured processes share one namespace.
+     */
+    std::shared_ptr<ResultStore> store_;
+    std::string diskBaseKey_;
 };
 
 /**

@@ -87,6 +87,26 @@ parseU32List(const std::string &key, const std::string &value)
     return out;
 }
 
+/**
+ * One compare-study sub-request — the worker-shard unit of every
+ * sweep-shaped study. Its two runs (the technology and the SRAM
+ * baseline at the same thread count) land in the shared persistent
+ * store under the same keys the parent study will look up.
+ */
+StudyRequest
+compareReq(const std::string &workload, const std::string &tech,
+           CapacityMode mode, std::uint32_t threads, double scale)
+{
+    StudyRequest req;
+    req.kind = "compare";
+    req.params = {{"workload", workload},
+                  {"tech", tech},
+                  {"mode", toString(mode)},
+                  {"threads", std::to_string(threads)},
+                  {"scale", numText(scale)}};
+    return req;
+}
+
 // --- deterministic JSON builders ------------------------------------
 
 /** The per-run numbers every study result carries. */
@@ -176,6 +196,21 @@ class FigureStudyDef : public Study
         study_ = runFigureStudy(cfg_, runner);
     }
 
+    std::vector<StudyRequest>
+    shardRequests() const override
+    {
+        std::vector<StudyRequest> reqs;
+        for (const BenchmarkSpec &spec : benchmarkSuite())
+            for (const LlcModel &llc : publishedLlcModels(cfg_.mode)) {
+                if (llc.klass == NvmClass::SRAM)
+                    continue; // every compare carries the baseline
+                reqs.push_back(compareReq(spec.name, llc.name,
+                                          cfg_.mode, 0,
+                                          cfg_.traceScale));
+            }
+        return reqs;
+    }
+
     StudyReport
     report() const override
     {
@@ -238,6 +273,28 @@ class CoreSweepStudyDef : public Study
     run(const ExperimentRunner &runner) override
     {
         study_ = runCoreSweep(cfg_, runner);
+    }
+
+    std::vector<StudyRequest>
+    shardRequests() const override
+    {
+        // Mirrors runCoreSweep's grid: fixed-area models, the
+        // single-core SRAM baseline per workload, and the
+        // multi-threading guard.
+        const CapacityMode mode = CapacityMode::FixedArea;
+        std::vector<StudyRequest> reqs;
+        for (const std::string &wname : cfg_.workloads) {
+            const BenchmarkSpec &spec = benchmark(wname);
+            reqs.push_back(compareReq(wname, "SRAM", mode, 1, 1.0));
+            for (const std::string &tname : cfg_.techs)
+                for (std::uint32_t cores : cfg_.coreCounts) {
+                    if (cores > 1 && !spec.multiThreaded)
+                        continue;
+                    reqs.push_back(
+                        compareReq(wname, tname, mode, cores, 1.0));
+                }
+        }
+        return reqs;
     }
 
     StudyReport
@@ -311,6 +368,27 @@ class CorrelationStudyDef : public Study
     run(const ExperimentRunner &runner) override
     {
         study_ = runCorrelationStudy(cfg_, runner);
+    }
+
+    std::vector<StudyRequest>
+    shardRequests() const override
+    {
+        // The characterization pass is cheap and runs off the same
+        // recorded traces the simulations warm, so sharding only the
+        // simulation grid covers everything expensive.
+        std::vector<StudyRequest> reqs;
+        for (CapacityMode mode : cfg_.modes)
+            for (const BenchmarkSpec *spec :
+                 cfg_.aiOnly ? aiBenchmarks()
+                             : characterizedBenchmarks())
+                for (const LlcModel &llc : publishedLlcModels(mode)) {
+                    if (llc.klass == NvmClass::SRAM)
+                        continue;
+                    reqs.push_back(compareReq(spec->name, llc.name,
+                                              mode, 0,
+                                              cfg_.traceScale));
+                }
+        return reqs;
     }
 
     StudyReport
@@ -404,6 +482,33 @@ class ReliabilityStudyDef : public Study
         cfg_.jobs = runner.jobs();
         cfg_.shards = runner.shards();
         study_ = runReliabilityStudy(cfg_, pool_);
+    }
+
+    std::vector<StudyRequest>
+    shardRequests() const override
+    {
+        // One single-point reliability grid per (BER, wear-leveling)
+        // setting: the fault knobs live in the runner's base config,
+        // so the sub-request must be a reliability study itself, not
+        // a compare.
+        std::vector<StudyRequest> reqs;
+        for (double ber : cfg_.berScales)
+            for (double wl : cfg_.wearLevelingFactors) {
+                StudyRequest req;
+                req.kind = name();
+                req.params = {
+                    {"workload", cfg_.workload},
+                    {"mode", toString(cfg_.mode)},
+                    {"threads", std::to_string(cfg_.threads)},
+                    {"scale", numText(cfg_.traceScale)},
+                    {"ber-scale", numText(ber)},
+                    {"wear-leveling", numText(wl)},
+                    {"wear-scale", numText(cfg_.wearScale)},
+                    {"max-retries",
+                     std::to_string(cfg_.maxWriteRetries)}};
+                reqs.push_back(std::move(req));
+            }
+        return reqs;
     }
 
     StudyReport
@@ -503,6 +608,16 @@ class CompareStudyDef : public Study
         result_ = runCompare(cfg_, runner);
     }
 
+    std::vector<StudyRequest>
+    shardRequests() const override
+    {
+        // A compare is already the shard unit; its singleton lets a
+        // worker do the simulating while the front replays the
+        // result from the warmed store.
+        return {compareReq(cfg_.workload, cfg_.tech, cfg_.mode,
+                           cfg_.threads, cfg_.traceScale)};
+    }
+
     StudyReport
     report() const override
     {
@@ -600,6 +715,12 @@ StudyRequest::fromJson(const JsonValue &v)
         }
     }
     return req;
+}
+
+std::vector<StudyRequest>
+Study::shardRequests() const
+{
+    return {};
 }
 
 void

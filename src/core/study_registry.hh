@@ -98,6 +98,17 @@ class Study
     virtual StudyReport report() const = 0;
 
     /**
+     * Decompose this (already parsed) study into independent
+     * sub-requests that jointly cover its run grid. The multi-worker
+     * serving front dispatches these to worker processes to prime the
+     * shared persistent store, then runs the study locally against
+     * the warmed store, so a merged report is structurally
+     * byte-identical to single-process output. Empty (the default)
+     * means the study does not decompose and always runs locally.
+     */
+    virtual std::vector<StudyRequest> shardRequests() const;
+
+    /**
      * Optional shared runner pool. Studies that build their own
      * fault-keyed runners (reliability) draw them from here so a
      * long-lived host keeps every fault configuration warm; unset,

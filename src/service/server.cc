@@ -2,14 +2,19 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <poll.h>
 #include <stdexcept>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 #include <utility>
 
+#include "service/client.hh"
+#include "store/result_store.hh"
+#include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/trace_events.hh"
 
@@ -62,8 +67,8 @@ bindUnixSocket(const std::string &path)
 
 EvalServer::EvalServer(ServeConfig cfg) : cfg_(std::move(cfg))
 {
-    if (cfg_.workers == 0)
-        cfg_.workers = 1;
+    if (cfg_.execThreads == 0)
+        cfg_.execThreads = 1;
 }
 
 EvalServer::~EvalServer()
@@ -84,7 +89,12 @@ EvalServer::start()
         setTracingEnabled(true);
     MetricsRegistry::global().gauge("service.queueDepth").set(0.0);
     MetricsRegistry::global().gauge("service.uptimeSeconds").set(0.0);
-    for (unsigned i = 0; i < cfg_.workers; ++i)
+    if (!cfg_.workerSockets.empty()) {
+        WorkerFleetConfig wf;
+        wf.sockets = cfg_.workerSockets;
+        fleet_ = std::make_unique<WorkerFleet>(std::move(wf));
+    }
+    for (unsigned i = 0; i < cfg_.execThreads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
     acceptThread_ = std::thread([this] { acceptLoop(); });
 }
@@ -106,6 +116,9 @@ EvalServer::wait()
         if (w.joinable())
             w.join();
     workers_.clear();
+    // No execution can dispatch to the fleet anymore; joining its
+    // dispatchers here keeps teardown ordered before the sockets go.
+    fleet_.reset();
     // All responses are flushed. Kick reader threads off their blocking
     // read()s and join them.
     {
@@ -259,7 +272,10 @@ EvalServer::handleLine(const std::shared_ptr<Conn> &conn,
         h.set("queueDepth", JsonValue::makeNumber(double(depth)));
         h.set("queueCapacity",
               JsonValue::makeNumber(double(cfg_.queueDepth)));
-        h.set("workers", JsonValue::makeNumber(double(cfg_.workers)));
+        h.set("workers",
+              JsonValue::makeNumber(double(cfg_.workerSockets.size())));
+        h.set("execThreads",
+              JsonValue::makeNumber(double(cfg_.execThreads)));
         h.set("runnerPoolSize",
               JsonValue::makeNumber(double(pool_.size())));
         h.set("draining", JsonValue::makeBool(stopping_.load()));
@@ -407,6 +423,16 @@ EvalServer::runExecution(const std::shared_ptr<Execution> &exec)
         opts.jobs = cfg_.jobs;
         opts.shards = exec->shards;
         opts.pool = &pool_;
+        if (fleet_) {
+            // Warm the shared persistent store through the worker
+            // daemons first; the local run below then replays from
+            // disk. Priming is best-effort — any shard the fleet
+            // could not place simply simulates locally.
+            const std::vector<StudyRequest> shards =
+                exec->study->shardRequests();
+            if (!shards.empty())
+                fleet_->primeAll(shards);
+        }
         const StatsSnapshot before = metrics.snapshot();
         const StudyReport report = runStudy(*exec->study, opts);
         const StatsSnapshot delta = metrics.snapshot().diff(before);
@@ -468,6 +494,44 @@ serveStopHandler(int)
 int
 serveMain(ServeConfig cfg)
 {
+    std::vector<pid_t> workerPids;
+    if (cfg.workers > 0 && cfg.workerSockets.empty()) {
+        if (!ResultStore::global()) {
+            warn("serve: --workers requires a persistent store "
+                 "(--store-dir or NVMCACHE_STORE) — the workers "
+                 "would have nowhere to publish results");
+            return 2;
+        }
+        // Fork the workers while this process is still
+        // single-threaded: fork() carries only the calling thread
+        // into the child, so spawning after EvalServer::start() would
+        // clone a process whose locks may be held by threads that no
+        // longer exist.
+        for (unsigned i = 0; i < cfg.workers; ++i) {
+            const std::string wsock =
+                cfg.socketPath + ".w" + std::to_string(i);
+            const pid_t pid = ::fork();
+            if (pid < 0) {
+                warn("serve: fork worker ", i, ": ",
+                     std::strerror(errno), "; continuing with ",
+                     workerPids.size(), " worker(s)");
+                break;
+            }
+            if (pid == 0) {
+                // Child: a plain single-process daemon on its own
+                // socket, sharing the persistent store by path.
+                ServeConfig wcfg = cfg;
+                wcfg.socketPath = wsock;
+                wcfg.workers = 0;
+                wcfg.workerSockets.clear();
+                wcfg.traceOut.clear();
+                std::exit(serveMain(std::move(wcfg)));
+            }
+            workerPids.push_back(pid);
+            cfg.workerSockets.push_back(wsock);
+        }
+    }
+
     g_serveStop = 0;
     cfg.externalStop = &g_serveStop;
 
@@ -479,6 +543,19 @@ serveMain(ServeConfig cfg)
     EvalServer server(cfg);
     server.start();
     server.wait();
+
+    // Front has drained; ask each worker to drain too, then reap it.
+    for (const std::string &wsock : cfg.workerSockets) {
+        try {
+            ServiceClient(wsock).shutdown();
+        } catch (const std::exception &) {
+            // Worker already gone (or never came up); waitpid below
+            // still collects the child.
+        }
+    }
+    for (const pid_t pid : workerPids)
+        ::waitpid(pid, nullptr, 0);
+
     if (!cfg.traceOut.empty())
         writeTraceFile(cfg.traceOut);
     return 0;

@@ -23,6 +23,13 @@
  *    accepting new work, finishes everything queued, flushes all
  *    responses, then exits.
  *
+ * Multi-worker serving (`--workers N`): the front daemon forks N
+ * worker daemons sharing one persistent ResultStore, decomposes each
+ * study into its shardRequests(), primes the store through the
+ * workers via a WorkerFleet (service/workers.hh), and then runs the
+ * study locally against the warmed store — so merged reports are
+ * byte-identical to single-process output.
+ *
  * Per-request latency, queue depth, coalesce and rejection counts
  * flow through the process MetricsRegistry under "service.*".
  */
@@ -44,6 +51,7 @@
 
 #include "core/study_registry.hh"
 #include "service/protocol.hh"
+#include "service/workers.hh"
 
 namespace nvmcache {
 
@@ -53,8 +61,24 @@ struct ServeConfig
     /** Queued (not yet executing) run requests beyond which new ones
         are rejected with "queue full". */
     unsigned queueDepth = 16;
-    /** Concurrent study executions. */
-    unsigned workers = 2;
+    /** Concurrent study executions (threads inside this process). */
+    unsigned execThreads = 2;
+    /**
+     * Worker *processes* to fork (`--workers N`). Each worker is a
+     * full daemon on socketPath + ".w<i>" sharing the persistent
+     * ResultStore; the front decomposes every run request's study
+     * into sub-requests (Study::shardRequests), primes the store
+     * through the workers, then executes locally against the warmed
+     * store. Requires a configured store (serveMain refuses
+     * otherwise); 0 = single-process serving.
+     */
+    unsigned workers = 0;
+    /**
+     * Worker daemon sockets the front dispatches to. serveMain fills
+     * this when forking; tests inject already-running daemons here
+     * directly (then `workers` is not consulted).
+     */
+    std::vector<std::string> workerSockets;
     /** Experiment-engine jobs per study (0 = engine default). */
     unsigned jobs = 0;
     /** LLC set shards per simulation run (0 = engine default); a
@@ -149,6 +173,8 @@ class EvalServer
     std::chrono::steady_clock::time_point startTime_;
 
     RunnerPool pool_;
+    /** Dispatch lanes to worker daemons (null without workerSockets). */
+    std::unique_ptr<WorkerFleet> fleet_;
 
     std::mutex queueMu_;
     std::condition_variable queueCv_;
@@ -164,9 +190,15 @@ class EvalServer
 };
 
 /**
- * The `nvmcache serve` entry: install SIGTERM/SIGINT handlers, run
- * an EvalServer until a signal or shutdown request drains it.
- * Returns the process exit code.
+ * The `nvmcache serve` entry. With cfg.workers > 0 it first forks
+ * that many worker daemons (before any thread exists in this
+ * process), each serving socketPath + ".w<i>" against the shared
+ * persistent store; the front dispatches study shards to them and
+ * reaps them after its own drain. Then: install SIGTERM/SIGINT
+ * handlers, run an EvalServer until a signal or shutdown request
+ * drains it. Returns the process exit code (2 when cfg.workers > 0
+ * without a configured ResultStore — the workers would have nowhere
+ * to publish results).
  */
 int serveMain(ServeConfig cfg);
 

@@ -1,0 +1,249 @@
+#include "service/workers.hh"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "service/client.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+#include "util/trace_events.hh"
+
+namespace nvmcache {
+
+namespace {
+
+std::string
+laneMetric(std::size_t index, const char *leaf)
+{
+    return "service.worker.w" + std::to_string(index) + "." + leaf;
+}
+
+} // namespace
+
+WorkerFleet::WorkerFleet(WorkerFleetConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.queueCap == 0)
+        cfg_.queueCap = 1;
+    lanes_.reserve(cfg_.sockets.size());
+    for (std::size_t i = 0; i < cfg_.sockets.size(); ++i) {
+        auto lane = std::make_unique<Lane>();
+        lane->index = i;
+        lane->socket = cfg_.sockets[i];
+        lanes_.push_back(std::move(lane));
+    }
+    for (auto &lane : lanes_) {
+        Lane *l = lane.get();
+        l->dispatcher = std::thread([this, l] { dispatchLoop(*l); });
+    }
+}
+
+WorkerFleet::~WorkerFleet()
+{
+    for (auto &lane : lanes_) {
+        {
+            std::lock_guard<std::mutex> lk(lane->mu);
+            stopping_ = true;
+        }
+        lane->cv.notify_all();
+    }
+    for (auto &lane : lanes_)
+        if (lane->dispatcher.joinable())
+            lane->dispatcher.join();
+}
+
+std::size_t
+WorkerFleet::primeAll(const std::vector<StudyRequest> &requests)
+{
+    // One batch at a time: pending_/failures_ describe a single
+    // primeAll invocation, and interleaved batches would also fight
+    // over the bounded queues.
+    std::lock_guard<std::mutex> batch(batchMu_);
+    if (lanes_.empty() || requests.empty())
+        return 0;
+
+    // Identical sub-requests would coalesce server-side anyway; dedup
+    // here keeps the dispatch counters meaningful.
+    std::vector<const StudyRequest *> unique;
+    {
+        std::vector<std::string> seen;
+        for (const StudyRequest &req : requests) {
+            const std::string key = req.canonicalKey();
+            bool dup = false;
+            for (const std::string &k : seen)
+                dup = dup || k == key;
+            if (dup)
+                continue;
+            seen.push_back(key);
+            unique.push_back(&req);
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(doneMu_);
+        pending_ = unique.size();
+        failures_ = 0;
+    }
+
+    PhaseTimer timer("service.worker.primeSeconds");
+    TraceSpan span("service.worker.prime", "service",
+                   TraceContext::current().path + "/prime");
+    // Contiguous block assignment: shard grids enumerate the sweep
+    // workload-major, so a contiguous range keeps every sub-request
+    // that shares a recorded trace on one worker — the trace is built
+    // and stored once instead of once per worker (round-robin made
+    // each worker rebuild every workload's trace). Pushes interleave
+    // column-wise across lanes so the bounded queues fill in parallel
+    // instead of stalling on the first lane's cap.
+    const std::size_t laneCount = lanes_.size();
+    std::vector<std::vector<const StudyRequest *>> blocks(laneCount);
+    for (std::size_t i = 0; i < unique.size(); ++i)
+        blocks[i * laneCount / unique.size()].push_back(unique[i]);
+    for (std::size_t off = 0;; ++off) {
+        bool any = false;
+        for (std::size_t l = 0; l < laneCount; ++l) {
+            if (off >= blocks[l].size())
+                continue;
+            any = true;
+            Job job;
+            job.request = *blocks[l][off];
+            push(*lanes_[l], std::move(job), /*bounded=*/true);
+        }
+        if (!any)
+            break;
+    }
+
+    std::size_t failed;
+    {
+        std::unique_lock<std::mutex> lk(doneMu_);
+        doneCv_.wait(lk, [this] { return pending_ == 0; });
+        failed = failures_;
+    }
+    if (failed > 0)
+        warn("worker fleet: ", failed,
+             " sub-request(s) failed on every worker; the study "
+             "simulates them locally");
+    return failed;
+}
+
+void
+WorkerFleet::push(Lane &lane, Job job, bool bounded)
+{
+    {
+        std::unique_lock<std::mutex> lk(lane.mu);
+        if (bounded)
+            // Backpressure: the producer waits for a slot instead of
+            // buffering the whole grid. Resubmissions bypass the bound
+            // — a dispatcher blocking on a full sibling queue while
+            // that sibling blocks on ours would deadlock the fleet.
+            lane.cv.wait(lk, [this, &lane] {
+                return stopping_ || lane.queue.size() < cfg_.queueCap;
+            });
+        if (stopping_) {
+            lk.unlock();
+            jobDone(/*failed=*/true);
+            return;
+        }
+        lane.queue.push_back(std::move(job));
+    }
+    lane.cv.notify_all();
+}
+
+void
+WorkerFleet::dispatchLoop(Lane &lane)
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lk(lane.mu);
+            lane.cv.wait(lk, [this, &lane] {
+                return stopping_ || !lane.queue.empty();
+            });
+            if (lane.queue.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            job = std::move(lane.queue.front());
+            lane.queue.pop_front();
+        }
+        lane.cv.notify_all(); // a producer may be waiting on the bound
+
+        MetricsRegistry &metrics = MetricsRegistry::global();
+        metrics.counter(laneMetric(lane.index, "dispatched")).inc();
+        metrics.counter("service.worker.dispatched").inc();
+        if (runOn(lane, job)) {
+            metrics.counter(laneMetric(lane.index, "completed")).inc();
+            metrics.counter("service.worker.completed").inc();
+            jobDone(/*failed=*/false);
+            continue;
+        }
+        // This worker declined (unreachable or rejecting): fail the
+        // job over to the next sibling until every worker has had it.
+        metrics.counter(laneMetric(lane.index, "failed")).inc();
+        metrics.counter("service.worker.failed").inc();
+        job.attempts += 1;
+        if (job.attempts >= lanes_.size()) {
+            jobDone(/*failed=*/true);
+            continue;
+        }
+        metrics.counter("service.worker.resubmitted").inc();
+        push(*lanes_[(lane.index + 1) % lanes_.size()], std::move(job),
+             /*bounded=*/false);
+    }
+}
+
+bool
+WorkerFleet::runOn(Lane &lane, const Job &job)
+{
+    const std::string key = job.request.canonicalKey();
+    TraceSpan span("service.worker.run", "service",
+                   "worker/w" + std::to_string(lane.index) + "/" +
+                       traceHashId(key));
+    try {
+        if (!lane.client) {
+            // The worker may still be binding its socket; dial with
+            // patience on first contact.
+            for (unsigned attempt = 0;; ++attempt) {
+                try {
+                    lane.client = std::make_unique<ServiceClient>(
+                        lane.socket);
+                    break;
+                } catch (const std::exception &) {
+                    if (attempt + 1 >= cfg_.connectRetries)
+                        throw;
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(100));
+                }
+            }
+        }
+        const JsonValue response = lane.client->run(job.request);
+        if (response.boolOr("ok", false))
+            return true;
+        // A rejection (queue full, draining) is retryable elsewhere; a
+        // study-level error is deterministic and would fail on every
+        // sibling too, but resubmitting is still harmless — the local
+        // run reports the authoritative error either way.
+        return false;
+    } catch (const std::exception &) {
+        // Connection-level failure: drop the client so the next job
+        // (or this one, on a sibling) redials.
+        lane.client.reset();
+        return false;
+    }
+}
+
+void
+WorkerFleet::jobDone(bool failed)
+{
+    {
+        std::lock_guard<std::mutex> lk(doneMu_);
+        if (failed)
+            failures_ += 1;
+        if (pending_ > 0)
+            pending_ -= 1;
+    }
+    doneCv_.notify_all();
+}
+
+} // namespace nvmcache

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Multi-worker dispatch for the evaluation daemon's front process.
+ *
+ * When `nvmcache serve --workers N` forks N worker daemons, the front
+ * process holds one WorkerFleet over their Unix sockets. A run
+ * request's study is decomposed into independent sub-requests
+ * (Study::shardRequests) and primeAll() spreads them across the
+ * workers; each worker executes its share and persists every result
+ * into the shared on-disk ResultStore. The front then runs the full
+ * study locally against the warmed store — every run is a disk hit —
+ * so the merged report is structurally byte-identical to
+ * single-process output at any (workers, jobs, shards).
+ *
+ * Dispatch discipline:
+ *  - one bounded FIFO per worker (queueCap); primeAll() blocks when a
+ *    worker's queue is full instead of buffering unboundedly;
+ *  - a failed dispatch (worker unreachable, connection dropped, or an
+ *    admission-control rejection) resubmits the job to the next
+ *    sibling; resubmission pushes unbounded so two full queues can
+ *    never deadlock each other. A job is abandoned — counted as a
+ *    permanent failure, the study still runs locally — only after
+ *    every worker declined it;
+ *  - lazy connections: a worker's socket is dialed on first use and
+ *    redialed (with retry) after any failure, so workers may come up
+ *    after the fleet.
+ *
+ * Per-worker dispatch/completion/failure/resubmission counters flow
+ * through the MetricsRegistry under "service.worker.*", and every
+ * remote execution is bracketed by a "service.worker.run" trace span.
+ */
+
+#ifndef NVMCACHE_SERVICE_WORKERS_HH
+#define NVMCACHE_SERVICE_WORKERS_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/study_registry.hh"
+
+namespace nvmcache {
+
+class ServiceClient;
+
+struct WorkerFleetConfig
+{
+    /** Worker daemon socket paths; one dispatch lane per entry. */
+    std::vector<std::string> sockets;
+    /** Bounded queue depth per worker (backpressure threshold). */
+    std::size_t queueCap = 4;
+    /** Dial attempts per connection, 100 ms apart, before the job
+        fails over to a sibling. */
+    unsigned connectRetries = 50;
+};
+
+class WorkerFleet
+{
+  public:
+    explicit WorkerFleet(WorkerFleetConfig cfg);
+    ~WorkerFleet();
+
+    WorkerFleet(const WorkerFleet &) = delete;
+    WorkerFleet &operator=(const WorkerFleet &) = delete;
+
+    /**
+     * Dispatch @p requests across the fleet and block until every one
+     * has completed on some worker or been declined by all of them.
+     * Duplicate requests (by canonicalKey) are dispatched once.
+     * Returns the number of permanent failures — callers treat the
+     * primed store as best-effort, so a nonzero count degrades to
+     * local simulation, never to a wrong result. Serialized: a
+     * concurrent primeAll() waits its turn.
+     */
+    std::size_t primeAll(const std::vector<StudyRequest> &requests);
+
+    std::size_t size() const { return lanes_.size(); }
+
+  private:
+    struct Job
+    {
+        StudyRequest request;
+        unsigned attempts = 0; ///< workers that have declined it
+    };
+
+    struct Lane
+    {
+        std::size_t index = 0;
+        std::string socket;
+        std::mutex mu;
+        std::condition_variable cv; ///< queue not-full / not-empty
+        std::deque<Job> queue;      ///< guarded by mu
+        std::unique_ptr<ServiceClient> client; ///< dispatcher-owned
+        std::thread dispatcher;
+    };
+
+    void dispatchLoop(Lane &lane);
+    /** Run one job on @p lane's worker; false = decline (failover). */
+    bool runOn(Lane &lane, const Job &job);
+    void push(Lane &lane, Job job, bool bounded);
+    void jobDone(bool failed);
+
+    WorkerFleetConfig cfg_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    /** Atomic: the destructor sets it holding one lane's mu at a
+        time, while another lane's cv predicate may read it under its
+        own mu — there is no common lock. Wakeups are still correct:
+        the store happens before the notify under each lane's mu. */
+    std::atomic<bool> stopping_{false};
+
+    std::mutex batchMu_; ///< serializes primeAll callers
+
+    std::mutex doneMu_;
+    std::condition_variable doneCv_;
+    std::size_t pending_ = 0;  ///< jobs enqueued, not yet settled
+    std::size_t failures_ = 0; ///< permanent failures this batch
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_SERVICE_WORKERS_HH

@@ -1,6 +1,9 @@
 #include "sim/private_trace.hh"
 
+#include <stdexcept>
+
 #include "util/logging.hh"
+#include "util/wire.hh"
 
 namespace nvmcache {
 
@@ -93,6 +96,80 @@ PrivateTrace::packedBytes() const
     for (const Lane &lane : lanes_)
         bytes += lane.events.size() + lane.wbStream.size();
     return bytes;
+}
+
+std::string
+PrivateTrace::serialize() const
+{
+    const auto putPortrait = [](WireWriter &w,
+                                const CachePortrait &c) {
+        w.putU64(c.hits);
+        w.putU64(c.misses);
+        w.putU64(c.writebacks);
+        w.putU64(c.setEvictions.size());
+        for (std::uint32_t e : c.setEvictions)
+            w.putU32(e);
+        w.putU64(c.lineWrites.size());
+        for (std::uint32_t v : c.lineWrites)
+            w.putU32(v);
+    };
+
+    WireWriter w;
+    w.putU32(std::uint32_t(lanes_.size()));
+    for (const Lane &lane : lanes_) {
+        w.putU64(lane.count);
+        w.putU64(lane.events.size());
+        w.putBytes(lane.events.data(), lane.events.size());
+        w.putU64(lane.wbStream.size());
+        w.putBytes(lane.wbStream.data(), lane.wbStream.size());
+        for (const CachePortrait *c :
+             {&lane.l1i, &lane.l1d, &lane.l2})
+            putPortrait(w, *c);
+    }
+    return w.take();
+}
+
+std::shared_ptr<const PrivateTrace>
+PrivateTrace::deserialize(const std::string &payload)
+{
+    const auto getPortrait = [](WireReader &r) {
+        CachePortrait c;
+        c.hits = r.getU64();
+        c.misses = r.getU64();
+        c.writebacks = r.getU64();
+        const std::uint64_t sets = r.getU64();
+        c.setEvictions.reserve(std::size_t(sets));
+        for (std::uint64_t i = 0; i < sets; ++i)
+            c.setEvictions.push_back(r.getU32());
+        const std::uint64_t lines = r.getU64();
+        c.lineWrites.reserve(std::size_t(lines));
+        for (std::uint64_t i = 0; i < lines; ++i)
+            c.lineWrites.push_back(r.getU32());
+        return c;
+    };
+
+    WireReader r(payload);
+    const std::uint32_t numLanes = r.getU32();
+    std::shared_ptr<PrivateTrace> trace(new PrivateTrace());
+    trace->lanes_.resize(numLanes);
+    for (std::uint32_t t = 0; t < numLanes; ++t) {
+        Lane &lane = trace->lanes_[t];
+        lane.count = r.getU64();
+        const std::string events = r.getStr();
+        lane.events.assign(events.begin(), events.end());
+        const std::string wbStream = r.getStr();
+        lane.wbStream.assign(wbStream.begin(), wbStream.end());
+        // Two nibble-packed events per byte; replay must never read
+        // past the end of the column.
+        if (lane.events.size() * 2 < lane.count)
+            throw std::runtime_error(
+                "PrivateTrace payload: event column too short");
+        lane.l1i = getPortrait(r);
+        lane.l1d = getPortrait(r);
+        lane.l2 = getPortrait(r);
+    }
+    r.expectEnd();
+    return trace;
 }
 
 PrivateCursor

@@ -95,6 +95,21 @@ class PrivateTrace
     record(const std::vector<BatchSource *> &sources,
            const CoreParams &params);
 
+    /**
+     * Pack the recorded lanes (events, writeback streams, and the
+     * per-core cache portraits) into a self-contained byte payload
+     * for the persistent result store. Deterministic.
+     */
+    std::string serialize() const;
+
+    /**
+     * Rebuild a recording from serialize() output. Throws
+     * std::runtime_error on any structural defect — callers treat
+     * that as a store miss and re-record.
+     */
+    static std::shared_ptr<const PrivateTrace>
+    deserialize(const std::string &payload);
+
     std::uint32_t threads() const
     {
         return std::uint32_t(lanes_.size());

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Bit-exact binary codec for the result store's SimStats payloads.
+ *
+ * Every field of SimStats — including the full hierarchical detail
+ * snapshot — round-trips exactly (doubles travel as raw IEEE-754 bit
+ * patterns), so a report assembled from warm-loaded results is byte
+ * identical to one assembled from fresh simulations.
+ */
+
+#ifndef NVMCACHE_STORE_CODEC_HH
+#define NVMCACHE_STORE_CODEC_HH
+
+#include <string>
+
+#include "sim/system.hh"
+
+namespace nvmcache {
+
+std::string encodeSimStats(const SimStats &stats);
+
+/**
+ * Decode a payload produced by encodeSimStats. Throws
+ * std::runtime_error on any structural defect (truncation, bad
+ * version, trailing bytes) — callers treat that as a store miss.
+ */
+SimStats decodeSimStats(const std::string &payload);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_STORE_CODEC_HH

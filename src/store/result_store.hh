@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Content-addressed on-disk result store.
+ *
+ * The evaluation pipeline is deterministic: every (workload, model,
+ * faults) point always produces the same SimStats, and every recorded
+ * trace always packs to the same bytes. The store persists those
+ * artifacts across process restarts so the daemon, CLI, and benches
+ * only ever pay simulation cost for the frontier of a sweep.
+ *
+ * Records live under a two-level fanout directory keyed by a stable
+ * 64-bit FNV-1a hash of (kind, key): `<dir>/<aa>/<bb>/<16-hex>.nvcs`.
+ * Each file is self-describing:
+ *
+ *   "NVCS" magic · u32 version · u64 kindLen · u64 keyLen ·
+ *   u64 payloadLen · kind bytes · key bytes · payload bytes ·
+ *   u64 FNV-1a checksum over everything before it
+ *
+ * The full key is stored so a (vanishingly unlikely) hash collision
+ * degrades to a miss, never a wrong result. Writes go to a temp file
+ * in the final directory and rename into place, so concurrent writers
+ * and crashes can never expose a torn record; corrupt or truncated
+ * entries are unlinked and treated as misses (the caller re-simulates
+ * and rewrites). Loads bump the entry's atime explicitly (works on
+ * noatime mounts), which is what `gc --max-bytes` orders eviction by.
+ *
+ * A generation number (`<dir>/generation`) increments whenever the
+ * store mutates destructively (gc, verify --repair), letting
+ * RunnerPool key cached runner handles on it so a mid-flight eviction
+ * can't serve a stale in-memory view of the store.
+ */
+
+#ifndef NVMCACHE_STORE_RESULT_STORE_HH
+#define NVMCACHE_STORE_RESULT_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nvmcache {
+
+/** One record seen by a directory walk (scan/verify/gc). */
+struct StoreScanEntry
+{
+    std::string path;
+    std::string kind;          ///< "" when the record is unreadable
+    std::uint64_t payloadBytes = 0;
+    std::uint64_t fileBytes = 0;
+    bool valid = false;
+    std::int64_t atimeNs = 0; ///< access time, ns since epoch
+};
+
+/** Totals from a directory walk. */
+struct StoreUsage
+{
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+};
+
+/** Result of a checksum walk. */
+struct StoreVerifyResult
+{
+    std::uint64_t checked = 0;
+    std::uint64_t corrupt = 0;
+    std::vector<std::string> corruptPaths;
+};
+
+/** Result of an LRU-by-atime eviction pass. */
+struct StoreGcResult
+{
+    std::uint64_t evicted = 0;
+    std::uint64_t bytesEvicted = 0;
+    std::uint64_t bytesRemaining = 0;
+};
+
+class ResultStore
+{
+  public:
+    /** Opens (and creates, with parents) the store at @p dir. */
+    explicit ResultStore(std::string dir);
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Look @p key up under namespace @p kind. Returns the payload on
+     * a clean hit; nullopt on miss, on any corruption (the entry is
+     * unlinked so the rewrite starts clean), or on a hash collision
+     * with a different key.
+     */
+    std::optional<std::string> load(const std::string &kind,
+                                    const std::string &key);
+
+    /** Write (or atomically replace) the record for (kind, key). */
+    void put(const std::string &kind, const std::string &key,
+             const std::string &payload);
+
+    /** Stable fanout path a (kind, key) record lives at. */
+    std::string pathFor(const std::string &kind,
+                        const std::string &key) const;
+
+    /** Walk every record file (valid or not), unordered. */
+    std::vector<StoreScanEntry> scan() const;
+
+    StoreUsage usage() const;
+
+    /**
+     * Checksum-walk every record; with @p repair, unlink corrupt
+     * entries and bump the generation when anything was removed.
+     */
+    StoreVerifyResult verify(bool repair = false);
+
+    /**
+     * Evict least-recently-used records until the store holds at most
+     * @p maxBytes of record data. Bumps the generation when anything
+     * was evicted.
+     */
+    StoreGcResult gc(std::uint64_t maxBytes);
+
+    /**
+     * Destructive-mutation counter, re-read from disk on every call
+     * so sibling processes observe each other's gc/repair passes.
+     */
+    std::uint64_t generation() const;
+
+    /** Increment the on-disk generation (atomic rename). */
+    void bumpGeneration();
+
+    /** This handle's session counters (also mirrored to store.*). */
+    struct Counters
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t corrupt = 0;
+    };
+
+    Counters counters() const;
+
+    /**
+     * Lifetime counters: the persisted totals of every handle that
+     * ever flushed (`<dir>/counters.v1.json`) plus this session's.
+     */
+    Counters cumulativeCounters() const;
+
+    // --- process-wide store selection -------------------------------
+
+    /**
+     * Select the process-wide store (the --store-dir/NVMCACHE_STORE
+     * knob). An empty @p dir disables it. Every call bumps the global
+     * epoch so cached runner handles keyed on it are invalidated.
+     */
+    static void setGlobal(const std::string &dir);
+
+    /** The selected store, or nullptr when persistence is off. */
+    static std::shared_ptr<ResultStore> global();
+
+    /** Monotonic count of setGlobal() calls in this process. */
+    static std::uint64_t globalEpoch();
+
+  private:
+    std::string fanoutName(const std::string &kind,
+                           const std::string &key) const;
+    void countHit();
+    void countMiss();
+    void countWrite();
+    void countCorrupt();
+    void flushPersistentCounters();
+
+    std::string dir_;
+    mutable std::mutex countersMu_;
+    Counters counters_;
+    std::atomic<std::uint64_t> tmpSeq_{0};
+};
+
+/** 64-bit FNV-1a over @p data (the store's stable record hash). */
+std::uint64_t fnv1a64(const std::string &data,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_STORE_RESULT_STORE_HH

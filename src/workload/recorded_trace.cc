@@ -1,9 +1,11 @@
 #include "workload/recorded_trace.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/logging.hh"
 #include "util/varint.hh"
+#include "util/wire.hh"
 
 namespace nvmcache {
 
@@ -158,6 +160,45 @@ TraceCursor::reset()
     pos_ = track_->stream.data();
     idx_ = 0;
     addr_ = 0;
+}
+
+std::string
+RecordedTrace::serialize() const
+{
+    WireWriter w;
+    w.putU32(std::uint32_t(tracks_.size()));
+    for (const Track &track : tracks_) {
+        w.putU64(track.count);
+        w.putU64(track.stream.size());
+        w.putBytes(track.stream.data(), track.stream.size());
+        w.putU64(track.kinds.size());
+        w.putBytes(track.kinds.data(), track.kinds.size());
+    }
+    return w.take();
+}
+
+std::shared_ptr<const RecordedTrace>
+RecordedTrace::deserialize(const std::string &payload)
+{
+    WireReader r(payload);
+    const std::uint32_t numTracks = r.getU32();
+    std::shared_ptr<RecordedTrace> trace(new RecordedTrace());
+    trace->tracks_.resize(numTracks);
+    for (std::uint32_t t = 0; t < numTracks; ++t) {
+        Track &track = trace->tracks_[t];
+        track.count = r.getU64();
+        const std::string stream = r.getStr();
+        track.stream.assign(stream.begin(), stream.end());
+        const std::string kinds = r.getStr();
+        track.kinds.assign(kinds.begin(), kinds.end());
+        // The 2-bit kind column must cover count accesses or replay
+        // would read past its end.
+        if (track.kinds.size() * 4 < track.count)
+            throw std::runtime_error(
+                "RecordedTrace payload: kind column too short");
+    }
+    r.expectEnd();
+    return trace;
 }
 
 bool

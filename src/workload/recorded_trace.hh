@@ -28,6 +28,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/replay.hh"
@@ -52,6 +53,21 @@ class RecordedTrace
      */
     static std::shared_ptr<const RecordedTrace>
     record(const GeneratorConfig &cfg, std::uint32_t numThreads);
+
+    /**
+     * Pack the recorded tracks into a self-contained byte payload
+     * (for the persistent result store). Deterministic: the same
+     * recording always serializes to the same bytes.
+     */
+    std::string serialize() const;
+
+    /**
+     * Rebuild a recording from serialize() output. Throws
+     * std::runtime_error on any structural defect — callers treat
+     * that as a store miss and re-record.
+     */
+    static std::shared_ptr<const RecordedTrace>
+    deserialize(const std::string &payload);
 
     std::uint32_t threads() const
     {

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "core/study_registry.hh"
 #include "service/client.hh"
 #include "service/server.hh"
+#include "store/result_store.hh"
 #include "util/args.hh"
 #include "util/json.hh"
 #include "util/metrics.hh"
@@ -442,7 +445,7 @@ TEST(Service, PingStudiesAndMetricsOps)
 {
     ServeConfig cfg;
     cfg.socketPath = socketPathFor("ops");
-    cfg.workers = 1;
+    cfg.execThreads = 1;
     EvalServer server(cfg);
     server.start();
     {
@@ -484,7 +487,7 @@ TEST(Service, WarmRepeatIsMemoizedAndByteIdentical)
 
     ServeConfig cfg;
     cfg.socketPath = socketPathFor("warm");
-    cfg.workers = 1;
+    cfg.execThreads = 1;
     EvalServer server(cfg);
     server.start();
     {
@@ -520,7 +523,7 @@ TEST(Service, CoalescesIdenticalInflightRequests)
 {
     ServeConfig cfg;
     cfg.socketPath = socketPathFor("coalesce");
-    cfg.workers = 1;
+    cfg.execThreads = 1;
     EvalServer server(cfg);
     server.start();
     {
@@ -562,7 +565,7 @@ TEST(Service, RejectsWhenQueueIsFull)
 {
     ServeConfig cfg;
     cfg.socketPath = socketPathFor("full");
-    cfg.workers = 1;
+    cfg.execThreads = 1;
     cfg.queueDepth = 1;
     EvalServer server(cfg);
     server.start();
@@ -598,7 +601,7 @@ TEST(Service, ShutdownDrainsQueuedWorkThenExits)
 {
     ServeConfig cfg;
     cfg.socketPath = socketPathFor("drain");
-    cfg.workers = 1;
+    cfg.execThreads = 1;
     EvalServer server(cfg);
     server.start();
     {
@@ -631,7 +634,7 @@ TEST(Service, HealthAndStatsVerbsExposeLiveState)
 {
     ServeConfig cfg;
     cfg.socketPath = socketPathFor("health");
-    cfg.workers = 1;
+    cfg.execThreads = 1;
     EvalServer server(cfg);
     server.start();
     {
@@ -646,7 +649,8 @@ TEST(Service, HealthAndStatsVerbsExposeLiveState)
         EXPECT_GE(health.at("uptimeSeconds").asNumber(), 0.0);
         EXPECT_EQ(health.at("queueDepth").asNumber(), 0.0);
         EXPECT_EQ(health.at("queueCapacity").asNumber(), 16.0);
-        EXPECT_EQ(health.at("workers").asNumber(), 1.0);
+        EXPECT_EQ(health.at("workers").asNumber(), 0.0);
+        EXPECT_EQ(health.at("execThreads").asNumber(), 1.0);
         EXPECT_FALSE(health.at("draining").asBool());
         EXPECT_FALSE(health.at("tracing").asBool()); // default off
         // Per-verb request counters: the ping above and this health
@@ -685,7 +689,7 @@ TEST(Service, TracedRunEchoesIdAndServesFilteredTrace)
 {
     ServeConfig cfg;
     cfg.socketPath = socketPathFor("trace");
-    cfg.workers = 1;
+    cfg.execThreads = 1;
     cfg.trace = true;
     EvalServer server(cfg);
     server.start();
@@ -743,7 +747,7 @@ TEST(Service, ResultsAreByteIdenticalAcrossJobCounts)
         ServeConfig cfg;
         cfg.socketPath = socketPathFor("jobs" +
                                        std::to_string(jobCounts[i]));
-        cfg.workers = 1;
+        cfg.execThreads = 1;
         cfg.jobs = jobCounts[i];
         EvalServer server(cfg);
         server.start();
@@ -759,4 +763,121 @@ TEST(Service, ResultsAreByteIdenticalAcrossJobCounts)
     }
     EXPECT_EQ(results[0], results[1]);
     EXPECT_FALSE(results[0].empty());
+}
+
+// --- multi-worker shard dispatch ------------------------------------
+
+namespace {
+
+/** Fresh (wiped) store directory under the test tempdir. */
+std::string
+freshStoreDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "nvmcache_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/**
+ * Run @p req through a front server dispatching to @p workers
+ * in-process worker servers over a fresh shared store, and return
+ * the front's full response. All servers live in this process, so
+ * they share the MetricsRegistry and the global ResultStore exactly
+ * like forked workers share the store directory.
+ */
+JsonValue
+runThroughFleet(const StudyRequest &req, unsigned workers,
+                unsigned jobs, const std::string &tag)
+{
+    ResultStore::setGlobal(freshStoreDir("store_" + tag));
+
+    std::vector<std::unique_ptr<EvalServer>> fleet;
+    std::vector<std::string> sockets;
+    for (unsigned i = 0; i < workers; ++i) {
+        ServeConfig wcfg;
+        wcfg.socketPath =
+            socketPathFor(tag + "_w" + std::to_string(i));
+        wcfg.execThreads = 1;
+        wcfg.jobs = jobs;
+        sockets.push_back(wcfg.socketPath);
+        fleet.push_back(std::make_unique<EvalServer>(wcfg));
+        fleet.back()->start();
+    }
+
+    ServeConfig cfg;
+    cfg.socketPath = socketPathFor(tag + "_front");
+    cfg.execThreads = 1;
+    cfg.jobs = jobs;
+    cfg.workerSockets = sockets;
+    EvalServer front(cfg);
+    front.start();
+
+    JsonValue response;
+    {
+        ServiceClient client(cfg.socketPath);
+        response = client.run(req, "r");
+    }
+    front.requestStop();
+    front.wait();
+    for (auto &w : fleet) {
+        w->requestStop();
+        w->wait();
+    }
+    ResultStore::setGlobal("");
+    return response;
+}
+
+} // namespace
+
+TEST(WorkerShard, MergedCompareIsByteIdenticalAtAnyFleetShape)
+{
+    const StudyRequest req = compareRequest("0.02");
+    const std::string reference = runStudyRequest(req).resultJson();
+
+    for (unsigned workers : {1u, 2u}) {
+        for (unsigned jobs : {1u, 2u}) {
+            const std::string tag = "ws" + std::to_string(workers) +
+                                    "j" + std::to_string(jobs);
+            const JsonValue response =
+                runThroughFleet(req, workers, jobs, tag);
+            ASSERT_TRUE(response.boolOr("ok", false))
+                << response.dump();
+            EXPECT_EQ(response.at("result").dump(), reference)
+                << "workers=" << workers << " jobs=" << jobs;
+            // The front's local pass replayed entirely from the
+            // worker-primed store: zero fresh simulations, only
+            // disk hits.
+            const JsonValue &metrics = response.at("metrics");
+            EXPECT_DOUBLE_EQ(
+                metrics.numberOr("runner.memo.simulations", 0.0), 0.0)
+                << metrics.dump();
+            EXPECT_GE(metrics.numberOr("runner.store.hits", 0.0), 2.0)
+                << metrics.dump();
+            // The fleet actually carried the shards.
+            EXPECT_GE(MetricsRegistry::global()
+                          .counter("service.worker.completed")
+                          .get(),
+                      1u);
+        }
+    }
+}
+
+TEST(WorkerShard, ReliabilityGridShardsAcrossWorkers)
+{
+    StudyRequest req;
+    req.kind = "reliability";
+    req.params["workload"] = "lbm";
+    req.params["scale"] = "0.02";
+    req.params["ber-scale"] = "1,4";
+    req.params["wear-leveling"] = "1";
+
+    const std::string reference = runStudyRequest(req).resultJson();
+    const JsonValue response =
+        runThroughFleet(req, 2, 1, "wsrel");
+    ASSERT_TRUE(response.boolOr("ok", false)) << response.dump();
+    EXPECT_EQ(response.at("result").dump(), reference);
+    EXPECT_DOUBLE_EQ(response.at("metrics")
+                         .numberOr("runner.memo.simulations", 0.0),
+                     0.0);
 }

@@ -15,6 +15,7 @@
  *   nvmcache studies                     list the study registry
  *   nvmcache study <kind> [key=value ..] run any registered study
  *   nvmcache serve --socket PATH         persistent evaluation daemon
+ *   nvmcache store <action> --store-dir DIR   result-store maintenance
  *   nvmcache client --socket PATH <kind> [key=value ..]
  *
  * All flag parsing goes through util/args.hh; every subcommand rejects
@@ -22,6 +23,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -36,6 +38,7 @@
 #include "prism/metrics.hh"
 #include "service/client.hh"
 #include "service/server.hh"
+#include "store/result_store.hh"
 #include "util/args.hh"
 #include "util/metrics.hh"
 #include "util/trace_events.hh"
@@ -85,10 +88,19 @@ usage(std::FILE *out)
         "[--progress]\n"
         "           run one study, print JSON\n"
         "  serve --socket PATH [--queue-depth N] [--workers N] "
-        "[--jobs N] [--shards N]\n"
-        "           [--trace] [--trace-out FILE]   persistent "
-        "evaluation daemon\n"
-        "           (newline-delimited JSON protocol)\n"
+        "[--exec-threads N]\n"
+        "           [--jobs N] [--shards N] [--store-dir DIR] "
+        "[--trace] [--trace-out FILE]\n"
+        "           persistent evaluation daemon (newline-delimited "
+        "JSON protocol);\n"
+        "           --workers N forks N worker daemons sharing the "
+        "store (needs\n"
+        "           --store-dir), --exec-threads sets in-process "
+        "concurrency\n"
+        "  store <ls|stats|verify|gc> --store-dir DIR [--repair] "
+        "[--max-bytes N]\n"
+        "           inspect, check, or shrink the persistent result "
+        "store\n"
         "  client --socket PATH <kind> [key=value ..] [--id X] "
         "[--result-only]\n"
         "           [--op ping|studies|metrics|stats|health|trace|"
@@ -109,9 +121,34 @@ usage(std::FILE *out)
         "Chrome\ntrace-event JSON (load in Perfetto or "
         "chrome://tracing). Tracing is off\nwithout the flag and "
         "costs nothing when disabled.\n"
+        "--store-dir DIR (or NVMCACHE_STORE=DIR) persists every "
+        "simulated run and\nrecorded trace to a content-addressed "
+        "on-disk store: a warm restart replays\nfrom disk instead of "
+        "re-simulating. Results are byte-identical either way.\n"
         "\nRun `nvmcache studies` for every study's parameters and "
         "defaults.\n");
     return out == stdout ? 0 : 2;
+}
+
+/**
+ * Consume `--store-dir PATH` (falling back to the NVMCACHE_STORE
+ * environment variable) and, when set, install the persistent result
+ * store before any engine work runs: every ExperimentRunner built
+ * afterwards reads and writes the on-disk tier. Returns the directory
+ * ("" = persistence off).
+ */
+std::string
+storeDirFlag(ArgParser &parser)
+{
+    std::string dir = parser.str("--store-dir", "");
+    if (dir.empty()) {
+        const char *env = std::getenv("NVMCACHE_STORE");
+        if (env)
+            dir = env;
+    }
+    if (!dir.empty())
+        ResultStore::setGlobal(dir);
+    return dir;
 }
 
 /**
@@ -249,6 +286,7 @@ cmdSimulate(ArgParser &parser)
     setProgressEnabled(parser.flag("--progress"));
     const std::string statsOut = parser.str("--stats-out", "");
     const std::string statsFormat = parser.str("--stats-format", "json");
+    storeDirFlag(parser);
     const std::string traceOut = traceOutFlag(parser);
     parser.rejectUnknown("simulate");
 
@@ -362,6 +400,7 @@ cmdReliability(ArgParser &parser)
     setProgressEnabled(parser.flag("--progress"));
     const std::string statsOut = parser.str("--stats-out", "");
     const std::string statsFormat = parser.str("--stats-format", "json");
+    storeDirFlag(parser);
     const std::string traceOut = traceOutFlag(parser);
     parser.rejectUnknown("reliability");
 
@@ -426,6 +465,7 @@ cmdStudy(ArgParser &parser)
     setProgressEnabled(parser.flag("--progress"));
     const std::string statsOut = parser.str("--stats-out", "");
     const std::string statsFormat = parser.str("--stats-format", "json");
+    storeDirFlag(parser);
     const std::string traceOut = traceOutFlag(parser);
     parser.rejectUnknown("study");
 
@@ -450,20 +490,96 @@ cmdServe(ArgParser &parser)
     ServeConfig cfg;
     cfg.socketPath = parser.str("--socket", "");
     cfg.queueDepth = parser.u32("--queue-depth", 16);
-    cfg.workers = parser.u32("--workers", 2);
+    cfg.workers = parser.u32("--workers", 0);
+    cfg.execThreads = parser.u32("--exec-threads", 2);
     cfg.jobs = parser.u32("--jobs", 0);
     cfg.shards = parser.u32("--shards", 0);
     cfg.trace = parser.flag("--trace");
     cfg.traceOut = parser.str("--trace-out", "");
+    storeDirFlag(parser);
     setProgressEnabled(parser.flag("--progress"));
     parser.rejectUnknown("serve");
     if (cfg.socketPath.empty())
         throw std::runtime_error("'serve' needs --socket PATH");
     std::fprintf(stderr,
                  "nvmcache serve: listening on %s (queue %u, "
-                 "workers %u)\n",
-                 cfg.socketPath.c_str(), cfg.queueDepth, cfg.workers);
+                 "workers %u, exec threads %u)\n",
+                 cfg.socketPath.c_str(), cfg.queueDepth, cfg.workers,
+                 cfg.execThreads);
     return serveMain(cfg);
+}
+
+int
+cmdStore(ArgParser &parser)
+{
+    const std::string dir = storeDirFlag(parser);
+    const bool repair = parser.flag("--repair");
+    const double maxBytes = parser.num("--max-bytes", -1.0);
+    parser.rejectUnknown("store");
+    if (dir.empty())
+        throw std::runtime_error(
+            "'store' needs --store-dir PATH (or NVMCACHE_STORE)");
+    const std::vector<std::string> pos = parser.positionals();
+    if (pos.empty())
+        throw std::runtime_error(
+            "'store' needs an action: ls, stats, verify, or gc");
+    const std::string &action = pos[0];
+    ResultStore store(dir);
+
+    if (action == "ls") {
+        for (const StoreScanEntry &e : store.scan())
+            std::printf("%-7s %12llu %s%s\n", e.kind.c_str(),
+                        (unsigned long long)e.payloadBytes,
+                        e.path.c_str(), e.valid ? "" : "  [corrupt]");
+        return 0;
+    }
+    if (action == "stats") {
+        const StoreUsage usage = store.usage();
+        const ResultStore::Counters c = store.cumulativeCounters();
+        JsonValue v = JsonValue::makeObject();
+        v.set("dir", JsonValue::makeString(dir));
+        v.set("entries", JsonValue::makeNumber(double(usage.entries)));
+        v.set("bytes", JsonValue::makeNumber(double(usage.bytes)));
+        v.set("generation",
+              JsonValue::makeNumber(double(store.generation())));
+        v.set("hits", JsonValue::makeNumber(double(c.hits)));
+        v.set("misses", JsonValue::makeNumber(double(c.misses)));
+        v.set("writes", JsonValue::makeNumber(double(c.writes)));
+        v.set("corrupt", JsonValue::makeNumber(double(c.corrupt)));
+        std::printf("%s\n", v.dump().c_str());
+        return 0;
+    }
+    if (action == "verify") {
+        const StoreVerifyResult r = store.verify(repair);
+        JsonValue v = JsonValue::makeObject();
+        v.set("checked", JsonValue::makeNumber(double(r.checked)));
+        v.set("corrupt", JsonValue::makeNumber(double(r.corrupt)));
+        v.set("repaired", JsonValue::makeBool(repair));
+        JsonValue paths = JsonValue::makeArray();
+        for (const std::string &p : r.corruptPaths)
+            paths.push(JsonValue::makeString(p));
+        v.set("corruptPaths", std::move(paths));
+        std::printf("%s\n", v.dump().c_str());
+        // Unrepaired corruption is an actionable condition; repaired
+        // (or clean) stores exit 0.
+        return r.corrupt > 0 && !repair ? 1 : 0;
+    }
+    if (action == "gc") {
+        if (maxBytes < 0)
+            throw std::runtime_error(
+                "'store gc' needs --max-bytes N (target size)");
+        const StoreGcResult r = store.gc(std::uint64_t(maxBytes));
+        JsonValue v = JsonValue::makeObject();
+        v.set("evicted", JsonValue::makeNumber(double(r.evicted)));
+        v.set("bytesEvicted",
+              JsonValue::makeNumber(double(r.bytesEvicted)));
+        v.set("bytesRemaining",
+              JsonValue::makeNumber(double(r.bytesRemaining)));
+        std::printf("%s\n", v.dump().c_str());
+        return 0;
+    }
+    throw std::runtime_error("unknown store action '" + action +
+                             "' (ls, stats, verify, gc)");
 }
 
 int
@@ -554,6 +670,8 @@ run(const std::string &cmd, const std::vector<std::string> &args)
         return cmdStudy(parser);
     if (cmd == "serve")
         return cmdServe(parser);
+    if (cmd == "store")
+        return cmdStore(parser);
     if (cmd == "client")
         return cmdClient(parser);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
