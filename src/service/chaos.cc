@@ -1,0 +1,373 @@
+#include "service/chaos.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "store/result_store.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+#include "util/rng.hh"
+#include "util/trace_events.hh"
+
+namespace nvmcache {
+
+namespace {
+
+/** Spec keys in schedule order; doubles as the event-type vocabulary. */
+struct FaultKind
+{
+    const char *name;
+    unsigned ChaosSpec::*count;
+};
+
+constexpr FaultKind kFaultKinds[] = {
+    {"kill", &ChaosSpec::kill},
+    {"stop", &ChaosSpec::stop},
+    {"corrupt", &ChaosSpec::corrupt},
+    {"truncate", &ChaosSpec::truncate},
+    {"drop", &ChaosSpec::drop},
+    {"stall", &ChaosSpec::stall},
+    {"partial", &ChaosSpec::partial},
+};
+
+} // namespace
+
+ChaosSpec
+parseChaosSpec(const std::string &spec)
+{
+    ChaosSpec out;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string token = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0)
+            throw std::runtime_error("chaos spec token '" + token +
+                                     "' is not of the form key=value");
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        bool known = false;
+        for (const FaultKind &k : kFaultKinds)
+            if (key == k.name) {
+                out.*(k.count) =
+                    ArgParser::parseU32("chaos " + key, value);
+                known = true;
+            }
+        if (known)
+            continue;
+        if (key == "seed")
+            out.seed = ArgParser::parseU32("chaos seed", value);
+        else if (key == "interval-ms")
+            out.intervalMs =
+                ArgParser::parseU32("chaos interval-ms", value);
+        else if (key == "start-delay-ms")
+            out.startDelayMs =
+                ArgParser::parseU32("chaos start-delay-ms", value);
+        else if (key == "stall-ms")
+            out.stallMs = ArgParser::parseU32("chaos stall-ms", value);
+        else
+            throw std::runtime_error(
+                "unknown chaos spec key '" + key +
+                "' (seed, kill, stop, corrupt, truncate, drop, stall, "
+                "partial, interval-ms, start-delay-ms, stall-ms)");
+    }
+    return out;
+}
+
+std::vector<ChaosEvent>
+buildChaosSchedule(const ChaosSpec &spec)
+{
+    // Every event draws its offset jitter and target selector from
+    // deriveSeed(spec.seed, slot) — the schedule depends only on the
+    // spec, never on wall clock or iteration order.
+    std::vector<ChaosEvent> schedule;
+    unsigned slot = 0;
+    for (const FaultKind &kind : kFaultKinds) {
+        for (unsigned i = 0; i < spec.*(kind.count); ++i, ++slot) {
+            ChaosEvent ev;
+            ev.type = kind.name;
+            const std::uint64_t draw = deriveSeed(spec.seed, slot);
+            // Spread events over [startDelay, startDelay +
+            // totalEvents*interval) with +-50% deterministic jitter
+            // around each slot's nominal position.
+            const std::uint64_t nominal =
+                std::uint64_t(slot) * spec.intervalMs;
+            const std::uint64_t jitter =
+                spec.intervalMs
+                    ? (draw % spec.intervalMs)
+                    : 0; // [0, interval)
+            ev.atMs = spec.startDelayMs + nominal + jitter / 2;
+            ev.pick = deriveSeed(spec.seed, 0x10000u + slot);
+            schedule.push_back(std::move(ev));
+        }
+    }
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [](const ChaosEvent &a, const ChaosEvent &b) {
+                         return a.atMs < b.atMs;
+                     });
+    for (std::size_t i = 0; i < schedule.size(); ++i)
+        schedule[i].index = unsigned(i);
+    return schedule;
+}
+
+JsonValue
+chaosScheduleToJson(const ChaosSpec &spec)
+{
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("seed", JsonValue::makeNumber(double(spec.seed)));
+    doc.set("intervalMs",
+            JsonValue::makeNumber(double(spec.intervalMs)));
+    JsonValue events = JsonValue::makeArray();
+    for (const ChaosEvent &ev : buildChaosSchedule(spec)) {
+        JsonValue e = JsonValue::makeObject();
+        e.set("index", JsonValue::makeNumber(double(ev.index)));
+        e.set("atMs", JsonValue::makeNumber(double(ev.atMs)));
+        e.set("type", JsonValue::makeString(ev.type));
+        // The selector is reduced modulo the live target count at
+        // execution time; exporting it modulo 1e6 keeps the JSON
+        // number exact in a double.
+        e.set("pick",
+              JsonValue::makeNumber(double(ev.pick % 1000000)));
+        events.push(std::move(e));
+    }
+    doc.set("events", std::move(events));
+    return doc;
+}
+
+// --- protocol-write fault hooks -------------------------------------
+
+namespace {
+
+std::atomic<bool> g_writeFaultsArmed{false};
+std::atomic<unsigned> g_stallWrites{0};
+std::atomic<unsigned> g_stallMs{0};
+std::atomic<unsigned> g_partialWrites{0};
+
+void
+refreshArmedFlag()
+{
+    g_writeFaultsArmed.store(g_stallWrites.load() > 0 ||
+                                 g_partialWrites.load() > 0,
+                             std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+chaosArmStallWrites(unsigned writes, unsigned stallMs)
+{
+    g_stallMs.store(stallMs);
+    g_stallWrites.fetch_add(writes);
+    refreshArmedFlag();
+}
+
+void
+chaosArmPartialWrites(unsigned writes)
+{
+    g_partialWrites.fetch_add(writes);
+    refreshArmedFlag();
+}
+
+bool
+chaosWriteFaultsArmed()
+{
+    return g_writeFaultsArmed.load(std::memory_order_relaxed);
+}
+
+unsigned
+chaosConsumeWriteFault(bool &partial)
+{
+    partial = false;
+    unsigned stall = 0;
+    // Decrement-if-positive: concurrent writers race benignly — each
+    // armed fault is consumed by exactly one write.
+    unsigned n = g_stallWrites.load();
+    while (n > 0 &&
+           !g_stallWrites.compare_exchange_weak(n, n - 1)) {
+    }
+    if (n > 0)
+        stall = g_stallMs.load();
+    n = g_partialWrites.load();
+    while (n > 0 &&
+           !g_partialWrites.compare_exchange_weak(n, n - 1)) {
+    }
+    partial = n > 0;
+    refreshArmedFlag();
+    return stall;
+}
+
+void
+chaosResetWriteFaults()
+{
+    g_stallWrites.store(0);
+    g_partialWrites.store(0);
+    g_stallMs.store(0);
+    refreshArmedFlag();
+}
+
+// --- store record damage --------------------------------------------
+
+std::string
+damageStoreRecord(ResultStore &store, std::uint64_t pick,
+                  bool truncate)
+{
+    std::vector<StoreScanEntry> entries = store.scan();
+    if (entries.empty())
+        return "";
+    // scan() walks the directory unordered; sort so the pick is a
+    // function of store *contents*, not readdir order.
+    std::sort(entries.begin(), entries.end(),
+              [](const StoreScanEntry &a, const StoreScanEntry &b) {
+                  return a.path < b.path;
+              });
+    const StoreScanEntry &victim = entries[pick % entries.size()];
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(victim.path, ec);
+    if (ec || size == 0)
+        return "";
+    if (truncate) {
+        fs::resize_file(victim.path, size / 2, ec);
+        return ec ? "" : victim.path;
+    }
+    // Flip one byte mid-file (payload region for any non-trivial
+    // record): the checksum footer must reject the whole record.
+    std::FILE *f = std::fopen(victim.path.c_str(), "r+b");
+    if (!f)
+        return "";
+    std::fseek(f, long(size / 2), SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, long(size / 2), SEEK_SET);
+    std::fputc((c == EOF ? 0 : c) ^ 0xff, f);
+    std::fclose(f);
+    return victim.path;
+}
+
+// --- the injector ----------------------------------------------------
+
+ChaosInjector::ChaosInjector(ChaosSpec spec, ChaosTargets targets)
+    : spec_(spec), targets_(std::move(targets)),
+      schedule_(buildChaosSchedule(spec_))
+{
+}
+
+ChaosInjector::~ChaosInjector()
+{
+    stop();
+}
+
+void
+ChaosInjector::start()
+{
+    if (schedule_.empty() || thread_.joinable())
+        return;
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+ChaosInjector::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+std::vector<std::string>
+ChaosInjector::log() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return log_;
+}
+
+std::size_t
+ChaosInjector::injected() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return executed_;
+}
+
+bool
+ChaosInjector::done() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return executed_ == schedule_.size();
+}
+
+void
+ChaosInjector::run()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const ChaosEvent &ev : schedule_) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait_until(lk,
+                           t0 + std::chrono::milliseconds(ev.atMs),
+                           [this] { return stopping_; });
+            if (stopping_)
+                return;
+        }
+        const bool hit = execute(ev);
+        MetricsRegistry &metrics = MetricsRegistry::global();
+        metrics.counter("service.chaos.injected").inc();
+        metrics.counter("service.chaos." + ev.type).inc();
+        if (!hit)
+            metrics.counter("service.chaos.noTarget").inc();
+        traceInstant("service.chaos", "service",
+                     "chaos/" + std::to_string(ev.index) + "/" +
+                         ev.type);
+        std::string line = "chaos: #" + std::to_string(ev.index) +
+                           " " + ev.type + " pick=" +
+                           std::to_string(ev.pick % 1000000) +
+                           (hit ? " -> hit" : " -> no-target");
+        inform(line);
+        std::lock_guard<std::mutex> lk(mu_);
+        log_.push_back(std::move(line));
+        executed_ += 1;
+    }
+}
+
+bool
+ChaosInjector::execute(const ChaosEvent &ev)
+{
+    if (ev.type == "kill")
+        return targets_.signalWorker &&
+               targets_.signalWorker(ev.pick, SIGKILL);
+    if (ev.type == "stop")
+        return targets_.signalWorker &&
+               targets_.signalWorker(ev.pick, SIGSTOP);
+    if (ev.type == "corrupt")
+        return targets_.damageRecord &&
+               targets_.damageRecord(ev.pick, /*truncate=*/false);
+    if (ev.type == "truncate")
+        return targets_.damageRecord &&
+               targets_.damageRecord(ev.pick, /*truncate=*/true);
+    if (ev.type == "drop")
+        return targets_.dropConnection &&
+               targets_.dropConnection(ev.pick);
+    if (ev.type == "stall") {
+        chaosArmStallWrites(4, spec_.stallMs);
+        return true;
+    }
+    if (ev.type == "partial") {
+        chaosArmPartialWrites(4);
+        return true;
+    }
+    return false;
+}
+
+} // namespace nvmcache

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Deterministic chaos injection for the evaluation service stack.
+ *
+ * PR 4 gave the *simulated* NVM LLC a seeded fault layer; this is the
+ * same philosophy applied to the infrastructure that runs it. A
+ * ChaosSpec (seed + per-fault-type counts) expands into a fixed
+ * schedule of ChaosEvents via deriveSeed — the schedule is a pure
+ * function of the spec, so the same seed always injects the same
+ * faults in the same order, and a chaos run that exposed a bug can be
+ * replayed exactly.
+ *
+ * Fault types:
+ *   kill        SIGKILL a worker daemon (supervisor must respawn it)
+ *   stop        SIGSTOP a worker (heartbeats stall; the supervisor
+ *               must detect the hang, kill, and respawn)
+ *   corrupt     flip a byte inside a persistent-store record (the
+ *               checksum footer must catch it; the caller
+ *               re-simulates and rewrites)
+ *   truncate    cut a store record short (same recovery path)
+ *   drop        shut down one live client connection on the front
+ *               daemon mid-conversation (clients must time out or see
+ *               EOF and retry)
+ *   stall       delay the next N protocol writes (slow-I/O; nothing
+ *               may deadlock, deadlines must still fire)
+ *   partial     force the next N protocol writes through a 1-byte
+ *               chunk path (exercises every partial-write retry loop)
+ *
+ * Because every recovery path re-derives results from deterministic
+ * simulation or the content-addressed store, a study report produced
+ * under any chaos schedule is byte-identical to a clean run — the
+ * end-to-end tests assert exactly that.
+ *
+ * The injector executes events on a timer thread relative to start();
+ * each executed event is logged ("chaos: #2 kill pick=1 -> hit"),
+ * counted under "service.chaos.*", and appended to an in-memory log
+ * retrievable for the daemon's health verb.
+ */
+
+#ifndef NVMCACHE_SERVICE_CHAOS_HH
+#define NVMCACHE_SERVICE_CHAOS_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace nvmcache {
+
+class ResultStore;
+
+/** What to inject and how often. Parsed from "key=value,..." specs. */
+struct ChaosSpec
+{
+    std::uint64_t seed = 1;
+    unsigned kill = 0;     ///< worker SIGKILLs
+    unsigned stop = 0;     ///< worker SIGSTOPs
+    unsigned corrupt = 0;  ///< store record byte flips
+    unsigned truncate = 0; ///< store record truncations
+    unsigned drop = 0;     ///< client connection drops
+    unsigned stall = 0;    ///< slow-write injections
+    unsigned partial = 0;  ///< 1-byte-chunk write injections
+    /** Mean spacing between events; per-event offsets jitter around
+        multiples of this deterministically. */
+    unsigned intervalMs = 1000;
+    /** Quiet period before the first event. */
+    unsigned startDelayMs = 0;
+    /** Stall duration per injected slow write. */
+    unsigned stallMs = 50;
+
+    unsigned totalEvents() const
+    {
+        return kill + stop + corrupt + truncate + drop + stall +
+               partial;
+    }
+};
+
+/**
+ * Parse "seed=7,kill=1,corrupt=2,interval-ms=500". Unknown keys and
+ * malformed values throw std::runtime_error naming the token. An
+ * empty spec string is valid (no events).
+ */
+ChaosSpec parseChaosSpec(const std::string &spec);
+
+/** One scheduled fault. */
+struct ChaosEvent
+{
+    unsigned index = 0;     ///< position in the schedule (log order)
+    std::uint64_t atMs = 0; ///< offset from injector start
+    std::string type;       ///< "kill", "corrupt", ... (spec keys)
+    /** Deterministic target selector; executors reduce it modulo the
+        live target count at execution time. */
+    std::uint64_t pick = 0;
+};
+
+/**
+ * Expand @p spec into its fault schedule, sorted by atMs (ties broken
+ * by index). Pure function of the spec: same spec, same schedule.
+ */
+std::vector<ChaosEvent> buildChaosSchedule(const ChaosSpec &spec);
+
+/** Deterministic JSON document of a spec's schedule (CLI output). */
+JsonValue chaosScheduleToJson(const ChaosSpec &spec);
+
+// --- protocol-write fault hooks -------------------------------------
+
+/**
+ * Armed write faults, consumed by writeLine (service/protocol.cc).
+ * All counters are process-global and atomic; the disabled path is a
+ * single relaxed load of an "armed" flag.
+ */
+void chaosArmStallWrites(unsigned writes, unsigned stallMs);
+void chaosArmPartialWrites(unsigned writes);
+
+/** True while any write fault is armed (cheap, relaxed). */
+bool chaosWriteFaultsArmed();
+
+/**
+ * Consume one write's worth of armed faults. Returns the stall to
+ * apply in ms (0 = none) and sets @p partial when this write must go
+ * through the 1-byte chunk path.
+ */
+unsigned chaosConsumeWriteFault(bool &partial);
+
+/** Disarm everything (test isolation). */
+void chaosResetWriteFaults();
+
+// --- store record damage --------------------------------------------
+
+/**
+ * Damage one record of @p store: pick the (pick mod n)-th entry of
+ * the path-sorted scan and either flip a byte in its payload region
+ * or truncate it to half size. Returns the damaged path, or "" when
+ * the store holds no records ("no-target" — chaos against an empty
+ * store is a no-op, not an error).
+ */
+std::string damageStoreRecord(ResultStore &store, std::uint64_t pick,
+                              bool truncate);
+
+// --- the injector ----------------------------------------------------
+
+/**
+ * Execution hooks the injector drives. Each returns true when a
+ * target existed (logged "hit"), false on "no-target". Unset hooks
+ * skip their fault types.
+ */
+struct ChaosTargets
+{
+    /** Send @p sig to worker (pick mod workers). */
+    std::function<bool(std::uint64_t pick, int sig)> signalWorker;
+    /** Damage a store record (flip or truncate). */
+    std::function<bool(std::uint64_t pick, bool truncate)> damageRecord;
+    /** Drop a live client connection. */
+    std::function<bool(std::uint64_t pick)> dropConnection;
+};
+
+class ChaosInjector
+{
+  public:
+    ChaosInjector(ChaosSpec spec, ChaosTargets targets);
+    ~ChaosInjector();
+
+    ChaosInjector(const ChaosInjector &) = delete;
+    ChaosInjector &operator=(const ChaosInjector &) = delete;
+
+    /** Start the timer thread; events fire relative to this call. */
+    void start();
+
+    /** Stop early (pending events are abandoned). Idempotent. */
+    void stop();
+
+    /** Executed-event log lines, in injection order. */
+    std::vector<std::string> log() const;
+
+    /** Events executed so far. */
+    std::size_t injected() const;
+
+    /** True once every scheduled event has been executed. */
+    bool done() const;
+
+  private:
+    void run();
+    bool execute(const ChaosEvent &ev);
+
+    ChaosSpec spec_;
+    ChaosTargets targets_;
+    std::vector<ChaosEvent> schedule_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_; ///< wakes the timer thread on stop
+    std::vector<std::string> log_;
+    std::size_t executed_ = 0;
+    bool stopping_ = false;
+    std::thread thread_;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_SERVICE_CHAOS_HH

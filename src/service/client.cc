@@ -1,15 +1,23 @@
 #include "service/client.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
+
+#include "util/metrics.hh"
+#include "util/rng.hh"
 
 namespace nvmcache {
 
-ServiceClient::ServiceClient(const std::string &socketPath)
+ServiceClient::ServiceClient(const std::string &socketPath,
+                             ClientConfig cfg)
+    : cfg_(cfg), socketPath_(socketPath)
 {
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -22,8 +30,12 @@ ServiceClient::ServiceClient(const std::string &socketPath)
     if (fd_ < 0)
         throw std::runtime_error(std::string("socket: ") +
                                  std::strerror(errno));
-    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof(addr)) < 0) {
+    int rc;
+    do {
+        rc = ::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
         const int err = errno;
         ::close(fd_);
         fd_ = -1;
@@ -56,9 +68,16 @@ JsonValue
 ServiceClient::receive()
 {
     std::string line;
-    if (!reader_->readLine(line))
+    if (!reader_->readLine(line, cfg_.timeoutMs)) {
+        if (reader_->timedOut())
+            throw std::runtime_error(
+                "deadline of " + std::to_string(cfg_.timeoutMs) +
+                " ms (--timeout-ms) expired waiting for a response "
+                "from " +
+                socketPath_);
         throw std::runtime_error(
             "service connection closed before response");
+    }
     return JsonValue::parse(line);
 }
 
@@ -76,6 +95,8 @@ ServiceClient::run(const StudyRequest &study, const std::string &id)
     req.set("op", JsonValue::makeString("run"));
     if (!id.empty())
         req.set("id", JsonValue::makeString(id));
+    if (cfg_.deadlineMs > 0)
+        req.set("deadlineMs", JsonValue::makeNumber(cfg_.deadlineMs));
     return request(req);
 }
 
@@ -104,11 +125,70 @@ ServiceClient::metrics()
 }
 
 JsonValue
+ServiceClient::health()
+{
+    JsonValue req = JsonValue::makeObject();
+    req.set("op", JsonValue::makeString("health"));
+    return request(req);
+}
+
+JsonValue
 ServiceClient::shutdown()
 {
     JsonValue req = JsonValue::makeObject();
     req.set("op", JsonValue::makeString("shutdown"));
     return request(req);
+}
+
+JsonValue
+runWithRetry(const std::string &socketPath, const StudyRequest &study,
+             const ClientConfig &cfg, const std::string &id)
+{
+    const unsigned attempts = cfg.retries + 1;
+    std::string history;
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        double retryAfterMs = -1.0;
+        std::string failure;
+        try {
+            // Fresh connection per attempt: the previous one may be
+            // mid-frame after a timeout or a chaos-injected drop.
+            ServiceClient client(socketPath, cfg);
+            const JsonValue response = client.run(study, id);
+            if (response.boolOr("ok", false) ||
+                !response.boolOr("rejected", false))
+                return response; // success, or a deterministic error
+            // Admission-control rejection: retryable, maybe with a
+            // server-supplied backoff hint.
+            retryAfterMs = response.numberOr("retryAfterMs", -1.0);
+            failure = "rejected (" +
+                      response.stringOr("error", "no reason") + ")";
+        } catch (const std::exception &e) {
+            failure = e.what();
+        }
+        history += (history.empty() ? "" : "; ") + std::string("#") +
+                   std::to_string(attempt + 1) + ": " + failure;
+        if (attempt + 1 >= attempts)
+            throw std::runtime_error(
+                "run failed after " + std::to_string(attempts) +
+                " attempt(s) (--retries " +
+                std::to_string(cfg.retries) + "): " + history);
+        // Jittered exponential backoff. The jitter draw comes from
+        // deriveSeed(jitterSeed, attempt) — deterministic for a given
+        // configuration, decorrelated across attempts, and with a
+        // caller-varied seed decorrelated across client processes.
+        double backoff = double(cfg.backoffBaseMs) *
+                         double(std::uint64_t(1) << std::min(attempt,
+                                                             20u));
+        backoff = std::min(backoff, double(cfg.backoffMaxMs));
+        backoff *= 0.5 + toUnitInterval(deriveSeed(cfg.jitterSeed,
+                                                   attempt));
+        backoff = std::max(backoff, retryAfterMs);
+        MetricsRegistry::global().counter("client.retries").inc();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::int64_t(backoff)));
+    }
+    // Unreachable: the loop either returns or throws on its last pass.
+    throw std::runtime_error("run failed: " + history);
 }
 
 } // namespace nvmcache

@@ -7,11 +7,23 @@
  * helpers for each op. The synchronous request() helper covers the
  * CLI; send()/receive() are split out so tests can put several
  * requests in flight on one connection (coalescing, queue-full).
+ *
+ * Failure behavior is configurable instead of block-forever:
+ *  - timeoutMs bounds every receive (and, transitively, request);
+ *    expiry throws a diagnostic naming the --timeout-ms knob so a CLI
+ *    user knows which limit fired;
+ *  - runWithRetry layers a retry budget with jittered exponential
+ *    backoff over run(): connection failures, timeouts, and
+ *    admission-control rejections are retried on a fresh connection,
+ *    honoring the server's retryAfterMs load-shedding hint when one
+ *    is present. The jitter stream is seeded through deriveSeed, so
+ *    a given client configuration backs off deterministically.
  */
 
 #ifndef NVMCACHE_SERVICE_CLIENT_HH
 #define NVMCACHE_SERVICE_CLIENT_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -21,11 +33,29 @@
 
 namespace nvmcache {
 
+/** Failure-handling knobs; the default preserves blocking behavior. */
+struct ClientConfig
+{
+    /** Per-receive deadline; < 0 blocks forever (legacy behavior). */
+    int timeoutMs = -1;
+    /** Extra attempts after the first failed one (runWithRetry). */
+    unsigned retries = 0;
+    /** First backoff; doubles per attempt up to backoffMaxMs. */
+    unsigned backoffBaseMs = 50;
+    unsigned backoffMaxMs = 2000;
+    /** deriveSeed stream for backoff jitter (deterministic). */
+    std::uint64_t jitterSeed = 0;
+    /** Relative per-request deadline forwarded to the server
+        ("deadlineMs" protocol member); 0 = none. */
+    double deadlineMs = 0;
+};
+
 class ServiceClient
 {
   public:
     /** Connect to a serving daemon. Throws on connection failure. */
-    explicit ServiceClient(const std::string &socketPath);
+    explicit ServiceClient(const std::string &socketPath,
+                           ClientConfig cfg = {});
     ~ServiceClient();
 
     ServiceClient(const ServiceClient &) = delete;
@@ -38,7 +68,8 @@ class ServiceClient
 
     /**
      * Block for the next response line. Throws std::runtime_error on
-     * EOF (daemon went away) or malformed JSON.
+     * EOF (daemon went away), malformed JSON, or — when cfg.timeoutMs
+     * is set — deadline expiry (the message names --timeout-ms).
      */
     JsonValue receive();
 
@@ -52,13 +83,36 @@ class ServiceClient
     bool ping();
     JsonValue studies();
     JsonValue metrics();
+    JsonValue health();
     /** Ask the daemon to drain and exit; returns its acknowledgement. */
     JsonValue shutdown();
 
+    const ClientConfig &config() const { return cfg_; }
+
   private:
     int fd_ = -1;
+    ClientConfig cfg_;
+    std::string socketPath_;
     std::unique_ptr<LineReader> reader_;
 };
+
+/**
+ * Run @p study against the daemon at @p socketPath with
+ * cfg.retries + 1 total attempts. Each attempt uses a fresh
+ * connection; between attempts the caller sleeps
+ * min(backoffBase * 2^attempt, backoffMax) plus deterministic jitter,
+ * or the server's retryAfterMs hint when a rejection carried one
+ * (whichever is larger). A response with "rejected":true counts as
+ * retryable; any other server-side error (bad study name, malformed
+ * parameters — deterministic failures that would fail again) is
+ * returned as-is. Throws only after the final attempt fails at the
+ * connection level; the exception summarizes every attempt's fate.
+ * Retry attempts are counted under "client.retries".
+ */
+JsonValue runWithRetry(const std::string &socketPath,
+                       const StudyRequest &study,
+                       const ClientConfig &cfg,
+                       const std::string &id = "");
 
 } // namespace nvmcache
 

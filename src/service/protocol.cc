@@ -1,9 +1,15 @@
 #include "service/protocol.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <poll.h>
 #include <stdexcept>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
+
+#include "service/chaos.hh"
 
 namespace nvmcache {
 
@@ -20,8 +26,15 @@ parseServiceRequest(const std::string &line)
     if (req.op.empty())
         throw std::runtime_error(
             "request needs an \"op\" (or a \"study\" to run)");
-    if (req.op == "run")
+    if (req.op == "run") {
         req.study = StudyRequest::fromJson(v);
+        if (const JsonValue *dl = v.find("deadlineMs")) {
+            if (!dl->isNumber() || dl->number < 0)
+                throw std::runtime_error(
+                    "deadlineMs must be a non-negative number");
+            req.deadlineMs = dl->number;
+        }
+    }
     if (const JsonValue *tid = v.find("traceId")) {
         // Accept both the echoed "t<N>" string and a bare number.
         if (tid->isString()) {
@@ -49,7 +62,7 @@ parseServiceRequest(const std::string &line)
 
 JsonValue
 errorResponse(const std::string &id, const std::string &error,
-              bool rejected)
+              bool rejected, double retryAfterMs)
 {
     JsonValue v = JsonValue::makeObject();
     v.set("id", JsonValue::makeString(id));
@@ -57,6 +70,8 @@ errorResponse(const std::string &id, const std::string &error,
     v.set("error", JsonValue::makeString(error));
     if (rejected)
         v.set("rejected", JsonValue::makeBool(true));
+    if (retryAfterMs >= 0)
+        v.set("retryAfterMs", JsonValue::makeNumber(retryAfterMs));
     return v;
 }
 
@@ -103,9 +118,35 @@ studiesToJson()
     return studies;
 }
 
-bool
-LineReader::readLine(std::string &line)
+namespace {
+
+/**
+ * Milliseconds left until @p deadline, clamped to >= 0; -1 when no
+ * deadline was set (block forever).
+ */
+int
+remainingMs(bool hasDeadline,
+            std::chrono::steady_clock::time_point deadline)
 {
+    if (!hasDeadline)
+        return -1;
+    const auto left = std::chrono::duration_cast<
+        std::chrono::milliseconds>(deadline -
+                                   std::chrono::steady_clock::now())
+                          .count();
+    return left > 0 ? int(left) : 0;
+}
+
+} // namespace
+
+bool
+LineReader::readLine(std::string &line, int timeoutMs)
+{
+    timedOut_ = false;
+    const bool hasDeadline = timeoutMs >= 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(
+                              hasDeadline ? timeoutMs : 0);
     for (;;) {
         const std::size_t nl = buf_.find('\n');
         if (nl != std::string::npos) {
@@ -113,13 +154,55 @@ LineReader::readLine(std::string &line)
             buf_.erase(0, nl + 1);
             return true;
         }
+        if (hasDeadline) {
+            // Poll before reading so a blocking fd can never stall
+            // past the deadline.
+            pollfd pfd{fd_, POLLIN, 0};
+            const int left = remainingMs(true, deadline);
+            int r;
+            do {
+                r = ::poll(&pfd, 1, left);
+            } while (r < 0 && errno == EINTR);
+            if (r < 0)
+                return false;
+            if (r == 0) {
+                timedOut_ = true;
+                return false;
+            }
+        }
         char chunk[4096];
         ssize_t n;
-        do {
+        for (;;) {
             n = ::read(fd_, chunk, sizeof(chunk));
-        } while (n < 0 && errno == EINTR);
-        if (n <= 0)
+            if (n >= 0)
+                break;
+            if (errno == EINTR)
+                continue; // a signal is not EOF
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Non-blocking fd or SO_RCVTIMEO expiry: wait for
+                // readability (bounded by the deadline) and retry.
+                pollfd pfd{fd_, POLLIN, 0};
+                const int left = remainingMs(hasDeadline, deadline);
+                if (hasDeadline && left == 0) {
+                    timedOut_ = true;
+                    return false;
+                }
+                int r;
+                do {
+                    r = ::poll(&pfd, 1, left);
+                } while (r < 0 && errno == EINTR);
+                if (r < 0)
+                    return false;
+                if (r == 0) {
+                    timedOut_ = true;
+                    return false;
+                }
+                continue;
+            }
             return false;
+        }
+        if (n == 0)
+            return false; // EOF
         buf_.append(chunk, std::size_t(n));
     }
 }
@@ -129,15 +212,44 @@ writeLine(int fd, const std::string &line)
 {
     std::string out = line;
     out += '\n';
+
+    // Deterministic chaos faults: an armed stall sleeps before the
+    // write; an armed partial-write forces the whole line through
+    // 1-byte sends, proving the retry loop reassembles frames
+    // correctly. Disabled, this is a single relaxed load.
+    std::size_t maxChunk = out.size();
+    if (chaosWriteFaultsArmed()) {
+        bool partial = false;
+        const unsigned stallMs = chaosConsumeWriteFault(partial);
+        if (stallMs > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(stallMs));
+        if (partial)
+            maxChunk = 1;
+    }
+
     std::size_t done = 0;
     while (done < out.size()) {
         // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of
         // killing the daemon with SIGPIPE.
+        const std::size_t want =
+            std::min(maxChunk, out.size() - done);
         ssize_t n;
         do {
-            n = ::send(fd, out.data() + done, out.size() - done,
-                       MSG_NOSIGNAL);
+            n = ::send(fd, out.data() + done, want, MSG_NOSIGNAL);
         } while (n < 0 && errno == EINTR);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Kernel buffer full (or a non-blocking fd): wait for
+            // writability and retry rather than dropping the frame.
+            pollfd pfd{fd, POLLOUT, 0};
+            int r;
+            do {
+                r = ::poll(&pfd, 1, -1);
+            } while (r < 0 && errno == EINTR);
+            if (r < 0)
+                return false;
+            continue;
+        }
         if (n <= 0)
             return false;
         done += std::size_t(n);

@@ -22,14 +22,22 @@
  * "op" defaults to "run" when a "study" member is present. Params
  * values may be strings, numbers, or bools.
  *
+ * Run requests may carry "deadlineMs": a relative deadline in
+ * milliseconds from receipt. A run still queued when its deadline
+ * expires is rejected with a reason instead of executing stale work.
+ *
  * Responses (one object per request):
  *   {"id":"r1","ok":true,"study":"figure","coalesced":false,
  *    "queueDepth":0,"queueSeconds":...,"runSeconds":...,
  *    "traceId":"t7",
  *    "metrics":{"runner.memo.hits":...},"result":{...}}
- *   {"id":"r1","ok":false,"error":"...","rejected":true}
- * "rejected" marks admission-control refusals (queue full, draining):
- * the request was never queued and can be retried elsewhere/later.
+ *   {"id":"r1","ok":false,"error":"...","rejected":true,
+ *    "retryAfterMs":250}
+ * "rejected" marks admission-control refusals (queue full, draining,
+ * deadline expired in queue): the request was never run and can be
+ * retried elsewhere/later. "retryAfterMs", when present, is the
+ * server's load-shedding hint — how long a well-behaved client should
+ * back off before retrying (ServiceClient::runWithRetry honors it).
  * "metrics" is the delta of the engine's runner.* stats over the
  * execution — a warm request shows memo hits and zero simulations.
  * "traceId" names the server-side trace of this execution (coalesced
@@ -58,6 +66,7 @@ struct ServiceRequest
     std::string id; ///< client-chosen, echoed verbatim ("" allowed)
     StudyRequest study;         ///< op == "run" only
     std::uint64_t traceId = 0;  ///< op == "trace" filter (0 = all)
+    double deadlineMs = 0;      ///< op == "run"; 0 = no deadline
 };
 
 /**
@@ -66,9 +75,13 @@ struct ServiceRequest
  */
 ServiceRequest parseServiceRequest(const std::string &line);
 
-/** {"id":...,"ok":false,"error":...,"rejected":...}. */
+/**
+ * {"id":...,"ok":false,"error":...,"rejected":...,"retryAfterMs":...}.
+ * @p retryAfterMs < 0 omits the backoff hint.
+ */
 JsonValue errorResponse(const std::string &id, const std::string &error,
-                        bool rejected = false);
+                        bool rejected = false,
+                        double retryAfterMs = -1.0);
 
 /**
  * Flatten a StatsSnapshot into a JSON object keyed by dotted path.
@@ -84,7 +97,16 @@ JsonValue studiesToJson();
 
 // --- line-framed socket I/O -----------------------------------------
 
-/** Buffered LF-delimited reader over a blocking fd. */
+/**
+ * Buffered LF-delimited reader over a blocking fd.
+ *
+ * All reads retry on EINTR (a signal must never be mistaken for EOF)
+ * and on EAGAIN/EWOULDBLOCK via poll (so a socket someone flipped to
+ * non-blocking, or one with SO_RCVTIMEO set, still reads correctly).
+ * An optional timeout turns a silent peer into a distinguishable
+ * condition: readLine returns false and timedOut() reports which of
+ * EOF or expiry ended the call.
+ */
 class LineReader
 {
   public:
@@ -92,16 +114,27 @@ class LineReader
 
     /**
      * Next line with the trailing '\n' stripped; false on EOF or
-     * error with no buffered line.
+     * error with no buffered line, or when @p timeoutMs elapsed
+     * before a full line arrived (check timedOut() to tell the two
+     * apart). timeoutMs < 0 blocks forever.
      */
-    bool readLine(std::string &line);
+    bool readLine(std::string &line, int timeoutMs = -1);
+
+    /** True when the last readLine returned false due to expiry. */
+    bool timedOut() const { return timedOut_; }
 
   private:
     int fd_;
     std::string buf_;
+    bool timedOut_ = false;
 };
 
-/** Write @p line plus '\n', retrying partial writes; false on error. */
+/**
+ * Write @p line plus '\n', retrying partial writes, EINTR, and
+ * EAGAIN; false on error. Honors armed chaos write faults
+ * (service/chaos.hh): injected stalls and forced 1-byte chunking
+ * exercise the retry loop without changing what the peer reads.
+ */
 bool writeLine(int fd, const std::string &line);
 
 } // namespace nvmcache

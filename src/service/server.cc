@@ -1,9 +1,12 @@
 #include "service/server.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <poll.h>
 #include <stdexcept>
 #include <sys/socket.h>
@@ -12,6 +15,7 @@
 #include <unistd.h>
 #include <utility>
 
+#include "service/chaos.hh"
 #include "service/client.hh"
 #include "store/result_store.hh"
 #include "util/logging.hh"
@@ -92,11 +96,26 @@ EvalServer::start()
     if (!cfg_.workerSockets.empty()) {
         WorkerFleetConfig wf;
         wf.sockets = cfg_.workerSockets;
+        wf.jobTimeoutMs = cfg_.jobTimeoutMs;
         fleet_ = std::make_unique<WorkerFleet>(std::move(wf));
     }
+    // Recover interrupted work before any thread can race the queue.
+    journalLoad();
     for (unsigned i = 0; i < cfg_.execThreads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
     acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+EvalServer::attachSupervisor(WorkerSupervisor *supervisor)
+{
+    supervisor_ = supervisor;
+}
+
+void
+EvalServer::attachChaos(ChaosInjector *chaos)
+{
+    chaos_ = chaos;
 }
 
 void
@@ -149,6 +168,25 @@ EvalServer::wait()
     running_.store(false);
 }
 
+bool
+EvalServer::dropConnection(std::uint64_t pick)
+{
+    std::lock_guard<std::mutex> lk(connsMu_);
+    std::vector<Conn *> live;
+    for (const auto &conn : conns_)
+        if (conn->fd >= 0)
+            live.push_back(conn.get());
+    if (live.empty())
+        return false;
+    // SHUT_RDWR, not close: the reader thread still owns the fd and
+    // will see EOF, run its teardown, and leave the fd for wait().
+    ::shutdown(live[pick % live.size()]->fd, SHUT_RDWR);
+    MetricsRegistry::global()
+        .counter("service.connectionsDropped")
+        .inc();
+    return true;
+}
+
 void
 EvalServer::acceptLoop()
 {
@@ -195,6 +233,43 @@ EvalServer::readerLoop(std::shared_ptr<Conn> conn)
             continue;
         handleLine(conn, line);
     }
+}
+
+std::string
+EvalServer::healthState()
+{
+    if (stopping_.load())
+        return "draining";
+    std::size_t depth;
+    {
+        std::lock_guard<std::mutex> lk(queueMu_);
+        depth = queue_.size();
+    }
+    if (depth >= cfg_.queueDepth)
+        return "degraded";
+    if (supervisor_ && !supervisor_->atFullCapacity())
+        return "degraded";
+    if (fleet_ && fleet_->healthyCount() < fleet_->size())
+        return "degraded";
+    return "ok";
+}
+
+double
+EvalServer::retryAfterHintMs(std::size_t depth)
+{
+    // How long until a queue slot frees up: the queue ahead of the
+    // client divided by our drain rate, using the observed mean run
+    // time (a fresh daemon guesses 100 ms). Clamped so one pathological
+    // run can't tell clients to go away for an hour.
+    const StatValue runStat = MetricsRegistry::global()
+                                  .distribution("service.runSeconds")
+                                  .value();
+    const double meanMs = runStat.dist.count > 0
+                              ? runStat.dist.mean * 1000.0
+                              : 100.0;
+    const double hint =
+        meanMs * double(depth + 1) / double(cfg_.execThreads);
+    return std::clamp(hint, 50.0, 10000.0);
 }
 
 void
@@ -267,6 +342,7 @@ EvalServer::handleLine(const std::shared_ptr<Conn> &conn,
             depth = queue_.size();
         }
         JsonValue h = JsonValue::makeObject();
+        h.set("state", JsonValue::makeString(healthState()));
         h.set("uptimeSeconds",
               JsonValue::makeNumber(secondsSince(startTime_)));
         h.set("queueDepth", JsonValue::makeNumber(double(depth)));
@@ -280,6 +356,28 @@ EvalServer::handleLine(const std::shared_ptr<Conn> &conn,
               JsonValue::makeNumber(double(pool_.size())));
         h.set("draining", JsonValue::makeBool(stopping_.load()));
         h.set("tracing", JsonValue::makeBool(tracingEnabled()));
+        if (fleet_)
+            h.set("workersHealthy",
+                  JsonValue::makeNumber(double(fleet_->healthyCount())));
+        if (supervisor_) {
+            h.set("workersAlive",
+                  JsonValue::makeNumber(
+                      double(supervisor_->aliveWorkers())));
+            h.set("workersQuarantined",
+                  JsonValue::makeNumber(
+                      double(supervisor_->quarantinedWorkers())));
+            h.set("workerRestarts",
+                  JsonValue::makeNumber(
+                      double(supervisor_->restarts())));
+        }
+        if (chaos_) {
+            h.set("chaosInjected",
+                  JsonValue::makeNumber(double(chaos_->injected())));
+            JsonValue log = JsonValue::makeArray();
+            for (const std::string &entry : chaos_->log())
+                log.push(JsonValue::makeString(entry));
+            h.set("chaosLog", std::move(log));
+        }
         h.set("requests", snapshotToJson(metrics.snapshot(),
                                          "service.requests."));
         JsonValue v = JsonValue::makeObject();
@@ -331,6 +429,12 @@ EvalServer::handleRun(const std::shared_ptr<Conn> &conn,
     waiter.conn = conn;
     waiter.id = req.id;
     waiter.enqueued = std::chrono::steady_clock::now();
+    if (req.deadlineMs > 0) {
+        waiter.hasDeadline = true;
+        waiter.deadline =
+            waiter.enqueued +
+            std::chrono::milliseconds(std::int64_t(req.deadlineMs));
+    }
 
     MetricsRegistry &metrics = MetricsRegistry::global();
     {
@@ -357,7 +461,8 @@ EvalServer::handleRun(const std::shared_ptr<Conn> &conn,
                                   "queue full (depth " +
                                       std::to_string(cfg_.queueDepth) +
                                       ")",
-                                  /*rejected=*/true));
+                                  /*rejected=*/true,
+                                  retryAfterHintMs(queue_.size())));
             metrics.counter("service.rejectedQueueFull").inc();
             return;
         }
@@ -373,8 +478,52 @@ EvalServer::handleRun(const std::shared_ptr<Conn> &conn,
         queue_.push_back(std::move(exec));
         metrics.counter("service.enqueued").inc();
         metrics.gauge("service.queueDepth").set(double(queue_.size()));
+        journalRewrite();
     }
     queueCv_.notify_one();
+}
+
+bool
+EvalServer::pruneExpiredWaiters(const std::shared_ptr<Execution> &exec)
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Waiter> expired;
+    bool runnable;
+    {
+        std::lock_guard<std::mutex> lk(queueMu_);
+        auto split = std::stable_partition(
+            exec->waiters.begin(), exec->waiters.end(),
+            [now](const Waiter &w) {
+                return !w.hasDeadline || now < w.deadline;
+            });
+        expired.assign(std::make_move_iterator(split),
+                       std::make_move_iterator(exec->waiters.end()));
+        exec->waiters.erase(split, exec->waiters.end());
+        runnable = !exec->waiters.empty() || exec->resumed;
+        if (!runnable) {
+            // Nobody left to answer: drop the execution before it
+            // burns a run — a coalescing peer arriving later starts
+            // fresh.
+            inflight_.erase(exec->key);
+            journalRewrite();
+        }
+    }
+    // Counters first, responses second: a client that reacts to its
+    // rejection by querying metrics must already see both.
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    metrics.counter("service.deadlineExpired").inc(expired.size());
+    if (!runnable)
+        metrics.counter("service.deadlineSkipped").inc();
+    for (const Waiter &w : expired) {
+        respond(w.conn,
+                errorResponse(
+                    w.id,
+                    "deadlineMs expired after " +
+                        std::to_string(secondsSince(w.enqueued)) +
+                        " s in queue",
+                    /*rejected=*/true));
+    }
+    return runnable;
 }
 
 void
@@ -397,6 +546,11 @@ EvalServer::workerLoop()
                 .gauge("service.queueDepth")
                 .set(double(queue_.size()));
         }
+        // Deadlines are enforced at dequeue: work whose every waiter
+        // gave up while queued is stale — reject it instead of
+        // running it.
+        if (!pruneExpiredWaiters(exec))
+            continue;
         runExecution(exec);
     }
 }
@@ -456,11 +610,14 @@ EvalServer::runExecution(const std::shared_ptr<Execution> &exec)
 
     // Detach from the coalescing map *before* responding so a new
     // identical request starts a fresh execution instead of attaching
-    // to one whose waiters are already being flushed.
+    // to one whose waiters are already being flushed. The journal
+    // entry goes with it: the work is done, a crash after this point
+    // loses nothing.
     std::vector<Waiter> waiters;
     {
         std::lock_guard<std::mutex> lk(queueMu_);
         inflight_.erase(exec->key);
+        journalRewrite();
         waiters = std::move(exec->waiters);
     }
     for (const Waiter &w : waiters) {
@@ -475,6 +632,94 @@ EvalServer::runExecution(const std::shared_ptr<Execution> &exec)
 }
 
 void
+EvalServer::journalRewrite()
+{
+    if (cfg_.journalPath.empty())
+        return;
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("version", JsonValue::makeNumber(1));
+    JsonValue entries = JsonValue::makeArray();
+    for (const auto &[key, exec] : inflight_)
+        entries.push(exec->request.toJson());
+    doc.set("inflight", std::move(entries));
+    // Temp-and-rename, same discipline as the store: a crash mid-write
+    // leaves the previous journal intact, never a torn one.
+    const std::string tmp = cfg_.journalPath + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            warn("serve: cannot write journal ", tmp,
+                 "; crash recovery disabled");
+            cfg_.journalPath.clear();
+            return;
+        }
+        out << doc.dump() << "\n";
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, cfg_.journalPath, ec);
+    if (ec)
+        warn("serve: journal rename failed: ", ec.message());
+}
+
+void
+EvalServer::journalLoad()
+{
+    if (cfg_.journalPath.empty())
+        return;
+    std::ifstream in(cfg_.journalPath);
+    if (!in)
+        return; // first boot, or clean shutdown removed nothing to do
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (text.find_first_not_of(" \t\r\n") == std::string::npos)
+        return;
+    JsonValue doc;
+    try {
+        doc = JsonValue::parse(text);
+    } catch (const std::exception &e) {
+        warn("serve: ignoring unreadable journal ", cfg_.journalPath,
+             ": ", e.what());
+        return;
+    }
+    const JsonValue *entries = doc.find("inflight");
+    if (!entries || !entries->isArray())
+        return;
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    std::size_t resumed = 0;
+    std::lock_guard<std::mutex> lk(queueMu_);
+    for (const JsonValue &entry : entries->items) {
+        try {
+            StudyRequest request = StudyRequest::fromJson(entry);
+            const std::string key = request.canonicalKey();
+            if (inflight_.count(key))
+                continue;
+            auto exec = std::make_shared<Execution>();
+            exec->study =
+                StudyRegistry::global().create(request.kind);
+            ParamMap params = request.params;
+            exec->shards = extractShardsParam(params, cfg_.shards);
+            exec->study->parse(params);
+            exec->request = std::move(request);
+            exec->key = key;
+            exec->traceId = newTraceId();
+            exec->resumed = true; // no waiters; runs for the store
+            inflight_.emplace(key, exec);
+            queue_.push_back(std::move(exec));
+            resumed += 1;
+        } catch (const std::exception &e) {
+            warn("serve: skipping journaled run: ", e.what());
+        }
+    }
+    if (resumed > 0) {
+        metrics.counter("service.resumed").inc(resumed);
+        metrics.gauge("service.queueDepth").set(double(queue_.size()));
+        inform("serve: resumed ", resumed,
+               " interrupted run(s) from ", cfg_.journalPath);
+    }
+    journalRewrite();
+}
+
+void
 EvalServer::respond(const std::shared_ptr<Conn> &conn,
                     const JsonValue &response)
 {
@@ -483,18 +728,42 @@ EvalServer::respond(const std::shared_ptr<Conn> &conn,
 }
 
 namespace {
-volatile std::sig_atomic_t g_serveStop = 0;
+
+/** Lock-free atomic: stores from the handler are async-signal-safe
+    and visible to the accept loop without a data race. */
+std::atomic<int> g_serveStop{0};
 extern "C" void
 serveStopHandler(int)
 {
-    g_serveStop = 1;
+    g_serveStop.store(1, std::memory_order_relaxed);
 }
+
+/**
+ * Binary to exec for spawned workers: NVMCACHE_CLI when set (tests
+ * point it at the built CLI), else this very executable.
+ */
+std::string
+workerExePath()
+{
+    if (const char *cli = std::getenv("NVMCACHE_CLI"))
+        if (*cli)
+            return cli;
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        throw std::runtime_error(
+            "cannot resolve /proc/self/exe for worker spawning (set "
+            "NVMCACHE_CLI)");
+    buf[n] = '\0';
+    return buf;
+}
+
 } // namespace
 
 int
 serveMain(ServeConfig cfg)
 {
-    std::vector<pid_t> workerPids;
+    std::unique_ptr<WorkerSupervisor> supervisor;
     if (cfg.workers > 0 && cfg.workerSockets.empty()) {
         if (!ResultStore::global()) {
             warn("serve: --workers requires a persistent store "
@@ -502,35 +771,52 @@ serveMain(ServeConfig cfg)
                  "would have nowhere to publish results");
             return 2;
         }
-        // Fork the workers while this process is still
-        // single-threaded: fork() carries only the calling thread
-        // into the child, so spawning after EvalServer::start() would
-        // clone a process whose locks may be held by threads that no
-        // longer exist.
-        for (unsigned i = 0; i < cfg.workers; ++i) {
-            const std::string wsock =
-                cfg.socketPath + ".w" + std::to_string(i);
-            const pid_t pid = ::fork();
-            if (pid < 0) {
-                warn("serve: fork worker ", i, ": ",
-                     std::strerror(errno), "; continuing with ",
-                     workerPids.size(), " worker(s)");
-                break;
+        for (unsigned i = 0; i < cfg.workers; ++i)
+            cfg.workerSockets.push_back(cfg.socketPath + ".w" +
+                                        std::to_string(i));
+        // Workers are spawned (and respawned, after crashes) by fork +
+        // exec of the CLI binary: exec resets the child to a clean
+        // single-threaded process, so the supervisor can safely spawn
+        // long after this daemon has threads.
+        WorkerSupervisorConfig sup;
+        sup.sockets = cfg.workerSockets;
+        sup.heartbeatMs = cfg.heartbeatMs;
+        const std::string exe = workerExePath();
+        const std::string storeDir = ResultStore::global()->dir();
+        const std::vector<std::string> sockets = cfg.workerSockets;
+        const unsigned jobs = cfg.jobs;
+        const unsigned shards = cfg.shards;
+        const unsigned queueDepth = cfg.queueDepth;
+        const unsigned execThreads = cfg.execThreads;
+        sup.command = [=](std::size_t index) {
+            std::vector<std::string> argv = {
+                exe,          "serve",
+                "--socket",   sockets[index],
+                "--store-dir", storeDir,
+                "--queue-depth", std::to_string(queueDepth),
+                "--exec-threads", std::to_string(execThreads),
+                // The front re-primes every interrupted study itself;
+                // a worker journaling its sub-requests would fight
+                // the front over the shared journal file.
+                "--no-resume",
+            };
+            if (jobs > 0) {
+                argv.push_back("--jobs");
+                argv.push_back(std::to_string(jobs));
             }
-            if (pid == 0) {
-                // Child: a plain single-process daemon on its own
-                // socket, sharing the persistent store by path.
-                ServeConfig wcfg = cfg;
-                wcfg.socketPath = wsock;
-                wcfg.workers = 0;
-                wcfg.workerSockets.clear();
-                wcfg.traceOut.clear();
-                std::exit(serveMain(std::move(wcfg)));
+            if (shards > 0) {
+                argv.push_back("--shards");
+                argv.push_back(std::to_string(shards));
             }
-            workerPids.push_back(pid);
-            cfg.workerSockets.push_back(wsock);
-        }
+            return argv;
+        };
+        supervisor = std::make_unique<WorkerSupervisor>(sup);
     }
+    if (cfg.resume && cfg.journalPath.empty() && ResultStore::global())
+        cfg.journalPath =
+            ResultStore::global()->dir() + "/inflight.v1.json";
+    if (!cfg.resume)
+        cfg.journalPath.clear();
 
     g_serveStop = 0;
     cfg.externalStop = &g_serveStop;
@@ -542,19 +828,51 @@ serveMain(ServeConfig cfg)
 
     EvalServer server(cfg);
     server.start();
+
+    if (supervisor) {
+        supervisor->setHealthSink(
+            [&server](std::size_t index, bool healthy) {
+                if (WorkerFleet *fleet = server.fleet())
+                    fleet->setWorkerHealthy(index, healthy);
+            });
+        server.attachSupervisor(supervisor.get());
+        supervisor->start();
+    }
+
+    std::unique_ptr<ChaosInjector> chaos;
+    if (!cfg.chaosSpec.empty()) {
+        const ChaosSpec spec = parseChaosSpec(cfg.chaosSpec);
+        ChaosTargets targets;
+        if (supervisor) {
+            WorkerSupervisor *sup = supervisor.get();
+            targets.signalWorker = [sup](std::uint64_t pick, int sig) {
+                return sup->signalWorker(pick, sig);
+            };
+        }
+        if (ResultStore::global())
+            targets.damageRecord = [](std::uint64_t pick,
+                                      bool truncate) {
+                return !damageStoreRecord(*ResultStore::global(), pick,
+                                          truncate)
+                            .empty();
+            };
+        targets.dropConnection = [&server](std::uint64_t pick) {
+            return server.dropConnection(pick);
+        };
+        chaos = std::make_unique<ChaosInjector>(spec,
+                                                std::move(targets));
+        server.attachChaos(chaos.get());
+        inform("serve: chaos armed (", spec.totalEvents(),
+               " event(s), seed ", spec.seed, ")");
+        chaos->start();
+    }
+
     server.wait();
 
-    // Front has drained; ask each worker to drain too, then reap it.
-    for (const std::string &wsock : cfg.workerSockets) {
-        try {
-            ServiceClient(wsock).shutdown();
-        } catch (const std::exception &) {
-            // Worker already gone (or never came up); waitpid below
-            // still collects the child.
-        }
-    }
-    for (const pid_t pid : workerPids)
-        ::waitpid(pid, nullptr, 0);
+    if (chaos)
+        chaos->stop();
+    if (supervisor)
+        supervisor->stop();
 
     if (!cfg.traceOut.empty())
         writeTraceFile(cfg.traceOut);

@@ -1,7 +1,14 @@
 #include "service/workers.hh"
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <sys/wait.h>
 #include <thread>
+#include <unistd.h>
 #include <utility>
 
 #include "service/client.hh"
@@ -52,6 +59,34 @@ WorkerFleet::~WorkerFleet()
             lane->dispatcher.join();
 }
 
+void
+WorkerFleet::setWorkerHealthy(std::size_t index, bool healthy)
+{
+    if (index >= lanes_.size())
+        return;
+    Lane &lane = *lanes_[index];
+    const bool was =
+        lane.healthy.exchange(healthy, std::memory_order_relaxed);
+    if (was == healthy)
+        return;
+    // A lane that just went unhealthy may hold queued jobs; wake its
+    // dispatcher so they fail over to the siblings now instead of on
+    // the next push.
+    lane.cv.notify_all();
+    MetricsRegistry::global()
+        .gauge(laneMetric(index, "healthy"))
+        .set(healthy ? 1 : 0);
+}
+
+std::size_t
+WorkerFleet::healthyCount() const
+{
+    std::size_t n = 0;
+    for (const auto &lane : lanes_)
+        n += lane->healthy.load(std::memory_order_relaxed) ? 1 : 0;
+    return n;
+}
+
 std::size_t
 WorkerFleet::primeAll(const std::vector<StudyRequest> &requests)
 {
@@ -94,8 +129,17 @@ WorkerFleet::primeAll(const std::vector<StudyRequest> &requests)
     // and stored once instead of once per worker (round-robin made
     // each worker rebuild every workload's trace). Pushes interleave
     // column-wise across lanes so the bounded queues fill in parallel
-    // instead of stalling on the first lane's cap.
-    const std::size_t laneCount = lanes_.size();
+    // instead of stalling on the first lane's cap. Blocks go only to
+    // healthy lanes; when the supervisor has every lane down we fall
+    // back to all of them and let failover sort out the survivors.
+    std::vector<Lane *> targets;
+    for (auto &lane : lanes_)
+        if (lane->healthy.load(std::memory_order_relaxed))
+            targets.push_back(lane.get());
+    if (targets.empty())
+        for (auto &lane : lanes_)
+            targets.push_back(lane.get());
+    const std::size_t laneCount = targets.size();
     std::vector<std::vector<const StudyRequest *>> blocks(laneCount);
     for (std::size_t i = 0; i < unique.size(); ++i)
         blocks[i * laneCount / unique.size()].push_back(unique[i]);
@@ -107,7 +151,7 @@ WorkerFleet::primeAll(const std::vector<StudyRequest> &requests)
             any = true;
             Job job;
             job.request = *blocks[l][off];
-            push(*lanes_[l], std::move(job), /*bounded=*/true);
+            push(*targets[l], std::move(job), /*bounded=*/true);
         }
         if (!any)
             break;
@@ -136,8 +180,12 @@ WorkerFleet::push(Lane &lane, Job job, bool bounded)
             // buffering the whole grid. Resubmissions bypass the bound
             // — a dispatcher blocking on a full sibling queue while
             // that sibling blocks on ours would deadlock the fleet.
+            // An unhealthy lane also stops blocking producers: its
+            // dispatcher is busy declining, so slots free up anyway.
             lane.cv.wait(lk, [this, &lane] {
-                return stopping_ || lane.queue.size() < cfg_.queueCap;
+                return stopping_ ||
+                       lane.queue.size() < cfg_.queueCap ||
+                       !lane.healthy.load(std::memory_order_relaxed);
             });
         if (stopping_) {
             lk.unlock();
@@ -170,6 +218,22 @@ WorkerFleet::dispatchLoop(Lane &lane)
         lane.cv.notify_all(); // a producer may be waiting on the bound
 
         MetricsRegistry &metrics = MetricsRegistry::global();
+        // A quarantined/dead lane declines without dialing: its queue
+        // share drains to the siblings at memory speed instead of
+        // burning a connect-retry cycle per job.
+        if (!lane.healthy.load(std::memory_order_relaxed)) {
+            metrics.counter(laneMetric(lane.index, "declined")).inc();
+            metrics.counter("service.worker.declined").inc();
+            job.attempts += 1;
+            if (job.attempts >= lanes_.size()) {
+                jobDone(/*failed=*/true);
+                continue;
+            }
+            metrics.counter("service.worker.resubmitted").inc();
+            push(*lanes_[(lane.index + 1) % lanes_.size()],
+                 std::move(job), /*bounded=*/false);
+            continue;
+        }
         metrics.counter(laneMetric(lane.index, "dispatched")).inc();
         metrics.counter("service.worker.dispatched").inc();
         if (runOn(lane, job)) {
@@ -178,8 +242,9 @@ WorkerFleet::dispatchLoop(Lane &lane)
             jobDone(/*failed=*/false);
             continue;
         }
-        // This worker declined (unreachable or rejecting): fail the
-        // job over to the next sibling until every worker has had it.
+        // This worker declined (unreachable, past its deadline, or
+        // rejecting): fail the job over to the next sibling until
+        // every worker has had it.
         metrics.counter(laneMetric(lane.index, "failed")).inc();
         metrics.counter("service.worker.failed").inc();
         job.attempts += 1;
@@ -204,14 +269,18 @@ WorkerFleet::runOn(Lane &lane, const Job &job)
         if (!lane.client) {
             // The worker may still be binding its socket; dial with
             // patience on first contact.
+            ClientConfig ccfg;
+            ccfg.timeoutMs = cfg_.jobTimeoutMs;
             for (unsigned attempt = 0;; ++attempt) {
                 try {
                     lane.client = std::make_unique<ServiceClient>(
-                        lane.socket);
+                        lane.socket, ccfg);
                     break;
                 } catch (const std::exception &) {
                     if (attempt + 1 >= cfg_.connectRetries)
                         throw;
+                    if (!lane.healthy.load(std::memory_order_relaxed))
+                        throw; // supervisor says down — stop dialing
                     std::this_thread::sleep_for(
                         std::chrono::milliseconds(100));
                 }
@@ -226,8 +295,10 @@ WorkerFleet::runOn(Lane &lane, const Job &job)
         // run reports the authoritative error either way.
         return false;
     } catch (const std::exception &) {
-        // Connection-level failure: drop the client so the next job
-        // (or this one, on a sibling) redials.
+        // Connection-level failure or deadline miss: drop the client
+        // so the next job (or this one, on a sibling) redials. After
+        // a timeout the connection is mid-frame anyway — the late
+        // response would desynchronize every reply after it.
         lane.client.reset();
         return false;
     }
@@ -244,6 +315,357 @@ WorkerFleet::jobDone(bool failed)
             pending_ -= 1;
     }
     doneCv_.notify_all();
+}
+
+// --- process supervision ----------------------------------------------
+
+WorkerSupervisor::WorkerSupervisor(WorkerSupervisorConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    if (!cfg_.command)
+        throw std::runtime_error(
+            "WorkerSupervisor needs a spawn command");
+    if (cfg_.heartbeatMs == 0)
+        cfg_.heartbeatMs = 1;
+    if (cfg_.missedLimit == 0)
+        cfg_.missedLimit = 1;
+    slots_.resize(cfg_.sockets.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        slots_[i].index = i;
+        slots_[i].socket = cfg_.sockets[i];
+    }
+}
+
+WorkerSupervisor::~WorkerSupervisor()
+{
+    stop();
+}
+
+void
+WorkerSupervisor::start()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (started_)
+        return;
+    started_ = true;
+    const auto now = std::chrono::steady_clock::now();
+    for (Slot &slot : slots_) {
+        spawn(slot);
+        slot.spawnedAt = now;
+    }
+    thread_ = std::thread([this] { superviseLoop(); });
+}
+
+void
+WorkerSupervisor::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!started_ || stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+
+    // Graceful worker shutdown: TERM, a bounded grace period of
+    // WNOHANG reaps, then KILL the stragglers.
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Slot &slot : slots_)
+        if (slot.alive && slot.pid > 0)
+            ::kill(slot.pid, SIGTERM);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(5);
+    for (Slot &slot : slots_) {
+        if (!slot.alive || slot.pid <= 0)
+            continue;
+        int status = 0;
+        for (;;) {
+            const pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
+            if (r == slot.pid || (r < 0 && errno != EINTR))
+                break;
+            if (std::chrono::steady_clock::now() >= deadline) {
+                ::kill(slot.pid, SIGKILL);
+                while (::waitpid(slot.pid, &status, 0) < 0 &&
+                       errno == EINTR) {
+                }
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        slot.alive = false;
+        slot.pid = -1;
+    }
+}
+
+void
+WorkerSupervisor::setHealthSink(
+    std::function<void(std::size_t, bool)> sink)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    healthSink_ = std::move(sink);
+}
+
+std::size_t
+WorkerSupervisor::aliveWorkers() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    for (const Slot &slot : slots_)
+        n += slot.alive ? 1 : 0;
+    return n;
+}
+
+std::size_t
+WorkerSupervisor::quarantinedWorkers() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    for (const Slot &slot : slots_)
+        n += slot.quarantined ? 1 : 0;
+    return n;
+}
+
+std::size_t
+WorkerSupervisor::restarts() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return restarts_;
+}
+
+bool
+WorkerSupervisor::atFullCapacity() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Slot &slot : slots_)
+        if (!slot.alive || slot.quarantined)
+            return false;
+    return !slots_.empty() || cfg_.sockets.empty();
+}
+
+bool
+WorkerSupervisor::signalWorker(std::uint64_t pick, int sig)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<Slot *> alive;
+    for (Slot &slot : slots_)
+        if (slot.alive && slot.pid > 0)
+            alive.push_back(&slot);
+    if (alive.empty())
+        return false;
+    Slot &victim = *alive[pick % alive.size()];
+    return ::kill(victim.pid, sig) == 0;
+}
+
+void
+WorkerSupervisor::superviseLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait_for(lk,
+                         std::chrono::milliseconds(cfg_.heartbeatMs),
+                         [this] { return stopping_; });
+            if (stopping_)
+                return;
+        }
+        superviseOnce();
+    }
+}
+
+void
+WorkerSupervisor::superviseOnce()
+{
+    // Phase 1 (locked): reap exited children.
+    std::vector<std::pair<std::size_t, std::string>> toProbe;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (Slot &slot : slots_) {
+            if (!slot.alive || slot.quarantined)
+                continue;
+            int status = 0;
+            const pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
+            if (r == slot.pid)
+                onDeath(slot, "exited");
+            else
+                toProbe.emplace_back(slot.index, slot.socket);
+        }
+    }
+
+    // Phase 2 (unlocked): heartbeat-probe the survivors. Each probe
+    // may block up to heartbeatMs, so the lock stays free for health
+    // queries and chaos signals while we wait.
+    std::vector<std::pair<std::size_t, bool>> probed;
+    probed.reserve(toProbe.size());
+    for (const auto &[index, socket] : toProbe)
+        probed.emplace_back(index, pingWorker(socket));
+
+    // Phase 3 (locked): apply probe results, kill hung workers,
+    // respawn the dead, trip the circuit breaker.
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &[index, ok] : probed) {
+        Slot &slot = slots_[index];
+        if (!slot.alive)
+            continue; // reaped between phases by signalWorker death
+        if (ok) {
+            slot.missedHeartbeats = 0;
+            continue;
+        }
+        slot.missedHeartbeats += 1;
+        if (slot.missedHeartbeats < cfg_.missedLimit)
+            continue;
+        // Unresponsive (SIGSTOPped, wedged, or mid-crash): a stopped
+        // process still accepts connects via the kernel backlog, so
+        // the timed-out ping is the only reliable hang signal. KILL
+        // cannot be caught or ignored — the reap below is prompt.
+        ::kill(slot.pid, SIGKILL);
+        int status = 0;
+        while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        onDeath(slot, "unresponsive");
+    }
+    for (Slot &slot : slots_) {
+        if (slot.alive || slot.quarantined || stopping_)
+            continue;
+        if (now < slot.respawnNotBefore)
+            continue;
+        // Circuit breaker: too many restarts inside the rolling
+        // window means the worker dies faster than it serves —
+        // quarantine it and let the fleet redistribute its share
+        // instead of burning CPU on a crash loop.
+        const auto windowStart =
+            now - std::chrono::milliseconds(cfg_.quarantineWindowMs);
+        while (!slot.restartTimes.empty() &&
+               slot.restartTimes.front() < windowStart)
+            slot.restartTimes.pop_front();
+        if (cfg_.quarantineRestarts > 0 &&
+            slot.restartTimes.size() >= cfg_.quarantineRestarts) {
+            slot.quarantined = true;
+            warn("worker w", slot.index, ": quarantined after ",
+                 slot.restartTimes.size(), " restarts in ",
+                 cfg_.quarantineWindowMs, " ms");
+            MetricsRegistry::global()
+                .gauge("service.worker.quarantined")
+                .set(double(
+                    std::count_if(slots_.begin(), slots_.end(),
+                                  [](const Slot &s) {
+                                      return s.quarantined;
+                                  })));
+            traceInstant("service.worker.quarantine", "service",
+                         "worker/w" + std::to_string(slot.index));
+            notifyHealth(slot.index, false);
+            continue;
+        }
+        spawn(slot);
+        if (slot.alive) {
+            slot.restartTimes.push_back(now);
+            restarts_ += 1;
+            MetricsRegistry::global()
+                .counter("service.worker.restarts")
+                .inc();
+            inform("worker w", slot.index, ": respawned (pid ",
+                   slot.pid, ", restart #", restarts_, ")");
+            // Healthy immediately: the fleet dials lazily with
+            // patience, so marking up before the socket binds only
+            // re-enables assignment, it cannot lose a job.
+            notifyHealth(slot.index, true);
+        }
+    }
+}
+
+void
+WorkerSupervisor::spawn(Slot &slot)
+{
+    const std::vector<std::string> argv = cfg_.command(slot.index);
+    if (argv.empty()) {
+        slot.alive = false;
+        return;
+    }
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &arg : argv)
+        cargv.push_back(const_cast<char *>(arg.c_str()));
+    cargv.push_back(nullptr);
+
+    // fork + exec, never bare fork: the front daemon is multithreaded
+    // by the time a respawn happens, and only exec resets the child to
+    // a sane single-threaded world (a bare fork would inherit mutexes
+    // whose owner threads do not exist in the child).
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execv(cargv[0], cargv.data());
+        _exit(127); // exec failed; the supervisor reaps and retries
+    }
+    if (pid < 0) {
+        warn("worker w", slot.index, ": fork failed: ",
+             std::strerror(errno));
+        slot.alive = false;
+        return;
+    }
+    slot.pid = pid;
+    slot.alive = true;
+    slot.missedHeartbeats = 0;
+    slot.spawnedAt = std::chrono::steady_clock::now();
+    TraceSpan span("service.worker.spawn", "service",
+                   "worker/w" + std::to_string(slot.index) + "/spawn");
+}
+
+void
+WorkerSupervisor::onDeath(Slot &slot, const char *cause)
+{
+    const auto now = std::chrono::steady_clock::now();
+    const bool quickCrash =
+        now - slot.spawnedAt <
+        std::chrono::milliseconds(cfg_.quarantineWindowMs);
+    slot.consecutiveCrashes =
+        quickCrash ? slot.consecutiveCrashes + 1 : 1;
+    // First (or isolated) death respawns on the next pass — full
+    // capacity back within one supervision interval. Streaks back off
+    // exponentially so a crash loop cannot monopolize the machine
+    // before the circuit breaker trips.
+    unsigned delayMs = 0;
+    if (slot.consecutiveCrashes >= 2) {
+        const unsigned shift =
+            std::min(slot.consecutiveCrashes - 2, 16u);
+        delayMs = std::min(cfg_.backoffBaseMs << shift,
+                           cfg_.backoffMaxMs);
+    }
+    slot.respawnNotBefore = now + std::chrono::milliseconds(delayMs);
+    slot.alive = false;
+    slot.pid = -1;
+    slot.missedHeartbeats = 0;
+    warn("worker w", slot.index, ": ", cause,
+         delayMs ? "; respawn backoff " + std::to_string(delayMs) +
+                       " ms"
+                 : "; respawning");
+    MetricsRegistry::global().counter("service.worker.deaths").inc();
+    traceInstant("service.worker.death", "service",
+                 "worker/w" + std::to_string(slot.index) + "/" +
+                     cause);
+    notifyHealth(slot.index, false);
+}
+
+bool
+WorkerSupervisor::pingWorker(const std::string &socket) const
+{
+    try {
+        ClientConfig ccfg;
+        ccfg.timeoutMs = int(cfg_.heartbeatMs);
+        ServiceClient client(socket, ccfg);
+        return client.ping();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+void
+WorkerSupervisor::notifyHealth(std::size_t index, bool healthy)
+{
+    if (healthSink_)
+        healthSink_(index, healthy);
 }
 
 } // namespace nvmcache

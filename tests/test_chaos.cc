@@ -1,0 +1,554 @@
+/**
+ * @file
+ * Self-healing service tests: the deterministic chaos schedule, the
+ * protocol write-fault hooks, store-record damage and its checksum
+ * detection, worker supervision (respawn after SIGKILL/SIGSTOP,
+ * crash-loop quarantine), and the end-to-end guarantee that a study
+ * report produced while workers are killed, records corrupted, and
+ * connections dropped is byte-identical to a clean run.
+ *
+ * Tests that spawn real worker daemons exec the CLI binary named by
+ * the NVMCACHE_CLI environment variable (set by CMake); they skip
+ * when it is absent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/study_registry.hh"
+#include "service/chaos.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
+#include "service/server.hh"
+#include "service/workers.hh"
+#include "store/result_store.hh"
+#include "util/json.hh"
+#include "util/metrics.hh"
+
+using namespace nvmcache;
+
+namespace {
+
+std::string
+cliPath()
+{
+    const char *cli = std::getenv("NVMCACHE_CLI");
+    return cli ? cli : "";
+}
+
+std::string
+socketPathFor(const std::string &name)
+{
+    return ::testing::TempDir() + "nvmchaos_" + name + ".sock";
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "nvmchaos_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+bool
+waitUntil(const std::function<bool()> &pred, int timeoutMs)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeoutMs);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+}
+
+bool
+daemonResponds(const std::string &socket)
+{
+    try {
+        ClientConfig cfg;
+        cfg.timeoutMs = 250;
+        ServiceClient client(socket, cfg);
+        return client.ping();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+/** argv for a real single-process worker daemon on @p socket. */
+std::vector<std::string>
+workerArgv(const std::string &socket, const std::string &storeDir = "")
+{
+    std::vector<std::string> argv = {cliPath(),        "serve",
+                                     "--socket",       socket,
+                                     "--exec-threads", "1",
+                                     "--no-resume"};
+    if (!storeDir.empty()) {
+        argv.push_back("--store-dir");
+        argv.push_back(storeDir);
+    }
+    return argv;
+}
+
+/** Small-but-real study request; scale keeps runs sub-second. */
+StudyRequest
+compareRequest(const std::string &scale)
+{
+    StudyRequest req;
+    req.kind = "compare";
+    req.params["workload"] = "lbm";
+    req.params["scale"] = scale;
+    return req;
+}
+
+} // namespace
+
+// --- the deterministic schedule -------------------------------------
+
+TEST(Chaos, SpecParsesKeysAndRejectsUnknown)
+{
+    const ChaosSpec spec = parseChaosSpec(
+        "seed=7,kill=2,stop=1,corrupt=3,truncate=1,drop=2,stall=1,"
+        "partial=4,interval-ms=250,start-delay-ms=100,stall-ms=20");
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_EQ(spec.kill, 2u);
+    EXPECT_EQ(spec.stop, 1u);
+    EXPECT_EQ(spec.corrupt, 3u);
+    EXPECT_EQ(spec.truncate, 1u);
+    EXPECT_EQ(spec.drop, 2u);
+    EXPECT_EQ(spec.stall, 1u);
+    EXPECT_EQ(spec.partial, 4u);
+    EXPECT_EQ(spec.intervalMs, 250u);
+    EXPECT_EQ(spec.startDelayMs, 100u);
+    EXPECT_EQ(spec.stallMs, 20u);
+    EXPECT_EQ(spec.totalEvents(), 14u);
+
+    EXPECT_EQ(parseChaosSpec("").totalEvents(), 0u);
+
+    try {
+        parseChaosSpec("kill=1,explode=3");
+        FAIL() << "expected unknown-key error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("explode"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(parseChaosSpec("kill"), std::runtime_error);
+    EXPECT_THROW(parseChaosSpec("kill=lots"), std::runtime_error);
+}
+
+TEST(Chaos, ScheduleIsDeterministicSortedAndComplete)
+{
+    const ChaosSpec spec =
+        parseChaosSpec("seed=42,kill=2,corrupt=2,drop=1,interval-ms=100");
+    const std::vector<ChaosEvent> a = buildChaosSchedule(spec);
+    const std::vector<ChaosEvent> b = buildChaosSchedule(spec);
+    ASSERT_EQ(a.size(), spec.totalEvents());
+    ASSERT_EQ(b.size(), a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].type, b[i].type);
+        EXPECT_EQ(a[i].atMs, b[i].atMs);
+        EXPECT_EQ(a[i].pick, b[i].pick);
+        EXPECT_EQ(a[i].index, i);
+        if (i > 0) {
+            EXPECT_GE(a[i].atMs, a[i - 1].atMs);
+        }
+    }
+    // The JSON export (what `nvmcache chaos` prints) is byte-stable.
+    EXPECT_EQ(chaosScheduleToJson(spec).dump(),
+              chaosScheduleToJson(spec).dump());
+    // A different seed yields a different schedule.
+    ChaosSpec other = spec;
+    other.seed = 43;
+    EXPECT_NE(chaosScheduleToJson(spec).dump(),
+              chaosScheduleToJson(other).dump());
+}
+
+// --- write-fault hooks ----------------------------------------------
+
+TEST(Chaos, ArmedWriteFaultsNeverCorruptFrames)
+{
+    chaosResetWriteFaults();
+    EXPECT_FALSE(chaosWriteFaultsArmed());
+
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    chaosArmPartialWrites(2);
+    chaosArmStallWrites(1, 5);
+    EXPECT_TRUE(chaosWriteFaultsArmed());
+
+    // Three writes: two forced through the 1-byte chunk path, one
+    // stalled. Every frame must still arrive intact and in order.
+    const std::string payload =
+        "{\"op\":\"run\",\"study\":\"compare\",\"id\":\"r1\"}";
+    EXPECT_TRUE(writeLine(fds[0], payload));
+    EXPECT_TRUE(writeLine(fds[0], payload));
+    EXPECT_TRUE(writeLine(fds[0], "short"));
+
+    LineReader reader(fds[1]);
+    std::string line;
+    ASSERT_TRUE(reader.readLine(line));
+    EXPECT_EQ(line, payload);
+    ASSERT_TRUE(reader.readLine(line));
+    EXPECT_EQ(line, payload);
+    ASSERT_TRUE(reader.readLine(line));
+    EXPECT_EQ(line, "short");
+
+    // All faults consumed: the armed flag clears itself.
+    EXPECT_FALSE(chaosWriteFaultsArmed());
+    ::close(fds[0]);
+    ::close(fds[1]);
+    chaosResetWriteFaults();
+}
+
+// --- store record damage --------------------------------------------
+
+TEST(Chaos, DamagedRecordsAreCaughtByChecksumsAndHealed)
+{
+    ResultStore store(freshDir("damage"));
+    store.put("sim", "key-a", "payload-a-0123456789");
+    store.put("sim", "key-b", "payload-b-0123456789");
+    store.put("sim", "key-c", "payload-c-0123456789");
+
+    // Byte flip: the record must read as a miss, not as wrong data.
+    const std::string flipped =
+        damageStoreRecord(store, 1, /*truncate=*/false);
+    ASSERT_FALSE(flipped.empty());
+    // Truncation: same detection path, different damage shape.
+    const std::string cut =
+        damageStoreRecord(store, 0, /*truncate=*/true);
+    ASSERT_FALSE(cut.empty());
+    EXPECT_NE(flipped, cut);
+
+    std::size_t misses = 0;
+    for (const char *key : {"key-a", "key-b", "key-c"}) {
+        const auto payload = store.load("sim", key);
+        if (!payload) {
+            ++misses;
+            continue;
+        }
+        // Undamaged records still read back exactly.
+        EXPECT_EQ(payload->substr(0, 10),
+                  std::string("payload-") + key[4] + "-");
+    }
+    EXPECT_EQ(misses, 2u);
+
+    // The recovery path: a rewrite heals the store completely.
+    store.put("sim", "key-a", "payload-a-0123456789");
+    store.put("sim", "key-b", "payload-b-0123456789");
+    store.put("sim", "key-c", "payload-c-0123456789");
+    EXPECT_EQ(store.verify().corrupt, 0u);
+
+    // Same pick against the same contents damages the same record.
+    ResultStore twin(store.dir());
+    EXPECT_EQ(damageStoreRecord(twin, 5, false),
+              damageStoreRecord(store, 5, false));
+
+    // An empty store is a no-target, never an error.
+    ResultStore empty(freshDir("damage_empty"));
+    EXPECT_EQ(damageStoreRecord(empty, 3, false), "");
+}
+
+// --- worker supervision ---------------------------------------------
+
+TEST(Supervisor, RestartsKilledWorkerWithinOneInterval)
+{
+    if (cliPath().empty())
+        GTEST_SKIP() << "NVMCACHE_CLI not set";
+    const std::string socket = socketPathFor("sup_kill");
+
+    WorkerSupervisorConfig cfg;
+    cfg.sockets = {socket};
+    cfg.command = [&](std::size_t) { return workerArgv(socket); };
+    cfg.heartbeatMs = 100;
+    WorkerSupervisor sup(cfg);
+    std::vector<std::pair<std::size_t, bool>> healthEvents;
+    std::mutex healthMu;
+    sup.setHealthSink([&](std::size_t index, bool healthy) {
+        std::lock_guard<std::mutex> lk(healthMu);
+        healthEvents.emplace_back(index, healthy);
+    });
+    sup.start();
+    ASSERT_TRUE(waitUntil([&] { return daemonResponds(socket); }, 5000));
+    EXPECT_TRUE(sup.atFullCapacity());
+    EXPECT_EQ(sup.restarts(), 0u);
+
+    const double restartsBefore = MetricsRegistry::global()
+                                      .counter("service.worker.restarts")
+                                      .get();
+    ASSERT_TRUE(sup.signalWorker(0, SIGKILL));
+    ASSERT_TRUE(waitUntil([&] { return sup.restarts() == 1; }, 5000));
+    ASSERT_TRUE(waitUntil([&] { return daemonResponds(socket); }, 5000));
+    EXPECT_TRUE(sup.atFullCapacity());
+    EXPECT_EQ(sup.restarts(), 1u);
+    EXPECT_EQ(MetricsRegistry::global()
+                      .counter("service.worker.restarts")
+                      .get() -
+                  restartsBefore,
+              1.0);
+    {
+        // The health sink saw down-then-up, in that order.
+        std::lock_guard<std::mutex> lk(healthMu);
+        ASSERT_GE(healthEvents.size(), 2u);
+        EXPECT_EQ(healthEvents.front(),
+                  (std::pair<std::size_t, bool>{0, false}));
+        EXPECT_EQ(healthEvents.back(),
+                  (std::pair<std::size_t, bool>{0, true}));
+    }
+    sup.stop();
+}
+
+TEST(Supervisor, DetectsStoppedWorkerViaMissedHeartbeats)
+{
+    if (cliPath().empty())
+        GTEST_SKIP() << "NVMCACHE_CLI not set";
+    const std::string socket = socketPathFor("sup_stop");
+
+    WorkerSupervisorConfig cfg;
+    cfg.sockets = {socket};
+    cfg.command = [&](std::size_t) { return workerArgv(socket); };
+    cfg.heartbeatMs = 100;
+    cfg.missedLimit = 2;
+    WorkerSupervisor sup(cfg);
+    sup.start();
+    ASSERT_TRUE(waitUntil([&] { return daemonResponds(socket); }, 5000));
+
+    // A SIGSTOPped daemon still accepts connections (kernel backlog),
+    // so only the heartbeat's receive timeout can catch it. The
+    // supervisor must SIGKILL and respawn.
+    ASSERT_TRUE(sup.signalWorker(0, SIGSTOP));
+    ASSERT_TRUE(waitUntil([&] { return sup.restarts() == 1; }, 10000));
+    ASSERT_TRUE(waitUntil([&] { return daemonResponds(socket); }, 5000));
+    EXPECT_TRUE(sup.atFullCapacity());
+    sup.stop();
+}
+
+TEST(Supervisor, QuarantinesCrashLoopingWorker)
+{
+    if (cliPath().empty())
+        GTEST_SKIP() << "NVMCACHE_CLI not set";
+    const std::string socket = socketPathFor("sup_loop");
+
+    WorkerSupervisorConfig cfg;
+    cfg.sockets = {socket};
+    // No --socket: the CLI exits immediately — a perfect crash loop.
+    cfg.command = [&](std::size_t) {
+        return std::vector<std::string>{cliPath(), "serve"};
+    };
+    cfg.heartbeatMs = 30;
+    cfg.backoffBaseMs = 5;
+    cfg.backoffMaxMs = 20;
+    cfg.quarantineRestarts = 3;
+    cfg.quarantineWindowMs = 60000;
+    WorkerSupervisor sup(cfg);
+    sup.start();
+
+    ASSERT_TRUE(
+        waitUntil([&] { return sup.quarantinedWorkers() == 1; }, 15000));
+    EXPECT_FALSE(sup.atFullCapacity());
+    EXPECT_GE(sup.restarts(), 3u);
+    const std::size_t restartsAtQuarantine = sup.restarts();
+    // The circuit breaker holds: no further respawns.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    EXPECT_EQ(sup.restarts(), restartsAtQuarantine);
+    EXPECT_GE(MetricsRegistry::global()
+                  .gauge("service.worker.quarantined")
+                  .get(),
+              1.0);
+    sup.stop();
+}
+
+// --- end to end: self-healing under fire ----------------------------
+
+namespace {
+
+/**
+ * A front daemon over @p workers supervised real worker processes
+ * sharing a fresh store, with worker health wired into the dispatch
+ * fleet — the full `serve --workers N` stack, minus the outer CLI.
+ */
+struct SupervisedFront
+{
+    std::vector<std::string> sockets;
+    std::unique_ptr<WorkerSupervisor> supervisor;
+    std::unique_ptr<EvalServer> server;
+    ServeConfig cfg;
+
+    SupervisedFront(unsigned workers, const std::string &tag,
+                    unsigned heartbeatMs = 100)
+    {
+        const std::string storeDir = freshDir("store_" + tag);
+        ResultStore::setGlobal(storeDir);
+        for (unsigned i = 0; i < workers; ++i)
+            sockets.push_back(
+                socketPathFor(tag + "_w" + std::to_string(i)));
+
+        WorkerSupervisorConfig sup;
+        sup.sockets = sockets;
+        sup.command = [this, storeDir](std::size_t index) {
+            return workerArgv(sockets[index], storeDir);
+        };
+        sup.heartbeatMs = heartbeatMs;
+        supervisor = std::make_unique<WorkerSupervisor>(sup);
+
+        cfg.socketPath = socketPathFor(tag + "_front");
+        cfg.execThreads = 1;
+        cfg.workerSockets = sockets;
+        server = std::make_unique<EvalServer>(cfg);
+        server->start();
+        supervisor->setHealthSink(
+            [this](std::size_t index, bool healthy) {
+                if (WorkerFleet *fleet = server->fleet())
+                    fleet->setWorkerHealthy(index, healthy);
+            });
+        server->attachSupervisor(supervisor.get());
+        supervisor->start();
+    }
+
+    ~SupervisedFront()
+    {
+        server->requestStop();
+        server->wait();
+        supervisor->stop();
+        ResultStore::setGlobal("");
+    }
+
+    bool
+    allWorkersUp()
+    {
+        for (const std::string &socket : sockets)
+            if (!daemonResponds(socket))
+                return false;
+        return true;
+    }
+};
+
+} // namespace
+
+TEST(ChaosE2E, WorkerDeathMidStudyStillYieldsByteIdenticalReport)
+{
+    if (cliPath().empty())
+        GTEST_SKIP() << "NVMCACHE_CLI not set";
+    const StudyRequest req = compareRequest("0.02");
+    const std::string reference = runStudyRequest(req).resultJson();
+
+    SupervisedFront front(2, "midkill");
+    ASSERT_TRUE(waitUntil([&] { return front.allWorkersUp(); }, 10000));
+
+    // Fire the study, then SIGKILL a worker while its shards are (most
+    // likely) in flight. Whatever the interleaving, the front's local
+    // pass over the store must produce the reference bytes.
+    JsonValue response;
+    std::thread runner([&] {
+        ServiceClient client(front.cfg.socketPath);
+        response = client.run(req, "r");
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_TRUE(front.supervisor->signalWorker(0, SIGKILL));
+    runner.join();
+
+    ASSERT_TRUE(response.boolOr("ok", false)) << response.dump();
+    EXPECT_EQ(response.at("result").dump(), reference);
+    ASSERT_TRUE(
+        waitUntil([&] { return front.supervisor->restarts() == 1; },
+                  10000));
+    ASSERT_TRUE(waitUntil(
+        [&] { return front.supervisor->atFullCapacity(); }, 10000));
+    EXPECT_EQ(front.supervisor->restarts(), 1u);
+}
+
+TEST(ChaosE2E, SeededFaultScheduleReproducesByteIdenticalReports)
+{
+    if (cliPath().empty())
+        GTEST_SKIP() << "NVMCACHE_CLI not set";
+    const StudyRequest req = compareRequest("0.02");
+    const std::string reference = runStudyRequest(req).resultJson();
+
+    SupervisedFront front(2, "sched");
+    ASSERT_TRUE(waitUntil([&] { return front.allWorkersUp(); }, 10000));
+
+    // Warm pass: populate the shared store so the corrupt event has a
+    // target and the replay path is exercised.
+    {
+        ServiceClient client(front.cfg.socketPath);
+        const JsonValue warm = client.run(req, "warm");
+        ASSERT_TRUE(warm.boolOr("ok", false)) << warm.dump();
+        ASSERT_EQ(warm.at("result").dump(), reference);
+    }
+
+    // The acceptance trio — a worker SIGKILL, a corrupted store
+    // record, a dropped client connection — plus a partial-write
+    // injection, on a fixed seed.
+    const ChaosSpec spec = parseChaosSpec(
+        "seed=9,kill=1,corrupt=1,drop=1,partial=1,interval-ms=120,"
+        "start-delay-ms=40");
+    ChaosTargets targets;
+    targets.signalWorker = [&](std::uint64_t pick, int sig) {
+        return front.supervisor->signalWorker(pick, sig);
+    };
+    targets.damageRecord = [&](std::uint64_t pick, bool truncate) {
+        return !damageStoreRecord(*ResultStore::global(), pick,
+                                  truncate)
+                    .empty();
+    };
+    targets.dropConnection = [&](std::uint64_t pick) {
+        return front.server->dropConnection(pick);
+    };
+    ChaosInjector injector(spec, std::move(targets));
+    injector.start();
+
+    // The chaos-facing client: the drop event may sever its
+    // connection mid-wait, so it runs with a retry budget. Identical
+    // re-requests coalesce server-side; the result bytes must not
+    // care what the schedule did.
+    ClientConfig ccfg;
+    ccfg.timeoutMs = 30000;
+    ccfg.retries = 4;
+    ccfg.backoffBaseMs = 50;
+    ccfg.jitterSeed = 9;
+    const JsonValue response =
+        runWithRetry(front.cfg.socketPath, req, ccfg, "under-fire");
+    ASSERT_TRUE(response.boolOr("ok", false)) << response.dump();
+    EXPECT_EQ(response.at("result").dump(), reference);
+
+    ASSERT_TRUE(waitUntil([&] { return injector.done(); }, 10000));
+    EXPECT_EQ(injector.injected(), spec.totalEvents());
+    // The injected-fault log is a pure function of the seed: every
+    // event fired, in schedule order.
+    const std::vector<std::string> log = injector.log();
+    ASSERT_EQ(log.size(), spec.totalEvents());
+    const std::vector<ChaosEvent> schedule = buildChaosSchedule(spec);
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        EXPECT_NE(log[i].find("#" + std::to_string(i) + " " +
+                              schedule[i].type),
+                  std::string::npos)
+            << log[i];
+    }
+    injector.stop();
+
+    // Full capacity restored after the kill.
+    ASSERT_TRUE(waitUntil(
+        [&] { return front.supervisor->atFullCapacity(); }, 10000));
+    // The store heals: any record the schedule damaged was unlinked on
+    // detection or rewritten; a verify pass must come back clean
+    // enough to replay the reference bytes again.
+    {
+        ServiceClient client(front.cfg.socketPath);
+        const JsonValue again = client.run(req, "after");
+        ASSERT_TRUE(again.boolOr("ok", false)) << again.dump();
+        EXPECT_EQ(again.at("result").dump(), reference);
+    }
+}

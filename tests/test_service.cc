@@ -9,10 +9,18 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <csignal>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <pthread.h>
 #include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "core/experiment.hh"
@@ -587,6 +595,9 @@ TEST(Service, RejectsWhenQueueIsFull)
         EXPECT_TRUE(rejected.boolOr("rejected", false));
         EXPECT_NE(rejected.at("error").asString().find("queue full"),
                   std::string::npos);
+        // Load shedding: the refusal tells the client how long a
+        // polite retry should wait.
+        EXPECT_GE(rejected.numberOr("retryAfterMs", -1.0), 50.0);
 
         const JsonValue queued = tc.waitFor("queued");
         EXPECT_TRUE(queued.at("ok").asBool()) << queued.dump();
@@ -880,4 +891,342 @@ TEST(WorkerShard, ReliabilityGridShardsAcrossWorkers)
     EXPECT_DOUBLE_EQ(response.at("metrics")
                          .numberOr("runner.memo.simulations", 0.0),
                      0.0);
+}
+
+// --- failure handling: deadlines, timeouts, retries, recovery --------
+
+TEST(Protocol, RunRequestsCarryRelativeDeadlines)
+{
+    const ServiceRequest req = parseServiceRequest(
+        "{\"op\":\"run\",\"study\":\"compare\",\"deadlineMs\":250}");
+    EXPECT_DOUBLE_EQ(req.deadlineMs, 250.0);
+
+    // Absent means none.
+    EXPECT_DOUBLE_EQ(parseServiceRequest(
+                         "{\"op\":\"run\",\"study\":\"compare\"}")
+                         .deadlineMs,
+                     0.0);
+
+    // Negative or non-numeric deadlines are malformed, not ignored.
+    EXPECT_THROW(parseServiceRequest("{\"op\":\"run\",\"study\":"
+                                     "\"compare\",\"deadlineMs\":-5}"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        parseServiceRequest("{\"op\":\"run\",\"study\":\"compare\","
+                            "\"deadlineMs\":\"soon\"}"),
+        std::runtime_error);
+}
+
+TEST(Protocol, ErrorResponsesCarryOptionalRetryHint)
+{
+    const JsonValue hinted = errorResponse("r1", "queue full", true, 250);
+    EXPECT_TRUE(hinted.boolOr("rejected", false));
+    EXPECT_DOUBLE_EQ(hinted.numberOr("retryAfterMs", -1.0), 250.0);
+    // A negative hint is omitted entirely, not serialized as -1.
+    EXPECT_FALSE(errorResponse("r1", "bad study").find("retryAfterMs"));
+}
+
+TEST(Protocol, LineReaderDistinguishesTimeoutFromEof)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    LineReader reader(fds[1]);
+    std::string line;
+
+    // Silent peer: expiry, flagged as a timeout.
+    EXPECT_FALSE(reader.readLine(line, 50));
+    EXPECT_TRUE(reader.timedOut());
+
+    // Data arrives: the same reader recovers.
+    ASSERT_TRUE(writeLine(fds[0], "hello"));
+    ASSERT_TRUE(reader.readLine(line, 1000));
+    EXPECT_EQ(line, "hello");
+    EXPECT_FALSE(reader.timedOut());
+
+    // Peer closes: EOF, explicitly not a timeout.
+    ::close(fds[0]);
+    EXPECT_FALSE(reader.readLine(line, 1000));
+    EXPECT_FALSE(reader.timedOut());
+    ::close(fds[1]);
+}
+
+namespace {
+void
+ignoreSignal(int)
+{
+}
+} // namespace
+
+TEST(Protocol, SignalDuringBlockedReadIsNotEof)
+{
+    // Regression for the EINTR audit: a signal delivered to a thread
+    // blocked in readLine must restart the read, not report EOF.
+    struct sigaction sa = {};
+    sa.sa_handler = ignoreSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // deliberately no SA_RESTART
+    struct sigaction old = {};
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::string line;
+    bool got = false;
+    std::thread blocked([&] {
+        LineReader reader(fds[1]);
+        got = reader.readLine(line);
+    });
+
+    // Let the reader block, interrupt it twice, then deliver a line.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_EQ(pthread_kill(blocked.native_handle(), SIGUSR1), 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_EQ(pthread_kill(blocked.native_handle(), SIGUSR1), 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(writeLine(fds[0], "survived"));
+    blocked.join();
+
+    EXPECT_TRUE(got);
+    EXPECT_EQ(line, "survived");
+    ::close(fds[0]);
+    ::close(fds[1]);
+    ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+}
+
+TEST(Service, QueuedRunPastItsDeadlineIsRejectedNotRun)
+{
+    ServeConfig cfg;
+    cfg.socketPath = socketPathFor("deadline");
+    cfg.execThreads = 1;
+    EvalServer server(cfg);
+    server.start();
+    {
+        TestClient tc(cfg.socketPath);
+        tc.sendRun(blockerRequest("0.1"), "blocker");
+        for (int i = 0; i < 2000; ++i) {
+            if (tc.metric("service.enqueued", i) >= 1.0 &&
+                tc.metric("service.queueDepth", i + 10000) == 0.0)
+                break;
+        }
+        // A distinct request with a 1 ms deadline: it expires while
+        // the blocker holds the only exec thread, so the server must
+        // reject it at dequeue instead of running stale work.
+        JsonValue doomed = compareRequest("0.03").toJson();
+        doomed.set("op", JsonValue::makeString("run"));
+        doomed.set("id", JsonValue::makeString("doomed"));
+        doomed.set("deadlineMs", JsonValue::makeNumber(1));
+        tc.client.send(doomed);
+
+        const JsonValue rejected = tc.waitFor("doomed");
+        EXPECT_FALSE(rejected.at("ok").asBool()) << rejected.dump();
+        EXPECT_TRUE(rejected.boolOr("rejected", false));
+        EXPECT_NE(rejected.at("error").asString().find(
+                      "deadlineMs expired"),
+                  std::string::npos)
+            << rejected.dump();
+
+        EXPECT_TRUE(tc.waitFor("blocker").at("ok").asBool());
+        EXPECT_GE(tc.metric("service.deadlineExpired", 99100), 1.0);
+        // The expired run never executed: it was skipped wholesale.
+        EXPECT_GE(tc.metric("service.deadlineSkipped", 99101), 1.0);
+    }
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Service, ClientTimeoutNamesTheKnobThatFired)
+{
+    // A bound-and-listening socket whose owner never accepts or
+    // responds: connect() succeeds via the backlog, then the daemon
+    // stays silent forever.
+    const std::string path = socketPathFor("mute");
+    ::unlink(path.c_str());
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(fd, 4), 0);
+
+    ClientConfig ccfg;
+    ccfg.timeoutMs = 100;
+    ServiceClient client(path, ccfg);
+    try {
+        client.ping();
+        FAIL() << "expected a timeout";
+    } catch (const std::runtime_error &e) {
+        // The diagnostic names the CLI knob and the socket.
+        EXPECT_NE(std::string(e.what()).find("--timeout-ms"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+            << e.what();
+    }
+    ::close(fd);
+    ::unlink(path.c_str());
+}
+
+TEST(Service, RunWithRetrySurvivesLateDaemonAndExhaustsHonestly)
+{
+    const std::string path = socketPathFor("late");
+    ::unlink(path.c_str());
+
+    // Exhaustion first: no daemon, small budget. The error summarizes
+    // every attempt and names --retries.
+    ClientConfig ccfg;
+    ccfg.timeoutMs = 200;
+    ccfg.retries = 1;
+    ccfg.backoffBaseMs = 10;
+    ccfg.backoffMaxMs = 20;
+    try {
+        runWithRetry(path, compareRequest("0.02"), ccfg, "nobody");
+        FAIL() << "expected exhaustion";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("--retries"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("2 attempt"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Now the daemon appears mid-retry: the budgeted client wins.
+    const double retriesBefore =
+        MetricsRegistry::global().counter("client.retries").get();
+    ServeConfig cfg;
+    cfg.socketPath = path;
+    cfg.execThreads = 1;
+    EvalServer server(cfg);
+    std::thread late([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        server.start();
+    });
+    ccfg.retries = 20;
+    ccfg.timeoutMs = 10000;
+    ccfg.backoffBaseMs = 50;
+    ccfg.backoffMaxMs = 200;
+    const JsonValue response =
+        runWithRetry(path, compareRequest("0.02"), ccfg, "patient");
+    late.join();
+    ASSERT_TRUE(response.boolOr("ok", false)) << response.dump();
+    EXPECT_GT(
+        MetricsRegistry::global().counter("client.retries").get(),
+        retriesBefore);
+    server.requestStop();
+    server.wait();
+}
+
+TEST(Service, HealthStateTracksLoadAndDrain)
+{
+    ServeConfig cfg;
+    cfg.socketPath = socketPathFor("hstate");
+    cfg.execThreads = 1;
+    cfg.queueDepth = 1;
+    EvalServer server(cfg);
+    server.start();
+    {
+        TestClient tc(cfg.socketPath);
+        tc.sendOp("health", "h-idle");
+        EXPECT_EQ(tc.waitFor("h-idle").at("health").at("state")
+                      .asString(),
+                  "ok");
+
+        // Saturate: one running, one filling the only queue slot.
+        tc.sendRun(blockerRequest("0.1"), "blocker");
+        for (int i = 0; i < 2000; ++i) {
+            if (tc.metric("service.enqueued", i) >= 1.0 &&
+                tc.metric("service.queueDepth", i + 10000) == 0.0)
+                break;
+        }
+        tc.sendRun(compareRequest("0.05"), "queued");
+        tc.sendOp("health", "h-busy");
+        EXPECT_EQ(tc.waitFor("h-busy").at("health").at("state")
+                      .asString(),
+                  "degraded");
+
+        // Probe the draining state while the blocker still holds the
+        // exec thread, so the connection outlives the probe.
+        tc.sendOp("shutdown", "bye");
+        EXPECT_TRUE(tc.waitFor("bye").at("ok").asBool());
+        tc.sendOp("health", "h-drain");
+        EXPECT_EQ(tc.waitFor("h-drain").at("health").at("state")
+                      .asString(),
+                  "draining");
+
+        EXPECT_TRUE(tc.waitFor("queued").at("ok").asBool());
+        EXPECT_TRUE(tc.waitFor("blocker").at("ok").asBool());
+    }
+    server.wait();
+}
+
+TEST(Service, ResumesJournaledInflightRunsAfterRestart)
+{
+    // Simulate a front daemon that died with a run in flight: its
+    // journal survives, and the next daemon finishes the work without
+    // being asked again.
+    const std::string dir =
+        ::testing::TempDir() + "nvmcache_journal_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string journal = dir + "/inflight.v1.json";
+    {
+        JsonValue doc = JsonValue::makeObject();
+        doc.set("version", JsonValue::makeNumber(1));
+        JsonValue inflight = JsonValue::makeArray();
+        inflight.items.push_back(compareRequest("0.02").toJson());
+        doc.set("inflight", inflight);
+        std::ofstream out(journal);
+        out << doc.dump() << "\n";
+    }
+
+    const double resumedBefore =
+        MetricsRegistry::global().counter("service.resumed").get();
+    const double completedBefore =
+        MetricsRegistry::global().counter("service.completed").get();
+
+    ServeConfig cfg;
+    cfg.socketPath = socketPathFor("resume");
+    cfg.execThreads = 1;
+    cfg.journalPath = journal;
+    EvalServer server(cfg);
+    server.start();
+
+    EXPECT_EQ(MetricsRegistry::global()
+                      .counter("service.resumed")
+                      .get() -
+                  resumedBefore,
+              1.0);
+    // The resumed run completes with no client attached...
+    for (int i = 0; i < 500; ++i) {
+        if (MetricsRegistry::global()
+                .counter("service.completed")
+                .get() > completedBefore)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_GT(
+        MetricsRegistry::global().counter("service.completed").get(),
+        completedBefore);
+    // ...and the journal is rewritten empty: nothing left to resume.
+    for (int i = 0; i < 100; ++i) {
+        std::ifstream in(journal);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        if (text.find("\"inflight\":[]") != std::string::npos)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    {
+        std::ifstream in(journal);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        EXPECT_NE(text.find("\"inflight\":[]"), std::string::npos)
+            << text;
+    }
+    server.requestStop();
+    server.wait();
 }

@@ -36,6 +36,7 @@
 #include "nvsim/estimator.hh"
 #include "nvsim/published.hh"
 #include "prism/metrics.hh"
+#include "service/chaos.hh"
 #include "service/client.hh"
 #include "service/server.hh"
 #include "store/result_store.hh"
@@ -91,12 +92,18 @@ usage(std::FILE *out)
         "[--exec-threads N]\n"
         "           [--jobs N] [--shards N] [--store-dir DIR] "
         "[--trace] [--trace-out FILE]\n"
+        "           [--heartbeat-ms N] [--job-timeout-ms N] "
+        "[--chaos-spec SPEC] [--no-resume]\n"
         "           persistent evaluation daemon (newline-delimited "
         "JSON protocol);\n"
-        "           --workers N forks N worker daemons sharing the "
-        "store (needs\n"
-        "           --store-dir), --exec-threads sets in-process "
-        "concurrency\n"
+        "           --workers N spawns N supervised worker daemons "
+        "sharing the store\n"
+        "           (needs --store-dir; dead workers respawn, "
+        "crash-loopers quarantine),\n"
+        "           --exec-threads sets in-process concurrency, "
+        "--chaos-spec injects a\n"
+        "           deterministic fault schedule (see `nvmcache "
+        "chaos`)\n"
         "  store <ls|stats|verify|gc> --store-dir DIR [--repair] "
         "[--max-bytes N]\n"
         "           inspect, check, or shrink the persistent result "
@@ -105,7 +112,25 @@ usage(std::FILE *out)
         "[--result-only]\n"
         "           [--op ping|studies|metrics|stats|health|trace|"
         "shutdown] [--trace-id X]\n"
-        "           talk to a serving daemon\n"
+        "           [--timeout-ms N] [--retries N] [--deadline-ms N]\n"
+        "           talk to a serving daemon; --timeout-ms bounds "
+        "every response wait,\n"
+        "           --retries adds jittered-backoff retry attempts, "
+        "--deadline-ms asks\n"
+        "           the server to drop the run if still queued past "
+        "the deadline\n"
+        "  health --socket PATH [--probe] [--timeout-ms N]\n"
+        "           daemon health (state ok|degraded|draining, worker "
+        "capacity); with\n"
+        "           --probe exits 0 only when state is ok at full "
+        "capacity (1 degraded,\n"
+        "           2 draining, 3 unreachable)\n"
+        "  chaos --spec SPEC                  print the deterministic "
+        "fault schedule a\n"
+        "           serve --chaos-spec run would inject "
+        "(seed=..,kill=..,stop=..,corrupt=..,\n"
+        "           truncate=..,drop=..,stall=..,partial=..,"
+        "interval-ms=..,start-delay-ms=..)\n"
         "\n"
         "--jobs N (or NVMCACHE_JOBS=N) caps the experiment engine's "
         "worker threads;\nthe default is the hardware thread count. "
@@ -496,6 +521,13 @@ cmdServe(ArgParser &parser)
     cfg.shards = parser.u32("--shards", 0);
     cfg.trace = parser.flag("--trace");
     cfg.traceOut = parser.str("--trace-out", "");
+    cfg.heartbeatMs = parser.u32("--heartbeat-ms", 500);
+    const double jobTimeoutMs = parser.num("--job-timeout-ms", -1.0);
+    cfg.jobTimeoutMs = jobTimeoutMs < 0 ? -1 : int(jobTimeoutMs);
+    cfg.chaosSpec = parser.str("--chaos-spec", "");
+    cfg.resume = !parser.flag("--no-resume");
+    if (!cfg.chaosSpec.empty())
+        parseChaosSpec(cfg.chaosSpec); // fail fast on a bad spec
     storeDirFlag(parser);
     setProgressEnabled(parser.flag("--progress"));
     parser.rejectUnknown("serve");
@@ -590,13 +622,21 @@ cmdClient(ArgParser &parser)
     const std::string id = parser.str("--id", "");
     const std::string traceId = parser.str("--trace-id", "");
     const bool resultOnly = parser.flag("--result-only");
+    ClientConfig ccfg;
+    const double timeoutMs = parser.num("--timeout-ms", -1.0);
+    ccfg.timeoutMs = timeoutMs < 0 ? -1 : int(timeoutMs);
+    ccfg.retries = parser.u32("--retries", 0);
+    ccfg.deadlineMs = parser.num("--deadline-ms", 0.0);
     parser.rejectUnknown("client");
     if (socket.empty())
         throw std::runtime_error("'client' needs --socket PATH");
+    if (ccfg.deadlineMs < 0)
+        throw std::runtime_error(
+            "--deadline-ms must be non-negative");
 
-    ServiceClient client(socket);
     JsonValue response;
     if (!op.empty()) {
+        ServiceClient client(socket, ccfg);
         JsonValue req = JsonValue::makeObject();
         req.set("op", JsonValue::makeString(op));
         if (!id.empty())
@@ -605,8 +645,12 @@ cmdClient(ArgParser &parser)
             req.set("traceId", JsonValue::makeString(traceId));
         response = client.request(req);
     } else {
-        response = client.run(
-            buildStudyRequest(parser.positionals(), "client"), id);
+        // The retry path even at --retries 0: one code path, and a
+        // run rejected with a retryAfterMs hint behaves identically
+        // from the command line and from library callers.
+        response = runWithRetry(
+            socket, buildStudyRequest(parser.positionals(), "client"),
+            ccfg, id);
     }
 
     if (resultOnly) {
@@ -622,6 +666,64 @@ cmdClient(ArgParser &parser)
         std::printf("%s\n", response.dump().c_str());
     }
     return response.boolOr("ok", false) ? 0 : 1;
+}
+
+int
+cmdHealth(ArgParser &parser)
+{
+    const std::string socket = parser.str("--socket", "");
+    const bool probe = parser.flag("--probe");
+    const double timeoutMs = parser.num("--timeout-ms", 2000.0);
+    parser.rejectUnknown("health");
+    if (socket.empty())
+        throw std::runtime_error("'health' needs --socket PATH");
+
+    ClientConfig ccfg;
+    ccfg.timeoutMs = timeoutMs < 0 ? -1 : int(timeoutMs);
+    JsonValue response;
+    try {
+        ServiceClient client(socket, ccfg);
+        response = client.health();
+    } catch (const std::exception &e) {
+        // Probe mode is for scripts and CI gates: a daemon that
+        // cannot answer is its own health state, not a crash.
+        std::fprintf(stderr, "health: %s\n", e.what());
+        return 3;
+    }
+    std::printf("%s\n", response.dump().c_str());
+    if (!probe)
+        return response.boolOr("ok", false) ? 0 : 1;
+
+    const JsonValue *h = response.find("health");
+    if (!h || !response.boolOr("ok", false))
+        return 3;
+    const std::string state = h->stringOr("state", "unknown");
+    const double workers = h->numberOr("workers", 0.0);
+    const double alive = h->numberOr("workersAlive", workers);
+    const double quarantined = h->numberOr("workersQuarantined", 0.0);
+    if (state == "draining")
+        return 2;
+    if (state != "ok" || alive < workers || quarantined > 0)
+        return 1;
+    return 0;
+}
+
+int
+cmdChaos(ArgParser &parser)
+{
+    const std::string spec = parser.str("--spec", "");
+    parser.rejectUnknown("chaos");
+    if (spec.empty())
+        throw std::runtime_error(
+            "'chaos' needs --spec key=value[,key=value ..] (e.g. "
+            "seed=7,kill=1,corrupt=2,drop=1,interval-ms=500)");
+    // Pure function of the spec: printing it twice yields identical
+    // bytes, which is exactly what the reproducibility gate checks.
+    std::printf("%s\n",
+                chaosScheduleToJson(parseChaosSpec(spec))
+                    .dump()
+                    .c_str());
+    return 0;
 }
 
 /** Throws when @p cmd got fewer positional tokens than it needs. */
@@ -674,6 +776,10 @@ run(const std::string &cmd, const std::vector<std::string> &args)
         return cmdStore(parser);
     if (cmd == "client")
         return cmdClient(parser);
+    if (cmd == "health")
+        return cmdHealth(parser);
+    if (cmd == "chaos")
+        return cmdChaos(parser);
     if (cmd == "help" || cmd == "--help" || cmd == "-h") {
         usage(stdout);
         std::printf("\n%s",
