@@ -36,6 +36,7 @@ appendStream(std::string &key, const StreamConfig &sc)
     appendBytes(key, sc.zipfSkew);
     appendBytes(key, sc.stride);
     appendBytes(key, sc.shared);
+    appendBytes(key, sc.regionId);
 }
 
 void
@@ -46,10 +47,22 @@ appendMix(std::string &key, const AccessMix &mix)
         appendStream(key, sc);
 }
 
+void
+appendProfile(std::string &key, const MixProfile &p)
+{
+    appendBytes(key, p.loadFraction);
+    appendBytes(key, p.storeFraction);
+    appendMix(key, p.loads);
+    appendMix(key, p.stores);
+    appendMix(key, p.ifetches);
+}
+
 /**
  * Exact identity of one trace: every generator input that can change
- * the produced access sequence, plus the thread split. This is the
- * trace store's key.
+ * the produced access sequence or its reported stats, plus the thread
+ * split. This is the trace store's key, and every run/privileged key
+ * embeds it — so parameterized workloads get distinct memo/store
+ * entries by construction.
  */
 std::string
 genKey(const GeneratorConfig &gen, std::uint32_t threads)
@@ -65,6 +78,14 @@ genKey(const GeneratorConfig &gen, std::uint32_t threads)
     appendMix(key, gen.loads);
     appendMix(key, gen.stores);
     appendMix(key, gen.ifetches);
+    appendBytes(key, gen.warmupFraction);
+    appendBytes(key, gen.perThreadStats);
+    appendBytes(key, gen.phases.size());
+    for (const MixProfile &p : gen.phases)
+        appendProfile(key, p);
+    appendBytes(key, gen.tenantMixes.size());
+    for (const MixProfile &p : gen.tenantMixes)
+        appendProfile(key, p);
     return key;
 }
 
@@ -532,6 +553,7 @@ ExperimentRunner::simulateUncached(const BenchmarkSpec &spec,
     cfg.numCores = threads;
     cfg.shards = shards_;
     cfg.batchReplay = batchReplay_;
+    cfg.perCoreLlcStats = spec.gen.perThreadStats;
 
     // Replay the workload's recorded trace: generation happens once
     // per (generator, threads) for the runner's lifetime, and every

@@ -5,6 +5,7 @@
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/parallel.hh"
+#include "workload/workload_registry.hh"
 
 namespace nvmcache {
 
@@ -192,30 +193,29 @@ runCorrelationStudy(bool aiOnly, const std::vector<std::string> &techs,
     return runCorrelationStudy(cfg, runner);
 }
 
+namespace {
+
+/**
+ * Shared correlation engine: characterize every spec (excluding its
+ * warm-up accesses), fan the (mode, workload, technology) grid out,
+ * then correlate the configured outcome columns against the measured
+ * features. Serves both the Table V/VI correlation study and the
+ * server suite.
+ */
 CorrelationStudy
-runCorrelationStudy(const CorrelationConfig &cfg,
-                    const ExperimentRunner &runner)
+runCorrelationCore(const std::vector<BenchmarkSpec> &specs,
+                   const std::vector<std::string> &techs,
+                   const std::vector<CapacityMode> &modes,
+                   OutcomeKind outcomes, const ExperimentRunner &runner)
 {
-    const bool aiOnly = cfg.aiOnly;
-    const std::vector<std::string> &techs = cfg.techs;
-    const std::vector<CapacityMode> &modes = cfg.modes;
-
-    if (cfg.traceScale <= 0.0 || cfg.traceScale > 1.0)
-        fatal("runCorrelationStudy: traceScale must be in (0, 1]");
     CorrelationStudy study;
-
-    std::vector<BenchmarkSpec> specs;
-    for (const BenchmarkSpec *spec :
-         aiOnly ? aiBenchmarks() : characterizedBenchmarks()) {
-        specs.push_back(*spec);
-        specs.back().gen.totalAccesses = std::uint64_t(
-            double(spec->gen.totalAccesses) * cfg.traceScale);
-    }
 
     // Feature pass (PRISM): one characterization per workload, each
     // independent of the rest. Characterizing from the runner's trace
     // store means the simulation pass below replays the same recorded
-    // traces instead of regenerating every workload.
+    // traces instead of regenerating every workload. Warm-up accesses
+    // still simulate (they fill the cache) but are excluded from the
+    // features — they are not the workload being characterized.
     {
         PhaseTimer timer("phase.correlation.characterize");
         progressBegin("correlation characterize", specs.size());
@@ -223,7 +223,9 @@ runCorrelationStudy(const CorrelationConfig &cfg,
             runner.jobs(), specs, [&](const BenchmarkSpec &spec) {
                 auto trace = runner.recordedTrace(
                     spec.gen, spec.defaultThreads);
-                WorkloadFeatures features = characterize(*trace);
+                WorkloadFeatures features = characterize(
+                    *trace, 10,
+                    warmupSplit(spec.gen, spec.defaultThreads));
                 progressTick();
                 return features;
             });
@@ -257,21 +259,26 @@ runCorrelationStudy(const CorrelationConfig &cfg,
             TechCorrelation tc;
             tc.tech = tech;
             tc.mode = mode;
-            tc.outcomes = aiOnly ? OutcomeKind::Normalized
-                                 : OutcomeKind::Absolute;
+            tc.outcomes = outcomes;
             tc.dataset.featureNames = WorkloadFeatures::featureNames();
             for (std::size_t i = 0; i < specs.size(); ++i) {
                 const RunResult &r = sweeps[i].byTech(tech);
                 tc.dataset.workloads.push_back(specs[i].name);
                 tc.dataset.features.push_back(
                     study.features[i].featureVector());
-                if (tc.outcomes == OutcomeKind::Normalized) {
+                switch (tc.outcomes) {
+                  case OutcomeKind::Normalized:
                     tc.dataset.energy.push_back(r.normEnergy);
                     tc.dataset.speedup.push_back(r.speedup);
-                } else {
-                    tc.dataset.energy.push_back(
-                        r.stats.llcEnergy());
+                    break;
+                  case OutcomeKind::Absolute:
+                    tc.dataset.energy.push_back(r.stats.llcEnergy());
                     tc.dataset.speedup.push_back(r.stats.seconds);
+                    break;
+                  case OutcomeKind::EnergyDelay:
+                    tc.dataset.energy.push_back(r.stats.ed2p());
+                    tc.dataset.speedup.push_back(r.stats.seconds);
+                    break;
                 }
             }
             tc.result = correlateFeatures(tc.dataset);
@@ -279,6 +286,94 @@ runCorrelationStudy(const CorrelationConfig &cfg,
         }
     }
     return study;
+}
+
+/** Resolve one registry spec string and apply the trace scale. */
+BenchmarkSpec
+scaledSpec(const std::string &workload, double traceScale)
+{
+    BenchmarkSpec spec = WorkloadRegistry::global().resolve(workload);
+    spec.gen.totalAccesses = std::uint64_t(
+        double(spec.gen.totalAccesses) * traceScale);
+    return spec;
+}
+
+} // namespace
+
+CorrelationStudy
+runCorrelationStudy(const CorrelationConfig &cfg,
+                    const ExperimentRunner &runner)
+{
+    if (cfg.traceScale <= 0.0 || cfg.traceScale > 1.0)
+        fatal("runCorrelationStudy: traceScale must be in (0, 1]");
+
+    std::vector<BenchmarkSpec> specs;
+    if (!cfg.workloads.empty()) {
+        for (const std::string &workload : cfg.workloads)
+            specs.push_back(scaledSpec(workload, cfg.traceScale));
+    } else {
+        for (const BenchmarkSpec *spec :
+             cfg.aiOnly ? aiBenchmarks() : characterizedBenchmarks()) {
+            specs.push_back(*spec);
+            specs.back().gen.totalAccesses = std::uint64_t(
+                double(spec->gen.totalAccesses) * cfg.traceScale);
+        }
+    }
+    return runCorrelationCore(specs, cfg.techs, cfg.modes,
+                              cfg.aiOnly ? OutcomeKind::Normalized
+                                         : OutcomeKind::Absolute,
+                              runner);
+}
+
+std::vector<std::string>
+serverSuiteWorkloads(const ServerSuiteConfig &cfg)
+{
+    std::string overrides;
+    if (!cfg.keys.empty())
+        overrides += ",keys=" + cfg.keys;
+    if (!cfg.ops.empty())
+        overrides += ",ops=" + cfg.ops;
+    if (!cfg.warm.empty())
+        overrides += ",warm=" + cfg.warm;
+
+    std::vector<std::string> out;
+    for (std::uint32_t t : cfg.tenantCounts)
+        for (double rr : cfg.readRatios)
+            for (double sk : cfg.skews) {
+                std::string w;
+                if (t <= 1)
+                    w = "kv:readRatio=" + std::to_string(rr) +
+                        ",skew=" + std::to_string(sk);
+                else
+                    w = "tenants:n=" + std::to_string(t) +
+                        ",readRatios=" + std::to_string(rr) +
+                        ",skews=" + std::to_string(sk);
+                out.push_back(w + overrides);
+            }
+    return out;
+}
+
+CorrelationStudy
+runServerSuite(const ServerSuiteConfig &cfg,
+               const ExperimentRunner &runner)
+{
+    if (cfg.tenantCounts.empty() || cfg.readRatios.empty() ||
+        cfg.skews.empty())
+        fatal("runServerSuite: empty grid axis");
+
+    std::vector<BenchmarkSpec> specs;
+    for (const std::string &workload : serverSuiteWorkloads(cfg))
+        specs.push_back(scaledSpec(workload, 1.0));
+
+    // Every published model of the mode (Table III order): the suite's
+    // question is whether the features predict ED^2P across ALL of
+    // them, not just the paper's three spotlight technologies.
+    std::vector<std::string> techs;
+    for (const LlcModel &llc : publishedLlcModels(cfg.mode))
+        techs.push_back(llc.name);
+
+    return runCorrelationCore(specs, techs, {cfg.mode},
+                              OutcomeKind::EnergyDelay, runner);
 }
 
 CompareResult

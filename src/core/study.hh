@@ -117,7 +117,13 @@ enum class OutcomeKind
      * general-purpose analysis ("LLC energy and system execution
      * time is most highly correlated with total reads/writes").
      */
-    Absolute
+    Absolute,
+    /**
+     * Absolute ED^2P [J*s^2] and execution time [s] — the server
+     * suite's headline metric (do the Table VI features still predict
+     * energy-delay on server traffic?).
+     */
+    EnergyDelay
 };
 
 /** §VI / Fig 4: feature correlation for one technology and mode. */
@@ -152,6 +158,14 @@ struct CorrelationConfig
     std::vector<CapacityMode> modes{CapacityMode::FixedCapacity,
                                     CapacityMode::FixedArea};
     double traceScale = 1.0;
+
+    /**
+     * Explicit workload list: registry spec strings (Table V names or
+     * parameterized families like "kv:skew=1.2"), resolved through
+     * WorkloadRegistry::global(). Non-empty overrides the
+     * aiOnly-driven selection; outcome kind still follows aiOnly.
+     */
+    std::vector<std::string> workloads;
 };
 
 /** Run the Fig 3 framework. */
@@ -166,6 +180,37 @@ CorrelationStudy runCorrelationStudy(
     bool aiOnly, const std::vector<std::string> &techs,
     const std::vector<CapacityMode> &modes,
     const ExperimentRunner &runner, double traceScale = 1.0);
+
+/**
+ * Canned server-traffic grid (the "modern use case behavior" probe):
+ * kv and tenants points over read-ratio x skew x tenant-count, each
+ * measured-characterized (warm-up excluded) and simulated across ALL
+ * published models of the mode, with the correlation framework run on
+ * absolute ED^2P outcomes. tenantCounts entries <= 1 emit `kv:`
+ * points; larger entries emit `tenants:n=<t>` points.
+ */
+struct ServerSuiteConfig
+{
+    std::vector<std::uint32_t> tenantCounts{1, 4};
+    std::vector<double> readRatios{0.95, 0.5};
+    std::vector<double> skews{0.7, 0.99};
+    CapacityMode mode = CapacityMode::FixedCapacity;
+    std::string keys; ///< Count override ("32K"); "" = family default
+    std::string ops;  ///< Count override ("120K"); "" = family default
+    std::string warm; ///< warm-up override ("0.1"); "" = default
+};
+
+/** The grid's registry spec strings, in deterministic grid order. */
+std::vector<std::string>
+serverSuiteWorkloads(const ServerSuiteConfig &cfg);
+
+/**
+ * Run the server suite: a correlation study (measured features vs.
+ * ED^2P, OutcomeKind::EnergyDelay) over serverSuiteWorkloads() and
+ * every published technology of cfg.mode.
+ */
+CorrelationStudy runServerSuite(const ServerSuiteConfig &cfg,
+                                const ExperimentRunner &runner);
 
 /**
  * One-workload, one-technology comparison against the SRAM baseline

@@ -1,12 +1,14 @@
 #include "core/study_registry.hh"
 
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 #include "nvm/cell.hh"
 #include "util/args.hh"
 #include "util/trace_events.hh"
 #include "workload/suite.hh"
+#include "workload/workload_registry.hh"
 
 namespace nvmcache {
 
@@ -43,6 +45,36 @@ joinStrs(const std::vector<std::string> &v)
     std::string out;
     for (std::size_t i = 0; i < v.size(); ++i)
         out += (i ? "," : "") + v[i];
+    return out;
+}
+
+/**
+ * Workload spec strings carry commas inside their parameter sections
+ * ("kv:skew=1.2,keys=64M"), so lists of them are ';'-separated.
+ * Every entry is resolved through the workload registry immediately:
+ * a bad kind or parameter throws here, at parse time, instead of
+ * aborting mid-study.
+ */
+std::vector<std::string>
+parseWorkloadList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::istringstream in(value);
+    std::string tok;
+    while (std::getline(in, tok, ';'))
+        if (!tok.empty()) {
+            WorkloadRegistry::global().resolve(tok);
+            out.push_back(tok);
+        }
+    return out;
+}
+
+std::string
+joinWorkloadList(const std::vector<std::string> &v)
+{
+    std::string out;
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out += (i ? ";" : "") + v[i];
     return out;
 }
 
@@ -167,6 +199,51 @@ strArray(const std::vector<std::string> &v)
     for (const std::string &s : v)
         a.push(JsonValue::makeString(s));
     return a;
+}
+
+const char *
+outcomeName(OutcomeKind k)
+{
+    switch (k) {
+      case OutcomeKind::Normalized:
+        return "normalized";
+      case OutcomeKind::Absolute:
+        return "absolute";
+      case OutcomeKind::EnergyDelay:
+        return "energy-delay";
+    }
+    return "?";
+}
+
+/**
+ * The correlation-shaped report body shared by the correlation study
+ * and the server suite: features per workload, then per-technology
+ * outcome columns and their feature correlations.
+ */
+void
+fillCorrelationReport(JsonValue &result, const CorrelationStudy &study)
+{
+    result.set("workloads", strArray(study.workloads));
+    JsonValue features = JsonValue::makeArray();
+    for (const WorkloadFeatures &f : study.features)
+        features.push(numArray(f.featureVector()));
+    result.set("features", std::move(features));
+    result.set("featureNames",
+               strArray(WorkloadFeatures::featureNames()));
+    JsonValue perTech = JsonValue::makeArray();
+    for (const TechCorrelation &tc : study.perTech) {
+        JsonValue v = JsonValue::makeObject();
+        v.set("tech", JsonValue::makeString(tc.tech));
+        v.set("mode", JsonValue::makeString(toString(tc.mode)));
+        v.set("outcomes",
+              JsonValue::makeString(outcomeName(tc.outcomes)));
+        v.set("energy", numArray(tc.dataset.energy));
+        v.set("speedup", numArray(tc.dataset.speedup));
+        v.set("energyCorr", numArray(tc.result.energyCorr));
+        v.set("speedupCorr", numArray(tc.result.speedupCorr));
+        perTech.push(std::move(v));
+    }
+    result.set("perTech", std::move(perTech));
 }
 
 // --- the five built-in studies --------------------------------------
@@ -361,7 +438,8 @@ class CorrelationStudyDef : public Study
         return {{"ai", cfg_.aiOnly ? "1" : "0"},
                 {"techs", joinStrs(cfg_.techs)},
                 {"modes", joinStrs(modes)},
-                {"scale", numText(cfg_.traceScale)}};
+                {"scale", numText(cfg_.traceScale)},
+                {"workloads", joinWorkloadList(cfg_.workloads)}};
     }
 
     void
@@ -376,17 +454,20 @@ class CorrelationStudyDef : public Study
         // The characterization pass is cheap and runs off the same
         // recorded traces the simulations warm, so sharding only the
         // simulation grid covers everything expensive.
-        std::vector<StudyRequest> reqs;
-        for (CapacityMode mode : cfg_.modes)
+        std::vector<std::string> names = cfg_.workloads;
+        if (names.empty())
             for (const BenchmarkSpec *spec :
                  cfg_.aiOnly ? aiBenchmarks()
                              : characterizedBenchmarks())
+                names.push_back(spec->name);
+        std::vector<StudyRequest> reqs;
+        for (CapacityMode mode : cfg_.modes)
+            for (const std::string &wname : names)
                 for (const LlcModel &llc : publishedLlcModels(mode)) {
                     if (llc.klass == NvmClass::SRAM)
                         continue;
-                    reqs.push_back(compareReq(spec->name, llc.name,
-                                              mode, 0,
-                                              cfg_.traceScale));
+                    reqs.push_back(compareReq(wname, llc.name, mode,
+                                              0, cfg_.traceScale));
                 }
         return reqs;
     }
@@ -398,29 +479,7 @@ class CorrelationStudyDef : public Study
         rep.result = JsonValue::makeObject();
         rep.result.set("study", JsonValue::makeString(name()));
         rep.result.set("ai", JsonValue::makeBool(cfg_.aiOnly));
-        rep.result.set("workloads", strArray(study_.workloads));
-        JsonValue features = JsonValue::makeArray();
-        for (const WorkloadFeatures &f : study_.features)
-            features.push(numArray(f.featureVector()));
-        rep.result.set("features", std::move(features));
-        rep.result.set(
-            "featureNames",
-            strArray(WorkloadFeatures::featureNames()));
-        JsonValue perTech = JsonValue::makeArray();
-        for (const TechCorrelation &tc : study_.perTech) {
-            JsonValue v = JsonValue::makeObject();
-            v.set("tech", JsonValue::makeString(tc.tech));
-            v.set("mode", JsonValue::makeString(toString(tc.mode)));
-            v.set("outcomes",
-                  JsonValue::makeString(
-                      tc.outcomes == OutcomeKind::Normalized
-                          ? "normalized"
-                          : "absolute"));
-            v.set("energyCorr", numArray(tc.result.energyCorr));
-            v.set("speedupCorr", numArray(tc.result.speedupCorr));
-            perTech.push(std::move(v));
-        }
-        rep.result.set("perTech", std::move(perTech));
+        fillCorrelationReport(rep.result, study_);
         // Correlation datasets keep no raw SimStats, so the stats
         // report is intentionally empty (engine metrics still flow
         // through the global registry).
@@ -440,10 +499,99 @@ class CorrelationStudyDef : public Study
             cfg_.modes = parseModeList(key, value);
         else if (key == "scale")
             cfg_.traceScale = ArgParser::parseNum(key, value);
+        else if (key == "workloads")
+            cfg_.workloads = parseWorkloadList(value);
     }
 
   private:
     CorrelationConfig cfg_;
+    CorrelationStudy study_;
+};
+
+class ServerSuiteStudyDef : public Study
+{
+  public:
+    std::string name() const override { return "server-suite"; }
+
+    std::string
+    description() const override
+    {
+        return "Canned server-traffic grid (kv/tenants over "
+               "read-ratio x skew x tenant-count) correlated "
+               "against ED^2P over all published models";
+    }
+
+    ParamMap
+    defaultConfig() const override
+    {
+        return {{"tenants", joinU32s(cfg_.tenantCounts)},
+                {"readRatios", joinNums(cfg_.readRatios)},
+                {"skews", joinNums(cfg_.skews)},
+                {"mode", toString(cfg_.mode)},
+                {"keys", cfg_.keys},
+                {"ops", cfg_.ops},
+                {"warm", cfg_.warm}};
+    }
+
+    void
+    run(const ExperimentRunner &runner) override
+    {
+        study_ = runServerSuite(cfg_, runner);
+    }
+
+    std::vector<StudyRequest>
+    shardRequests() const override
+    {
+        std::vector<StudyRequest> reqs;
+        for (const std::string &wname : serverSuiteWorkloads(cfg_))
+            for (const LlcModel &llc : publishedLlcModels(cfg_.mode)) {
+                if (llc.klass == NvmClass::SRAM)
+                    continue; // every compare carries the baseline
+                reqs.push_back(
+                    compareReq(wname, llc.name, cfg_.mode, 0, 1.0));
+            }
+        return reqs;
+    }
+
+    StudyReport
+    report() const override
+    {
+        StudyReport rep;
+        rep.result = JsonValue::makeObject();
+        rep.result.set("study", JsonValue::makeString(name()));
+        rep.result.set("mode",
+                       JsonValue::makeString(toString(cfg_.mode)));
+        fillCorrelationReport(rep.result, study_);
+        return rep;
+    }
+
+  protected:
+    void
+    applyParam(const std::string &key,
+               const std::string &value) override
+    {
+        if (key == "tenants")
+            cfg_.tenantCounts = parseU32List(key, value);
+        else if (key == "readRatios")
+            cfg_.readRatios = ArgParser::parseNumList(key, value);
+        else if (key == "skews")
+            cfg_.skews = ArgParser::parseNumList(key, value);
+        else if (key == "mode")
+            cfg_.mode = parseModeParam(key, value);
+        else if (key == "keys")
+            cfg_.keys = value;
+        else if (key == "ops")
+            cfg_.ops = value;
+        else if (key == "warm")
+            cfg_.warm = value;
+        // Catch bad grid values (negative skews, malformed counts)
+        // now, with the daemon's parse-error path, not mid-run.
+        for (const std::string &w : serverSuiteWorkloads(cfg_))
+            WorkloadRegistry::global().resolve(w);
+    }
+
+  private:
+    ServerSuiteConfig cfg_;
     CorrelationStudy study_;
 };
 
@@ -556,9 +704,12 @@ class ReliabilityStudyDef : public Study
     applyParam(const std::string &key,
                const std::string &value) override
     {
-        if (key == "workload")
+        if (key == "workload") {
+            // Resolve now: a bad spec string throws here, at parse
+            // time, instead of aborting the process mid-study.
+            WorkloadRegistry::global().resolve(value);
             cfg_.workload = value;
-        else if (key == "mode")
+        } else if (key == "mode")
             cfg_.mode = parseModeParam(key, value);
         else if (key == "threads")
             cfg_.threads = ArgParser::parseU32(key, value);
@@ -648,9 +799,12 @@ class CompareStudyDef : public Study
     applyParam(const std::string &key,
                const std::string &value) override
     {
-        if (key == "workload")
+        if (key == "workload") {
+            // Resolve now: a bad spec string throws here, at parse
+            // time, instead of aborting the process mid-study.
+            WorkloadRegistry::global().resolve(value);
             cfg_.workload = value;
-        else if (key == "tech")
+        } else if (key == "tech")
             cfg_.tech = value;
         else if (key == "mode")
             cfg_.mode = parseModeParam(key, value);
@@ -802,6 +956,8 @@ StudyRegistry::global()
               [] { return std::make_unique<CorrelationStudyDef>(); });
         r.add("reliability",
               [] { return std::make_unique<ReliabilityStudyDef>(); });
+        r.add("server-suite",
+              [] { return std::make_unique<ServerSuiteStudyDef>(); });
         r.add("compare",
               [] { return std::make_unique<CompareStudyDef>(); });
         return r;

@@ -106,32 +106,64 @@ FeatureCollector::finalize() const
     return f;
 }
 
+namespace {
+
+std::uint64_t
+skipFor(const std::vector<std::uint64_t> &skipPerThread,
+        std::size_t thread, std::size_t threads)
+{
+    if (skipPerThread.empty())
+        return 0;
+    if (skipPerThread.size() != threads)
+        fatal("characterize: ", skipPerThread.size(),
+              " warm-up counts for ", threads, " threads");
+    return skipPerThread[thread];
+}
+
+} // namespace
+
 WorkloadFeatures
 characterize(const std::vector<TraceSource *> &threads,
-             std::uint32_t localMaskBits)
+             std::uint32_t localMaskBits,
+             const std::vector<std::uint64_t> &skipPerThread)
 {
     FeatureCollector collector(localMaskBits);
-    for (TraceSource *t : threads) {
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        TraceSource *t = threads[i];
+        std::uint64_t skip =
+            skipFor(skipPerThread, i, threads.size());
         t->reset();
         MemAccess a;
-        while (t->next(a))
+        while (t->next(a)) {
+            if (skip > 0) {
+                --skip;
+                continue;
+            }
             collector.record(a);
+        }
         t->reset();
     }
     return collector.finalize();
 }
 
 WorkloadFeatures
-characterize(const RecordedTrace &trace, std::uint32_t localMaskBits)
+characterize(const RecordedTrace &trace, std::uint32_t localMaskBits,
+             const std::vector<std::uint64_t> &skipPerThread)
 {
     FeatureCollector collector(localMaskBits);
     std::array<MemAccess, 256> batch;
     for (std::uint32_t t = 0; t < trace.threads(); ++t) {
         TraceCursor cur = trace.cursor(t);
+        std::uint64_t skip = skipFor(skipPerThread, t, trace.threads());
         std::size_t n;
         while ((n = cur.fill(batch)) != 0)
-            for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t i = 0; i < n; ++i) {
+                if (skip > 0) {
+                    --skip;
+                    continue;
+                }
                 collector.record(batch[i]);
+            }
     }
     return collector.finalize();
 }

@@ -87,11 +87,17 @@ class FeatureCollector
 /**
  * Convenience: characterize a set of per-thread traces (resetting
  * each first, iterating it to exhaustion, and resetting it again so
- * the caller can reuse it).
+ * the caller can reuse it). @p skipPerThread (when non-empty, one
+ * entry per thread) excludes that many leading accesses of each
+ * thread from the features — the warm-up phase of server workloads,
+ * which fills the cache but is not "the workload" being
+ * characterized (see GeneratorConfig::warmupFraction /
+ * warmupSplit()).
  */
 WorkloadFeatures characterize(
     const std::vector<TraceSource *> &threads,
-    std::uint32_t localMaskBits = 10);
+    std::uint32_t localMaskBits = 10,
+    const std::vector<std::uint64_t> &skipPerThread = {});
 
 class RecordedTrace;
 
@@ -99,10 +105,11 @@ class RecordedTrace;
  * Characterize a recorded trace by replaying each thread's track in
  * thread order. Feature-identical to characterizing the live
  * generators the trace was recorded from (replay is bit-exact), but
- * pays only the decode cost.
+ * pays only the decode cost. @p skipPerThread as above.
  */
-WorkloadFeatures characterize(const RecordedTrace &trace,
-                              std::uint32_t localMaskBits = 10);
+WorkloadFeatures characterize(
+    const RecordedTrace &trace, std::uint32_t localMaskBits = 10,
+    const std::vector<std::uint64_t> &skipPerThread = {});
 
 } // namespace nvmcache
 

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "service/chaos.hh"
+#include "workload/workload_registry.hh"
 
 namespace nvmcache {
 
@@ -116,6 +117,46 @@ studiesToJson()
         studies.push(std::move(v));
     }
     return studies;
+}
+
+JsonValue
+workloadsToJson()
+{
+    auto typeName = [](WorkloadParamDef::Type t) {
+        switch (t) {
+          case WorkloadParamDef::Type::Num:
+            return "num";
+          case WorkloadParamDef::Type::NumList:
+            return "num-list";
+          case WorkloadParamDef::Type::Count:
+            return "count";
+          case WorkloadParamDef::Type::U32:
+            return "u32";
+        }
+        return "?";
+    };
+
+    JsonValue workloads = JsonValue::makeArray();
+    const WorkloadRegistry &registry = WorkloadRegistry::global();
+    for (const std::string &name : registry.kinds()) {
+        const WorkloadKindDef &def = registry.kind(name);
+        JsonValue v = JsonValue::makeObject();
+        v.set("name", JsonValue::makeString(def.name));
+        v.set("suite", JsonValue::makeString(def.suite));
+        v.set("description", JsonValue::makeString(def.description));
+        JsonValue params = JsonValue::makeArray();
+        for (const WorkloadParamDef &p : def.params) {
+            JsonValue pv = JsonValue::makeObject();
+            pv.set("key", JsonValue::makeString(p.key));
+            pv.set("type", JsonValue::makeString(typeName(p.type)));
+            pv.set("default", JsonValue::makeString(p.defaultValue));
+            pv.set("help", JsonValue::makeString(p.help));
+            params.push(std::move(pv));
+        }
+        v.set("params", std::move(params));
+        workloads.push(std::move(v));
+    }
+    return workloads;
 }
 
 namespace {

@@ -95,6 +95,13 @@ JsonValue snapshotToJson(const StatsSnapshot &snap,
 /** Registry listing for the "studies" op. */
 JsonValue studiesToJson();
 
+/**
+ * Workload-registry listing for the "workloads" op: every kind with
+ * its suite, description, and (for parameterized families) the
+ * parameter schema — key, type, default, and help per parameter.
+ */
+JsonValue workloadsToJson();
+
 // --- line-framed socket I/O -----------------------------------------
 
 /**

@@ -289,8 +289,9 @@ EvalServer::handleLine(const std::shared_ptr<Conn> &conn,
     // Per-verb request counters; anything outside the protocol's verb
     // set lands in one "unknown" bucket so a misbehaving client can't
     // mint unbounded metric paths.
-    static const char *const kOps[] = {"ping",  "studies", "metrics",
-                                       "stats", "health",  "trace",
+    static const char *const kOps[] = {"ping",   "studies",
+                                       "workloads", "metrics",
+                                       "stats",  "health", "trace",
                                        "shutdown", "run"};
     bool known = false;
     for (const char *op : kOps)
@@ -311,6 +312,12 @@ EvalServer::handleLine(const std::shared_ptr<Conn> &conn,
         v.set("id", JsonValue::makeString(req.id));
         v.set("ok", JsonValue::makeBool(true));
         v.set("studies", studiesToJson());
+        respond(conn, v);
+    } else if (req.op == "workloads") {
+        JsonValue v = JsonValue::makeObject();
+        v.set("id", JsonValue::makeString(req.id));
+        v.set("ok", JsonValue::makeBool(true));
+        v.set("workloads", workloadsToJson());
         respond(conn, v);
     } else if (req.op == "metrics") {
         JsonValue v = JsonValue::makeObject();

@@ -44,6 +44,7 @@ System::System(const SystemConfig &cfg, const LlcModel &llcModel)
     llc_ = std::make_unique<SharedLlc>(llcModel, cfg_.llc,
                                        cfg_.frequency);
     dram_ = std::make_unique<DramModel>(cfg_.dram, cfg_.frequency);
+    coreLlc_.resize(cfg_.numCores);
 }
 
 void
@@ -59,6 +60,7 @@ System::step(std::uint32_t coreIdx, const MemAccess &access)
 
     // Dirty L2 victims stream down to the LLC regardless of whether
     // the demand access was satisfied privately.
+    coreLlc_[coreIdx].writebacks += out.writebacks.count;
     for (std::uint32_t i = 0; i < out.writebacks.count; ++i) {
         LlcWritebackOutcome wb =
             llc_->writeback(out.writebacks.addr[i], now);
@@ -81,6 +83,9 @@ System::step(std::uint32_t coreIdx, const MemAccess &access)
     // Demand read reaches the shared LLC.
     std::uint64_t latency = out.latencyCycles;
     LlcReadOutcome rd = llc_->demandRead(access.addr, now + latency);
+    ++coreLlc_[coreIdx].demandReads;
+    ++(rd.hit ? coreLlc_[coreIdx].demandHits
+              : coreLlc_[coreIdx].demandMisses);
     latency += rd.latencyCycles;
     if (!rd.hit) {
         latency += dram_->read(access.addr, now + latency);
@@ -229,6 +234,7 @@ System::replayStep(std::uint32_t coreIdx, const MemAccess &access,
     if (ev.outcome != PrivateEvent::kL1Hit)
         ++l1Misses_;
 
+    coreLlc_[coreIdx].writebacks += ev.wbCount;
     for (std::uint8_t i = 0; i < ev.wbCount; ++i) {
         LlcWritebackOutcome wb = llc_->writeback(ev.wb[i], now);
         if (wb.stallCycles)
@@ -250,6 +256,9 @@ System::replayStep(std::uint32_t coreIdx, const MemAccess &access,
 
     std::uint64_t latency = cfg_.core.l2Cycles;
     LlcReadOutcome rd = llc_->demandRead(access.addr, now + latency);
+    ++coreLlc_[coreIdx].demandReads;
+    ++(rd.hit ? coreLlc_[coreIdx].demandHits
+              : coreLlc_[coreIdx].demandMisses);
     latency += rd.latencyCycles;
     if (!rd.hit) {
         latency += dram_->read(access.addr, now + latency);
@@ -320,6 +329,27 @@ System::collectStats(std::size_t numThreads,
     reg.gauge("sim.llc.dynamicEnergy").set(stats.llcDynamicEnergy);
     reg.gauge("sim.mpki").set(stats.llcMpki());
     stats.detail = reg.snapshot();
+
+    // Per-tenant LLC traffic split (tenants workload family). The
+    // batch kernel path never runs step()/replayStep(), but it is
+    // single-source only — there core 0 carries the entire LlcStats,
+    // so deriving that case keeps the kernel and the per-access
+    // scheduler byte-identical.
+    if (cfg_.perCoreLlcStats) {
+        for (std::size_t i = 0; i < numThreads; ++i) {
+            CoreLlcCounters c = coreLlc_[i];
+            if (numThreads == 1)
+                c = {stats.llc.demandReads, stats.llc.demandHits,
+                     stats.llc.demandMisses, stats.llc.writebacksIn};
+            MetricsRegistry treg;
+            treg.counter("llc.demandReads").inc(c.demandReads);
+            treg.counter("llc.demandHits").inc(c.demandHits);
+            treg.counter("llc.demandMisses").inc(c.demandMisses);
+            treg.counter("llc.writebacks").inc(c.writebacks);
+            stats.detail.merge(treg.snapshot().withPrefix(
+                "sim.tenant" + std::to_string(i)));
+        }
+    }
     return stats;
 }
 

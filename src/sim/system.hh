@@ -48,6 +48,14 @@ struct SystemConfig
      * kept as the measured baseline for benches and oracle tests.
      */
     bool batchReplay = true;
+
+    /**
+     * Export per-core LLC demand/writeback counters into the run's
+     * stats detail under "sim.tenant<i>." (multi-tenant workloads:
+     * core i runs tenant i's thread). Off by default so existing
+     * reports stay byte-stable.
+     */
+    bool perCoreLlcStats = false;
 };
 
 /** Results of one simulation run. */
@@ -169,6 +177,22 @@ class System
     std::unique_ptr<DramModel> dram_;
     std::uint64_t l1Misses_ = 0;
     std::uint64_t l2Misses_ = 0;
+
+    /**
+     * Per-core share of the shared-LLC traffic (demand reads split
+     * into hits/misses, plus L2 writebacks reaching the LLC), counted
+     * in step()/replayStep(). The batch kernel bypasses those, but it
+     * only runs single-source — where core 0's share is the whole
+     * LlcStats — so collectStats derives that case exactly.
+     */
+    struct CoreLlcCounters
+    {
+        std::uint64_t demandReads = 0;
+        std::uint64_t demandHits = 0;
+        std::uint64_t demandMisses = 0;
+        std::uint64_t writebacks = 0;
+    };
+    std::vector<CoreLlcCounters> coreLlc_;
 
     /** Process one reference on @p coreIdx. */
     void step(std::uint32_t coreIdx, const MemAccess &access);

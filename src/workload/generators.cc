@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
+#include <string>
 
 #include "util/logging.hh"
 
@@ -29,6 +31,46 @@ wordOffset(std::uint64_t line)
     return ((h >> 57) & 7) * 8;
 }
 
+const char *
+kindName(StreamConfig::Kind k)
+{
+    switch (k) {
+      case StreamConfig::Kind::Zipf:
+        return "Zipf";
+      case StreamConfig::Kind::Uniform:
+        return "Uniform";
+      case StreamConfig::Kind::Sequential:
+        return "Sequential";
+      case StreamConfig::Kind::Chase:
+        return "Chase";
+    }
+    return "?";
+}
+
+/**
+ * Reject configuration values the generator would otherwise silently
+ * misbehave on (zero-probability streams that still consume alias
+ * slots, sub-line regions rounding to garbage, non-positive Zipf
+ * exponents breaking the rejection-inversion envelope). @p where
+ * names the stream, e.g. "phase 1 stores[0]".
+ */
+void
+validateStream(const StreamConfig &sc, const std::string &where)
+{
+    if (!(sc.weight > 0.0))
+        fatal("SyntheticTrace: stream ", where, " (",
+              kindName(sc.kind), "): weight must be > 0, got ",
+              sc.weight);
+    if (sc.regionBytes < kLine)
+        fatal("SyntheticTrace: stream ", where, " (",
+              kindName(sc.kind), "): regionBytes must be >= ", kLine,
+              ", got ", sc.regionBytes);
+    if (sc.kind == StreamConfig::Kind::Zipf && !(sc.zipfSkew > 0.0))
+        fatal("SyntheticTrace: stream ", where, " (",
+              kindName(sc.kind), "): zipfSkew must be > 0, got ",
+              sc.zipfSkew);
+}
+
 } // namespace
 
 SyntheticTrace::SyntheticTrace(const GeneratorConfig &cfg,
@@ -39,9 +81,17 @@ SyntheticTrace::SyntheticTrace(const GeneratorConfig &cfg,
 {
     if (numThreads_ == 0 || threadId_ >= numThreads_)
         fatal("SyntheticTrace: bad thread ids");
+    if (!cfg_.phases.empty() && !cfg_.tenantMixes.empty())
+        fatal("SyntheticTrace: phases and tenantMixes are mutually "
+              "exclusive");
+    if (cfg_.warmupFraction < 0.0 || cfg_.warmupFraction >= 1.0)
+        fatal("SyntheticTrace: warmupFraction must be in [0, 1), "
+              "got ", cfg_.warmupFraction);
     length_ = cfg_.totalAccesses / numThreads_;
     if (threadId_ == 0)
         length_ += cfg_.totalAccesses % numThreads_;
+    warmLength_ =
+        std::uint64_t(cfg_.warmupFraction * double(length_));
     buildStreams();
 }
 
@@ -50,63 +100,153 @@ SyntheticTrace::buildStreams()
 {
     // Carve disjoint regions out of one flat arena: shared streams
     // get one region for all threads; private streams get a
-    // per-thread slice.
+    // per-thread slice. Every thread walks the SAME allocation
+    // sequence — including tenant profiles it does not draw from —
+    // so region layout is identical across threads and tenants never
+    // overlap.
     std::uint64_t cursor = kRegionAlign; // keep address 0 unused
 
-    auto setup = [&](const AccessMix &mix, KindState &ks) {
-        ks.streams.clear();
-        std::vector<double> weights;
-        for (const StreamConfig &sc : mix.streams) {
-            StreamState st;
-            st.cfg = sc;
-            st.lines = floorPow2(std::max<std::uint64_t>(
-                1, sc.regionBytes / kLine));
+    struct RegionSlot
+    {
+        std::uint64_t base = 0;
+        std::uint64_t lines = 0;
+        bool shared = false;
+    };
+    std::map<std::int32_t, RegionSlot> regionsById;
 
-            const std::uint64_t span = st.lines * kLine;
-            const std::uint64_t padded =
-                (span + kRegionAlign - 1) / kRegionAlign * kRegionAlign;
+    // Lay out (and validate) one stream; materialize its sampler
+    // state into *out when this thread actually draws from it.
+    auto layout = [&](const StreamConfig &sc, const std::string &where,
+                      StreamState *out) {
+        validateStream(sc, where);
+        const std::uint64_t lines = floorPow2(
+            std::max<std::uint64_t>(1, sc.regionBytes / kLine));
+
+        std::uint64_t base = 0;
+        auto slot = sc.regionId >= 0 ? regionsById.find(sc.regionId)
+                                     : regionsById.end();
+        if (sc.regionId >= 0 && slot != regionsById.end()) {
+            if (slot->second.lines != lines ||
+                slot->second.shared != sc.shared)
+                fatal("SyntheticTrace: stream ", where, ": regionId ",
+                      sc.regionId, " reused with a different "
+                      "regionBytes or shared flag");
+            base = slot->second.base;
+        } else {
+            const std::uint64_t span = lines * kLine;
+            const std::uint64_t padded = (span + kRegionAlign - 1) /
+                                         kRegionAlign * kRegionAlign;
             if (sc.shared) {
-                st.base = cursor;
+                base = cursor;
                 cursor += padded;
             } else {
-                st.base = cursor + std::uint64_t(threadId_) * padded;
+                base = cursor + std::uint64_t(threadId_) * padded;
                 cursor += padded * numThreads_;
             }
-
-            if (sc.kind == StreamConfig::Kind::Zipf) {
-                st.zipf = std::make_unique<ZipfSampler>(st.lines,
-                                                        sc.zipfSkew);
-                st.scramble = 0x9e3779b97f4a7c15ull | 1ull;
-            }
-            st.chasePos = threadId_ % st.lines;
-            weights.push_back(sc.weight);
-            ks.streams.push_back(std::move(st));
+            if (sc.regionId >= 0)
+                regionsById[sc.regionId] = {base, lines, sc.shared};
         }
-        ks.pick = weights.empty()
-                      ? nullptr
-                      : std::make_unique<DiscreteSampler>(weights);
+
+        if (out) {
+            out->cfg = sc;
+            out->lines = lines;
+            out->base = base;
+            if (sc.kind == StreamConfig::Kind::Zipf) {
+                out->zipf = std::make_unique<ZipfSampler>(lines,
+                                                          sc.zipfSkew);
+                out->scramble = 0x9e3779b97f4a7c15ull | 1ull;
+            }
+            out->chasePos = threadId_ % lines;
+        }
     };
 
-    setup(cfg_.loads, loads_);
-    setup(cfg_.stores, stores_);
-    setup(cfg_.ifetches, ifetches_);
+    auto setupKind = [&](const AccessMix &mix, KindState *ks,
+                         const std::string &label) {
+        std::vector<double> weights;
+        if (ks)
+            ks->streams.clear();
+        for (std::size_t i = 0; i < mix.streams.size(); ++i) {
+            const std::string where =
+                label + "[" + std::to_string(i) + "]";
+            if (ks) {
+                StreamState st;
+                layout(mix.streams[i], where, &st);
+                weights.push_back(mix.streams[i].weight);
+                ks->streams.push_back(std::move(st));
+            } else {
+                layout(mix.streams[i], where, nullptr);
+            }
+        }
+        if (ks)
+            ks->pick = weights.empty()
+                           ? nullptr
+                           : std::make_unique<DiscreteSampler>(weights);
+    };
 
-    // Effective kind fractions: a kind with an empty mixture emits
-    // nothing and its configured share falls through to loads, which
-    // take the remainder — so the three fractions sum to exactly 1.
-    effStore_ = stores_.pick ? cfg_.storeFraction : 0.0;
-    effIfetch_ = ifetches_.pick
-                     ? 1.0 - cfg_.loadFraction - cfg_.storeFraction
-                     : 0.0;
-    if (effStore_ < 0.0 || effIfetch_ < 0.0 ||
-        effStore_ + effIfetch_ > 1.0)
-        fatal("SyntheticTrace: store/ifetch fractions must be "
-              "nonnegative and sum to <= 1 (store ", effStore_,
-              ", ifetch ", effIfetch_, ")");
-    effLoad_ = 1.0 - effStore_ - effIfetch_;
-    if (effLoad_ > 0.0 && !loads_.pick)
-        fatal("SyntheticTrace: nonzero load share but the load "
-              "mixture is empty");
+    // Lay out one full profile; @p ms == nullptr walks the
+    // allocation/validation sequence without materializing (another
+    // tenant's profile).
+    auto setupProfile = [&](double loadFraction, double storeFraction,
+                            const AccessMix &loads,
+                            const AccessMix &stores,
+                            const AccessMix &ifetches, MixSet *ms,
+                            const std::string &label) {
+        setupKind(loads, ms ? &ms->loads : nullptr, label + "loads");
+        setupKind(stores, ms ? &ms->stores : nullptr,
+                  label + "stores");
+        setupKind(ifetches, ms ? &ms->ifetches : nullptr,
+                  label + "ifetches");
+
+        // Effective kind fractions: a kind with an empty mixture
+        // emits nothing and its configured share falls through to
+        // loads, which take the remainder — so the three fractions
+        // sum to exactly 1.
+        const double effStore =
+            stores.streams.empty() ? 0.0 : storeFraction;
+        const double effIfetch =
+            ifetches.streams.empty()
+                ? 0.0
+                : 1.0 - loadFraction - storeFraction;
+        if (effStore < 0.0 || effIfetch < 0.0 ||
+            effStore + effIfetch > 1.0)
+            fatal("SyntheticTrace: ", label, "store/ifetch fractions "
+                  "must be nonnegative and sum to <= 1 (store ",
+                  effStore, ", ifetch ", effIfetch, ")");
+        const double effLoad = 1.0 - effStore - effIfetch;
+        if (effLoad > 0.0 && loads.streams.empty())
+            fatal("SyntheticTrace: ", label, "nonzero load share but "
+                  "the load mixture is empty");
+        if (ms) {
+            ms->effStore = effStore;
+            ms->effIfetch = effIfetch;
+            ms->effLoad = effLoad;
+        }
+    };
+
+    sets_.clear();
+    if (!cfg_.phases.empty()) {
+        sets_.resize(cfg_.phases.size());
+        for (std::size_t i = 0; i < cfg_.phases.size(); ++i) {
+            const MixProfile &p = cfg_.phases[i];
+            setupProfile(p.loadFraction, p.storeFraction, p.loads,
+                         p.stores, p.ifetches, &sets_[i],
+                         "phase " + std::to_string(i) + " ");
+        }
+    } else if (!cfg_.tenantMixes.empty()) {
+        const std::size_t sel = threadId_ % cfg_.tenantMixes.size();
+        sets_.resize(1);
+        for (std::size_t i = 0; i < cfg_.tenantMixes.size(); ++i) {
+            const MixProfile &p = cfg_.tenantMixes[i];
+            setupProfile(p.loadFraction, p.storeFraction, p.loads,
+                         p.stores, p.ifetches,
+                         i == sel ? &sets_[0] : nullptr,
+                         "tenant " + std::to_string(i) + " ");
+        }
+    } else {
+        sets_.resize(1);
+        setupProfile(cfg_.loadFraction, cfg_.storeFraction, cfg_.loads,
+                     cfg_.stores, cfg_.ifetches, &sets_[0], "");
+    }
 
     ++streamBuilds_;
 }
@@ -153,19 +293,28 @@ SyntheticTrace::next(MemAccess &out)
 {
     if (emitted_ >= length_)
         return false;
+    // Phase selection: equal access-count segments, segment i of P
+    // over [0, length_) — a single profile (the common case) skips
+    // the division.
+    MixSet &ms =
+        sets_.size() == 1
+            ? sets_[0]
+            : sets_[std::min<std::uint64_t>(
+                  sets_.size() - 1,
+                  emitted_ * sets_.size() / length_)];
     ++emitted_;
 
     const double u = rng_.uniform();
     KindState *ks = nullptr;
-    if (u < effStore_) {
+    if (u < ms.effStore) {
         out.kind = AccessKind::Store;
-        ks = &stores_;
-    } else if (u < effStore_ + effIfetch_) {
+        ks = &ms.stores;
+    } else if (u < ms.effStore + ms.effIfetch) {
         out.kind = AccessKind::IFetch;
-        ks = &ifetches_;
+        ks = &ms.ifetches;
     } else {
         out.kind = AccessKind::Load;
-        ks = &loads_;
+        ks = &ms.loads;
     }
 
     out.addr = draw(*ks);
@@ -191,11 +340,27 @@ SyntheticTrace::reset()
     // RNG and rewinds the per-stream cursors. No reallocation.
     rng_ = Rng(deriveSeed(cfg_.seed, threadId_));
     emitted_ = 0;
-    for (KindState *ks : {&loads_, &stores_, &ifetches_})
-        for (StreamState &st : ks->streams) {
-            st.seqPos = 0;
-            st.chasePos = threadId_ % st.lines;
-        }
+    for (MixSet &ms : sets_)
+        for (KindState *ks : {&ms.loads, &ms.stores, &ms.ifetches})
+            for (StreamState &st : ks->streams) {
+                st.seqPos = 0;
+                st.chasePos = threadId_ % st.lines;
+            }
+}
+
+std::vector<std::uint64_t>
+warmupSplit(const GeneratorConfig &cfg, std::uint32_t numThreads)
+{
+    std::vector<std::uint64_t> warm(numThreads, 0);
+    if (cfg.warmupFraction <= 0.0 || numThreads == 0)
+        return warm;
+    for (std::uint32_t t = 0; t < numThreads; ++t) {
+        std::uint64_t len = cfg.totalAccesses / numThreads;
+        if (t == 0)
+            len += cfg.totalAccesses % numThreads;
+        warm[t] = std::uint64_t(cfg.warmupFraction * double(len));
+    }
+    return warm;
 }
 
 std::vector<std::unique_ptr<SyntheticTrace>>

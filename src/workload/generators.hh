@@ -52,12 +52,34 @@ struct StreamConfig
      * sharing); private streams are offset per thread.
      */
     bool shared = false;
+    /**
+     * Streams with the same non-negative id alias one region (the
+     * first such stream allocates it; the rest must agree on
+     * regionBytes and shared). This is how the server workloads make
+     * GET and SET traffic — or every phase of a phased schedule —
+     * hit one key space. -1 (the default) allocates privately.
+     */
+    std::int32_t regionId = -1;
 };
 
 /** Mixture of streams for one access kind. */
 struct AccessMix
 {
     std::vector<StreamConfig> streams;
+};
+
+/**
+ * One complete traffic profile: kind fractions plus the three
+ * per-kind mixtures. GeneratorConfig embeds one implicitly (its
+ * top-level fields); phased and multi-tenant workloads carry several.
+ */
+struct MixProfile
+{
+    double loadFraction = 0.70;
+    double storeFraction = 0.28; ///< remainder is ifetch traffic
+    AccessMix loads;
+    AccessMix stores;
+    AccessMix ifetches;
 };
 
 /** Full generator configuration for one benchmark. */
@@ -73,7 +95,50 @@ struct GeneratorConfig
     AccessMix ifetches;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Phase schedule: when non-empty, the top-level mixtures are
+     * ignored and each thread's access stream is divided into
+     * phases.size() equal access-count segments, segment i drawing
+     * from phases[i] (diurnal / phase-shift behavior). Every phase's
+     * streams are laid out once at build time; use regionId to make
+     * phases revisit the same data.
+     */
+    std::vector<MixProfile> phases;
+
+    /**
+     * Per-tenant profiles: when non-empty, thread t draws from
+     * tenantMixes[t % size()] for its whole stream (co-scheduled
+     * tenants sharing the LLC). Mutually exclusive with phases.
+     */
+    std::vector<MixProfile> tenantMixes;
+
+    /**
+     * Leading fraction of each thread's accesses that is cache
+     * warm-up (e.g. a KV store's load phase). Warm accesses simulate
+     * normally — they populate the cache hierarchy — but are excluded
+     * from workload characterization (see characterize()); must be in
+     * [0, 1).
+     */
+    double warmupFraction = 0.0;
+
+    /**
+     * Export per-thread LLC hit/miss/writeback counters into the
+     * run's stats detail under "sim.tenant<i>." (set by the tenants
+     * workload family; off for everything else so existing reports
+     * are byte-stable).
+     */
+    bool perThreadStats = false;
 };
+
+/**
+ * Per-thread warm-up access counts for @p cfg split over
+ * @p numThreads: entry t is how many leading accesses of thread t's
+ * trace are warm-up (matching SyntheticTrace::warmupAccesses()).
+ * All-zero when cfg.warmupFraction == 0.
+ */
+std::vector<std::uint64_t> warmupSplit(const GeneratorConfig &cfg,
+                                       std::uint32_t numThreads);
 
 /**
  * One thread's deterministic synthetic trace.
@@ -106,6 +171,12 @@ class SyntheticTrace final : public TraceSource
      */
     std::uint32_t streamBuilds() const { return streamBuilds_; }
 
+    /**
+     * Leading accesses of this thread's trace that are warm-up
+     * (floor(cfg.warmupFraction * this thread's length)).
+     */
+    std::uint64_t warmupAccesses() const { return warmLength_; }
+
   private:
     struct StreamState
     {
@@ -124,27 +195,37 @@ class SyntheticTrace final : public TraceSource
         std::unique_ptr<DiscreteSampler> pick;
     };
 
+    /**
+     * One active traffic profile: the three kind mixtures with their
+     * effective kind fractions (renormalized so an empty mixture's
+     * share falls through to loads and the three sum to exactly 1).
+     */
+    struct MixSet
+    {
+        KindState loads, stores, ifetches;
+        double effLoad = 1.0;
+        double effStore = 0.0;
+        double effIfetch = 0.0;
+    };
+
     void buildStreams();
     std::uint64_t draw(KindState &ks);
 
     GeneratorConfig cfg_;
     std::uint32_t threadId_;
     std::uint32_t numThreads_;
-    std::uint64_t length_; ///< accesses this thread emits
+    std::uint64_t length_;     ///< accesses this thread emits
+    std::uint64_t warmLength_ = 0; ///< leading warm-up accesses
 
     Rng rng_;
     std::uint64_t emitted_ = 0;
-    KindState loads_, stores_, ifetches_;
 
     /**
-     * Effective kind fractions: an empty mixture emits nothing, so
-     * its configured share falls through to loads. Renormalized to
-     * sum to exactly 1 at build time (fatal if the configured store +
-     * ifetch shares exceed 1).
+     * Active profiles: one entry normally (the config's top-level
+     * mixtures, or this thread's tenant profile), one per phase for
+     * phased configs.
      */
-    double effLoad_ = 1.0;
-    double effStore_ = 0.0;
-    double effIfetch_ = 0.0;
+    std::vector<MixSet> sets_;
 
     std::uint32_t streamBuilds_ = 0;
 };

@@ -1,0 +1,320 @@
+#include "workload/server_workloads.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/args.hh"
+#include "workload/workload_registry.hh"
+
+namespace nvmcache {
+
+namespace {
+
+constexpr std::uint64_t kKB = 1024;
+constexpr std::uint64_t kLine = 64; ///< bytes per key / cache line
+
+// Typed readers over the registry's merged canonical parameter map
+// (values are pre-validated, so these cannot fail on registry-driven
+// input; the named what keeps diagnostics useful for direct callers).
+std::string
+what(const std::string &kind, const std::string &key)
+{
+    return "workload '" + kind + "' parameter '" + key + "'";
+}
+
+double
+num(const WorkloadParams &p, const std::string &kind,
+    const std::string &key)
+{
+    return ArgParser::parseNum(what(kind, key), p.at(key));
+}
+
+std::vector<double>
+numList(const WorkloadParams &p, const std::string &kind,
+        const std::string &key)
+{
+    return ArgParser::parseNumList(what(kind, key), p.at(key));
+}
+
+std::uint64_t
+count(const WorkloadParams &p, const std::string &kind,
+      const std::string &key)
+{
+    const std::uint64_t v = parseCount(what(kind, key), p.at(key));
+    if (v == 0)
+        throw std::runtime_error(what(kind, key) + ": must be > 0");
+    return v;
+}
+
+std::uint32_t
+u32(const WorkloadParams &p, const std::string &kind,
+    const std::string &key)
+{
+    return ArgParser::parseU32(what(kind, key), p.at(key));
+}
+
+void
+checkRatio(const std::string &kind, const std::string &key, double v)
+{
+    if (v < 0.0 || v > 1.0)
+        throw std::runtime_error(what(kind, key) +
+                                 ": must be in [0, 1], got " +
+                                 std::to_string(v));
+}
+
+void
+checkSkew(const std::string &kind, const std::string &key, double v)
+{
+    if (!(v > 0.0))
+        throw std::runtime_error(what(kind, key) +
+                                 ": must be > 0, got " +
+                                 std::to_string(v));
+}
+
+void
+checkWarm(const std::string &kind, double v)
+{
+    if (v < 0.0 || v >= 1.0)
+        throw std::runtime_error(what(kind, "warm") +
+                                 ": must be in [0, 1), got " +
+                                 std::to_string(v));
+}
+
+/**
+ * Broadcast a per-phase/per-tenant list to length @p n: a length-1
+ * list repeats; anything else must match exactly.
+ */
+std::vector<double>
+broadcast(const std::string &kind, const std::string &key,
+          std::vector<double> list, std::size_t n)
+{
+    if (list.size() == n)
+        return list;
+    if (list.size() == 1)
+        return std::vector<double>(n, list[0]);
+    throw std::runtime_error(
+        what(kind, key) + ": expected 1 or " + std::to_string(n) +
+        " entries, got " + std::to_string(list.size()));
+}
+
+StreamConfig
+zipfStream(std::uint64_t bytes, double skew, double weight,
+           std::int32_t regionId)
+{
+    StreamConfig s;
+    s.kind = StreamConfig::Kind::Zipf;
+    s.regionBytes = bytes;
+    s.zipfSkew = skew;
+    s.weight = weight;
+    s.regionId = regionId;
+    return s;
+}
+
+/**
+ * One KV traffic profile: GET/SET split by @p readRatio, 80% of each
+ * kind hitting the hashed key space (Zipf popularity, the ranks
+ * scattered across the region by the generator's hash scramble) and
+ * 20% hot connection/session state. GETs and SETs alias the same two
+ * regions via regionId, so written keys are re-read — the YCSB shape.
+ */
+MixProfile
+kvProfile(double readRatio, double skew, std::uint64_t keyBytes,
+          std::int32_t keyRegion, std::int32_t stackRegion)
+{
+    MixProfile p;
+    p.loadFraction = readRatio;
+    p.storeFraction = 1.0 - readRatio;
+    const StreamConfig stack =
+        zipfStream(64 * kKB, 0.9, 0.2, stackRegion);
+    const StreamConfig keys =
+        zipfStream(keyBytes, skew, 0.8, keyRegion);
+    p.loads.streams = {stack, keys};
+    p.stores.streams = {stack, keys};
+    return p;
+}
+
+BenchmarkSpec
+serverSpecBase(const std::string &description)
+{
+    BenchmarkSpec b;
+    b.suite = "server";
+    b.description = description;
+    b.paperMpki = 0.0; // no Table V row: measured, not published
+    b.prismCompatible = true;
+    b.gen.meanGap = 2.0;
+    return b;
+}
+
+BenchmarkSpec
+buildKv(const WorkloadParams &p)
+{
+    const double readRatio = num(p, "kv", "readRatio");
+    const double skew = num(p, "kv", "skew");
+    const double warm = num(p, "kv", "warm");
+    const std::uint64_t keys = count(p, "kv", "keys");
+    const std::uint64_t ops = count(p, "kv", "ops");
+    checkRatio("kv", "readRatio", readRatio);
+    checkSkew("kv", "skew", skew);
+    checkWarm("kv", warm);
+
+    BenchmarkSpec b = serverSpecBase(
+        "Zipf KV cache: GET/SET over a hashed key space");
+    b.gen.totalAccesses = ops;
+    b.gen.seed = u32(p, "kv", "seed");
+    b.gen.warmupFraction = warm;
+    const MixProfile mix = kvProfile(readRatio, skew, keys * kLine,
+                                     /*keyRegion=*/0,
+                                     /*stackRegion=*/1);
+    b.gen.loadFraction = mix.loadFraction;
+    b.gen.storeFraction = mix.storeFraction;
+    b.gen.loads = mix.loads;
+    b.gen.stores = mix.stores;
+    return b;
+}
+
+BenchmarkSpec
+buildPhased(const WorkloadParams &p)
+{
+    const std::vector<double> rr = numList(p, "phased", "readRatios");
+    const std::vector<double> sk = numList(p, "phased", "skews");
+    const double warm = num(p, "phased", "warm");
+    const std::uint64_t keys = count(p, "phased", "keys");
+    const std::uint64_t ops = count(p, "phased", "ops");
+    checkWarm("phased", warm);
+
+    const std::size_t phases = std::max(rr.size(), sk.size());
+    const std::vector<double> readRatios =
+        broadcast("phased", "readRatios", rr, phases);
+    const std::vector<double> skews =
+        broadcast("phased", "skews", sk, phases);
+
+    BenchmarkSpec b = serverSpecBase(
+        "KV phase schedule: read-ratio/skew shifts over one key space");
+    b.gen.totalAccesses = ops;
+    b.gen.seed = u32(p, "phased", "seed");
+    b.gen.warmupFraction = warm;
+    for (std::size_t i = 0; i < phases; ++i) {
+        checkRatio("phased", "readRatios", readRatios[i]);
+        checkSkew("phased", "skews", skews[i]);
+        // regionId 0/1 recur across phases: every phase revisits the
+        // same key space and session state, only the mix shifts.
+        b.gen.phases.push_back(kvProfile(readRatios[i], skews[i],
+                                         keys * kLine,
+                                         /*keyRegion=*/0,
+                                         /*stackRegion=*/1));
+    }
+    return b;
+}
+
+BenchmarkSpec
+buildTenants(const WorkloadParams &p)
+{
+    const std::uint32_t n = u32(p, "tenants", "n");
+    if (n == 0)
+        throw std::runtime_error(what("tenants", "n") +
+                                 ": must be > 0");
+    const std::vector<double> readRatios = broadcast(
+        "tenants", "readRatios", numList(p, "tenants", "readRatios"),
+        n);
+    const std::vector<double> skews = broadcast(
+        "tenants", "skews", numList(p, "tenants", "skews"), n);
+    const double warm = num(p, "tenants", "warm");
+    const std::uint64_t keys = count(p, "tenants", "keys");
+    const std::uint64_t ops = count(p, "tenants", "ops");
+    checkWarm("tenants", warm);
+
+    BenchmarkSpec b = serverSpecBase(
+        "co-scheduled KV tenants sharing the LLC");
+    b.multiThreaded = true;
+    b.defaultThreads = n;
+    b.gen.totalAccesses = ops;
+    b.gen.seed = u32(p, "tenants", "seed");
+    b.gen.warmupFraction = warm;
+    b.gen.perThreadStats = true;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        checkRatio("tenants", "readRatios", readRatios[i]);
+        checkSkew("tenants", "skews", skews[i]);
+        // Distinct regionIds per tenant: tenant i's GETs and SETs
+        // share tenant i's key space and nothing else — isolation is
+        // only broken where it should be, at the shared LLC.
+        b.gen.tenantMixes.push_back(
+            kvProfile(readRatios[i], skews[i], keys * kLine,
+                      /*keyRegion=*/std::int32_t(2 * i),
+                      /*stackRegion=*/std::int32_t(2 * i + 1)));
+    }
+    return b;
+}
+
+} // namespace
+
+void
+registerServerWorkloads(WorkloadRegistry &reg)
+{
+    using Type = WorkloadParamDef::Type;
+
+    reg.add(WorkloadKindDef{
+        "kv",
+        "server",
+        "Zipf KV cache: GET/SET over a hashed key space",
+        {
+            {"keys", Type::Count, "256K",
+             "distinct 64 B keys in the hashed key space"},
+            {"ops", Type::Count, "2M", "total accesses"},
+            {"readRatio", Type::Num, "0.95",
+             "GET fraction (SETs take the rest)"},
+            {"seed", Type::U32, "1000", "generator seed"},
+            {"skew", Type::Num, "0.99", "Zipf popularity exponent"},
+            {"warm", Type::Num, "0.25",
+             "leading warm-up fraction (fills the cache; excluded "
+             "from characterization)"},
+        },
+        buildKv,
+    });
+
+    reg.add(WorkloadKindDef{
+        "phased",
+        "server",
+        "KV phase schedule: read-ratio/skew shifts over one key space",
+        {
+            {"keys", Type::Count, "256K",
+             "distinct 64 B keys (all phases share them)"},
+            {"ops", Type::Count, "2M",
+             "total accesses, split evenly across phases"},
+            {"readRatios", Type::NumList, "0.95,0.5",
+             "per-phase GET fraction (length 1 broadcasts)"},
+            {"seed", Type::U32, "1100", "generator seed"},
+            {"skews", Type::NumList, "1.2,0.6",
+             "per-phase Zipf exponent (length 1 broadcasts)"},
+            {"warm", Type::Num, "0",
+             "leading warm-up fraction (fills the cache; excluded "
+             "from characterization)"},
+        },
+        buildPhased,
+    });
+
+    reg.add(WorkloadKindDef{
+        "tenants",
+        "server",
+        "co-scheduled KV tenants sharing the LLC",
+        {
+            {"keys", Type::Count, "64K",
+             "distinct 64 B keys per tenant (private key spaces)"},
+            {"n", Type::U32, "4", "tenant count (= threads)"},
+            {"ops", Type::Count, "2M",
+             "total accesses across all tenants"},
+            {"readRatios", Type::NumList, "0.95",
+             "per-tenant GET fraction (length 1 broadcasts)"},
+            {"seed", Type::U32, "1200", "generator seed"},
+            {"skews", Type::NumList, "0.99",
+             "per-tenant Zipf exponent (length 1 broadcasts)"},
+            {"warm", Type::Num, "0.25",
+             "leading warm-up fraction (fills the cache; excluded "
+             "from characterization)"},
+        },
+        buildTenants,
+    });
+}
+
+} // namespace nvmcache

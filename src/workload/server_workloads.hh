@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Parameterized datacenter server-traffic workload families (ROADMAP
+ * item 3): the "modern use case behavior" the paper's title promises
+ * but its Table V (SPEC/PARSEC/NPB) does not cover.
+ *
+ *  - kv      : YCSB-style key-value cache traffic — Zipf key
+ *              popularity (skew knob) over a hashed large key space,
+ *              GET/SET split by a read-ratio knob, with a leading
+ *              warm-up fraction that fills the cache but is excluded
+ *              from workload characterization;
+ *  - phased  : a schedule of kv-style sub-mixes switched at
+ *              access-count boundaries (diurnal read-ratio / skew
+ *              shifts over one key space);
+ *  - tenants : n co-scheduled kv tenants on n threads sharing the
+ *              LLC, deterministically interleaved by the simulator's
+ *              min-local-time scheduler, with per-tenant LLC
+ *              hit/miss/writeback stats exported under
+ *              "sim.tenant<i>.".
+ *
+ * All three are registered as parameterized kinds on the
+ * WorkloadRegistry ("kv:skew=0.99,readRatio=0.95,keys=64M") and flow
+ * through the unchanged replay/store/trace layers.
+ */
+
+#ifndef NVMCACHE_WORKLOAD_SERVER_WORKLOADS_HH
+#define NVMCACHE_WORKLOAD_SERVER_WORKLOADS_HH
+
+namespace nvmcache {
+
+class WorkloadRegistry;
+
+/** Register the kv / phased / tenants kinds on @p reg. */
+void registerServerWorkloads(WorkloadRegistry &reg);
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_WORKLOAD_SERVER_WORKLOADS_HH

@@ -1,6 +1,7 @@
 #include "workload/suite.hh"
 
 #include "util/logging.hh"
+#include "workload/workload_registry.hh"
 
 namespace nvmcache {
 
@@ -553,13 +554,6 @@ buildExtras()
     return v;
 }
 
-const std::vector<BenchmarkSpec> &
-extraBenchmarks()
-{
-    static const std::vector<BenchmarkSpec> extras = buildExtras();
-    return extras;
-}
-
 } // namespace
 
 const std::vector<BenchmarkSpec> &
@@ -569,16 +563,25 @@ benchmarkSuite()
     return suite;
 }
 
+const std::vector<BenchmarkSpec> &
+extraBenchmarks()
+{
+    static const std::vector<BenchmarkSpec> extras = buildExtras();
+    return extras;
+}
+
 const BenchmarkSpec &
 benchmark(const std::string &name)
 {
-    for (const BenchmarkSpec &b : benchmarkSuite())
-        if (b.name == name)
-            return b;
-    for (const BenchmarkSpec &b : extraBenchmarks())
-        if (b.name == name)
-            return b;
-    fatal("unknown benchmark '", name, "'");
+    // Deprecated wrapper (see suite.hh): resolve through the
+    // WorkloadRegistry so parameterized spec strings work here too,
+    // translating its diagnostics back into this function's
+    // historical fatal() contract.
+    try {
+        return WorkloadRegistry::global().resolve(name);
+    } catch (const std::exception &e) {
+        fatal("unknown benchmark '", name, "': ", e.what());
+    }
 }
 
 std::vector<const BenchmarkSpec *>

@@ -64,9 +64,19 @@ struct BenchmarkSpec
 const std::vector<BenchmarkSpec> &benchmarkSuite();
 
 /**
- * Look up one workload by name. Resolves the Table V suite plus a
- * few extra named workloads (e.g. "lbm") kept outside the figure
- * studies.
+ * Workloads resolvable by name but outside the paper's Table V suite
+ * (e.g. "lbm"), kept out of the figure studies.
+ */
+const std::vector<BenchmarkSpec> &extraBenchmarks();
+
+/**
+ * Look up one workload by name.
+ *
+ * Deprecated back-compat wrapper: lookups now flow through
+ * WorkloadRegistry::global().resolve(), which additionally accepts
+ * parameterized spec strings ("kv:skew=0.99"). Prefer the registry in
+ * new code; this wrapper exits via fatal() on unknown names where the
+ * registry throws a listing std::runtime_error.
  */
 const BenchmarkSpec &benchmark(const std::string &name);
 

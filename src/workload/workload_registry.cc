@@ -1,0 +1,318 @@
+#include "workload/workload_registry.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/args.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "workload/server_workloads.hh"
+
+namespace nvmcache {
+
+namespace {
+
+/** Canonical text of a double (JSON number rendering). */
+std::string
+numText(double v)
+{
+    return JsonValue::makeNumber(v).dump();
+}
+
+std::string
+join(const std::vector<std::string> &items, const char *sep = ", ")
+{
+    std::string out;
+    for (const std::string &s : items) {
+        if (!out.empty())
+            out += sep;
+        out += s;
+    }
+    return out;
+}
+
+std::vector<std::string>
+paramKeys(const WorkloadKindDef &def)
+{
+    std::vector<std::string> keys;
+    keys.reserve(def.params.size());
+    for (const WorkloadParamDef &p : def.params)
+        keys.push_back(p.key);
+    return keys;
+}
+
+/**
+ * Split the parameter section of a spec string. Tokens are
+ * comma-separated "key=value" pairs, but a comma-token without '='
+ * continues the previous value, so list-typed values keep their
+ * commas: "readRatios=0.95,0.5,warm=0.1" -> {readRatios: "0.95,0.5",
+ * warm: "0.1"}.
+ */
+WorkloadParams
+parseParamSection(const std::string &kind, const std::string &section)
+{
+    WorkloadParams params;
+    std::string lastKey;
+    std::stringstream ss(section);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos) {
+            if (lastKey.empty())
+                throw std::runtime_error(
+                    "workload '" + kind + "': expected key=value, got '" +
+                    token + "'");
+            params[lastKey] += "," + token;
+            continue;
+        }
+        lastKey = token.substr(0, eq);
+        if (lastKey.empty())
+            throw std::runtime_error("workload '" + kind +
+                                     "': empty parameter name in '" +
+                                     token + "'");
+        if (params.count(lastKey))
+            throw std::runtime_error("workload '" + kind +
+                                     "': duplicate parameter '" +
+                                     lastKey + "'");
+        params[lastKey] = token.substr(eq + 1);
+    }
+    return params;
+}
+
+/** Validate and canonically re-render one parameter value. */
+std::string
+canonValue(const std::string &kindName, const WorkloadParamDef &p,
+           const std::string &value)
+{
+    const std::string what =
+        "workload '" + kindName + "' parameter '" + p.key + "'";
+    switch (p.type) {
+      case WorkloadParamDef::Type::Num:
+        return numText(ArgParser::parseNum(what, value));
+      case WorkloadParamDef::Type::NumList: {
+        const std::vector<double> list =
+            ArgParser::parseNumList(what, value);
+        if (list.empty())
+            throw std::runtime_error(what + ": empty list");
+        std::vector<std::string> rendered;
+        rendered.reserve(list.size());
+        for (double v : list)
+            rendered.push_back(numText(v));
+        return join(rendered, ",");
+      }
+      case WorkloadParamDef::Type::Count:
+        return renderCount(parseCount(what, value));
+      case WorkloadParamDef::Type::U32:
+        return std::to_string(ArgParser::parseU32(what, value));
+    }
+    throw std::runtime_error(what + ": bad parameter type");
+}
+
+} // namespace
+
+std::uint64_t
+parseCount(const std::string &what, const std::string &token)
+{
+    if (token.empty())
+        throw std::runtime_error(what + ": empty count");
+    std::uint64_t scale = 1;
+    std::string digits = token;
+    switch (token.back()) {
+      case 'K':
+        scale = 1ull << 10;
+        break;
+      case 'M':
+        scale = 1ull << 20;
+        break;
+      case 'G':
+        scale = 1ull << 30;
+        break;
+      default:
+        break;
+    }
+    if (scale != 1)
+        digits = token.substr(0, token.size() - 1);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        throw std::runtime_error(
+            what + ": expected a count (digits with optional K/M/G "
+                   "suffix), got '" + token + "'");
+    return std::stoull(digits) * scale;
+}
+
+std::string
+renderCount(std::uint64_t value)
+{
+    if (value != 0 && value % (1ull << 30) == 0)
+        return std::to_string(value >> 30) + "G";
+    if (value != 0 && value % (1ull << 20) == 0)
+        return std::to_string(value >> 20) + "M";
+    if (value != 0 && value % (1ull << 10) == 0)
+        return std::to_string(value >> 10) + "K";
+    return std::to_string(value);
+}
+
+void
+WorkloadRegistry::add(WorkloadKindDef def)
+{
+    if (def.name.empty() || !def.build)
+        fatal("WorkloadRegistry: kind needs a name and a builder");
+    if (kinds_.count(def.name))
+        fatal("WorkloadRegistry: duplicate kind '", def.name, "'");
+    kinds_.emplace(def.name, std::move(def));
+}
+
+bool
+WorkloadRegistry::contains(const std::string &kind) const
+{
+    return kinds_.count(kind) != 0;
+}
+
+std::vector<std::string>
+WorkloadRegistry::kinds() const
+{
+    std::vector<std::string> names;
+    names.reserve(kinds_.size());
+    for (const auto &[name, def] : kinds_)
+        names.push_back(name);
+    return names;
+}
+
+const WorkloadKindDef &
+WorkloadRegistry::kind(const std::string &name) const
+{
+    auto it = kinds_.find(name);
+    if (it == kinds_.end())
+        throw std::runtime_error("unknown workload '" + name +
+                                 "' (valid kinds: " + join(kinds()) +
+                                 ")");
+    return it->second;
+}
+
+WorkloadParams
+WorkloadRegistry::canonicalParams(const WorkloadKindDef &def,
+                                  const WorkloadParams &params) const
+{
+    if (!params.empty() && def.params.empty())
+        throw std::runtime_error("workload '" + def.name +
+                                 "' accepts no parameters");
+
+    WorkloadParams canon;
+    for (const auto &[key, value] : params) {
+        const auto def_it = std::find_if(
+            def.params.begin(), def.params.end(),
+            [&, k = key](const WorkloadParamDef &p) {
+                return p.key == k;
+            });
+        if (def_it == def.params.end())
+            throw std::runtime_error(
+                "workload '" + def.name + "': unknown parameter '" +
+                key + "' (valid: " + join(paramKeys(def)) + ")");
+        canon[key] = canonValue(def.name, *def_it, value);
+    }
+    return canon;
+}
+
+std::string
+WorkloadRegistry::canonicalName(const std::string &kindName,
+                                const WorkloadParams &params) const
+{
+    const WorkloadKindDef &def = kind(kindName);
+    const WorkloadParams canon = canonicalParams(def, params);
+
+    // Drop overrides equal to their default so every spelling of the
+    // default configuration collapses onto the bare kind name
+    // (std::map iteration makes the remainder sorted by key).
+    std::vector<std::string> parts;
+    for (const auto &[key, value] : canon) {
+        const auto def_it = std::find_if(
+            def.params.begin(), def.params.end(),
+            [&, k = key](const WorkloadParamDef &p) {
+                return p.key == k;
+            });
+        if (value != canonValue(def.name, *def_it, def_it->defaultValue))
+            parts.push_back(key + "=" + value);
+    }
+    if (parts.empty())
+        return kindName;
+    return kindName + ":" + join(parts, ",");
+}
+
+const BenchmarkSpec &
+WorkloadRegistry::resolve(const std::string &specString) const
+{
+    const std::size_t colon = specString.find(':');
+    if (colon == std::string::npos)
+        return resolve(specString, {});
+    return resolve(specString.substr(0, colon),
+                   parseParamSection(specString.substr(0, colon),
+                                     specString.substr(colon + 1)));
+}
+
+const BenchmarkSpec &
+WorkloadRegistry::resolve(const std::string &kindName,
+                          const WorkloadParams &params) const
+{
+    const WorkloadKindDef &def = kind(kindName);
+    const std::string name = canonicalName(kindName, params);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = interned_.find(name);
+    if (it != interned_.end())
+        return *it->second;
+
+    // Full parameter map: defaults overlaid with the (canonicalized)
+    // overrides, so builders see every key.
+    WorkloadParams merged;
+    for (const WorkloadParamDef &p : def.params)
+        merged[p.key] = p.defaultValue;
+    for (const auto &[key, value] : canonicalParams(def, params))
+        merged[key] = value;
+
+    auto spec = std::make_unique<BenchmarkSpec>(def.build(merged));
+    spec->name = name;
+    const BenchmarkSpec &ref = *spec;
+    interned_.emplace(name, std::move(spec));
+    return ref;
+}
+
+std::string
+WorkloadRegistry::helpText() const
+{
+    std::string out;
+    for (const auto &[name, def] : kinds_) {
+        out += name + " (" + def.suite + ") — " + def.description + "\n";
+        for (const WorkloadParamDef &p : def.params)
+            out += "    " + p.key + "=" + p.defaultValue + "  " +
+                   p.help + "\n";
+    }
+    return out;
+}
+
+const WorkloadRegistry &
+WorkloadRegistry::global()
+{
+    static const WorkloadRegistry *registry = [] {
+        auto *reg = new WorkloadRegistry;
+        auto addFixed = [&](const BenchmarkSpec &spec) {
+            WorkloadKindDef def;
+            def.name = spec.name;
+            def.suite = spec.suite;
+            def.description = spec.description;
+            def.build = [&spec](const WorkloadParams &) {
+                return spec;
+            };
+            reg->add(std::move(def));
+        };
+        for (const BenchmarkSpec &b : benchmarkSuite())
+            addFixed(b);
+        for (const BenchmarkSpec &b : extraBenchmarks())
+            addFixed(b);
+        registerServerWorkloads(*reg);
+        return reg;
+    }();
+    return *registry;
+}
+
+} // namespace nvmcache

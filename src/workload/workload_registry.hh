@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Uniform Workload API: kind + typed params -> validated
+ * BenchmarkSpec.
+ *
+ * Mirrors the StudyRegistry redesign (core/study_registry.hh) one
+ * layer down: every workload in the tree — the 20 Table V benchmarks,
+ * the extra named workloads, and the parameterized server families
+ * (kv / phased / tenants) — registers a *kind* with a typed parameter
+ * schema, and every consumer (ExperimentRunner call sites, studies,
+ * the daemon, the CLI, benches) resolves workloads through
+ *
+ *   "kv:skew=0.99,readRatio=0.95,keys=64M"
+ *     -> WorkloadRegistry::resolve(spec string)
+ *     -> kind lookup + per-parameter validation (named diagnostics)
+ *     -> canonical name (sorted non-default params, normalized values)
+ *     -> interned BenchmarkSpec (stable reference, built once)
+ *
+ * The canonical name is embedded in spec.name, and the generator
+ * parameters it selects are byte-folded into every runKey/privKey by
+ * the experiment engine — so two different parameterizations can never
+ * share a memo, store, or coalescing slot, while two spellings of the
+ * same parameterization ("keys=64M" vs "keys=67108864") resolve to
+ * the identical interned spec.
+ */
+
+#ifndef NVMCACHE_WORKLOAD_WORKLOAD_REGISTRY_HH
+#define NVMCACHE_WORKLOAD_WORKLOAD_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "workload/suite.hh"
+
+namespace nvmcache {
+
+/** String-typed workload parameters ("skew" -> "0.99"). */
+using WorkloadParams = std::map<std::string, std::string>;
+
+/** One accepted parameter of a workload kind. */
+struct WorkloadParamDef
+{
+    /** Value type: drives validation and canonical rendering. */
+    enum class Type
+    {
+        Num,     ///< double ("0.99")
+        NumList, ///< comma list of doubles ("0.95,0.5")
+        Count,   ///< uint64 with binary K/M/G suffix ("64M")
+        U32,     ///< uint32 ("4")
+    };
+
+    std::string key;
+    Type type = Type::Num;
+    std::string defaultValue; ///< canonical rendering
+    std::string help;         ///< one-line meaning for listings
+};
+
+/** One registered workload kind. */
+struct WorkloadKindDef
+{
+    std::string name;
+    std::string suite;       ///< grouping label ("cpu2006", "server")
+    std::string description;
+    std::vector<WorkloadParamDef> params; ///< empty = fixed workload
+
+    /**
+     * Build the spec from the full canonicalized parameter map
+     * (defaults overlaid with the caller's overrides). Must not set
+     * spec.name (the registry stamps the canonical name) and throws
+     * std::runtime_error naming the kind and parameter on semantic
+     * errors the per-parameter type check cannot catch.
+     */
+    std::function<BenchmarkSpec(const WorkloadParams &)> build;
+};
+
+/**
+ * Parse/render a Count value: plain digits or binary "K"/"M"/"G"
+ * suffix. Both throw/produce canonical forms shared by the registry
+ * and the CLI. parseCount throws std::runtime_error naming @p what.
+ */
+std::uint64_t parseCount(const std::string &what,
+                         const std::string &token);
+std::string renderCount(std::uint64_t value);
+
+/**
+ * Kind -> definition registry of every workload. global() carries the
+ * Table V suite, the extra named workloads, and the server families;
+ * resolved specs are interned so repeated resolution (and pointer
+ * comparison) is cheap and stable for a process lifetime.
+ *
+ * All lookup errors are std::runtime_error with named tokens and the
+ * valid alternatives listed — never process exit — so the daemon's
+ * request parsing survives bad client input.
+ */
+class WorkloadRegistry
+{
+  public:
+    void add(WorkloadKindDef def);
+
+    bool contains(const std::string &kind) const;
+    std::vector<std::string> kinds() const;
+
+    /** Throws listing valid kinds when unknown. */
+    const WorkloadKindDef &kind(const std::string &name) const;
+
+    /**
+     * Resolve a workload spec string — "gcc", "kv", or
+     * "kv:skew=0.99,keys=64M" — to its interned spec. A list-typed
+     * value keeps its commas: inside the parameter section, a
+     * comma-token without '=' continues the previous value
+     * ("phased:readRatios=0.95,0.5,warm=0.1" parses as
+     * readRatios=[0.95,0.5], warm=0.1).
+     */
+    const BenchmarkSpec &resolve(const std::string &specString) const;
+
+    /** resolve() with the kind and overrides already split. */
+    const BenchmarkSpec &resolve(const std::string &kind,
+                                 const WorkloadParams &params) const;
+
+    /**
+     * Canonical workload name: the kind alone when every override
+     * equals its default, else kind + ':' + sorted "key=value" pairs
+     * with normalized values. Validates like resolve() but does not
+     * build the spec.
+     */
+    std::string canonicalName(const std::string &kind,
+                              const WorkloadParams &params) const;
+
+    /**
+     * Generated usage text: one block per kind with its description
+     * and parameter schema (the CLI's `nvmcache workloads` output).
+     */
+    std::string helpText() const;
+
+    static const WorkloadRegistry &global();
+
+  private:
+    /** Validate keys and canonicalize values for @p def. */
+    WorkloadParams canonicalParams(const WorkloadKindDef &def,
+                                   const WorkloadParams &params) const;
+
+    std::map<std::string, WorkloadKindDef> kinds_;
+    mutable std::mutex mutex_;
+    mutable std::map<std::string, std::unique_ptr<BenchmarkSpec>>
+        interned_;
+};
+
+} // namespace nvmcache
+
+#endif // NVMCACHE_WORKLOAD_WORKLOAD_REGISTRY_HH

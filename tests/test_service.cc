@@ -181,15 +181,16 @@ TEST(Args, DiagnosticsNameFlagAndToken)
 
 // --- study registry -------------------------------------------------
 
-TEST(Registry, GlobalCarriesTheFiveStudies)
+TEST(Registry, GlobalCarriesTheSixStudies)
 {
     const StudyRegistry &r = StudyRegistry::global();
     for (const char *name : {"figure", "core-sweep", "correlation",
-                             "reliability", "compare"}) {
+                             "reliability", "server-suite",
+                             "compare"}) {
         EXPECT_TRUE(r.contains(name)) << name;
         EXPECT_NE(r.helpText().find(name), std::string::npos);
     }
-    EXPECT_EQ(r.names().size(), 5u);
+    EXPECT_EQ(r.names().size(), 6u);
 }
 
 TEST(Registry, UnknownStudyListsValidNames)
@@ -462,15 +463,46 @@ TEST(Service, PingStudiesAndMetricsOps)
 
         const JsonValue studies = client.studies();
         EXPECT_TRUE(studies.at("ok").asBool());
-        EXPECT_EQ(studies.at("studies").items.size(), 5u);
-        bool sawCompare = false;
-        for (const JsonValue &s : studies.at("studies").items)
+        EXPECT_EQ(studies.at("studies").items.size(), 6u);
+        bool sawCompare = false, sawServerSuite = false;
+        for (const JsonValue &s : studies.at("studies").items) {
             if (s.at("name").asString() == "compare") {
                 sawCompare = true;
                 EXPECT_EQ(s.at("defaults").at("workload").asString(),
                           "lbm");
             }
+            sawServerSuite = sawServerSuite ||
+                             s.at("name").asString() == "server-suite";
+        }
         EXPECT_TRUE(sawCompare);
+        EXPECT_TRUE(sawServerSuite);
+
+        // The workload-registry listing mirrors "studies": every
+        // kind, with the parameter schema for the server families.
+        const JsonValue workloads = client.request(
+            JsonValue::parse("{\"op\":\"workloads\"}"));
+        EXPECT_TRUE(workloads.at("ok").asBool());
+        bool sawKv = false, sawFixed = false;
+        for (const JsonValue &w : workloads.at("workloads").items) {
+            if (w.at("name").asString() == "kv") {
+                sawKv = true;
+                EXPECT_EQ(w.at("suite").asString(), "server");
+                bool sawSkew = false;
+                for (const JsonValue &p : w.at("params").items)
+                    if (p.at("key").asString() == "skew") {
+                        sawSkew = true;
+                        EXPECT_EQ(p.at("default").asString(), "0.99");
+                        EXPECT_EQ(p.at("type").asString(), "num");
+                    }
+                EXPECT_TRUE(sawSkew);
+            }
+            if (w.at("name").asString() == "lbm") {
+                sawFixed = true;
+                EXPECT_TRUE(w.at("params").items.empty());
+            }
+        }
+        EXPECT_TRUE(sawKv);
+        EXPECT_TRUE(sawFixed);
 
         const JsonValue metrics = client.metrics();
         EXPECT_TRUE(metrics.at("ok").asBool());

@@ -11,7 +11,7 @@
  *   nvmcache simulate <workload> <tech> [--fixed-area] [--threads N]
  *   nvmcache characterize <workload|tracefile.nvmt>
  *   nvmcache export-trace <workload> <file.nvmt> [--threads N]
- *   nvmcache workloads                   list the Table V suite
+ *   nvmcache workloads [--json]          list workload kinds/params
  *   nvmcache studies                     list the study registry
  *   nvmcache study <kind> [key=value ..] run any registered study
  *   nvmcache serve --socket PATH         persistent evaluation daemon
@@ -46,6 +46,7 @@
 #include "util/units.hh"
 #include "workload/suite.hh"
 #include "workload/trace_io.hh"
+#include "workload/workload_registry.hh"
 
 using namespace nvmcache;
 
@@ -72,7 +73,8 @@ usage(std::FILE *out)
         "           [--progress]\n"
         "  characterize <workload|file.nvmt>  PRISM-style features\n"
         "  export-trace <workload> <file.nvmt> [--threads N]\n"
-        "  workloads                          list the Table V suite\n"
+        "  workloads [--json]                 list workload kinds "
+        "with parameter schemas\n"
         "  reliability [workload] [--ber-scale A,B,..] "
         "[--wear-leveling A,B,..]\n"
         "           [--wear-scale X] [--max-retries N] [--scale F] "
@@ -110,8 +112,8 @@ usage(std::FILE *out)
         "store\n"
         "  client --socket PATH <kind> [key=value ..] [--id X] "
         "[--result-only]\n"
-        "           [--op ping|studies|metrics|stats|health|trace|"
-        "shutdown] [--trace-id X]\n"
+        "           [--op ping|studies|workloads|metrics|stats|health|"
+        "trace|shutdown] [--trace-id X]\n"
         "           [--timeout-ms N] [--retries N] [--deadline-ms N]\n"
         "           talk to a serving daemon; --timeout-ms bounds "
         "every response wait,\n"
@@ -463,14 +465,30 @@ cmdReliability(ArgParser &parser)
 }
 
 int
-cmdWorkloads()
+cmdWorkloads(ArgParser &parser)
 {
-    std::printf("%-10s %-10s %-8s %-11s %s\n", "name", "suite",
-                "threads", "paper mpki", "description");
-    for (const BenchmarkSpec &b : benchmarkSuite())
-        std::printf("%-10s %-10s %-8u %-11.2f %s\n", b.name.c_str(),
-                    b.suite.c_str(), b.defaultThreads, b.paperMpki,
-                    b.description.c_str());
+    const bool json = parser.flag("--json");
+    parser.rejectUnknown("workloads");
+
+    if (json) {
+        std::printf("%s\n", workloadsToJson().dump().c_str());
+        return 0;
+    }
+
+    const WorkloadRegistry &reg = WorkloadRegistry::global();
+    std::printf("%-10s %-10s %s\n", "kind", "suite", "description");
+    for (const std::string &name : reg.kinds()) {
+        const WorkloadKindDef &def = reg.kind(name);
+        std::printf("%-10s %-10s %s\n", def.name.c_str(),
+                    def.suite.c_str(), def.description.c_str());
+        for (const WorkloadParamDef &p : def.params)
+            std::printf("    %-12s = %-12s %s\n", p.key.c_str(),
+                        p.defaultValue.c_str(), p.help.c_str());
+    }
+    std::printf(
+        "\nParameterized kinds take spec strings like "
+        "\"kv:skew=0.99,readRatio=0.95,keys=64M\";\n"
+        "kinds with no listed parameters are fixed workloads.\n");
     return 0;
 }
 
@@ -763,7 +781,7 @@ run(const std::string &cmd, const std::vector<std::string> &args)
     if (cmd == "export-trace")
         return cmdExportTrace(parser);
     if (cmd == "workloads")
-        return cmdWorkloads();
+        return cmdWorkloads(parser);
     if (cmd == "reliability")
         return cmdReliability(parser);
     if (cmd == "studies")
